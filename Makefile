@@ -1,0 +1,24 @@
+# Developer convenience targets.
+
+.PHONY: install test bench bench-tiny bench-paper examples lines
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-tiny:
+	REPRO_BENCH_SCALE=tiny pytest benchmarks/ --benchmark-only -s
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper REPRO_BENCH_REPS=25 pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script || exit 1; done
+
+lines:
+	find src tests benchmarks examples -name "*.py" | xargs wc -l | tail -1

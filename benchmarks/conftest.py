@@ -1,0 +1,70 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every table and figure of the paper's evaluation has a bench module here
+(see DESIGN.md section 4 for the index).  Scale is controlled by two
+environment variables so the same suite runs as a quick CI check or a
+full paper-scale reproduction:
+
+* ``REPRO_BENCH_SCALE``  -- dataset scale preset: ``tiny`` (smoke),
+  ``small`` (default) or ``paper`` (the paper's dimensions, slow).
+* ``REPRO_BENCH_REPS``   -- repetitions per experiment cell (default 2;
+  the paper uses 25).
+
+The benches print the regenerated tables to stdout (run pytest with
+``-s`` to see them) and attach the headline numbers to the
+pytest-benchmark ``extra_info`` so they land in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.model import Dataset
+from repro.datasets import build_domain_embeddings, load_dataset
+from repro.embeddings.base import WordEmbeddings
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+#: The paper-shape assertions only hold with enough data; at the ``tiny``
+#: smoke scale the benches verify execution, not shape.
+STRICT_SHAPE = BENCH_SCALE != "tiny"
+
+_dataset_cache: dict[str, Dataset] = {}
+_embedding_cache: dict[str, WordEmbeddings] = {}
+
+
+def bench_dataset(name: str) -> Dataset:
+    """Load (and cache) a dataset at the benchmark scale."""
+    if name not in _dataset_cache:
+        _dataset_cache[name] = load_dataset(name, scale=BENCH_SCALE)
+    return _dataset_cache[name]
+
+
+def bench_embeddings(name: str) -> WordEmbeddings:
+    """Train (and cache) embeddings at the benchmark scale."""
+    if name not in _embedding_cache:
+        _embedding_cache[name] = build_domain_embeddings(name, scale=BENCH_SCALE)
+    return _embedding_cache[name]
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_reps() -> int:
+    return BENCH_REPS
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment cells are macro-benchmarks (seconds to minutes); repeated
+    timing rounds would multiply the suite's runtime for no statistical
+    gain, so a single round is used.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,191 @@
+"""Extension E: ablations of LEAPME's design choices.
+
+Section IV-D reports that the hyper-parameters were hand-tuned but that
+"most alterations (such as changing the size of the layers) do not
+significantly impact on the results".  This bench verifies that claim
+and ablates the two protocol-level choices Section V-B fixes: the 2:1
+negative-sampling ratio and the phased learning-rate schedule.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_REPS, STRICT_SHAPE, bench_dataset, bench_embeddings, run_once
+
+from repro.core import LeapmeConfig, LeapmeMatcher
+from repro.evaluation import RunSettings, evaluate_matcher
+from repro.nn.schedule import TrainingSchedule, paper_schedule
+
+DATASET = "phones"
+
+
+def _run(config: LeapmeConfig, negative_ratio: float = 2.0) -> float:
+    result = evaluate_matcher(
+        LeapmeMatcher(bench_embeddings(DATASET), config=config),
+        bench_dataset(DATASET),
+        RunSettings(
+            train_fraction=0.8, repetitions=BENCH_REPS, negative_ratio=negative_ratio
+        ),
+    )
+    return result.f1
+
+
+def test_bench_ablation_negative_ratio(benchmark):
+    """The paper fixes 2 negatives per positive; sweep the ratio."""
+    ratios = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+    def sweep():
+        return {ratio: _run(LeapmeConfig(), negative_ratio=ratio) for ratio in ratios}
+
+    curve = run_once(benchmark, sweep)
+    print("\nnegative-sampling ratio ablation (phones @80%):")
+    for ratio, f1 in curve.items():
+        print(f"  {ratio:>4.1f} negatives/positive  F1={f1:.3f}")
+        benchmark.extra_info[f"f1_ratio_{ratio}"] = round(f1, 3)
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    # The paper's 2:1 choice is near the top of the curve.
+    assert curve[2.0] >= max(curve.values()) - 0.1
+
+
+def test_bench_ablation_network_width(benchmark):
+    """"Most alterations (such as changing the size of the layers) do not
+    significantly impact on the results." """
+    widths = {
+        "paper (128,64)": (128, 64),
+        "half (64,32)": (64, 32),
+        "double (256,128)": (256, 128),
+        "single (96,)": (96,),
+    }
+
+    def sweep():
+        return {
+            label: _run(LeapmeConfig(hidden_sizes=sizes))
+            for label, sizes in widths.items()
+        }
+
+    scores = run_once(benchmark, sweep)
+    print("\nnetwork-width ablation (phones @80%):")
+    for label, f1 in scores.items():
+        print(f"  {label:<18} F1={f1:.3f}")
+        benchmark.extra_info[f"f1_{label.split()[0]}"] = round(f1, 3)
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    spread = max(scores.values()) - min(scores.values())
+    assert spread < 0.15, f"width unexpectedly matters: spread={spread:.2f}"
+
+
+def test_bench_ablation_classifier_family(benchmark):
+    """Section IV-C: embeddings "may require nonlinear combinations",
+    hence the neural network.  Swap the classifier family on identical
+    Table I features and check the network earns its place."""
+    from repro.core import LeapmeMatcher
+    from repro.core.classical import ClassicalPairClassifier
+    from repro.ml import AdaBoostClassifier, DecisionTreeClassifier, LogisticRegression
+
+    families = {
+        "neural net (paper)": None,
+        "adaboost": lambda: ClassicalPairClassifier(
+            AdaBoostClassifier(n_estimators=40, max_depth=2)
+        ),
+        "decision tree": lambda: ClassicalPairClassifier(
+            DecisionTreeClassifier(max_depth=8)
+        ),
+        "logistic": lambda: ClassicalPairClassifier(LogisticRegression(max_iter=300)),
+    }
+
+    def sweep():
+        scores = {}
+        for label, factory in families.items():
+            matcher = LeapmeMatcher(
+                bench_embeddings(DATASET), classifier_factory=factory
+            )
+            result = evaluate_matcher(
+                matcher,
+                bench_dataset(DATASET),
+                RunSettings(train_fraction=0.8, repetitions=BENCH_REPS),
+            )
+            scores[label] = result.f1
+        return scores
+
+    scores = run_once(benchmark, sweep)
+    print("\nclassifier-family ablation (phones @80%, identical features):")
+    for label, f1 in scores.items():
+        print(f"  {label:<20} F1={f1:.3f}")
+        benchmark.extra_info[f"f1_{label.split()[0]}"] = round(f1, 3)
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    # The network clearly beats the *linear* and single-tree families on
+    # the embedding-heavy features (the paper's nonlinearity argument);
+    # boosted trees are competitive -- at this substrate's scale AdaBoost
+    # can even edge the network out, a finding worth reporting rather
+    # than asserting away.
+    assert scores["neural net (paper)"] >= scores["logistic"]
+    assert scores["neural net (paper)"] >= scores["decision tree"]
+    assert scores["neural net (paper)"] >= max(scores.values()) - 0.1
+
+
+def test_bench_ablation_text_encoder(benchmark):
+    """Plain word-vector averaging (the paper) vs SIF-weighted encoding.
+
+    SIF (Arora et al., 2017) down-weights frequent words and removes the
+    common discourse direction before averaging.  Since LEAPME's
+    classifier already learns feature weights, the expected effect is
+    modest -- the interesting question is whether the better text
+    representation helps at all once supervised learning sits on top.
+    """
+    from repro.core import LeapmeMatcher
+    from repro.embeddings import SifEncoder
+
+    dataset = bench_dataset(DATASET)
+    embeddings = bench_embeddings(DATASET)
+    texts = [instance.value for instance in dataset.instances]
+    names = [ref.name for ref in dataset.properties()]
+    sif = SifEncoder(
+        embeddings, SifEncoder.frequencies_from_texts(texts + names)
+    ).fit_common_direction(names)
+
+    def sweep():
+        scores = {}
+        for label, space in (("plain average (paper)", embeddings), ("SIF", sif)):
+            result = evaluate_matcher(
+                LeapmeMatcher(space),
+                dataset,
+                RunSettings(train_fraction=0.8, repetitions=BENCH_REPS),
+            )
+            scores[label] = result.f1
+        return scores
+
+    scores = run_once(benchmark, sweep)
+    print("\ntext-encoder ablation (phones @80%):")
+    for label, f1 in scores.items():
+        print(f"  {label:<22} F1={f1:.3f}")
+        benchmark.extra_info[f"f1_{label.split()[0]}"] = round(f1, 3)
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    # With a learned classifier on top, the encoders should be close.
+    assert abs(scores["SIF"] - scores["plain average (paper)"]) < 0.15
+
+
+def test_bench_ablation_schedule(benchmark):
+    """The phased LR schedule vs a flat schedule of the same length."""
+    schedules = {
+        "paper 10/5/5 phased": paper_schedule(),
+        "flat 20 @ 1e-3": TrainingSchedule.constant(20, 1e-3),
+        "short 5 @ 1e-3": TrainingSchedule.constant(5, 1e-3),
+    }
+
+    def sweep():
+        return {
+            label: _run(LeapmeConfig(schedule=schedule))
+            for label, schedule in schedules.items()
+        }
+
+    scores = run_once(benchmark, sweep)
+    print("\nlearning-rate schedule ablation (phones @80%):")
+    for label, f1 in scores.items():
+        print(f"  {label:<22} F1={f1:.3f}")
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    # The paper schedule is not worse than the alternatives.
+    paper_f1 = scores["paper 10/5/5 phased"]
+    assert paper_f1 >= max(scores.values()) - 0.08

@@ -1,0 +1,78 @@
+"""Extension I: active learning -- fewer labels for the same quality.
+
+The paper emphasises good results "for relatively little training
+data"; uncertainty sampling pushes the labelling budget further by
+asking for labels only where the classifier is unsure.  Expected shape:
+at small budgets, uncertainty sampling matches or beats random labelling
+of the same size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import STRICT_SHAPE, bench_dataset, bench_embeddings, run_once
+
+from repro.core import LeapmeConfig, LeapmeMatcher
+from repro.data.pairs import build_pairs
+from repro.data.splits import split_sources
+from repro.evaluation.active import run_active_learning
+from repro.nn.schedule import TrainingSchedule
+
+BUDGETS = [20, 60, 120, 240]
+FAST = LeapmeConfig(
+    hidden_sizes=(64, 32),
+    schedule=TrainingSchedule.from_pairs([(8, 1e-3), (3, 1e-4)]),
+)
+
+
+def test_bench_active_vs_random(benchmark):
+    dataset = bench_dataset("phones")
+    embeddings = bench_embeddings("phones")
+
+    def run():
+        curves = {}
+        for strategy in ("random", "uncertainty"):
+            f1_matrix = []
+            for repetition in range(2):
+                rng = np.random.default_rng([repetition, 31])
+                split = split_sources(dataset, 0.8, rng)
+                pool = build_pairs(dataset, list(split.train_sources), within=True)
+                evaluation = build_pairs(
+                    dataset, list(split.train_sources), within=False
+                )
+                curve = run_active_learning(
+                    LeapmeMatcher(embeddings, config=FAST),
+                    dataset,
+                    pool,
+                    evaluation,
+                    budgets=BUDGETS,
+                    strategy=strategy,
+                    rng=rng,
+                )
+                f1_matrix.append(curve.f1_scores)
+            curves[strategy] = np.mean(f1_matrix, axis=0)
+        return curves
+
+    curves = run_once(benchmark, run)
+    print("\nactive learning on phones (F1 vs labels spent):")
+    print(f"{'labels':>8} {'random':>8} {'uncertainty':>12}")
+    for i, budget in enumerate(BUDGETS):
+        print(
+            f"{budget:>8} {curves['random'][i]:>8.2f} "
+            f"{curves['uncertainty'][i]:>12.2f}"
+        )
+        benchmark.extra_info[f"random_{budget}"] = round(float(curves["random"][i]), 3)
+        benchmark.extra_info[f"active_{budget}"] = round(
+            float(curves["uncertainty"][i]), 3
+        )
+
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    # At a small-to-mid budget, choosing labels beats random labelling.
+    mid = len(BUDGETS) // 2
+    assert (
+        curves["uncertainty"][mid] >= curves["random"][mid] - 0.05
+    ), "uncertainty sampling should not lag random at mid budgets"
+    # Both improve with budget overall.
+    for strategy in ("random", "uncertainty"):
+        assert curves[strategy][-1] >= curves[strategy][0] - 0.05

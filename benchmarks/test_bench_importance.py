@@ -1,0 +1,55 @@
+"""Extension F: which Table I feature families does the classifier use?
+
+Section I claims supervised learning "learn[s] what features are more
+important".  Permutation importance makes that measurable: shuffle one
+feature block across the evaluation pairs and watch F1 drop.
+
+Note the distinction from Table II's single-block ablations: permutation
+importance is *marginal* (how much a block adds given the redundant
+others), while the paper's "name embeddings are the most effective
+features" statement is about *solo* block performance -- asserted by the
+names-block bench.  Here we assert the marginal version of the paper's
+embedding claim: the two embedding blocks together carry more of the
+model than the two non-embedding blocks together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import STRICT_SHAPE, bench_dataset, bench_embeddings, run_once
+
+from repro.core import LeapmeMatcher, permutation_importance, render_importance
+from repro.data.pairs import build_pairs, sample_training_pairs
+from repro.data.splits import split_sources
+
+
+def test_bench_feature_importance(benchmark):
+    dataset = bench_dataset("cameras")
+    embeddings = bench_embeddings("cameras")
+    rng = np.random.default_rng(3)
+    split = split_sources(dataset, 0.8, rng)
+    training = sample_training_pairs(
+        build_pairs(dataset, list(split.train_sources), within=True), rng=rng
+    )
+    test = build_pairs(dataset, list(split.train_sources), within=False)
+    matcher = LeapmeMatcher(embeddings)
+    matcher.fit(dataset, training)
+
+    importances = run_once(
+        benchmark,
+        lambda: permutation_importance(matcher, dataset, test, repeats=3, rng=rng),
+    )
+    print("\npermutation importance of Table I feature blocks (cameras @80%):")
+    print(render_importance(importances))
+    for item in importances:
+        benchmark.extra_info[f"dF1_{item.block}"] = round(item.importance, 3)
+
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    by_block = {item.block: item.importance for item in importances}
+    # Every block must matter (the network uses the whole Table I).
+    assert all(importance > 0.0 for importance in by_block.values())
+    # Embedding blocks jointly out-weigh non-embedding blocks.
+    embedding_total = by_block["instance_embedding"] + by_block["name_embedding"]
+    classic_total = by_block["instance_meta"] + by_block["name_distances"]
+    assert embedding_total > classic_total

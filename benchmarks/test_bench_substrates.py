@@ -1,0 +1,89 @@
+"""Extension D: substrate micro-benchmarks.
+
+Performance baselines for the building blocks everything else sits on:
+string distances (the dominant cost of pair features), embedding
+training, the neural network, and minhash signatures.  These catch
+accidental complexity regressions in the from-scratch implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LeapmeClassifier, LeapmeConfig
+from repro.baselines.lsh import MinHasher
+from repro.embeddings import CorpusGenerator, SynonymLexicon, build_cooccurrence
+from repro.embeddings.glove_like import train_glove_like
+from repro.nn.schedule import TrainingSchedule
+from repro.text.similarity import name_distance_vector
+
+NAMES = [
+    "camera resolution", "effective pixels", "megapixel", "mp rating",
+    "shutter speed", "exposure time", "optical zoom", "battery life",
+    "SCREEN_SIZE", "display-diagonal", "sensor size", "image stabilization",
+]
+PAIRS = [(a, b) for i, a in enumerate(NAMES) for b in NAMES[i + 1 :]]
+
+
+def test_bench_name_distances(benchmark):
+    """All 8 Table I string distances over 66 realistic name pairs."""
+
+    def run():
+        return [name_distance_vector(a, b) for a, b in PAIRS]
+
+    vectors = benchmark(run)
+    assert len(vectors) == len(PAIRS)
+
+
+def test_bench_embedding_training(benchmark):
+    """PPMI+SVD training on a mid-sized synthetic corpus."""
+    lexicon = SynonymLexicon(
+        [[f"w{g}m{m}" for m in range(4)] for g in range(30)]
+    )
+    generator = CorpusGenerator(lexicon, seed=0)
+    sentences = generator.corpus(sentences_per_group=20)
+
+    def run():
+        counts = build_cooccurrence(sentences)
+        return train_glove_like(counts, dimension=64, seed=0)
+
+    embeddings = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert embeddings.dimension == 64
+
+
+def test_bench_network_training(benchmark):
+    """The paper's network (128/64/2) on 1k pairs of 137-d features."""
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((1000, 137))
+    labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+    config = LeapmeConfig(schedule=TrainingSchedule.from_pairs([(5, 1e-3)]))
+
+    def run():
+        return LeapmeClassifier(config).fit(features, labels)
+
+    classifier = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert (classifier.predict(features) == labels).mean() > 0.9
+
+
+def test_bench_minhash_signatures(benchmark):
+    """Minhash signatures over 200 token sets of ~30 tokens."""
+    rng = np.random.default_rng(0)
+    token_sets = [
+        {f"token{int(t)}" for t in rng.integers(0, 500, size=30)} for _ in range(200)
+    ]
+    hasher = MinHasher(num_hashes=64)
+
+    def run():
+        return [hasher.signature(tokens) for tokens in token_sets]
+
+    signatures = benchmark(run)
+    assert len(signatures) == 200
+
+
+@pytest.mark.parametrize("length", [8, 32])
+def test_bench_single_distance_scaling(benchmark, length):
+    """Edit-distance cost as the strings grow (quadratic DP)."""
+    a = "ab" * (length // 2)
+    b = "ba" * (length // 2)
+    benchmark(lambda: name_distance_vector(a, b))

@@ -1,0 +1,57 @@
+"""Extension A: F1 as a function of the training-source fraction.
+
+Section V announces an analysis of "the impact of different amounts of
+training data"; Table II reports the 20% and 80% endpoints.  This bench
+regenerates the full curve, sweeping the fraction from 0.1 to 0.9 on the
+camera dataset.  Expected shape: monotone-ish improvement that saturates
+well before 0.9 ("improvements are even achieved for relatively little
+training data").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_REPS, STRICT_SHAPE, bench_dataset, bench_embeddings, run_once
+
+from repro.core import LeapmeMatcher
+from repro.evaluation import RunSettings, evaluate_matcher
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.6, 0.8, 0.9)
+
+
+def test_bench_training_fraction_sweep(benchmark):
+    dataset = bench_dataset("cameras")
+    embeddings = bench_embeddings("cameras")
+
+    def sweep():
+        curve = {}
+        for fraction in FRACTIONS:
+            result = evaluate_matcher(
+                LeapmeMatcher(embeddings),
+                dataset,
+                RunSettings(train_fraction=fraction, repetitions=BENCH_REPS),
+            )
+            curve[fraction] = result.f1
+        return curve
+
+    curve = run_once(benchmark, sweep)
+    print("\nF1 vs training fraction (cameras):")
+    for fraction in FRACTIONS:
+        bar = "#" * int(round(curve[fraction] * 40))
+        print(f"  {fraction:>4.0%}  {curve[fraction]:.3f}  {bar}")
+    benchmark.extra_info.update(
+        {f"f1_at_{fraction:.0%}": round(curve[fraction], 3) for fraction in FRACTIONS}
+    )
+
+    if not STRICT_SHAPE:
+        return  # tiny smoke scale: execution only
+    values = [curve[fraction] for fraction in FRACTIONS]
+    # More sources help overall...
+    assert values[-1] > values[0] - 0.02
+    # ...and the curve is roughly increasing (tolerate small dips).
+    violations = sum(b < a - 0.08 for a, b in zip(values, values[1:]))
+    assert violations <= 1, f"curve not monotone-ish: {values}"
+    # Diminishing returns: most of the gain is realised early.
+    gain_early = values[3] - values[0]  # 0.1 -> 0.6
+    gain_late = values[-1] - values[3]  # 0.6 -> 0.9
+    assert gain_late <= max(gain_early, 0.05) + 0.05

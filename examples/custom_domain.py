@@ -1,0 +1,120 @@
+"""Bring your own domain: define a schema spec, generate sources, match.
+
+Shows the full extension path a downstream user would follow to apply
+LEAPME to a new vertical (here: wristwatches): declare the reference
+ontology with synonym-rich name variants and value models, generate a
+heterogeneous multi-source dataset, train embeddings from the derived
+semantics, and evaluate the matcher.
+
+Run:  python examples/custom_domain.py
+"""
+
+from __future__ import annotations
+
+from repro import LeapmeMatcher, dataset_stats, evaluate_matcher
+from repro.datasets import (
+    CodeValueSpec,
+    DomainSpec,
+    EnumValueSpec,
+    GenerationConfig,
+    NumericValueSpec,
+    ReferencePropertySpec,
+    generate_dataset,
+)
+from repro.datasets.generator import derive_semantics
+from repro.embeddings import CorpusGenerator, build_cooccurrence, train_glove_like
+from repro.evaluation import RunSettings
+
+
+def watches_spec() -> DomainSpec:
+    """A small hand-written reference ontology for wristwatches."""
+    properties = (
+        ReferencePropertySpec(
+            reference_name="case_diameter",
+            name_variants=("case diameter", "dial width", "face size"),
+            value_spec=NumericValueSpec(28.0, 50.0, decimals=1, units=("mm", "millimeters")),
+            exposure=0.9,
+        ),
+        ReferencePropertySpec(
+            reference_name="water_resistance",
+            name_variants=("water resistance", "depth rating", "dive limit"),
+            value_spec=NumericValueSpec(30.0, 300.0, decimals=0, units=("m", "meters", "atm")),
+            exposure=0.8,
+        ),
+        ReferencePropertySpec(
+            reference_name="movement",
+            name_variants=("movement", "caliber mechanism", "drive type"),
+            value_spec=EnumValueSpec(
+                options=(
+                    ("automatic", "self winding"),
+                    ("quartz", "battery powered"),
+                    ("manual", "hand wound"),
+                    ("solar",),
+                )
+            ),
+            exposure=0.8,
+        ),
+        ReferencePropertySpec(
+            reference_name="strap",
+            name_variants=("strap material", "band composition", "bracelet kind"),
+            value_spec=EnumValueSpec(
+                options=(
+                    ("leather", "calfskin"),
+                    ("steel", "stainless"),
+                    ("rubber", "silicone"),
+                    ("nylon", "nato"),
+                )
+            ),
+            exposure=0.7,
+        ),
+        ReferencePropertySpec(
+            reference_name="reference_number",
+            name_variants=("reference number", "model code", "sku"),
+            value_spec=CodeValueSpec(prefixes=("ref", "sbga", "iw"), digits=5),
+            exposure=0.8,
+        ),
+    )
+    return DomainSpec(
+        name="watches",
+        properties=properties,
+        n_sources=8,
+        entities_per_source=(10, 40),
+        junk_properties_per_source=2,
+        name_noise=0.2,
+        value_noise=0.08,
+    )
+
+
+def main() -> None:
+    spec = watches_spec()
+
+    # 1. Generate the heterogeneous multi-source dataset.
+    dataset = generate_dataset(spec, GenerationConfig(seed=42))
+    print(dataset_stats(dataset).describe())
+
+    # 2. Train embeddings from the domain's derived semantics -- the same
+    #    recipe the built-in domains use under the hood.
+    semantics = derive_semantics(spec)
+    corpus = CorpusGenerator(
+        semantics.lexicon,
+        soft_words=semantics.soft_words,
+        singletons=semantics.singletons,
+        namespace="watches",
+        seed=0,
+    )
+    counts = build_cooccurrence(corpus.sentences(sentences_per_group=25))
+    embeddings = train_glove_like(counts, dimension=64, anisotropy=0.25, seed=0)
+    print(f"embeddings: {len(embeddings)} words x {embeddings.dimension} dims")
+    print(f"sanity: sim(automatic, winding) = "
+          f"{embeddings.cosine_similarity('automatic', 'winding'):.2f}\n")
+
+    # 3. Evaluate LEAPME with the paper's protocol.
+    matcher = LeapmeMatcher(embeddings)
+    result = evaluate_matcher(
+        matcher, dataset, RunSettings(train_fraction=0.8, repetitions=3)
+    )
+    print(result.describe())
+
+
+if __name__ == "__main__":
+    main()

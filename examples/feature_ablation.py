@@ -1,0 +1,51 @@
+"""The 3x3 feature-configuration grid of Section V-A on one dataset.
+
+Reproduces the paper's central analysis dimension-by-dimension: feature
+scope (instances / names / both) crossed with feature kind (embedding /
+non-embedding / both).
+
+Run:  python examples/feature_ablation.py [dataset]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    FeatureConfig,
+    LeapmeMatcher,
+    build_domain_embeddings,
+    evaluate_matcher,
+    load_dataset,
+)
+from repro.evaluation import RunSettings
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "headphones"
+    dataset = load_dataset(dataset_name, scale="small")
+    embeddings = build_domain_embeddings(dataset_name, scale="small")
+    settings = RunSettings(train_fraction=0.8, repetitions=3)
+
+    print(f"feature ablation on {dataset_name} @ 80% training, "
+          f"{settings.repetitions} repetitions\n")
+    print(f"{'configuration':<28} {'P':>6} {'R':>6} {'F1':>6}")
+    print("-" * 48)
+    best_label, best_f1 = "", -1.0
+    for config in FeatureConfig.grid():
+        matcher = LeapmeMatcher(embeddings, config)
+        result = evaluate_matcher(matcher, dataset, settings)
+        print(
+            f"{config.label():<28} {result.precision:>6.2f} "
+            f"{result.recall:>6.2f} {result.f1:>6.2f}"
+        )
+        if result.f1 > best_f1:
+            best_label, best_f1 = config.label(), result.f1
+    print(f"\nbest configuration: {best_label} (F1={best_f1:.2f})")
+    print("expected shape: embedding kinds beat non-embedding kinds; "
+          "name scope beats instance scope; 'both' is at least as good "
+          "as names alone.")
+
+
+if __name__ == "__main__":
+    main()

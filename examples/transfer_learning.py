@@ -1,0 +1,54 @@
+"""Transfer learning: train on one product domain, apply to another.
+
+The paper (Section V) studies whether a LEAPME model trained on, say,
+phone properties can match TV properties it has never seen.  This works
+because LEAPME's features are domain-independent *shapes* -- embedding
+differences and string distances -- provided one embedding space covers
+both domains (a single pre-trained GloVe does in the paper; here we
+train a joint space over both domains' corpora).
+
+Run:  python examples/transfer_learning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DATASET_NAMES,
+    LeapmeMatcher,
+    build_domain_embeddings,
+    load_dataset,
+    run_transfer_experiment,
+)
+
+
+def main() -> None:
+    datasets = {name: load_dataset(name, scale="small") for name in DATASET_NAMES}
+    # One embedding space covering all four domains, as one GloVe would.
+    embeddings = build_domain_embeddings(list(DATASET_NAMES), scale="small")
+
+    print("transfer matrix (rows = trained on, columns = tested on), F1:\n")
+    corner = "train / test"
+    header = f"{corner:<14}" + "".join(f"{name:>12}" for name in DATASET_NAMES)
+    print(header)
+    for source_name in DATASET_NAMES:
+        cells = [f"{source_name:<14}"]
+        for target_name in DATASET_NAMES:
+            if source_name == target_name:
+                cells.append(f"{'-':>12}")
+                continue
+            matcher = LeapmeMatcher(embeddings)
+            result = run_transfer_experiment(
+                matcher, datasets[source_name], datasets[target_name]
+            )
+            cells.append(f"{result.quality.f1:>12.2f}")
+        print("".join(cells))
+
+    print(
+        "\nexpected shape: transfer F1 clearly above zero everywhere "
+        "(the learned feature weighting carries across domains), but "
+        "below the in-domain scores of Table II."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+`pip install -e .` requires the `wheel` package to build a PEP 660
+editable wheel; on fully offline machines without `wheel`,
+`python setup.py develop` (which this shim enables) installs the package
+in editable mode using setuptools alone.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""The five baseline matchers of the paper's evaluation (Section V-A).
+
+Each module re-implements the matching strategy of the corresponding
+published system at the scope needed for flat property schemas (none of
+the originals is available offline; DESIGN.md documents the
+substitutions):
+
+* :mod:`repro.baselines.aml` -- AgreementMakerLight: lexical matching
+  with normalisation and generic background knowledge, high threshold.
+* :mod:`repro.baselines.fcamap` -- FCA-Map: formal-concept-analysis
+  lattice over name tokens; properties sharing a closed concept match.
+* :mod:`repro.baselines.nezhadi` -- Nezhadi et al.: supervised learning
+  over classical string-similarity features (no embeddings, no
+  instances).
+* :mod:`repro.baselines.semprop` -- SemProp: unsupervised syntactic +
+  semantic (embedding-coherence) linkage with the paper's thresholds.
+* :mod:`repro.baselines.lsh` -- Duan et al.: instance-based matching
+  with minhash locality-sensitive hashing, band size 1.
+"""
+
+from repro.baselines.aml import AmlMatcher
+from repro.baselines.fcamap import FcaMapMatcher
+from repro.baselines.lsh import LshMatcher
+from repro.baselines.nezhadi import NezhadiMatcher
+from repro.baselines.semprop import SemPropMatcher
+
+__all__ = [
+    "AmlMatcher",
+    "FcaMapMatcher",
+    "NezhadiMatcher",
+    "SemPropMatcher",
+    "LshMatcher",
+]

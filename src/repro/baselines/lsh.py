@@ -1,0 +1,118 @@
+"""Duan et al.: instance-based matching with minhash LSH.
+
+The original work matches large ontologies purely from instance data:
+every element is summarised by a minhash signature of its instance-token
+set, locality-sensitive hashing with small bands proposes candidates, and
+the signature agreement estimates the Jaccard similarity of the
+underlying token sets.  The paper runs it "using minhash with a band
+size of 1".
+
+Being name-blind, this matcher only works where matching properties
+share literal value tokens across sources (units, enum spellings, shared
+product codes) -- which is why Table II shows it respectable on the
+well-populated camera dataset and recall-starved on the sparse ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import Matcher
+from repro.data.model import Dataset, PropertyRef
+from repro.data.pairs import LabeledPair
+from repro.errors import ConfigurationError
+from repro.text.tokenize import tokenize
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class MinHasher:
+    """Classic universal-hash minhash over string token sets."""
+
+    def __init__(self, num_hashes: int = 64, seed: int = 0) -> None:
+        if num_hashes < 1:
+            raise ConfigurationError(f"num_hashes must be >= 1, got {num_hashes}")
+        rng = np.random.default_rng(seed)
+        self.num_hashes = num_hashes
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
+
+    def signature(self, tokens: set[str]) -> np.ndarray:
+        """Minhash signature of a token set (all-max for the empty set)."""
+        if not tokens:
+            return np.full(self.num_hashes, np.iinfo(np.int64).max, dtype=np.int64)
+        token_hashes = np.array(
+            [hash_token(token) for token in tokens], dtype=np.int64
+        )
+        # (num_hashes, n_tokens) universal hashes, minimised per row.
+        products = (
+            self._a[:, None] * token_hashes[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        return products.min(axis=1)
+
+    @staticmethod
+    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Fraction of agreeing signature rows ~ Jaccard similarity."""
+        return float((sig_a == sig_b).mean())
+
+
+def hash_token(token: str) -> int:
+    """Stable 61-bit token hash (Python's hash() is randomised per run)."""
+    import hashlib
+
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % _MERSENNE_PRIME
+
+
+class LshMatcher(Matcher):
+    """Unsupervised instance-based minhash matcher (Duan et al. style)."""
+
+    name = "LSH"
+    is_supervised = False
+
+    def __init__(
+        self,
+        num_hashes: int = 64,
+        band_size: int = 1,
+        threshold: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if band_size < 1 or num_hashes % band_size != 0:
+            raise ConfigurationError("band_size must divide num_hashes")
+        self.threshold = threshold
+        self.band_size = band_size
+        self._hasher = MinHasher(num_hashes=num_hashes, seed=seed)
+        self._signatures: dict[PropertyRef, np.ndarray] = {}
+        self._prepared_for: str | None = None
+
+    def prepare(self, dataset: Dataset) -> None:
+        """Compute minhash signatures for every property's token set."""
+        self._signatures = {}
+        for ref in dataset.properties():
+            tokens: set[str] = set()
+            for value in dataset.values_of(ref):
+                tokens.update(token.lower() for token in tokenize(value))
+            self._signatures[ref] = self._hasher.signature(tokens)
+        self._prepared_for = dataset.name
+
+    def _candidate(self, sig_a: np.ndarray, sig_b: np.ndarray) -> bool:
+        """LSH banding: candidate when any band agrees fully."""
+        bands = len(sig_a) // self.band_size
+        for band in range(bands):
+            start = band * self.band_size
+            stop = start + self.band_size
+            if np.array_equal(sig_a[start:stop], sig_b[start:stop]):
+                return True
+        return False
+
+    def score_pairs(self, dataset: Dataset, pairs: list[LabeledPair]) -> np.ndarray:
+        if self._prepared_for != dataset.name:
+            self.prepare(dataset)
+        scores = np.zeros(len(pairs))
+        for i, pair in enumerate(pairs):
+            sig_left = self._signatures[pair.left]
+            sig_right = self._signatures[pair.right]
+            if not self._candidate(sig_left, sig_right):
+                continue
+            scores[i] = self._hasher.estimate_jaccard(sig_left, sig_right)
+        return scores

@@ -1,0 +1,146 @@
+"""SemProp-style matcher: syntactic + semantic (embedding) linkage.
+
+SemProp (Fernandez et al., ICDE 2018) links schema elements through two
+unsupervised channels: a syntactic matcher (SynM) over name similarity
+and a semantic matcher (SeMa) that relates *coherent groups* of word
+embeddings.  SeMa accepts a link when the embedding coherence is high
+(positive threshold) and explicitly rejects it when the coherence is low
+(negative threshold), with a gap in between where only syntactic
+evidence counts.
+
+The paper runs it with thresholds "0.2 for SynM, 0.2 for SeMa(-), and
+0.4 for SeMa(+)", which we adopt as defaults:
+
+* ``sema`` is the *coherence* of the two names' word groups: every word
+  of one name is matched to its most similar word in the other name and
+  the per-word best scores are averaged, symmetrised by taking the worse
+  direction -- a group is only coherent if all of its words find a
+  counterpart;
+* ``sema >= sema_positive`` -> semantic link (score = sema);
+* ``sema < sema_negative`` -> rejected regardless of syntax (score ~ 0);
+* otherwise a syntactic link forms if the trigram-cosine similarity of
+  the names clears ``synm`` (score = that similarity).
+
+An optional ``reciprocal_best`` selection pass (off by default, matching
+SemProp's plain thresholded link generation) additionally demotes pairs
+that are not the best-scoring link of both endpoints towards the other
+endpoint's source -- a stricter selection regime useful when the
+embedding space has a high anisotropic noise floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import Matcher
+from repro.data.model import Dataset
+from repro.data.pairs import LabeledPair
+from repro.embeddings.base import WordEmbeddings, cosine
+from repro.errors import ConfigurationError
+from repro.text.ngrams import ngram_cosine_distance
+from repro.text.tokenize import words
+
+
+class SemPropMatcher(Matcher):
+    """Unsupervised embedding-coherence matcher (SemProp style)."""
+
+    name = "SemProp"
+    is_supervised = False
+
+    def __init__(
+        self,
+        embeddings: WordEmbeddings,
+        synm: float = 0.2,
+        sema_negative: float = 0.2,
+        sema_positive: float = 0.4,
+        threshold: float = 0.5,
+        reciprocal_best: bool = False,
+    ) -> None:
+        if not 0.0 <= sema_negative <= sema_positive <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= sema_negative <= sema_positive <= 1"
+            )
+        self.embeddings = embeddings
+        self.synm = synm
+        self.sema_negative = sema_negative
+        self.sema_positive = sema_positive
+        self.threshold = threshold
+        self.reciprocal_best = reciprocal_best
+        self._word_vectors: dict[str, list[np.ndarray]] = {}
+
+    def _vectors(self, name: str) -> list[np.ndarray]:
+        cached = self._word_vectors.get(name)
+        if cached is None:
+            cached = [self.embeddings.vector(word) for word in words(name)]
+            self._word_vectors[name] = cached
+        return cached
+
+    def _coherence(self, left: str, right: str) -> float:
+        """Symmetric best-match coherence of the two names' word groups."""
+        vectors_left = self._vectors(left)
+        vectors_right = self._vectors(right)
+        if not vectors_left or not vectors_right:
+            return 0.0
+
+        def directed(sources: list[np.ndarray], targets: list[np.ndarray]) -> float:
+            best_scores = [
+                max(cosine(source, target) for target in targets)
+                for source in sources
+            ]
+            return float(np.mean(best_scores))
+
+        return min(
+            directed(vectors_left, vectors_right),
+            directed(vectors_right, vectors_left),
+        )
+
+    def _score(self, left: str, right: str) -> float:
+        sema = self._coherence(left, right)
+        if sema >= self.sema_positive:
+            # Semantic link; map [positive, 1] onto [threshold, 1] so any
+            # accepted link clears the decision threshold.
+            span = 1.0 - self.sema_positive
+            fraction = (sema - self.sema_positive) / span if span > 0 else 1.0
+            return self.threshold + (1.0 - self.threshold) * fraction
+        if sema < self.sema_negative:
+            # SeMa(-) veto: strongly unrelated semantics kill the link.
+            return max(0.0, sema)
+        # Undecided semantics: fall back to the syntactic matcher.
+        synm_similarity = 1.0 - ngram_cosine_distance(left.lower(), right.lower())
+        if synm_similarity >= max(self.synm, 0.5):
+            return self.threshold + (1.0 - self.threshold) * synm_similarity * 0.99
+        return min(synm_similarity, self.threshold * 0.9)
+
+    def score_pairs(self, dataset: Dataset, pairs: list[LabeledPair]) -> np.ndarray:
+        scores = np.empty(len(pairs))
+        for i, pair in enumerate(pairs):
+            scores[i] = self._score(pair.left.name, pair.right.name)
+        if self.reciprocal_best:
+            return self._reciprocal_best(pairs, scores)
+        return scores
+
+    def _reciprocal_best(
+        self, pairs: list[LabeledPair], scores: np.ndarray, slack: float = 0.02
+    ) -> np.ndarray:
+        """Demote links that are not (near-)best for both endpoints.
+
+        For every (property, counterpart source) the best score is found;
+        a pair whose score trails either directional best by more than
+        ``slack`` is pushed below the decision threshold.
+        """
+        best: dict[tuple, float] = {}
+        for pair, score in zip(pairs, scores):
+            for anchor, other in (
+                (pair.left, pair.right.source),
+                (pair.right, pair.left.source),
+            ):
+                key = (anchor, other)
+                if score > best.get(key, -1.0):
+                    best[key] = float(score)
+        adjusted = scores.copy()
+        for i, pair in enumerate(pairs):
+            left_best = best[(pair.left, pair.right.source)]
+            right_best = best[(pair.right, pair.left.source)]
+            if scores[i] < max(left_best, right_best) - slack:
+                adjusted[i] = min(scores[i], self.threshold * 0.9)
+        return adjusted

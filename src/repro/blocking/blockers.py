@@ -1,0 +1,151 @@
+"""Blocking strategies: prune candidate pairs before classification."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter, defaultdict
+
+from repro.baselines.lsh import MinHasher
+from repro.data.model import Dataset, PropertyRef
+from repro.data.pairs import LabeledPair, PairSet
+from repro.errors import ConfigurationError
+from repro.text.normalize import token_set
+from repro.text.tokenize import tokenize
+
+
+class Blocker(ABC):
+    """Produces the candidate pair set the matcher will classify.
+
+    A blocker trades *pair completeness* (true matches kept) against
+    *reduction ratio* (pairs pruned); see :mod:`repro.blocking.metrics`.
+    """
+
+    @abstractmethod
+    def candidate_keys(self, dataset: Dataset) -> set[frozenset[PropertyRef]]:
+        """The unordered cross-source pairs to keep."""
+
+    def candidate_pairs(self, dataset: Dataset) -> PairSet:
+        """Labelled candidate pairs (ground truth from the dataset)."""
+        pairs = []
+        for key in sorted(self.candidate_keys(dataset), key=sorted):
+            left, right = sorted(key)
+            pairs.append(LabeledPair(left, right, dataset.is_match(left, right)))
+        return PairSet(pairs)
+
+
+def _all_cross_source_keys(dataset: Dataset) -> set[frozenset[PropertyRef]]:
+    properties = dataset.properties()
+    keys = set()
+    for i, left in enumerate(properties):
+        for right in properties[i + 1 :]:
+            if left.source != right.source:
+                keys.add(frozenset((left, right)))
+    return keys
+
+
+class NullBlocker(Blocker):
+    """No pruning: every cross-source pair is a candidate (Algorithm 1)."""
+
+    def candidate_keys(self, dataset: Dataset) -> set[frozenset[PropertyRef]]:
+        return _all_cross_source_keys(dataset)
+
+
+class TokenBlocker(Blocker):
+    """Shared-token blocking over names and (optionally) values.
+
+    Two properties become candidates when they share a normalised name
+    token, or share a sufficiently *selective* value token (one carried
+    by at most ``max_value_token_fraction`` of all properties -- ubiquitous
+    tokens like unit-free digits would otherwise void the pruning).
+    """
+
+    def __init__(
+        self,
+        use_values: bool = True,
+        max_value_token_fraction: float = 0.25,
+    ) -> None:
+        if not 0.0 < max_value_token_fraction <= 1.0:
+            raise ConfigurationError("max_value_token_fraction must be in (0, 1]")
+        self.use_values = use_values
+        self.max_value_token_fraction = max_value_token_fraction
+
+    def _value_tokens(self, dataset: Dataset, ref: PropertyRef) -> set[str]:
+        tokens: set[str] = set()
+        for value in dataset.values_of(ref):
+            tokens.update(token.lower() for token in tokenize(value) if not token.isdigit())
+        return tokens
+
+    def candidate_keys(self, dataset: Dataset) -> set[frozenset[PropertyRef]]:
+        properties = dataset.properties()
+        buckets: dict[str, list[PropertyRef]] = defaultdict(list)
+        for ref in properties:
+            for token in token_set(ref.name):
+                buckets[f"n:{token}"].append(ref)
+        if self.use_values:
+            token_owners: Counter[str] = Counter()
+            per_ref_tokens: dict[PropertyRef, set[str]] = {}
+            for ref in properties:
+                tokens = self._value_tokens(dataset, ref)
+                per_ref_tokens[ref] = tokens
+                token_owners.update(tokens)
+            limit = max(2, int(self.max_value_token_fraction * len(properties)))
+            for ref, tokens in per_ref_tokens.items():
+                for token in tokens:
+                    if token_owners[token] <= limit:
+                        buckets[f"v:{token}"].append(ref)
+        keys: set[frozenset[PropertyRef]] = set()
+        for members in buckets.values():
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    if left.source != right.source:
+                        keys.add(frozenset((left, right)))
+        return keys
+
+
+class MinHashBlocker(Blocker):
+    """LSH banding over the combined name+value token set of a property.
+
+    Properties whose signatures agree on any full band become candidates;
+    band size controls the similarity threshold of the implicit filter.
+    """
+
+    def __init__(
+        self,
+        num_hashes: int = 32,
+        band_size: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if band_size < 1 or num_hashes % band_size != 0:
+            raise ConfigurationError("band_size must divide num_hashes")
+        self.num_hashes = num_hashes
+        self.band_size = band_size
+        self._hasher = MinHasher(num_hashes=num_hashes, seed=seed)
+
+    def _tokens(self, dataset: Dataset, ref: PropertyRef) -> set[str]:
+        tokens = set(token_set(ref.name))
+        for value in dataset.values_of(ref):
+            tokens.update(token.lower() for token in tokenize(value))
+        return tokens
+
+    def candidate_keys(self, dataset: Dataset) -> set[frozenset[PropertyRef]]:
+        properties = dataset.properties()
+        signatures = {
+            ref: self._hasher.signature(self._tokens(dataset, ref))
+            for ref in properties
+        }
+        bands = self.num_hashes // self.band_size
+        buckets: dict[tuple, list[PropertyRef]] = defaultdict(list)
+        for ref, signature in signatures.items():
+            for band in range(bands):
+                start = band * self.band_size
+                band_key = (band, tuple(signature[start : start + self.band_size]))
+                buckets[band_key].append(ref)
+        keys: set[frozenset[PropertyRef]] = set()
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            for i, left in enumerate(members):
+                for right in members[i + 1 :]:
+                    if left.source != right.source:
+                        keys.add(frozenset((left, right)))
+        return keys

@@ -1,0 +1,63 @@
+"""Blocking quality: pair completeness and reduction ratio."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.model import Dataset, PropertyRef
+
+
+@dataclass(frozen=True)
+class BlockingQuality:
+    """Standard blocking measures.
+
+    * ``pair_completeness`` -- fraction of true matching pairs that
+      survive blocking (blocking recall; lost pairs are unrecoverable).
+    * ``reduction_ratio`` -- fraction of all candidate pairs pruned.
+    """
+
+    n_candidates: int
+    n_total_pairs: int
+    n_true_pairs: int
+    n_true_pairs_kept: int
+
+    @property
+    def pair_completeness(self) -> float:
+        if self.n_true_pairs == 0:
+            return 1.0
+        return self.n_true_pairs_kept / self.n_true_pairs
+
+    @property
+    def reduction_ratio(self) -> float:
+        if self.n_total_pairs == 0:
+            return 0.0
+        return 1.0 - self.n_candidates / self.n_total_pairs
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.n_candidates}/{self.n_total_pairs} candidates "
+            f"(RR={self.reduction_ratio:.2f}), "
+            f"PC={self.pair_completeness:.2f} "
+            f"({self.n_true_pairs_kept}/{self.n_true_pairs} true pairs kept)"
+        )
+
+
+def blocking_quality(
+    dataset: Dataset, candidates: set[frozenset[PropertyRef]]
+) -> BlockingQuality:
+    """Score a candidate set against the dataset's ground truth."""
+    properties = dataset.properties()
+    per_source: dict[str, int] = {}
+    for ref in properties:
+        per_source[ref.source] = per_source.get(ref.source, 0) + 1
+    total = len(properties) * (len(properties) - 1) // 2
+    within = sum(count * (count - 1) // 2 for count in per_source.values())
+    true_pairs = dataset.matching_pairs()
+    kept = len(true_pairs & candidates)
+    return BlockingQuality(
+        n_candidates=len(candidates),
+        n_total_pairs=total - within,
+        n_true_pairs=len(true_pairs),
+        n_true_pairs_kept=kept,
+    )

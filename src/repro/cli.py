@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``   write one of the built-in datasets to CSV/JSON files.
+``stats``      print structural statistics of a dataset.
+``evaluate``   run the paper's evaluation protocol for one system.
+``match``      train on chosen sources and emit scored matches as CSV.
+
+The CLI works on the built-in domains (``--dataset cameras`` ...) or on
+user data (``--instances file.csv [--alignment file.csv]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import (
+    AmlMatcher,
+    FcaMapMatcher,
+    LshMatcher,
+    NezhadiMatcher,
+    SemPropMatcher,
+)
+from repro.core import FeatureConfig, FeatureKinds, LeapmeMatcher
+from repro.core.api import Matcher
+from repro.data.csvio import load_dataset_csv, save_dataset_csv
+from repro.data.io import save_dataset_json
+from repro.data.model import Dataset
+from repro.data.pairs import build_pairs, sample_training_pairs
+from repro.data.stats import dataset_stats
+from repro.datasets import DATASET_NAMES, build_domain_embeddings, load_dataset
+from repro.embeddings.hashing import hash_embeddings
+from repro.errors import ReproError
+from repro.evaluation import RunSettings, evaluate_matcher
+from repro.text.tokenize import words
+
+SYSTEMS = ("leapme", "leapme-emb", "leapme-noemb", "aml", "fcamap", "nezhadi", "semprop", "lsh")
+
+
+def _load_cli_dataset(args: argparse.Namespace) -> Dataset:
+    """Resolve the dataset from either --dataset or --instances."""
+    if args.dataset is not None:
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.instances is None:
+        raise ReproError("pass either --dataset <name> or --instances <csv>")
+    return load_dataset_csv(args.instances, args.alignment)
+
+
+def _embeddings_for(dataset: Dataset, args: argparse.Namespace):
+    """Built-in domains get trained embeddings; user data gets hashing.
+
+    Hash embeddings carry no synonym semantics -- users with real data
+    should train or load real embeddings through the library API; the CLI
+    fallback keeps the pipeline runnable out of the box.
+    """
+    if args.dataset is not None:
+        return build_domain_embeddings(args.dataset, scale=args.scale)
+    vocabulary: set[str] = set()
+    for instance in dataset.instances:
+        vocabulary.update(words(instance.property_name))
+        vocabulary.update(words(instance.value))
+    print(
+        "note: using semantics-free hash embeddings for user data; "
+        "see repro.embeddings to train real ones",
+        file=sys.stderr,
+    )
+    return hash_embeddings(sorted(vocabulary), dimension=64)
+
+
+def _build_matcher(system: str, embeddings) -> Matcher:
+    if system == "leapme":
+        return LeapmeMatcher(embeddings)
+    if system == "leapme-emb":
+        return LeapmeMatcher(embeddings, FeatureConfig(kinds=FeatureKinds.EMBEDDING))
+    if system == "leapme-noemb":
+        return LeapmeMatcher(embeddings, FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING))
+    if system == "aml":
+        return AmlMatcher()
+    if system == "fcamap":
+        return FcaMapMatcher()
+    if system == "nezhadi":
+        return NezhadiMatcher()
+    if system == "semprop":
+        return SemPropMatcher(embeddings)
+    if system == "lsh":
+        return LshMatcher()
+    raise ReproError(f"unknown system {system!r}; known: {', '.join(SYSTEMS)}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    save_dataset_csv(
+        dataset, out / "instances.csv", out / "alignment.csv"
+    )
+    save_dataset_json(dataset, out / "dataset.json")
+    print(dataset_stats(dataset).describe())
+    print(f"written to {out}/instances.csv, alignment.csv, dataset.json")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = _load_cli_dataset(args)
+    stats = dataset_stats(dataset)
+    print(stats.describe())
+    print(f"  reference properties: {stats.n_reference_properties}")
+    print(f"  entities/source: {stats.min_entities_per_source}"
+          f"..{stats.max_entities_per_source} (balance {stats.entity_balance:.2f})")
+    for source in dataset.sources():
+        print(f"  {source}: {len(dataset.schema_of(source))} properties, "
+              f"{len(dataset.entities(source))} entities")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = _load_cli_dataset(args)
+    embeddings = _embeddings_for(dataset, args)
+    matcher = _build_matcher(args.system, embeddings)
+    settings = RunSettings(
+        train_fraction=args.train_fraction,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    result = evaluate_matcher(matcher, dataset, settings)
+    print(result.describe())
+    if result.skipped_repetitions:
+        print(f"  ({result.skipped_repetitions} repetition(s) skipped: "
+              "no positive training pairs)")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    dataset = _load_cli_dataset(args)
+    embeddings = _embeddings_for(dataset, args)
+    matcher = _build_matcher(args.system, embeddings)
+    rng = np.random.default_rng(args.seed)
+    matcher.prepare(dataset)
+    if matcher.is_supervised:
+        train_sources = (
+            args.train_sources.split(",") if args.train_sources else dataset.sources()
+        )
+        candidates = build_pairs(dataset, train_sources, within=True)
+        training = sample_training_pairs(candidates, rng=rng)
+        if not training.positives():
+            raise ReproError(
+                "no positive training pairs in the chosen sources; "
+                "provide an alignment file or pick other --train-sources"
+            )
+        matcher.fit(dataset, training)
+        if set(train_sources) == set(dataset.sources()):
+            # Integration mode: trained on everything, score everything.
+            test = build_pairs(dataset)
+        else:
+            test = build_pairs(dataset, train_sources, within=False)
+    else:
+        test = build_pairs(dataset)
+    scores = matcher.score_pairs(dataset, test.pairs)
+    kept = 0
+    with Path(args.out).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["left_source", "left_property", "right_source", "right_property", "score"]
+        )
+        for pair, score in zip(test.pairs, scores):
+            if score >= args.threshold:
+                writer.writerow(
+                    [pair.left.source, pair.left.name,
+                     pair.right.source, pair.right.name, f"{score:.4f}"]
+                )
+                kept += 1
+    print(f"{kept} matches (of {len(test)} candidate pairs) written to {args.out}")
+    return 0
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASET_NAMES, default=None,
+                        help="built-in dataset name")
+    parser.add_argument("--instances", default=None, help="instances CSV for user data")
+    parser.add_argument("--alignment", default=None, help="alignment CSV (ground truth)")
+    parser.add_argument("--scale", default="small", help="built-in dataset scale preset")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LEAPME property matching (ICDE 2021 reproduction)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a built-in dataset to files")
+    generate.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    generate.add_argument("--scale", default="small")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.set_defaults(handler=_cmd_generate)
+
+    stats = commands.add_parser("stats", help="print dataset statistics")
+    _add_dataset_arguments(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    evaluate = commands.add_parser("evaluate", help="run the paper's protocol")
+    _add_dataset_arguments(evaluate)
+    evaluate.add_argument("--system", choices=SYSTEMS, default="leapme")
+    evaluate.add_argument("--train-fraction", type=float, default=0.8)
+    evaluate.add_argument("--repetitions", type=int, default=3)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    match = commands.add_parser("match", help="score pairs and emit matches as CSV")
+    _add_dataset_arguments(match)
+    match.add_argument("--system", choices=SYSTEMS, default="leapme")
+    match.add_argument("--train-sources", default=None,
+                       help="comma-separated sources to train on (default: all)")
+    match.add_argument("--threshold", type=float, default=0.5)
+    match.add_argument("--out", required=True, help="output matches CSV")
+    match.set_defaults(handler=_cmd_match)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

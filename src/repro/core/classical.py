@@ -1,0 +1,53 @@
+"""Classical-classifier variant of the LEAPME pair classifier.
+
+Section IV-C argues that embedding features "may require nonlinear
+combinations to properly exploit their predictive power", motivating the
+neural network.  This adapter lets any :mod:`repro.ml` learner consume
+the same Table I pair features, so the claim is testable: swap the
+network for AdaBoost / a decision tree / logistic regression and compare
+(see ``benchmarks/test_bench_ablation.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.base import Classifier
+from repro.ml.scaling import StandardScaler
+
+
+class ClassicalPairClassifier:
+    """Adapts a :class:`repro.ml.base.Classifier` to the pair-classifier
+    interface expected by :class:`~repro.core.matcher.LeapmeMatcher`
+    (``fit(features, labels)`` + ``match_scores(features)``).
+    """
+
+    def __init__(self, model: Classifier, scale_features: bool = True) -> None:
+        self._model = model
+        self._scale_features = scale_features
+        self._scaler: StandardScaler | None = None
+        self._fitted = False
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "ClassicalPairClassifier":
+        """Train the wrapped learner on pair features and binary labels."""
+        features = np.asarray(features, dtype=np.float64)
+        if self._scale_features:
+            self._scaler = StandardScaler()
+            features = self._scaler.fit_transform(features)
+        self._model.fit(features, np.asarray(labels, dtype=np.int64))
+        self._fitted = True
+        return self
+
+    def match_scores(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities in [0, 1]."""
+        if not self._fitted:
+            raise NotFittedError("ClassicalPairClassifier is not fitted")
+        if len(features) == 0:
+            return np.zeros(0)
+        features = np.asarray(features, dtype=np.float64)
+        if self._scaler is not None:
+            features = self._scaler.transform(features)
+        probabilities = self._model.predict_proba(features)
+        positive_column = int(np.argmax(self._model.classes_ == 1))
+        return probabilities[:, positive_column]

@@ -1,0 +1,109 @@
+"""Configuration objects for LEAPME.
+
+:class:`FeatureConfig` selects which of Table I's feature blocks the
+classifier sees; its 3 x 3 grid of (scope, kinds) combinations is exactly
+the nine configurations analysed in Section V-A of the paper.
+:class:`LeapmeConfig` carries the network hyper-parameters of Section IV-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.nn.schedule import TrainingSchedule, paper_schedule
+
+
+class FeatureScope(str, Enum):
+    """Which inputs the features are computed from."""
+
+    INSTANCES = "instances"
+    NAMES = "names"
+    BOTH = "both"
+
+    @property
+    def uses_instances(self) -> bool:
+        return self in (FeatureScope.INSTANCES, FeatureScope.BOTH)
+
+    @property
+    def uses_names(self) -> bool:
+        return self in (FeatureScope.NAMES, FeatureScope.BOTH)
+
+
+class FeatureKinds(str, Enum):
+    """Whether embedding features, classic features or both are used."""
+
+    EMBEDDING = "embedding"
+    NON_EMBEDDING = "non_embedding"
+    BOTH = "both"
+
+    @property
+    def uses_embeddings(self) -> bool:
+        return self in (FeatureKinds.EMBEDDING, FeatureKinds.BOTH)
+
+    @property
+    def uses_non_embeddings(self) -> bool:
+        return self in (FeatureKinds.NON_EMBEDDING, FeatureKinds.BOTH)
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """One cell of the paper's 3 x 3 feature-configuration grid.
+
+    The paper's headline systems are:
+
+    * ``FeatureConfig()`` -- full LEAPME (both scopes, both kinds);
+    * ``FeatureConfig(kinds=FeatureKinds.EMBEDDING)`` -- LEAPME(emb);
+    * ``FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING)`` -- LEAPME(-emb).
+    """
+
+    scope: FeatureScope = FeatureScope.BOTH
+    kinds: FeatureKinds = FeatureKinds.BOTH
+
+    def label(self) -> str:
+        """Short display label, e.g. ``names/embedding``."""
+        return f"{self.scope.value}/{self.kinds.value}"
+
+    @classmethod
+    def grid(cls) -> list["FeatureConfig"]:
+        """All nine configurations, scopes outermost (the paper's layout)."""
+        return [
+            cls(scope=scope, kinds=kinds)
+            for scope in (FeatureScope.INSTANCES, FeatureScope.NAMES, FeatureScope.BOTH)
+            for kinds in (FeatureKinds.BOTH, FeatureKinds.EMBEDDING, FeatureKinds.NON_EMBEDDING)
+        ]
+
+
+@dataclass(frozen=True)
+class LeapmeConfig:
+    """Network and training hyper-parameters (Section IV-D defaults).
+
+    "two fully connected hidden layers of sizes 128 and 64 ... batch size
+    of 32 and perform 10 epochs with learning rate 1e-3, 5 with 1e-4, and
+    5 with 1e-5."
+    """
+
+    hidden_sizes: tuple[int, ...] = (128, 64)
+    batch_size: int = 32
+    schedule: TrainingSchedule = field(default_factory=paper_schedule)
+    negative_ratio: float = 2.0
+    #: Positive-class probability above which a pair counts as a match.
+    decision_threshold: float = 0.5
+    #: Standardise features before training.  Embedding components are
+    #: already bounded, but the meta-feature counts are not; scaling keeps
+    #: the network's inputs on comparable ranges.
+    scale_features: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.hidden_sizes:
+            raise ConfigurationError("need at least one hidden layer")
+        if any(size < 1 for size in self.hidden_sizes):
+            raise ConfigurationError("hidden sizes must be positive")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.negative_ratio < 0:
+            raise ConfigurationError("negative_ratio must be >= 0")
+        if not 0.0 < self.decision_threshold < 1.0:
+            raise ConfigurationError("decision_threshold must be in (0, 1)")

@@ -1,0 +1,53 @@
+"""Instance features: ``iFeatures`` of Algorithm 1 (Table I rows 1-4).
+
+For each property instance value the paper computes:
+
+* row 1 -- fraction and count of nine character types (18 features);
+* row 2 -- fraction and count of five token types (10 features);
+* row 3 -- the numeric value, -1 when not a number (1 feature);
+* row 4 -- the average word-embedding vector of the value (300 features
+  with the paper's GloVe; dimension-d here).
+
+Rows 1-3 are the TAPON-style *meta-features* (29 in total, matching the
+paper's count: 329 property features = 29 meta + 300 embedding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import WordEmbeddings
+from repro.text.chartypes import NUM_CHARACTER_FEATURES, count_character_types
+from repro.text.tokenize import NUM_TOKEN_FEATURES, count_token_types, parse_numeric
+
+#: Dimensionality of the non-embedding instance meta-features (rows 1-3).
+NUM_META_FEATURES = NUM_CHARACTER_FEATURES + NUM_TOKEN_FEATURES + 1
+
+
+def instance_meta_features(value: str) -> np.ndarray:
+    """The 29 meta-features of one instance value (Table I rows 1-3).
+
+    >>> features = instance_meta_features("20.1 MP")
+    >>> features.shape
+    (29,)
+    """
+    char_features = count_character_types(value).as_features()
+    token_features = count_token_types(value).as_features()
+    numeric = parse_numeric(value)
+    return np.array(char_features + token_features + [numeric], dtype=np.float64)
+
+
+def instance_meta_matrix(values: list[str]) -> np.ndarray:
+    """Meta-features for a batch of values, shape ``(n, 29)``."""
+    if not values:
+        return np.zeros((0, NUM_META_FEATURES))
+    return np.stack([instance_meta_features(value) for value in values])
+
+
+def instance_embedding_matrix(
+    values: list[str], embeddings: WordEmbeddings
+) -> np.ndarray:
+    """Average word embeddings for a batch of values (Table I row 4)."""
+    if not values:
+        return np.zeros((0, embeddings.dimension))
+    return np.stack([embeddings.embed_text(value) for value in values])

@@ -1,0 +1,96 @@
+"""The end-to-end LEAPME matcher (Algorithm 1).
+
+``prepare`` covers steps 1-4 (feature computation), ``fit`` step 5's
+training half and ``score_pairs`` the classification of unlabeled pairs
+into the similarity graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import Matcher
+from repro.core.classifier import LeapmeClassifier
+from repro.core.config import FeatureConfig, LeapmeConfig
+from repro.core.pair_features import pair_feature_matrix
+from repro.core.property_features import PropertyFeatureTable
+from repro.data.model import Dataset
+from repro.data.pairs import LabeledPair, PairSet
+from repro.embeddings.base import WordEmbeddings
+from repro.errors import NotFittedError
+
+
+class LeapmeMatcher(Matcher):
+    """Supervised property matcher with embedding + instance features.
+
+    Parameters
+    ----------
+    embeddings:
+        The word-embedding space (the paper uses pre-trained GloVe; this
+        reproduction trains a substitute, see :mod:`repro.embeddings`).
+    feature_config:
+        Which Table I feature blocks to use; defaults to the full set.
+    config:
+        Network hyper-parameters; defaults to the paper's (Section IV-D).
+    classifier_factory:
+        Builds the pair classifier at fit time.  Defaults to the paper's
+        neural network (:class:`LeapmeClassifier`); pass a factory
+        returning a :class:`repro.core.classical.ClassicalPairClassifier`
+        to ablate the classifier family.
+    """
+
+    is_supervised = True
+
+    def __init__(
+        self,
+        embeddings: WordEmbeddings,
+        feature_config: FeatureConfig | None = None,
+        config: LeapmeConfig | None = None,
+        classifier_factory=None,
+    ) -> None:
+        self.embeddings = embeddings
+        self.feature_config = feature_config if feature_config is not None else FeatureConfig()
+        self.config = config if config is not None else LeapmeConfig()
+        self.threshold = self.config.decision_threshold
+        self.name = f"LEAPME[{self.feature_config.label()}]"
+        self._classifier_factory = (
+            classifier_factory
+            if classifier_factory is not None
+            else (lambda: LeapmeClassifier(self.config))
+        )
+        self._table: PropertyFeatureTable | None = None
+        self._table_dataset: str | None = None
+        self._classifier: LeapmeClassifier | None = None
+
+    def prepare(self, dataset: Dataset) -> None:
+        """Compute the property feature table (Algorithm 1 steps 1-4)."""
+        self._table = PropertyFeatureTable(dataset, self.embeddings)
+        self._table_dataset = dataset.name
+
+    def _ensure_table(self, dataset: Dataset) -> PropertyFeatureTable:
+        if self._table is None or self._table_dataset != dataset.name:
+            self.prepare(dataset)
+        return self._table
+
+    def fit(self, dataset: Dataset, training_pairs: PairSet) -> None:
+        """Train the classifier on labelled pairs (Algorithm 1 step 5)."""
+        table = self._ensure_table(dataset)
+        features = pair_feature_matrix(table, training_pairs.pairs, self.feature_config)
+        labels = training_pairs.labels()
+        self._classifier = self._classifier_factory()
+        self._classifier.fit(features, labels)
+
+    def score_pairs(self, dataset: Dataset, pairs: list[LabeledPair]) -> np.ndarray:
+        """Positive-class probabilities for candidate pairs."""
+        if self._classifier is None:
+            raise NotFittedError("LeapmeMatcher must be fitted before scoring")
+        table = self._ensure_table(dataset)
+        features = pair_feature_matrix(table, pairs, self.feature_config)
+        return self._classifier.match_scores(features)
+
+    @property
+    def classifier(self) -> LeapmeClassifier:
+        """The trained classifier (raises before :meth:`fit`)."""
+        if self._classifier is None:
+            raise NotFittedError("LeapmeMatcher is not fitted")
+        return self._classifier

@@ -1,0 +1,105 @@
+"""Save / load a trained :class:`~repro.core.matcher.LeapmeMatcher`.
+
+A matcher bundle is a directory containing everything needed to score
+new property pairs without retraining:
+
+* ``embeddings.npz`` -- the word-embedding space;
+* ``network.npz``    -- the trained classifier network;
+* ``scaler.npz``     -- the feature scaler (when enabled);
+* ``config.json``    -- feature configuration + hyper-parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classifier import LeapmeClassifier
+from repro.core.config import FeatureConfig, FeatureKinds, FeatureScope, LeapmeConfig
+from repro.core.matcher import LeapmeMatcher
+from repro.embeddings.store import load_embeddings, save_embeddings
+from repro.errors import DataError, NotFittedError
+from repro.ml.scaling import StandardScaler
+from repro.nn.schedule import TrainingSchedule
+from repro.nn.serialize import load_network, save_network
+
+_FORMAT_VERSION = 1
+
+
+def save_matcher(matcher: LeapmeMatcher, directory: str | Path) -> None:
+    """Write a fitted matcher bundle to ``directory`` (created if needed)."""
+    classifier = matcher.classifier  # raises NotFittedError when unfitted
+    if classifier._network is None:
+        raise NotFittedError("matcher's classifier holds no trained network")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_embeddings(matcher.embeddings, directory / "embeddings.npz")
+    save_network(classifier._network, directory / "network.npz")
+    if classifier._scaler is not None:
+        np.savez_compressed(
+            directory / "scaler.npz",
+            mean=classifier._scaler.mean_,
+            scale=classifier._scaler.scale_,
+        )
+    config = {
+        "version": _FORMAT_VERSION,
+        "feature_scope": matcher.feature_config.scope.value,
+        "feature_kinds": matcher.feature_config.kinds.value,
+        "hidden_sizes": list(matcher.config.hidden_sizes),
+        "batch_size": matcher.config.batch_size,
+        "schedule": [
+            [phase.epochs, phase.learning_rate]
+            for phase in matcher.config.schedule.phases
+        ],
+        "negative_ratio": matcher.config.negative_ratio,
+        "decision_threshold": matcher.config.decision_threshold,
+        "scale_features": matcher.config.scale_features,
+        "seed": matcher.config.seed,
+    }
+    (directory / "config.json").write_text(json.dumps(config, indent=2))
+
+
+def load_matcher(directory: str | Path) -> LeapmeMatcher:
+    """Read a matcher bundle written by :func:`save_matcher`.
+
+    The returned matcher is ready to ``score_pairs`` immediately (it will
+    build the property feature table for whatever dataset it is applied
+    to, exactly as a freshly fitted matcher would).
+    """
+    directory = Path(directory)
+    config_path = directory / "config.json"
+    if not config_path.exists():
+        raise DataError(f"not a matcher bundle (missing config.json): {directory}")
+    payload = json.loads(config_path.read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise DataError(f"unsupported bundle version: {payload.get('version')!r}")
+    feature_config = FeatureConfig(
+        scope=FeatureScope(payload["feature_scope"]),
+        kinds=FeatureKinds(payload["feature_kinds"]),
+    )
+    leapme_config = LeapmeConfig(
+        hidden_sizes=tuple(payload["hidden_sizes"]),
+        batch_size=payload["batch_size"],
+        schedule=TrainingSchedule.from_pairs(
+            [(int(epochs), float(rate)) for epochs, rate in payload["schedule"]]
+        ),
+        negative_ratio=payload["negative_ratio"],
+        decision_threshold=payload["decision_threshold"],
+        scale_features=payload["scale_features"],
+        seed=payload["seed"],
+    )
+    embeddings = load_embeddings(directory / "embeddings.npz")
+    matcher = LeapmeMatcher(embeddings, feature_config, leapme_config)
+    classifier = LeapmeClassifier(leapme_config)
+    classifier._network = load_network(directory / "network.npz")
+    scaler_path = directory / "scaler.npz"
+    if scaler_path.exists():
+        with np.load(scaler_path, allow_pickle=False) as arrays:
+            scaler = StandardScaler()
+            scaler.mean_ = arrays["mean"]
+            scaler.scale_ = arrays["scale"]
+            classifier._scaler = scaler
+    matcher._classifier = classifier
+    return matcher

@@ -1,0 +1,78 @@
+"""Property features: ``pFeatures`` of Algorithm 1 (Table I rows 5-6).
+
+A :class:`PropertyFeatureTable` holds, for every property of a dataset:
+
+* the average of its instances' meta-features (part of row 5);
+* the average of its instances' embedding vectors (rest of row 5);
+* the average word embedding of its *name* (row 6).
+
+The table is matrix-shaped (one row per property) so pair features can be
+assembled with vectorised indexing rather than per-pair Python work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance_features import (
+    NUM_META_FEATURES,
+    instance_meta_matrix,
+)
+from repro.data.model import Dataset, PropertyRef
+from repro.embeddings.base import WordEmbeddings
+from repro.errors import DataError
+
+
+class PropertyFeatureTable:
+    """Per-property feature matrices for one dataset.
+
+    Attributes
+    ----------
+    refs:
+        Property order; row ``i`` of every matrix describes ``refs[i]``.
+    meta:
+        ``(n_properties, 29)`` -- averaged instance meta-features.
+    value_embedding:
+        ``(n_properties, d)`` -- averaged instance embeddings.
+    name_embedding:
+        ``(n_properties, d)`` -- name embeddings.
+    """
+
+    def __init__(self, dataset: Dataset, embeddings: WordEmbeddings) -> None:
+        self.refs: list[PropertyRef] = dataset.properties()
+        self._row_of: dict[PropertyRef, int] = {
+            ref: i for i, ref in enumerate(self.refs)
+        }
+        n = len(self.refs)
+        dimension = embeddings.dimension
+        self.meta = np.zeros((n, NUM_META_FEATURES))
+        self.value_embedding = np.zeros((n, dimension))
+        self.name_embedding = np.zeros((n, dimension))
+        for i, ref in enumerate(self.refs):
+            values = dataset.values_of(ref)
+            if values:
+                self.meta[i] = instance_meta_matrix(values).mean(axis=0)
+                total = np.zeros(dimension)
+                for value in values:
+                    total += embeddings.embed_text(value)
+                self.value_embedding[i] = total / len(values)
+            self.name_embedding[i] = embeddings.embed_text(ref.name)
+
+    def __len__(self) -> int:
+        return len(self.refs)
+
+    @property
+    def embedding_dimension(self) -> int:
+        """Dimensionality of the embedding blocks."""
+        return self.name_embedding.shape[1]
+
+    def row_of(self, ref: PropertyRef) -> int:
+        """Matrix row index of a property."""
+        try:
+            return self._row_of[ref]
+        except KeyError:
+            raise DataError(f"property not in feature table: {ref}") from None
+
+    def rows_of(self, refs: list[PropertyRef]) -> np.ndarray:
+        """Row indices for a list of properties."""
+        return np.array([self.row_of(ref) for ref in refs], dtype=np.int64)

@@ -1,0 +1,41 @@
+"""Data model for multi-source property matching.
+
+Implements the paper's problem definition (Section III): sources, entities
+with classes, property instances ``(p, e, v)``, class schemas as the union
+of per-source property names, and the reference-ontology alignment that
+defines when two properties match.
+
+* :mod:`repro.data.model` -- the core dataclasses and :class:`Dataset`.
+* :mod:`repro.data.io` -- JSON persistence for datasets.
+* :mod:`repro.data.pairs` -- cross-source pair enumeration, ground-truth
+  labelling and 2:1 negative sampling.
+* :mod:`repro.data.splits` -- source-level train/test splits and repeated
+  random splits.
+* :mod:`repro.data.stats` -- dataset statistics (Table-style summaries).
+"""
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.data.csvio import load_dataset_csv, save_dataset_csv
+from repro.data.io import load_dataset_json, save_dataset_json
+from repro.data.pairs import LabeledPair, PairSet, build_pairs, sample_training_pairs
+from repro.data.splits import SourceSplit, repeated_source_splits, split_sources
+from repro.data.stats import DatasetStats, dataset_stats
+
+__all__ = [
+    "PropertyInstance",
+    "PropertyRef",
+    "Dataset",
+    "save_dataset_json",
+    "load_dataset_json",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "LabeledPair",
+    "PairSet",
+    "build_pairs",
+    "sample_training_pairs",
+    "SourceSplit",
+    "split_sources",
+    "repeated_source_splits",
+    "DatasetStats",
+    "dataset_stats",
+]

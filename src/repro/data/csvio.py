@@ -1,0 +1,101 @@
+"""CSV ingestion for user-provided datasets.
+
+Downstream users rarely have data in this library's JSON format; the
+common interchange is two CSV files:
+
+* an **instances** file with columns ``source, property, entity, value``
+  (one property instance per row -- the paper's ``(p, e, v)`` tuples
+  plus their source);
+* an optional **alignment** file with columns
+  ``source, property, reference`` mapping source properties to the
+  reference ontology (the ground truth; omit it for pure prediction).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.errors import DataError
+
+INSTANCE_COLUMNS = ("source", "property", "entity", "value")
+ALIGNMENT_COLUMNS = ("source", "property", "reference")
+
+
+def _read_rows(path: Path, required: tuple[str, ...]) -> list[dict[str, str]]:
+    if not path.exists():
+        raise DataError(f"CSV file not found: {path}")
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataError(f"CSV file has no header row: {path}")
+        missing = [column for column in required if column not in reader.fieldnames]
+        if missing:
+            raise DataError(
+                f"{path} is missing required columns {missing}; "
+                f"found {reader.fieldnames}"
+            )
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            empty = [column for column in required if not (row.get(column) or "").strip()]
+            if empty:
+                raise DataError(
+                    f"{path}:{line_number}: empty value in column(s) {empty}"
+                )
+            rows.append(row)
+        return rows
+
+
+def load_dataset_csv(
+    instances_path: str | Path,
+    alignment_path: str | Path | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """Build a :class:`Dataset` from instance (and optional alignment) CSVs.
+
+    Alignment rows referring to properties absent from the instance file
+    are rejected -- they would silently distort recall.
+    """
+    instances_path = Path(instances_path)
+    instance_rows = _read_rows(instances_path, INSTANCE_COLUMNS)
+    instances = [
+        PropertyInstance(
+            source=row["source"].strip(),
+            property_name=row["property"].strip(),
+            entity_id=row["entity"].strip(),
+            value=row["value"],
+        )
+        for row in instance_rows
+    ]
+    alignment: dict[PropertyRef, str] = {}
+    if alignment_path is not None:
+        for row in _read_rows(Path(alignment_path), ALIGNMENT_COLUMNS):
+            ref = PropertyRef(row["source"].strip(), row["property"].strip())
+            alignment[ref] = row["reference"].strip()
+    return Dataset(
+        name=name or instances_path.stem,
+        instances=instances,
+        alignment=alignment,
+    )
+
+
+def save_dataset_csv(
+    dataset: Dataset,
+    instances_path: str | Path,
+    alignment_path: str | Path | None = None,
+) -> None:
+    """Write a dataset as CSV (inverse of :func:`load_dataset_csv`)."""
+    with Path(instances_path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(INSTANCE_COLUMNS)
+        for instance in dataset.instances:
+            writer.writerow(
+                [instance.source, instance.property_name, instance.entity_id, instance.value]
+            )
+    if alignment_path is not None:
+        with Path(alignment_path).open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(ALIGNMENT_COLUMNS)
+            for ref, reference in sorted(dataset.alignment.items()):
+                writer.writerow([ref.source, ref.name, reference])

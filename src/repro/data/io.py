@@ -1,0 +1,70 @@
+"""JSON persistence for :class:`~repro.data.model.Dataset`."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.errors import DataError
+
+_FORMAT_VERSION = 1
+
+
+def dataset_to_dict(dataset: Dataset) -> dict:
+    """JSON-serialisable representation of a dataset."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "instances": [
+            {
+                "source": i.source,
+                "property": i.property_name,
+                "entity": i.entity_id,
+                "value": i.value,
+            }
+            for i in dataset.instances
+        ],
+        "alignment": [
+            {"source": ref.source, "property": ref.name, "reference": reference}
+            for ref, reference in sorted(dataset.alignment.items())
+        ],
+    }
+
+
+def dataset_from_dict(payload: dict) -> Dataset:
+    """Inverse of :func:`dataset_to_dict`."""
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise DataError(f"unsupported dataset format version: {version!r}")
+    try:
+        instances = [
+            PropertyInstance(
+                source=item["source"],
+                property_name=item["property"],
+                entity_id=item["entity"],
+                value=item["value"],
+            )
+            for item in payload["instances"]
+        ]
+        alignment = {
+            PropertyRef(item["source"], item["property"]): item["reference"]
+            for item in payload["alignment"]
+        }
+        name = payload["name"]
+    except KeyError as missing:
+        raise DataError(f"dataset payload missing key: {missing}") from None
+    return Dataset(name=name, instances=instances, alignment=alignment)
+
+
+def save_dataset_json(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to a JSON file."""
+    Path(path).write_text(json.dumps(dataset_to_dict(dataset), indent=2))
+
+
+def load_dataset_json(path: str | Path) -> Dataset:
+    """Read a dataset written by :func:`save_dataset_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    return dataset_from_dict(json.loads(path.read_text()))

@@ -1,0 +1,178 @@
+"""Core data model: sources, property instances, datasets, alignments.
+
+Follows Section III of the paper:
+
+* a **source** is where data comes from (a website, a database, ...);
+* a **property instance** is a tuple ``(p, e, v)`` of property name, entity
+  id and literal value;
+* the **class schema** of a source is simply the set of differently-named
+  properties observed for its entities;
+* two properties (from different sources) **match** when both are aligned
+  to the same property of a reference ontology.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True, order=True)
+class PropertyRef:
+    """A property identified by its source and its (source-local) name."""
+
+    source: str
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source}::{self.name}"
+
+
+@dataclass(frozen=True)
+class PropertyInstance:
+    """One observed value of a property: the paper's ``(p, e, v)`` tuple.
+
+    ``source`` is carried on the instance (rather than looked up through
+    the entity) because the matching task is defined per source.
+    """
+
+    source: str
+    property_name: str
+    entity_id: str
+    value: str
+
+    @property
+    def ref(self) -> PropertyRef:
+        """The :class:`PropertyRef` this instance belongs to."""
+        return PropertyRef(self.source, self.property_name)
+
+
+@dataclass
+class Dataset:
+    """A multi-source collection of property instances with ground truth.
+
+    Parameters
+    ----------
+    name:
+        Dataset identifier ("cameras", "phones", ...).
+    instances:
+        All property instances across all sources.
+    alignment:
+        Maps each :class:`PropertyRef` to the name of the reference-ontology
+        property it is aligned to.  Properties without an alignment entry
+        are unaligned and match nothing.
+    """
+
+    name: str
+    instances: list[PropertyInstance]
+    alignment: dict[PropertyRef, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._instances_by_ref: dict[PropertyRef, list[PropertyInstance]] = defaultdict(list)
+        for instance in self.instances:
+            self._instances_by_ref[instance.ref].append(instance)
+        unknown = [ref for ref in self.alignment if ref not in self._instances_by_ref]
+        if unknown:
+            sample = ", ".join(str(ref) for ref in unknown[:3])
+            raise DataError(
+                f"alignment refers to {len(unknown)} properties with no instances "
+                f"(e.g. {sample})"
+            )
+
+    # -- schema-level accessors ---------------------------------------------
+    def sources(self) -> list[str]:
+        """Sorted list of all source identifiers."""
+        return sorted({instance.source for instance in self.instances})
+
+    def properties(self, source: str | None = None) -> list[PropertyRef]:
+        """All properties, optionally restricted to one source, sorted."""
+        refs = self._instances_by_ref.keys()
+        if source is not None:
+            refs = (ref for ref in refs if ref.source == source)
+        return sorted(refs)
+
+    def schema_of(self, source: str) -> list[str]:
+        """The class schema of a source: its distinct property names."""
+        return sorted({ref.name for ref in self.properties(source)})
+
+    def entities(self, source: str | None = None) -> list[str]:
+        """Distinct entity ids, optionally restricted to one source."""
+        if source is None:
+            return sorted({i.entity_id for i in self.instances})
+        return sorted({i.entity_id for i in self.instances if i.source == source})
+
+    # -- instance-level accessors --------------------------------------------
+    def instances_of(self, ref: PropertyRef) -> list[PropertyInstance]:
+        """All instances of one property (empty for unknown refs)."""
+        return list(self._instances_by_ref.get(ref, ()))
+
+    def values_of(self, ref: PropertyRef) -> list[str]:
+        """All literal values of one property."""
+        return [instance.value for instance in self._instances_by_ref.get(ref, ())]
+
+    # -- ground truth ---------------------------------------------------------
+    def reference_of(self, ref: PropertyRef) -> str | None:
+        """Reference-ontology property this ref is aligned to, or None."""
+        return self.alignment.get(ref)
+
+    def is_match(self, a: PropertyRef, b: PropertyRef) -> bool:
+        """Ground truth: both aligned to the same reference property.
+
+        Pairs within the same source are never matches for the task
+        (matching is defined across sources).
+        """
+        if a.source == b.source:
+            return False
+        reference_a = self.alignment.get(a)
+        return reference_a is not None and reference_a == self.alignment.get(b)
+
+    def matching_pairs(self) -> set[frozenset[PropertyRef]]:
+        """All unordered cross-source matching pairs."""
+        by_reference: dict[str, list[PropertyRef]] = defaultdict(list)
+        for ref, reference in self.alignment.items():
+            by_reference[reference].append(ref)
+        pairs: set[frozenset[PropertyRef]] = set()
+        for refs in by_reference.values():
+            for i, first in enumerate(refs):
+                for second in refs[i + 1 :]:
+                    if first.source != second.source:
+                        pairs.add(frozenset((first, second)))
+        return pairs
+
+    def restrict_to_sources(self, sources: set[str] | list[str]) -> "Dataset":
+        """A new dataset containing only the given sources."""
+        wanted = set(sources)
+        missing = wanted - set(self.sources())
+        if missing:
+            raise DataError(f"unknown sources: {sorted(missing)}")
+        instances = [i for i in self.instances if i.source in wanted]
+        alignment = {
+            ref: reference
+            for ref, reference in self.alignment.items()
+            if ref.source in wanted
+        }
+        return Dataset(name=self.name, instances=instances, alignment=alignment)
+
+    def cap_entities_per_source(self, cap: int) -> "Dataset":
+        """Keep at most ``cap`` entities per source (the paper caps at 100).
+
+        Entities are kept in sorted-id order so capping is deterministic.
+        """
+        if cap < 1:
+            raise DataError(f"entity cap must be >= 1, got {cap}")
+        keep: set[tuple[str, str]] = set()
+        for source in self.sources():
+            for entity in self.entities(source)[:cap]:
+                keep.add((source, entity))
+        instances = [
+            i for i in self.instances if (i.source, i.entity_id) in keep
+        ]
+        surviving_refs = {i.ref for i in instances}
+        alignment = {
+            ref: reference
+            for ref, reference in self.alignment.items()
+            if ref in surviving_refs
+        }
+        return Dataset(name=self.name, instances=instances, alignment=alignment)

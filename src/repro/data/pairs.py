@@ -1,0 +1,136 @@
+"""Cross-source property pairs: enumeration, labelling, negative sampling.
+
+Implements the evaluation protocol of Section V-B:
+
+* candidate pairs are all pairs of properties from *different* sources
+  (Algorithm 1 lines 6-8 only pairs across sources);
+* a pair is positive when both properties align to the same reference
+  property;
+* "the training data consists of two negative (non-matching) pairs of
+  properties for every positive (matching) pair, and the negative pairs
+  are randomly selected" -- negative sampling applies to the training
+  side only; the test side keeps every candidate pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.model import Dataset, PropertyRef
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """An ordered property pair with its ground-truth label."""
+
+    left: PropertyRef
+    right: PropertyRef
+    label: bool
+
+    @property
+    def key(self) -> frozenset[PropertyRef]:
+        """Unordered identity of the pair."""
+        return frozenset((self.left, self.right))
+
+
+@dataclass
+class PairSet:
+    """A list of labelled pairs with convenience accessors."""
+
+    pairs: list[LabeledPair]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def positives(self) -> list[LabeledPair]:
+        """Only the matching pairs."""
+        return [pair for pair in self.pairs if pair.label]
+
+    def negatives(self) -> list[LabeledPair]:
+        """Only the non-matching pairs."""
+        return [pair for pair in self.pairs if not pair.label]
+
+    def labels(self) -> np.ndarray:
+        """Labels as an int array (1 = match)."""
+        return np.array([int(pair.label) for pair in self.pairs], dtype=np.int64)
+
+    def refs(self) -> list[PropertyRef]:
+        """All distinct property refs mentioned by the pairs, sorted."""
+        seen: set[PropertyRef] = set()
+        for pair in self.pairs:
+            seen.add(pair.left)
+            seen.add(pair.right)
+        return sorted(seen)
+
+
+def build_pairs(
+    dataset: Dataset,
+    sources: list[str] | None = None,
+    *,
+    within: bool = True,
+) -> PairSet:
+    """Enumerate labelled cross-source pairs.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset providing properties and ground truth.
+    sources:
+        When given, restricts which sources participate.
+    within:
+        ``True`` (default) keeps pairs where *both* sources are in
+        ``sources`` -- the paper's training regime ("examples that involve
+        two sources of data in the training set").  ``False`` keeps the
+        complement: pairs where at least one source is outside
+        ``sources`` -- the paper's test regime ("test it with the rest").
+    """
+    all_sources = dataset.sources()
+    if sources is None:
+        selected = set(all_sources)
+    else:
+        unknown = set(sources) - set(all_sources)
+        if unknown:
+            raise ConfigurationError(f"unknown sources: {sorted(unknown)}")
+        selected = set(sources)
+    properties = dataset.properties()
+    pairs: list[LabeledPair] = []
+    for i, left in enumerate(properties):
+        for right in properties[i + 1 :]:
+            if left.source == right.source:
+                continue
+            both_inside = left.source in selected and right.source in selected
+            if within != both_inside:
+                continue
+            pairs.append(LabeledPair(left, right, dataset.is_match(left, right)))
+    return PairSet(pairs)
+
+
+def sample_training_pairs(
+    candidates: PairSet,
+    negative_ratio: float = 2.0,
+    rng: np.random.Generator | None = None,
+) -> PairSet:
+    """Down-sample negatives to ``negative_ratio`` per positive.
+
+    All positives are kept.  When there are fewer negatives than the ratio
+    requires, all negatives are kept.  Order is shuffled so mini-batch
+    training does not see label blocks.
+    """
+    if negative_ratio < 0:
+        raise ConfigurationError(f"negative_ratio must be >= 0, got {negative_ratio}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    positives = candidates.positives()
+    negatives = candidates.negatives()
+    wanted = int(round(negative_ratio * len(positives)))
+    if wanted < len(negatives):
+        chosen_idx = rng.choice(len(negatives), size=wanted, replace=False)
+        negatives = [negatives[int(i)] for i in chosen_idx]
+    combined = positives + negatives
+    order = rng.permutation(len(combined))
+    return PairSet([combined[int(i)] for i in order])

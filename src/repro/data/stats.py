@@ -1,0 +1,59 @@
+"""Dataset statistics, matching the quantities quoted in Section V-B."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.model import Dataset
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Structural summary of a dataset."""
+
+    name: str
+    n_sources: int
+    n_entities: int
+    n_properties: int
+    n_instances: int
+    n_matching_pairs: int
+    n_reference_properties: int
+    min_entities_per_source: int
+    max_entities_per_source: int
+
+    @property
+    def entity_balance(self) -> float:
+        """min/max entities per source; 1.0 for a perfectly balanced dataset.
+
+        The paper distinguishes the balanced camera dataset from the
+        imbalanced ("low-quality") WDC datasets by exactly this property.
+        """
+        if self.max_entities_per_source == 0:
+            return 0.0
+        return self.min_entities_per_source / self.max_entities_per_source
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.n_sources} sources, {self.n_entities} entities, "
+            f"{self.n_properties} properties, {self.n_instances} instances, "
+            f"{self.n_matching_pairs} matching pairs "
+            f"(balance {self.entity_balance:.2f})"
+        )
+
+
+def dataset_stats(dataset: Dataset) -> DatasetStats:
+    """Compute :class:`DatasetStats` for a dataset."""
+    sources = dataset.sources()
+    per_source_entities = [len(dataset.entities(source)) for source in sources]
+    return DatasetStats(
+        name=dataset.name,
+        n_sources=len(sources),
+        n_entities=len(dataset.entities()),
+        n_properties=len(dataset.properties()),
+        n_instances=len(dataset.instances),
+        n_matching_pairs=len(dataset.matching_pairs()),
+        n_reference_properties=len(set(dataset.alignment.values())),
+        min_entities_per_source=min(per_source_entities, default=0),
+        max_entities_per_source=max(per_source_entities, default=0),
+    )

@@ -1,0 +1,59 @@
+"""Synthetic multi-source product datasets (DI2KG / WDC substitutes).
+
+The paper evaluates on four e-commerce datasets that are not shipped here
+(DI2KG'19 cameras; WDC headphones/phones/tvs).  This package generates
+structurally equivalent datasets:
+
+* a **reference ontology** of properties per domain, each with several
+  synonymous name variants ("camera resolution" / "effective pixels" /
+  "megapixel") and a value model (numbers with units, enumerations,
+  model codes, free text);
+* every **source** exposes a subset of the reference properties, names
+  them with its own convention (casing, separators, chosen synonym) and
+  renders values in its own format;
+* sources also carry **unaligned junk properties** that match nothing;
+* the camera dataset is large and balanced (24 sources, capped entities);
+  headphones/phones/tvs are small and imbalanced, mirroring what the
+  paper calls the "low-quality" datasets.
+
+Alongside each dataset the generator derives the :class:`SynonymLexicon`
+that encodes which words are domain synonyms; the embedding substrate
+turns that into trained word vectors (the GloVe substitute).  The matcher
+never sees the lexicon itself.
+
+Public entry points: :func:`load_dataset`, :func:`domain_lexicon`,
+:func:`build_domain_embeddings`, :data:`DATASET_NAMES`.
+"""
+
+from repro.datasets.generator import GenerationConfig, generate_dataset
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    build_domain_embeddings,
+    domain_lexicon,
+    domain_spec,
+    load_dataset,
+)
+from repro.datasets.specs import (
+    CodeValueSpec,
+    DomainSpec,
+    EnumValueSpec,
+    FreeTextValueSpec,
+    NumericValueSpec,
+    ReferencePropertySpec,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "load_dataset",
+    "domain_lexicon",
+    "domain_spec",
+    "build_domain_embeddings",
+    "GenerationConfig",
+    "generate_dataset",
+    "DomainSpec",
+    "ReferencePropertySpec",
+    "NumericValueSpec",
+    "EnumValueSpec",
+    "CodeValueSpec",
+    "FreeTextValueSpec",
+]

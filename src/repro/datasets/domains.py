@@ -1,0 +1,679 @@
+"""Reference ontologies for the four evaluation domains.
+
+Each domain mirrors the corresponding dataset of the paper structurally:
+
+* **cameras** -- the DI2KG'19 stand-in: 24 sources, balanced entity
+  counts (the paper caps at 100 per source), the richest ontology.
+* **headphones / phones / tvs** -- the WDC stand-ins: fewer sources,
+  imbalanced entity counts, noisier values ("low-quality" datasets).
+
+Name variants are chosen so that (a) matching properties frequently have
+low string similarity ("megapixel" vs "effective pixels"), which starves
+string-distance matchers of recall, and (b) a few *different* properties
+share surface words ("screen resolution" vs "image resolution"), which
+creates the false-positive traps that supervised matchers learn to avoid.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.specs import (
+    CodeValueSpec,
+    DomainSpec,
+    EnumValueSpec,
+    FreeTextValueSpec,
+    NumericValueSpec,
+    ReferencePropertySpec,
+)
+
+_YES_NO = EnumValueSpec(options=(("yes", "true", "y"), ("no", "false", "n")))
+
+_COLORS = EnumValueSpec(
+    options=(
+        ("black", "graphite", "onyx"),
+        ("white", "ivory"),
+        ("silver", "grey", "gray"),
+        ("blue", "navy"),
+        ("red", "crimson"),
+    )
+)
+
+
+def _prop(
+    reference: str,
+    variants: tuple[str, ...],
+    value_spec,
+    exposure: float = 0.7,
+) -> ReferencePropertySpec:
+    return ReferencePropertySpec(
+        reference_name=reference,
+        name_variants=variants,
+        value_spec=value_spec,
+        exposure=exposure,
+    )
+
+
+def cameras_spec() -> DomainSpec:
+    """The large, balanced camera domain (DI2KG'19 stand-in)."""
+    properties = (
+        _prop(
+            "resolution",
+            ("camera resolution", "effective pixels", "megapixel", "mp rating"),
+            NumericValueSpec(8.0, 61.0, decimals=1, units=("mp", "megapixels", "mpix")),
+            exposure=0.9,
+        ),
+        _prop(
+            "sensor_size",
+            ("sensor size", "imager dimensions", "chip format"),
+            EnumValueSpec(
+                options=(
+                    ("full frame", "35mm"),
+                    ("aps-c", "crop sensor"),
+                    ("micro four thirds", "mft"),
+                    ("1 inch", "one inch"),
+                )
+            ),
+            exposure=0.6,
+        ),
+        _prop(
+            "iso_range",
+            ("iso range", "sensitivity span", "light sensitivity"),
+            NumericValueSpec(100, 409600, decimals=0, units=("iso",)),
+            exposure=0.7,
+        ),
+        _prop(
+            "shutter_speed",
+            ("shutter speed", "exposure time", "max shutter"),
+            NumericValueSpec(0.000125, 30.0, decimals=4, units=("s", "sec", "seconds")),
+            exposure=0.75,
+        ),
+        _prop(
+            "aperture",
+            ("aperture", "f number", "lens opening"),
+            NumericValueSpec(1.2, 22.0, decimals=1, units=("f",)),
+            exposure=0.6,
+        ),
+        _prop(
+            "optical_zoom",
+            ("optical zoom", "zoom factor", "magnification"),
+            NumericValueSpec(1.0, 125.0, decimals=1, units=("x",)),
+            exposure=0.65,
+        ),
+        _prop(
+            "focal_length",
+            ("focal length", "lens reach"),
+            NumericValueSpec(10.0, 600.0, decimals=0, units=("mm", "millimeters")),
+            exposure=0.6,
+        ),
+        _prop(
+            "screen_size",
+            ("screen size", "display diagonal", "lcd size", "monitor inches"),
+            NumericValueSpec(2.0, 3.5, decimals=1, units=("inch", "inches", "in")),
+            exposure=0.7,
+        ),
+        # Deliberate trap: shares the word "resolution" with the
+        # "resolution" property above but means the rear display.
+        _prop(
+            "screen_resolution",
+            ("screen resolution", "display dots", "lcd dots"),
+            NumericValueSpec(230_000, 2_360_000, decimals=0, units=("dots", "px")),
+            exposure=0.5,
+        ),
+        _prop(
+            "video",
+            ("video resolution", "movie mode", "recording format"),
+            EnumValueSpec(
+                options=(
+                    ("4k", "uhd", "2160p"),
+                    ("full hd", "1080p"),
+                    ("hd", "720p"),
+                    ("8k", "4320p"),
+                )
+            ),
+            exposure=0.8,
+        ),
+        _prop(
+            "weight",
+            ("weight", "body mass", "heft"),
+            NumericValueSpec(200.0, 1800.0, decimals=0, units=("g", "grams", "gr")),
+            exposure=0.8,
+        ),
+        _prop(
+            "battery_life",
+            ("battery life", "shots per charge", "cipa rating"),
+            NumericValueSpec(200, 1500, decimals=0, units=("shots", "frames")),
+            exposure=0.6,
+        ),
+        _prop(
+            "wifi",
+            ("wifi", "wireless connectivity", "wlan support"),
+            _YES_NO,
+            exposure=0.6,
+        ),
+        _prop(
+            "viewfinder",
+            ("viewfinder", "eye level finder", "evf type"),
+            EnumValueSpec(
+                options=(
+                    ("electronic", "evf"),
+                    ("optical", "ovf"),
+                    ("hybrid",),
+                    ("none", "absent"),
+                )
+            ),
+            exposure=0.55,
+        ),
+        _prop(
+            "storage",
+            ("storage media", "memory card", "card slot"),
+            EnumValueSpec(
+                options=(
+                    ("sd", "sdhc"),
+                    ("cf", "compactflash"),
+                    ("cfexpress", "xqd"),
+                    ("microsd", "tf"),
+                )
+            ),
+            exposure=0.6,
+        ),
+        _prop(
+            "model",
+            ("model", "product id", "item number"),
+            CodeValueSpec(prefixes=("eos", "dsc", "dmc", "nx", "om"), digits=4),
+            exposure=0.85,
+        ),
+        _prop(
+            "brand",
+            ("brand", "manufacturer", "maker"),
+            EnumValueSpec(
+                options=(
+                    ("canon",),
+                    ("nikon",),
+                    ("sony",),
+                    ("fujifilm", "fuji"),
+                    ("panasonic", "lumix"),
+                    ("olympus",),
+                )
+            ),
+            exposure=0.9,
+        ),
+        _prop(
+            "color",
+            ("color", "colour", "finish"),
+            _COLORS,
+            exposure=0.5,
+        ),
+        _prop(
+            "burst_rate",
+            ("burst rate", "continuous shooting", "fps drive"),
+            NumericValueSpec(2.0, 30.0, decimals=1, units=("fps", "frames per second")),
+            exposure=0.55,
+        ),
+        _prop(
+            "stabilization",
+            ("image stabilization", "ibis", "shake reduction"),
+            _YES_NO,
+            exposure=0.55,
+        ),
+        _prop(
+            "description",
+            ("description", "overview", "about"),
+            FreeTextValueSpec(
+                vocabulary=(
+                    "compact", "professional", "mirrorless", "dslr", "rugged",
+                    "travel", "lightweight", "weathersealed", "classic",
+                    "beginner", "vlogging", "studio",
+                ),
+            ),
+            exposure=0.5,
+        ),
+    )
+    return DomainSpec(
+        name="cameras",
+        properties=properties,
+        n_sources=24,
+        entities_per_source=100,
+        junk_properties_per_source=2,
+        name_noise=0.12,
+        value_noise=0.03,
+        instances_per_property=0.85,
+    )
+
+
+def headphones_spec() -> DomainSpec:
+    """The small, imbalanced headphone domain (WDC stand-in)."""
+    properties = (
+        _prop(
+            "driver_size",
+            ("driver size", "transducer diameter", "speaker unit"),
+            NumericValueSpec(6.0, 70.0, decimals=1, units=("mm", "millimeters")),
+            exposure=0.7,
+        ),
+        _prop(
+            "impedance",
+            ("impedance", "resistance rating", "ohmic load"),
+            NumericValueSpec(8.0, 600.0, decimals=0, units=("ohm", "ohms", "Ω")),
+            exposure=0.75,
+        ),
+        _prop(
+            "frequency_response",
+            ("frequency response", "audio bandwidth", "hz range"),
+            NumericValueSpec(5.0, 40000.0, decimals=0, units=("hz", "hertz", "khz")),
+            exposure=0.7,
+        ),
+        _prop(
+            "sensitivity",
+            ("sensitivity", "sound pressure", "spl rating"),
+            NumericValueSpec(85.0, 120.0, decimals=1, units=("db", "decibels")),
+            exposure=0.65,
+        ),
+        _prop(
+            "wireless",
+            ("wireless", "bluetooth", "cordless"),
+            _YES_NO,
+            exposure=0.8,
+        ),
+        _prop(
+            "noise_cancelling",
+            ("noise cancelling", "anc", "active isolation"),
+            _YES_NO,
+            exposure=0.6,
+        ),
+        _prop(
+            "battery_hours",
+            ("battery hours", "playtime", "listening time"),
+            NumericValueSpec(4.0, 80.0, decimals=0, units=("h", "hours", "hrs")),
+            exposure=0.6,
+        ),
+        _prop(
+            "weight",
+            ("weight", "mass", "heft"),
+            NumericValueSpec(4.0, 450.0, decimals=0, units=("g", "grams", "oz")),
+            exposure=0.7,
+        ),
+        _prop(
+            "form_factor",
+            ("form factor", "wearing style", "fit type"),
+            EnumValueSpec(
+                options=(
+                    ("over ear", "circumaural"),
+                    ("on ear", "supraaural"),
+                    ("in ear", "earbuds", "iem"),
+                )
+            ),
+            exposure=0.7,
+        ),
+        _prop(
+            "cable_length",
+            ("cable length", "cord span", "wire reach"),
+            NumericValueSpec(0.5, 5.0, decimals=1, units=("m", "meters", "metres")),
+            exposure=0.45,
+        ),
+        _prop(
+            "microphone",
+            ("microphone", "mic", "voice capture"),
+            _YES_NO,
+            exposure=0.6,
+        ),
+        _prop(
+            "model",
+            ("model", "product code", "sku"),
+            CodeValueSpec(prefixes=("wh", "qc", "hd", "ath", "momentum"), digits=4),
+            exposure=0.8,
+        ),
+        _prop(
+            "color",
+            ("color", "colour", "shade"),
+            _COLORS,
+            exposure=0.6,
+        ),
+        _prop(
+            "codec",
+            ("codec support", "audio format", "streaming protocol"),
+            EnumValueSpec(
+                options=(
+                    ("aptx",),
+                    ("ldac",),
+                    ("aac",),
+                    ("sbc",),
+                )
+            ),
+            exposure=0.5,
+        ),
+        _prop(
+            "charging_port",
+            ("charging port", "connector type", "plug kind"),
+            EnumValueSpec(
+                options=(
+                    ("usb c", "type c"),
+                    ("micro usb",),
+                    ("lightning",),
+                    ("pogo pins",),
+                )
+            ),
+            exposure=0.5,
+        ),
+        _prop(
+            "foldable",
+            ("foldable", "collapsible", "folding design"),
+            _YES_NO,
+            exposure=0.5,
+        ),
+        _prop(
+            "water_resistance",
+            ("water resistance", "ip rating", "sweatproof grade"),
+            EnumValueSpec(
+                options=(
+                    ("ipx4",),
+                    ("ipx5",),
+                    ("ipx7",),
+                    ("none", "absent"),
+                )
+            ),
+            exposure=0.45,
+        ),
+    )
+    return DomainSpec(
+        name="headphones",
+        properties=properties,
+        n_sources=10,
+        entities_per_source=(5, 60),
+        junk_properties_per_source=3,
+        name_noise=0.3,
+        value_noise=0.1,
+        instances_per_property=0.65,
+    )
+
+
+def phones_spec() -> DomainSpec:
+    """The phone domain (WDC stand-in)."""
+    properties = (
+        _prop(
+            "screen_size",
+            ("screen size", "display diagonal", "panel inches"),
+            NumericValueSpec(4.0, 7.2, decimals=2, units=("inch", "inches", "in")),
+            exposure=0.85,
+        ),
+        # Trap pair with screen_size via the word "display"/"screen".
+        _prop(
+            "screen_resolution",
+            ("screen resolution", "display pixels", "panel dots"),
+            NumericValueSpec(640.0, 3200.0, decimals=0, units=("px", "pixels")),
+            exposure=0.7,
+        ),
+        _prop(
+            "ram",
+            ("ram", "memory size", "working storage"),
+            NumericValueSpec(1.0, 24.0, decimals=0, units=("gb", "gigabytes")),
+            exposure=0.8,
+        ),
+        _prop(
+            "internal_storage",
+            ("internal storage", "rom capacity", "flash space"),
+            NumericValueSpec(8.0, 1024.0, decimals=0, units=("gb", "gigabytes", "tb")),
+            exposure=0.8,
+        ),
+        _prop(
+            "battery_capacity",
+            ("battery capacity", "cell charge", "power reserve"),
+            NumericValueSpec(1500.0, 6500.0, decimals=0, units=("mah", "milliamp hours")),
+            exposure=0.8,
+        ),
+        _prop(
+            "camera",
+            ("camera", "rear shooter", "main lens megapixels"),
+            NumericValueSpec(5.0, 200.0, decimals=0, units=("mp", "megapixels")),
+            exposure=0.75,
+        ),
+        _prop(
+            "os",
+            ("operating system", "os", "platform software"),
+            EnumValueSpec(
+                options=(
+                    ("android",),
+                    ("ios", "iphone os"),
+                    ("harmonyos",),
+                    ("kaios",),
+                )
+            ),
+            exposure=0.7,
+        ),
+        _prop(
+            "cpu",
+            ("processor", "chipset", "soc"),
+            EnumValueSpec(
+                options=(
+                    ("snapdragon",),
+                    ("exynos",),
+                    ("dimensity", "mediatek"),
+                    ("bionic", "apple silicon"),
+                    ("kirin",),
+                )
+            ),
+            exposure=0.65,
+        ),
+        _prop(
+            "weight",
+            ("weight", "mass", "heft"),
+            NumericValueSpec(110.0, 260.0, decimals=0, units=("g", "grams")),
+            exposure=0.7,
+        ),
+        _prop(
+            "sim",
+            ("sim type", "card slots", "subscriber module"),
+            EnumValueSpec(
+                options=(
+                    ("single sim",),
+                    ("dual sim", "dual standby"),
+                    ("esim", "embedded sim"),
+                )
+            ),
+            exposure=0.5,
+        ),
+        _prop(
+            "network",
+            ("network", "cellular generation", "mobile bands"),
+            EnumValueSpec(
+                options=(("5g",), ("4g", "lte"), ("3g", "umts"), ("2g", "gsm"))
+            ),
+            exposure=0.65,
+        ),
+        _prop(
+            "nfc",
+            ("nfc", "contactless", "near field"),
+            _YES_NO,
+            exposure=0.5,
+        ),
+        _prop(
+            "model",
+            ("model", "device code", "variant number"),
+            CodeValueSpec(prefixes=("sm", "gt", "mi", "cph", "xt"), digits=4),
+            exposure=0.85,
+        ),
+        _prop(
+            "brand",
+            ("brand", "manufacturer", "maker"),
+            EnumValueSpec(
+                options=(
+                    ("samsung",),
+                    ("apple",),
+                    ("xiaomi",),
+                    ("oppo",),
+                    ("motorola", "moto"),
+                    ("nokia",),
+                )
+            ),
+            exposure=0.85,
+        ),
+        _prop(
+            "color",
+            ("color", "colour", "finish"),
+            _COLORS,
+            exposure=0.55,
+        ),
+    )
+    return DomainSpec(
+        name="phones",
+        properties=properties,
+        n_sources=10,
+        entities_per_source=(8, 70),
+        junk_properties_per_source=3,
+        name_noise=0.2,
+        value_noise=0.1,
+        instances_per_property=0.65,
+    )
+
+
+def tvs_spec() -> DomainSpec:
+    """The TV domain (WDC stand-in)."""
+    properties = (
+        _prop(
+            "screen_size",
+            ("screen size", "panel diagonal", "display inches"),
+            NumericValueSpec(24.0, 98.0, decimals=0, units=("inch", "inches", "in")),
+            exposure=0.9,
+        ),
+        _prop(
+            "resolution",
+            ("resolution", "pixel format", "native dots"),
+            EnumValueSpec(
+                options=(
+                    ("4k", "uhd", "2160p"),
+                    ("8k", "4320p"),
+                    ("full hd", "1080p"),
+                    ("hd ready", "720p"),
+                )
+            ),
+            exposure=0.85,
+        ),
+        _prop(
+            "panel_type",
+            ("panel type", "screen technology", "display tech"),
+            EnumValueSpec(
+                options=(
+                    ("oled",),
+                    ("qled", "quantum dot"),
+                    ("led", "lcd"),
+                    ("miniled",),
+                )
+            ),
+            exposure=0.7,
+        ),
+        _prop(
+            "refresh_rate",
+            ("refresh rate", "motion frequency", "panel speed"),
+            NumericValueSpec(50.0, 240.0, decimals=0, units=("hz", "hertz")),
+            exposure=0.7,
+        ),
+        _prop(
+            "hdr",
+            ("hdr", "high dynamic range", "dolby vision"),
+            _YES_NO,
+            exposure=0.6,
+        ),
+        _prop(
+            "smart_platform",
+            ("smart platform", "tv os", "software system"),
+            EnumValueSpec(
+                options=(
+                    ("webos",),
+                    ("tizen",),
+                    ("android tv", "google tv"),
+                    ("roku",),
+                    ("firetv", "fire os"),
+                )
+            ),
+            exposure=0.65,
+        ),
+        _prop(
+            "hdmi_ports",
+            ("hdmi ports", "video inputs", "connector count"),
+            NumericValueSpec(1.0, 6.0, decimals=0, units=("ports",)),
+            exposure=0.6,
+        ),
+        _prop(
+            "power",
+            ("power consumption", "energy draw", "wattage"),
+            NumericValueSpec(30.0, 600.0, decimals=0, units=("w", "watts")),
+            exposure=0.55,
+        ),
+        _prop(
+            "weight",
+            ("weight", "mass", "heft"),
+            NumericValueSpec(3.0, 60.0, decimals=1, units=("kg", "kilograms", "lbs")),
+            exposure=0.65,
+        ),
+        _prop(
+            "speakers",
+            ("speaker output", "audio power", "sound wattage"),
+            NumericValueSpec(10.0, 80.0, decimals=0, units=("w", "watts")),
+            exposure=0.5,
+        ),
+        _prop(
+            "wifi",
+            ("wifi", "wireless lan", "wlan"),
+            _YES_NO,
+            exposure=0.55,
+        ),
+        _prop(
+            "model",
+            ("model", "series code", "product number"),
+            CodeValueSpec(prefixes=("qn", "un", "xr", "oled", "tcl"), digits=5),
+            exposure=0.85,
+        ),
+        _prop(
+            "brand",
+            ("brand", "manufacturer", "maker"),
+            EnumValueSpec(
+                options=(
+                    ("samsung",),
+                    ("lg",),
+                    ("sony", "bravia"),
+                    ("tcl",),
+                    ("hisense",),
+                    ("philips",),
+                )
+            ),
+            exposure=0.85,
+        ),
+        _prop(
+            "release_year",
+            ("release year", "launch date", "model year"),
+            NumericValueSpec(2015.0, 2021.0, decimals=0),
+            exposure=0.5,
+        ),
+        _prop(
+            "vesa_mount",
+            ("vesa mount", "wall bracket pattern", "mounting holes"),
+            NumericValueSpec(75.0, 600.0, decimals=0, units=("mm", "millimeters")),
+            exposure=0.45,
+        ),
+        _prop(
+            "tuner",
+            ("tuner type", "broadcast receiver", "aerial standard"),
+            EnumValueSpec(
+                options=(
+                    ("dvb t2",),
+                    ("atsc",),
+                    ("isdb",),
+                    ("analog", "ntsc"),
+                )
+            ),
+            exposure=0.45,
+        ),
+        _prop(
+            "curved",
+            ("curved", "arc shape", "bent panel"),
+            _YES_NO,
+            exposure=0.45,
+        ),
+    )
+    return DomainSpec(
+        name="tvs",
+        properties=properties,
+        n_sources=10,
+        entities_per_source=(4, 50),
+        junk_properties_per_source=3,
+        name_noise=0.32,
+        value_noise=0.12,
+        instances_per_property=0.6,
+    )

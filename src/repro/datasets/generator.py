@@ -1,0 +1,378 @@
+"""Turn a :class:`DomainSpec` into a concrete multi-source dataset.
+
+Generation model
+----------------
+
+1. A **latent catalogue** of products is drawn for the domain; each latent
+   product has a latent value for every reference property (shared truth).
+2. Every **source** samples a subset of the catalogue (sources overlap,
+   as real shops selling the same products do), chooses which reference
+   properties it exposes, picks its own synonym phrase and naming style
+   for each, and renders each latent value in its own format.
+3. Sources additionally carry **junk properties** unaligned to the
+   reference ontology; their names are source-specific so they create
+   realistic non-matching clutter rather than accidental matches.
+4. The ground-truth alignment maps every rendered property to its
+   reference property.
+
+A :class:`SynonymLexicon` is derived from the spec: words that are
+distinctive of a single reference property's name variants form a synonym
+group, as do unit spellings and enum-option spellings.  The lexicon feeds
+the embedding substrate only -- matchers never see it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.datasets.naming import NamingStyle, choose_variant
+from repro.datasets.specs import (
+    CodeValueSpec,
+    DomainSpec,
+    EnumValueSpec,
+    FreeTextValueSpec,
+    NumericValueSpec,
+    ReferencePropertySpec,
+)
+from repro.datasets.values import latent_value, render_value
+from repro.embeddings.lexicon import SynonymLexicon
+from repro.errors import ConfigurationError
+from repro.text.tokenize import words
+
+_JUNK_WORDS = (
+    "internal", "aux", "legacy", "extra", "misc", "meta", "raw", "tmp",
+    "field", "attr", "col", "code", "ref", "tag", "flag", "key",
+)
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Knobs applied on top of a :class:`DomainSpec` at generation time."""
+
+    seed: int = 0
+    #: Multiplies the spec's entity counts; lets benchmarks scale a domain
+    #: up to paper size or down for fast CI runs without editing specs.
+    entity_scale: float = 1.0
+    #: Latent catalogue size relative to the largest per-source count.
+    catalogue_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.entity_scale <= 0:
+            raise ConfigurationError("entity_scale must be positive")
+        if self.catalogue_factor < 1.0:
+            raise ConfigurationError("catalogue_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class DomainSemantics:
+    """Everything the embedding substrate needs to know about a domain.
+
+    ``lexicon`` holds the synonym groups; ``soft_words`` maps ambiguous
+    words (shared by several reference properties, e.g. "resolution") to
+    the ids of their related groups; ``singletons`` lists every other
+    surface word (junk tokens, decorations, enum brands, free-text
+    vocabulary) that should receive a distinctive stand-alone vector.
+    """
+
+    lexicon: SynonymLexicon
+    soft_words: dict[str, tuple[int, ...]]
+    singletons: tuple[str, ...]
+
+
+def _property_word_sets(spec: DomainSpec) -> list[set[str]]:
+    """Name-variant + unit words per reference property."""
+    per_property: list[set[str]] = []
+    for prop in spec.properties:
+        prop_words: set[str] = set()
+        for variant in prop.name_variants:
+            prop_words.update(words(variant))
+        value_spec = prop.value_spec
+        if isinstance(value_spec, NumericValueSpec):
+            for unit in value_spec.units:
+                prop_words.update(words(unit))
+        per_property.append(prop_words)
+    return per_property
+
+
+def _candidate_groups(spec: DomainSpec) -> list[set[str]]:
+    """Raw synonym-group candidates before transitive merging."""
+    candidate_groups: list[set[str]] = []
+    # (a) name-variant words, grouped per reference property; words shared
+    # by several properties are ambiguous and excluded here (they become
+    # soft words instead).
+    word_owners: Counter[str] = Counter()
+    per_property_words: list[set[str]] = []
+    for prop in spec.properties:
+        prop_words: set[str] = set()
+        for variant in prop.name_variants:
+            prop_words.update(words(variant))
+        per_property_words.append(prop_words)
+        for word in prop_words:
+            word_owners[word] += 1
+    for prop_words in per_property_words:
+        distinctive = {w for w in prop_words if word_owners[w] == 1}
+        if len(distinctive) >= 2:
+            candidate_groups.append(distinctive)
+    # (b) unit-spelling groups and (c) enum-option groups, split to words
+    # because embedding lookups average per word.
+    for prop in spec.properties:
+        value_spec = prop.value_spec
+        if isinstance(value_spec, NumericValueSpec) and len(value_spec.units) >= 2:
+            unit_words: set[str] = set()
+            for unit in value_spec.units:
+                unit_words.update(words(unit))
+            if len(unit_words) >= 2:
+                candidate_groups.append(unit_words)
+        elif isinstance(value_spec, EnumValueSpec):
+            for option in value_spec.options:
+                option_words: set[str] = set()
+                for member in option:
+                    option_words.update(words(member))
+                if len(option_words) >= 2:
+                    candidate_groups.append(option_words)
+    return candidate_groups
+
+
+def derive_lexicon(spec: DomainSpec) -> SynonymLexicon:
+    """Extract the domain's synonym groups from its reference ontology.
+
+    Groups are formed from (a) the distinctive name-variant words of each
+    reference property, (b) unit spellings of numeric specs and (c) enum
+    option spellings.  Overlapping candidate groups are merged
+    transitively: a unit spelling that also appears in a property's name
+    variants ("mp" in "mp rating") bridges the two groups, exactly as
+    distributional co-occurrence would.
+    """
+    merged: list[set[str]] = []
+    for group in _candidate_groups(spec):
+        group = set(group)
+        absorbed: list[set[str]] = []
+        for existing in merged:
+            if existing & group:
+                group |= existing
+                absorbed.append(existing)
+        for gone in absorbed:
+            merged.remove(gone)
+        merged.append(group)
+    lexicon = SynonymLexicon()
+    for group in merged:
+        if len(group) >= 2:
+            lexicon.add_group(group)
+    return lexicon
+
+
+def derive_semantics(spec: DomainSpec) -> DomainSemantics:
+    """Classify every surface word of a domain for embedding training.
+
+    Surface words come from four places: reference-property name variants,
+    value vocabularies (units, enum options, free text), junk-property
+    tokens and name decorations.  Each word is either a lexicon group
+    member, a *soft word* (ambiguous across several properties, related
+    to each of their groups) or a *singleton*.
+    """
+    from repro.datasets.naming import _DECORATIONS  # local to avoid cycle at import
+
+    lexicon = derive_lexicon(spec)
+    per_property_words = _property_word_sets(spec)
+    # All surface words of the domain.
+    surface: set[str] = set()
+    for prop_words in per_property_words:
+        surface.update(prop_words)
+    for prop in spec.properties:
+        value_spec = prop.value_spec
+        if isinstance(value_spec, EnumValueSpec):
+            for option in value_spec.options:
+                for member in option:
+                    surface.update(words(member))
+        elif isinstance(value_spec, FreeTextValueSpec):
+            for term in value_spec.vocabulary:
+                surface.update(words(term))
+        elif isinstance(value_spec, CodeValueSpec):
+            for prefix in value_spec.prefixes:
+                surface.update(words(prefix))
+    surface.update(_JUNK_WORDS)
+    surface.update(word for word in _DECORATIONS if word)
+    surface.update(word.lower() for word in spec.extra_filler_words)
+    # Soft words: ungrouped name words shared by properties that do have
+    # grouped words -- related to each such property's group(s).
+    soft_words: dict[str, tuple[int, ...]] = {}
+    singletons: list[str] = []
+    grouped = lexicon.vocabulary()
+    property_groups: list[set[int]] = []
+    for prop_words in per_property_words:
+        group_ids = {
+            lexicon.group_of(word)
+            for word in prop_words
+            if lexicon.group_of(word) is not None
+        }
+        property_groups.append({gid for gid in group_ids if gid is not None})
+    for word in sorted(surface):
+        if word in grouped:
+            continue
+        related: set[int] = set()
+        for prop_words, group_ids in zip(per_property_words, property_groups):
+            if word in prop_words:
+                related |= group_ids
+        if related:
+            soft_words[word] = tuple(sorted(related))
+        else:
+            singletons.append(word)
+    return DomainSemantics(
+        lexicon=lexicon,
+        soft_words=soft_words,
+        singletons=tuple(singletons),
+    )
+
+
+def _entity_counts(spec: DomainSpec, config: GenerationConfig, rng: np.random.Generator) -> list[int]:
+    """Per-source entity counts, scaled by the config."""
+    counts: list[int] = []
+    for _ in range(spec.n_sources):
+        if isinstance(spec.entities_per_source, tuple):
+            low, high = spec.entities_per_source
+            base = int(rng.integers(low, high + 1))
+        else:
+            base = spec.entities_per_source
+        counts.append(max(1, int(round(base * config.entity_scale))))
+    return counts
+
+
+def _render_names(
+    spec: DomainSpec,
+    exposed: list[ReferencePropertySpec],
+    style: NamingStyle,
+    rng: np.random.Generator,
+) -> dict[str, str]:
+    """Choose and render this source's name for each exposed property.
+
+    Returns ``{reference_name: rendered_name}`` with uniqueness enforced.
+    """
+    rendered: dict[str, str] = {}
+    used: set[str] = set()
+    for prop in exposed:
+        variant = choose_variant(prop.name_variants, rng)
+        decorate = rng.random() < spec.name_noise
+        name = style.render(variant, decorate=decorate)
+        attempts = 0
+        while name in used and attempts < 5:
+            variant = choose_variant(prop.name_variants, rng)
+            name = style.render(variant, decorate=True)
+            attempts += 1
+        if name in used:
+            name = f"{name}{len(used)}"
+        rendered[prop.reference_name] = name
+        used.add(name)
+    return rendered
+
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+def _pseudo_word(rng: np.random.Generator, syllables: int = 2) -> str:
+    """A pronounceable nonsense token ("kelu", "dativo")."""
+    parts = []
+    for _ in range(syllables):
+        parts.append(_CONSONANTS[int(rng.integers(len(_CONSONANTS)))])
+        parts.append(_VOWELS[int(rng.integers(len(_VOWELS)))])
+    return "".join(parts)
+
+
+def _junk_properties(
+    spec: DomainSpec, source_index: int, rng: np.random.Generator
+) -> list[str]:
+    """Source-specific unaligned property names.
+
+    Each combines a generic junk word with a source-local pseudo-word:
+    real scraped sources carry plenty of private, machine-generated
+    attribute names, and -- crucially for the ground truth -- junk
+    properties of different sources must not look identical, because
+    identical unaligned properties would be semantically matching pairs
+    that the alignment-based ground truth cannot label.
+    """
+    names: list[str] = []
+    for j in range(spec.junk_properties_per_source):
+        word = _JUNK_WORDS[int(rng.integers(len(_JUNK_WORDS)))]
+        pseudo = _pseudo_word(rng)
+        layout = rng.random()
+        if layout < 0.4:
+            name = f"{word}_{pseudo}_{source_index}{j}"
+        elif layout < 0.7:
+            name = f"{pseudo} {word}"
+        else:
+            name = f"{pseudo}{source_index}{j}"
+        names.append(name)
+    return names
+
+
+def generate_dataset(
+    spec: DomainSpec, config: GenerationConfig | None = None
+) -> Dataset:
+    """Generate the full multi-source dataset for a domain spec."""
+    config = config if config is not None else GenerationConfig()
+    # Seed derivation mixes the domain identity so different domains built
+    # with the same config seed still differ.
+    rng = np.random.default_rng([config.seed, len(spec.name), spec.n_sources])
+    counts = _entity_counts(spec, config, rng)
+    catalogue_size = max(2, int(round(max(counts) * config.catalogue_factor)))
+    # Latent truth: catalogue x property -> latent value.
+    latent: list[dict[str, object]] = []
+    for _ in range(catalogue_size):
+        values = {
+            prop.reference_name: latent_value(prop.value_spec, rng)
+            for prop in spec.properties
+        }
+        latent.append(values)
+
+    instances: list[PropertyInstance] = []
+    alignment: dict[PropertyRef, str] = {}
+    spec_by_name = {prop.reference_name: prop for prop in spec.properties}
+    for source_index in range(spec.n_sources):
+        source = f"{spec.name}_src{source_index:02d}"
+        style = NamingStyle.random(rng)
+        # Which reference properties does this source expose?
+        exposed = [p for p in spec.properties if rng.random() < p.exposure]
+        if len(exposed) < 2:  # every real source describes several attributes
+            extra = [p for p in spec.properties if p not in exposed]
+            picks = rng.choice(len(extra), size=min(2, len(extra)), replace=False)
+            exposed.extend(extra[int(i)] for i in np.atleast_1d(picks))
+        rendered = _render_names(spec, exposed, style, rng)
+        junk_names = _junk_properties(spec, source_index, rng)
+        # Which latent products does this source list?
+        n_entities = min(counts[source_index], catalogue_size)
+        product_ids = rng.choice(catalogue_size, size=n_entities, replace=False)
+        source_instances: dict[PropertyRef, list[PropertyInstance]] = defaultdict(list)
+        for position, product_id in enumerate(product_ids):
+            entity = f"{source}_e{position:03d}"
+            for prop in exposed:
+                if rng.random() >= spec.instances_per_property:
+                    continue
+                value = render_value(
+                    spec_by_name[prop.reference_name].value_spec,
+                    latent[int(product_id)][prop.reference_name],
+                    rng,
+                    noise=spec.value_noise,
+                )
+                ref = PropertyRef(source, rendered[prop.reference_name])
+                source_instances[ref].append(
+                    PropertyInstance(source, ref.name, entity, value)
+                )
+            for junk in junk_names:
+                if rng.random() >= spec.instances_per_property * 0.5:
+                    continue
+                junk_value = f"{rng.integers(10_000)}"
+                source_instances[PropertyRef(source, junk)].append(
+                    PropertyInstance(source, junk, entity, junk_value)
+                )
+        # Record alignment only for properties that produced instances.
+        for prop in exposed:
+            ref = PropertyRef(source, rendered[prop.reference_name])
+            if source_instances.get(ref):
+                alignment[ref] = prop.reference_name
+        for ref_instances in source_instances.values():
+            instances.extend(ref_instances)
+    return Dataset(name=spec.name, instances=instances, alignment=alignment)

@@ -1,0 +1,69 @@
+"""Per-source property-naming conventions.
+
+Real sources differ systematically in how they spell attribute names:
+one site writes ``"Camera Resolution"``, another ``"effective_pixels"``,
+a third ``"MEGAPIXEL"``.  A :class:`NamingStyle` captures one source's
+convention (case + separator + decoration); applying different styles to
+different synonym variants produces the heterogeneity of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# No empty separator: concatenating words without a boundary ("speakerunit")
+# destroys word identity for *every* matcher, which real spec tables avoid.
+_SEPARATORS = (" ", "_", "-")
+_CASES = ("lower", "title", "upper", "original")
+_DECORATIONS = ("", "spec", "info", "detail")
+
+
+@dataclass(frozen=True)
+class NamingStyle:
+    """One source's convention for rendering property names."""
+
+    case: str
+    separator: str
+    decoration: str
+
+    def render(self, phrase: str, decorate: bool = False) -> str:
+        """Render a multi-word phrase under this style.
+
+        >>> NamingStyle("upper", "_", "spec").render("camera resolution")
+        'CAMERA_RESOLUTION'
+        """
+        tokens = phrase.split()
+        if decorate and self.decoration:
+            tokens = tokens + [self.decoration]
+        if self.case == "lower":
+            tokens = [token.lower() for token in tokens]
+        elif self.case == "upper":
+            tokens = [token.upper() for token in tokens]
+        elif self.case == "title":
+            tokens = [token.capitalize() for token in tokens]
+        return self.separator.join(tokens)
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "NamingStyle":
+        """Draw a style uniformly over the convention space."""
+        return cls(
+            case=_CASES[rng.integers(len(_CASES))],
+            separator=_SEPARATORS[rng.integers(len(_SEPARATORS))],
+            decoration=_DECORATIONS[rng.integers(len(_DECORATIONS))],
+        )
+
+
+def choose_variant(variants: tuple[str, ...], rng: np.random.Generator) -> str:
+    """Pick the synonym phrase a source uses for one reference property.
+
+    The choice is geometrically skewed towards the first (canonical)
+    variant: in real spec tables most sites call megapixels "resolution"
+    and only a minority write "effective pixels".  The skew controls how
+    often two sources share a name -- i.e. how much recall pure string
+    similarity can reach.
+    """
+    weights = np.array([0.45**i for i in range(len(variants))])
+    weights /= weights.sum()
+    return variants[int(rng.choice(len(variants), p=weights))]

@@ -1,0 +1,173 @@
+"""Dataset registry: named domains, scale presets, cached embeddings.
+
+``load_dataset("cameras")`` is the public entry point mirroring how the
+paper's evaluation loads its four datasets.  A *scale* preset controls how
+large the generated data is:
+
+* ``"tiny"``   -- a few sources, a dozen entities; for unit tests.
+* ``"small"``  -- full source counts, reduced entities; the default for
+  interactive use and the benchmark suite.
+* ``"paper"``  -- the paper's dimensions (cameras: 24 sources x 100
+  entities, 300-d embeddings).
+
+:func:`build_domain_embeddings` trains the GloVe-substitute embeddings for
+one or several domains (several = the transfer-learning setting, where a
+single embedding space must cover both domains, exactly as a single
+pre-trained GloVe does in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.data.model import Dataset
+from repro.datasets.domains import cameras_spec, headphones_spec, phones_spec, tvs_spec
+from repro.datasets.generator import (
+    DomainSemantics,
+    GenerationConfig,
+    derive_lexicon,
+    derive_semantics,
+    generate_dataset,
+)
+from repro.datasets.specs import DomainSpec
+from repro.embeddings.base import WordEmbeddings
+from repro.embeddings.cooccurrence import build_cooccurrence
+from repro.embeddings.corpus import CorpusGenerator
+from repro.embeddings.glove_like import train_glove_like
+from repro.embeddings.lexicon import SynonymLexicon
+from repro.errors import ConfigurationError
+
+_SPEC_BUILDERS = {
+    "cameras": cameras_spec,
+    "headphones": headphones_spec,
+    "phones": phones_spec,
+    "tvs": tvs_spec,
+}
+
+#: The four evaluation datasets of the paper, in its order.
+DATASET_NAMES: tuple[str, ...] = ("cameras", "headphones", "phones", "tvs")
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """How a scale name maps to generation knobs."""
+
+    source_cap: int | None
+    entity_scale: float
+    embedding_dimension: int
+
+
+SCALES: dict[str, ScalePreset] = {
+    "tiny": ScalePreset(source_cap=5, entity_scale=0.12, embedding_dimension=32),
+    "small": ScalePreset(source_cap=None, entity_scale=0.3, embedding_dimension=64),
+    "paper": ScalePreset(source_cap=None, entity_scale=1.0, embedding_dimension=300),
+}
+
+
+def _preset(scale: str) -> ScalePreset:
+    try:
+        return SCALES[scale]
+    except KeyError:
+        known = ", ".join(sorted(SCALES))
+        raise ConfigurationError(f"unknown scale {scale!r}; known: {known}") from None
+
+
+def domain_spec(name: str, scale: str = "small") -> DomainSpec:
+    """The :class:`DomainSpec` for a dataset name, adjusted to a scale."""
+    try:
+        builder = _SPEC_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(DATASET_NAMES)
+        raise ConfigurationError(f"unknown dataset {name!r}; known: {known}") from None
+    spec = builder()
+    preset = _preset(scale)
+    if preset.source_cap is not None and spec.n_sources > preset.source_cap:
+        spec = replace(spec, n_sources=preset.source_cap)
+    return spec
+
+
+def load_dataset(name: str, scale: str = "small", seed: int = 0) -> Dataset:
+    """Generate one of the four evaluation datasets.
+
+    >>> dataset = load_dataset("cameras", scale="tiny")
+    >>> len(dataset.sources())
+    5
+    """
+    preset = _preset(scale)
+    spec = domain_spec(name, scale)
+    config = GenerationConfig(seed=seed, entity_scale=preset.entity_scale)
+    return generate_dataset(spec, config)
+
+
+def domain_lexicon(name: str, scale: str = "small") -> SynonymLexicon:
+    """The synonym lexicon derived from a domain's reference ontology."""
+    return derive_lexicon(domain_spec(name, scale))
+
+
+def embedding_dimension(scale: str = "small") -> int:
+    """The default embedding dimensionality for a scale preset."""
+    return _preset(scale).embedding_dimension
+
+
+_EMBEDDING_CACHE: dict[tuple, WordEmbeddings] = {}
+
+
+def build_domain_embeddings(
+    names: str | list[str],
+    scale: str = "small",
+    dimension: int | None = None,
+    seed: int = 0,
+    sentences_per_group: int = 25,
+    contamination: float = 0.45,
+    anisotropy: float = 0.25,
+) -> WordEmbeddings:
+    """Train the GloVe-substitute embeddings for one or several domains.
+
+    Training is corpus -> co-occurrence -> PPMI+SVD (see
+    :mod:`repro.embeddings`).  Passing several domain names merges their
+    lexicons first, producing a single embedding space covering all of
+    them -- required for the transfer-learning experiment.  Results are
+    cached per argument combination, since benchmark sweeps reuse the
+    same space across many repetitions.
+    """
+    if isinstance(names, str):
+        names = [names]
+    if not names:
+        raise ConfigurationError("need at least one domain name")
+    preset = _preset(scale)
+    if dimension is None:
+        dimension = preset.embedding_dimension
+    key = (
+        tuple(sorted(names)), scale, dimension, seed, sentences_per_group,
+        contamination, anisotropy,
+    )
+    cached = _EMBEDDING_CACHE.get(key)
+    if cached is not None:
+        return cached
+    # One corpus per domain, concatenated.  Context-pool namespaces keep
+    # "group 0 of cameras" and "group 0 of phones" from sharing invented
+    # context words; real words shared by two domains ("weight") simply
+    # occur in both sub-corpora and end up related to both, as in GloVe.
+    sentences: list[list[str]] = []
+    for index, name in enumerate(names):
+        semantics: DomainSemantics = derive_semantics(domain_spec(name, scale))
+        generator = CorpusGenerator(
+            semantics.lexicon,
+            soft_words=semantics.soft_words,
+            singletons=semantics.singletons,
+            contamination=contamination,
+            namespace=name,
+            seed=seed + index,
+        )
+        sentences.extend(generator.sentences(sentences_per_group))
+    counts = build_cooccurrence(sentences)
+    embeddings = train_glove_like(
+        counts, dimension=dimension, anisotropy=anisotropy, seed=seed
+    )
+    _EMBEDDING_CACHE[key] = embeddings
+    return embeddings
+
+
+def clear_embedding_cache() -> None:
+    """Drop all cached embedding spaces (mainly for tests)."""
+    _EMBEDDING_CACHE.clear()

@@ -1,0 +1,192 @@
+"""Declarative specifications for synthetic product domains.
+
+A :class:`DomainSpec` describes one product domain (cameras, phones, ...):
+its reference properties, how heterogeneous the sources are, and how large
+the generated dataset should be.  The generator in
+:mod:`repro.datasets.generator` turns a spec into a concrete
+:class:`~repro.data.model.Dataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NumericValueSpec:
+    """A numeric property: a latent number rendered with unit variants.
+
+    ``units`` lists interchangeable unit spellings ("mp", "megapixels");
+    members of the list form a synonym group for the lexicon.  An empty
+    list renders bare numbers.
+    """
+
+    low: float
+    high: float
+    decimals: int = 1
+    units: tuple[str, ...] = ()
+    unit_probability: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ConfigurationError(f"need low < high, got [{self.low}, {self.high}]")
+        if self.decimals < 0:
+            raise ConfigurationError("decimals must be non-negative")
+        if not 0.0 <= self.unit_probability <= 1.0:
+            raise ConfigurationError("unit_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class EnumValueSpec:
+    """A categorical property.
+
+    ``options`` is a list of synonym groups: the entity's latent value
+    selects a group, the rendering source selects a spelling within it
+    (e.g. ``("yes", "true", "y")``).
+    """
+
+    options: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ConfigurationError("enum needs at least two options")
+        for group in self.options:
+            if not group:
+                raise ConfigurationError("enum option group must not be empty")
+
+
+@dataclass(frozen=True)
+class CodeValueSpec:
+    """An identifier-like property (model numbers, SKUs).
+
+    The latent code is shared verbatim by every source describing the same
+    latent product, which gives instance-based matchers (LSH) a strong,
+    name-independent signal.
+    """
+
+    prefixes: tuple[str, ...]
+    digits: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.prefixes:
+            raise ConfigurationError("code spec needs at least one prefix")
+        if self.digits < 1:
+            raise ConfigurationError("digits must be >= 1")
+
+
+@dataclass(frozen=True)
+class FreeTextValueSpec:
+    """A free-text property: a few words drawn from a topic vocabulary."""
+
+    vocabulary: tuple[str, ...]
+    min_words: int = 2
+    max_words: int = 6
+
+    def __post_init__(self) -> None:
+        if len(self.vocabulary) < 2:
+            raise ConfigurationError("free-text vocabulary needs >= 2 words")
+        if not 1 <= self.min_words <= self.max_words:
+            raise ConfigurationError("need 1 <= min_words <= max_words")
+
+
+ValueSpec = NumericValueSpec | EnumValueSpec | CodeValueSpec | FreeTextValueSpec
+
+
+@dataclass(frozen=True)
+class ReferencePropertySpec:
+    """One property of the domain's reference ontology.
+
+    ``name_variants`` are the synonymous phrases sources may use for this
+    property.  Their *distinctive* words (words not shared with other
+    reference properties) become a synonym group in the derived lexicon --
+    the structure pre-trained embeddings would capture from the web.
+    """
+
+    reference_name: str
+    name_variants: tuple[str, ...]
+    value_spec: ValueSpec
+    #: Probability that a given source exposes this property at all.
+    exposure: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not self.name_variants:
+            raise ConfigurationError(
+                f"property {self.reference_name!r} needs name variants"
+            )
+        if not 0.0 < self.exposure <= 1.0:
+            raise ConfigurationError("exposure must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A complete synthetic product domain.
+
+    Parameters
+    ----------
+    name:
+        Domain/dataset identifier.
+    properties:
+        The reference ontology.
+    n_sources:
+        How many sources to generate.
+    entities_per_source:
+        Either a fixed count (balanced, like the capped camera dataset) or
+        an inclusive ``(min, max)`` range sampled per source (imbalanced,
+        like the WDC datasets).
+    junk_properties_per_source:
+        Unaligned noise properties added to every source.
+    name_noise:
+        Probability that a rendered property name gains a decorative token
+        (e.g. a "spec"/"info" suffix), lowering string similarity further.
+    value_noise:
+        Probability that a rendered value is corrupted (typo, truncation),
+        weakening instance signals -- higher for "low-quality" datasets.
+    instances_per_property:
+        Expected fraction of a source's entities that actually populate a
+        given exposed property (real product pages are sparse).
+    """
+
+    name: str
+    properties: tuple[ReferencePropertySpec, ...]
+    n_sources: int
+    entities_per_source: int | tuple[int, int]
+    junk_properties_per_source: int = 2
+    name_noise: float = 0.15
+    value_noise: float = 0.05
+    instances_per_property: float = 0.8
+    extra_filler_words: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.properties:
+            raise ConfigurationError("domain needs at least one reference property")
+        if self.n_sources < 2:
+            raise ConfigurationError("domain needs at least two sources")
+        if isinstance(self.entities_per_source, tuple):
+            low, high = self.entities_per_source
+            if not 1 <= low <= high:
+                raise ConfigurationError("entity range must satisfy 1 <= min <= max")
+        elif self.entities_per_source < 1:
+            raise ConfigurationError("entities_per_source must be >= 1")
+        if self.junk_properties_per_source < 0:
+            raise ConfigurationError("junk_properties_per_source must be >= 0")
+        for probability, label in (
+            (self.name_noise, "name_noise"),
+            (self.value_noise, "value_noise"),
+            (self.instances_per_property, "instances_per_property"),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigurationError(f"{label} must be in [0, 1]")
+        seen = set()
+        for prop in self.properties:
+            if prop.reference_name in seen:
+                raise ConfigurationError(
+                    f"duplicate reference property {prop.reference_name!r}"
+                )
+            seen.add(prop.reference_name)
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when every source holds the same number of entities."""
+        return isinstance(self.entities_per_source, int)

@@ -1,0 +1,101 @@
+"""Value generation: latent entity values and per-source rendering.
+
+The generator separates *what is true* about a product (latent values,
+shared by every source describing that latent product) from *how a source
+writes it down* (unit spelling, decimal format, synonym choice, typos).
+This mirrors the real integration problem: matching properties carry the
+same underlying information in different surface forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.specs import (
+    CodeValueSpec,
+    EnumValueSpec,
+    FreeTextValueSpec,
+    NumericValueSpec,
+    ValueSpec,
+)
+from repro.errors import ConfigurationError
+
+
+def latent_value(spec: ValueSpec, rng: np.random.Generator) -> object:
+    """Draw the latent (source-independent) value for one entity.
+
+    The latent value is an index, a float or a string depending on the
+    spec; rendering interprets it.
+    """
+    if isinstance(spec, NumericValueSpec):
+        return float(rng.uniform(spec.low, spec.high))
+    if isinstance(spec, EnumValueSpec):
+        return int(rng.integers(len(spec.options)))
+    if isinstance(spec, CodeValueSpec):
+        prefix = spec.prefixes[int(rng.integers(len(spec.prefixes)))]
+        number = "".join(str(rng.integers(10)) for _ in range(spec.digits))
+        return f"{prefix}-{number}"
+    if isinstance(spec, FreeTextValueSpec):
+        count = int(rng.integers(spec.min_words, spec.max_words + 1))
+        picks = rng.choice(len(spec.vocabulary), size=count, replace=True)
+        return " ".join(spec.vocabulary[int(i)] for i in picks)
+    raise ConfigurationError(f"unknown value spec type: {type(spec).__name__}")
+
+
+def render_value(
+    spec: ValueSpec,
+    latent: object,
+    rng: np.random.Generator,
+    noise: float = 0.0,
+) -> str:
+    """Render a latent value the way one particular source would print it."""
+    if isinstance(spec, NumericValueSpec):
+        text = _render_numeric(spec, float(latent), rng)
+    elif isinstance(spec, EnumValueSpec):
+        group = spec.options[int(latent)]
+        text = group[int(rng.integers(len(group)))]
+    elif isinstance(spec, CodeValueSpec):
+        text = str(latent)
+    elif isinstance(spec, FreeTextValueSpec):
+        text = str(latent)
+    else:
+        raise ConfigurationError(f"unknown value spec type: {type(spec).__name__}")
+    if noise > 0.0 and rng.random() < noise:
+        text = _corrupt(text, rng)
+    return text
+
+
+def _render_numeric(
+    spec: NumericValueSpec, value: float, rng: np.random.Generator
+) -> str:
+    decimals = int(rng.integers(0, spec.decimals + 1)) if spec.decimals else 0
+    number = f"{value:.{decimals}f}"
+    if rng.random() < 0.15:
+        number = number.replace(".", ",")  # European decimal comma
+    if spec.units and rng.random() < spec.unit_probability:
+        unit = spec.units[int(rng.integers(len(spec.units)))]
+        layout = rng.random()
+        if layout < 0.5:
+            return f"{number} {unit}"
+        if layout < 0.8:
+            return f"{number}{unit}"
+        return f"{unit} {number}"
+    return number
+
+
+def _corrupt(text: str, rng: np.random.Generator) -> str:
+    """Apply one realistic corruption: typo, truncation or case flip."""
+    if not text:
+        return text
+    mode = rng.random()
+    position = int(rng.integers(len(text)))
+    if mode < 0.4 and len(text) > 2:
+        # Delete one character.
+        return text[:position] + text[position + 1 :]
+    if mode < 0.7:
+        # Duplicate one character.
+        return text[: position + 1] + text[position:]
+    # Flip the case of one character.
+    char = text[position]
+    flipped = char.lower() if char.isupper() else char.upper()
+    return text[:position] + flipped + text[position + 1 :]

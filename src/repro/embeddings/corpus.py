@@ -1,0 +1,193 @@
+"""Synthetic domain-corpus generator for embedding training.
+
+Pre-trained GloVe encodes the fact that "megapixels", "mp" and
+"resolution" appear in similar contexts on the web.  Without network
+access we recreate that distributional structure directly.  Three word
+populations are emitted:
+
+* **group members** -- for each synonym group the generator invents a
+  pool of *context words* (stable per group under the seed) and emits
+  sentences combining a random group member with samples from the
+  group's pool, so members land near each other after training;
+* **soft words** -- ambiguous words ("resolution" relates to both camera
+  megapixels and screen dots) are anchored in sentences whose contexts
+  are drawn from a *mixture* of their related groups' pools, yielding a
+  vector moderately similar to several groups, exactly as GloVe places
+  polysemous words;
+* **singletons** -- every other surface word (junk attribute tokens,
+  name decorations, free-text vocabulary) gets its own private context
+  pool and hence a distinctive vector far from everything, instead of
+  the out-of-vocabulary zero vector.
+
+A ``contamination`` fraction of context slots is filled from unrelated
+pools so that similarities do not saturate at exactly 1.0.  The
+generator never reveals which words were grouped -- downstream code sees
+only sentences, exactly as GloVe training sees only web text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.embeddings.lexicon import SynonymLexicon
+from repro.errors import ConfigurationError
+
+_FILLER_WORDS = (
+    "the", "a", "of", "with", "for", "and", "this", "that", "is", "has",
+    "product", "item", "value", "new", "best",
+    "great", "top", "good", "offers", "includes", "supports",
+)
+
+
+class CorpusGenerator:
+    """Generate tokenised sentences exhibiting a domain's semantics.
+
+    Parameters
+    ----------
+    lexicon:
+        Synonym groups whose members must end up with similar embeddings.
+    soft_words:
+        ``{word: related group ids}`` for ambiguous words that should end
+        up moderately similar to several groups.
+    singletons:
+        Words that should receive distinctive stand-alone vectors.
+    context_pool_size:
+        Number of distinct context words invented per group.  Larger pools
+        make the co-occurrence signal softer (more GloVe-like noise).
+    words_per_sentence:
+        Sentence length; contexts are drawn within a window during
+        co-occurrence counting so this bounds the effective window.
+    contamination:
+        Probability that a context slot is filled from a *different*
+        group's pool (or global filler) instead of the anchor group's.
+    namespace:
+        Prefix applied to invented context-pool words.  When corpora from
+        several domains are concatenated (the transfer-learning setting),
+        distinct namespaces stop "group 0 of cameras" and "group 0 of
+        phones" from accidentally sharing contexts.
+    seed:
+        Seed for the deterministic :class:`numpy.random.Generator`.
+    """
+
+    def __init__(
+        self,
+        lexicon: SynonymLexicon,
+        soft_words: Mapping[str, Sequence[int]] | None = None,
+        singletons: Sequence[str] = (),
+        context_pool_size: int = 12,
+        words_per_sentence: int = 8,
+        contamination: float = 0.3,
+        namespace: str = "",
+        seed: int = 0,
+    ) -> None:
+        if context_pool_size < 2:
+            raise ConfigurationError("context_pool_size must be at least 2")
+        if words_per_sentence < 3:
+            raise ConfigurationError("words_per_sentence must be at least 3")
+        if not 0.0 <= contamination < 1.0:
+            raise ConfigurationError("contamination must be in [0, 1)")
+        self._lexicon = lexicon
+        self._soft_words = {
+            word.lower(): tuple(groups) for word, groups in (soft_words or {}).items()
+        }
+        n_groups = len(lexicon.groups())
+        for word, groups in self._soft_words.items():
+            bad = [g for g in groups if not 0 <= g < n_groups]
+            if bad:
+                raise ConfigurationError(
+                    f"soft word {word!r} references unknown groups {bad}"
+                )
+        self._singletons = tuple(dict.fromkeys(w.lower() for w in singletons))
+        self._words_per_sentence = words_per_sentence
+        self._contamination = contamination
+        self._rng = np.random.default_rng(seed)
+        prefix = f"{namespace}_" if namespace else ""
+        self._context_pools = [
+            [f"{prefix}ctx{gid}w{k}" for k in range(context_pool_size)]
+            for gid in range(n_groups)
+        ]
+        self._singleton_pools = {
+            word: [f"{prefix}sgl{idx}w{k}" for k in range(context_pool_size)]
+            for idx, word in enumerate(self._singletons)
+        }
+        self._group_turns: dict[int, int] = {}
+
+    def _pool_word(self, pool: list[str]) -> str:
+        return pool[int(self._rng.integers(len(pool)))]
+
+    def _context_word(self, pool: list[str]) -> str:
+        """Draw one context word, possibly contaminated from elsewhere."""
+        if self._rng.random() < self._contamination:
+            if self._rng.random() < 0.5 or len(self._context_pools) < 2:
+                return _FILLER_WORDS[self._rng.integers(len(_FILLER_WORDS))]
+            other = int(self._rng.integers(len(self._context_pools)))
+            pool = self._context_pools[other]
+        return self._pool_word(pool)
+
+    def _sentence(self, anchor: str, pools: list[list[str]]) -> list[str]:
+        """One sentence around ``anchor`` with contexts from ``pools``."""
+        n_context = self._words_per_sentence - 2
+        context = []
+        for _ in range(n_context):
+            pool = pools[int(self._rng.integers(len(pools)))]
+            context.append(self._context_word(pool))
+        filler = _FILLER_WORDS[self._rng.integers(len(_FILLER_WORDS))]
+        return context[: n_context // 2] + [anchor] + context[n_context // 2 :] + [filler]
+
+    def _sentence_for_group(self, group_id: int) -> list[str]:
+        # Anchors rotate round-robin through the group so every member is
+        # guaranteed corpus coverage (random choice can starve a member of
+        # a large group, which would wrongly leave it out-of-vocabulary).
+        members = sorted(self._lexicon.groups()[group_id])
+        turn = self._group_turns.get(group_id, 0)
+        self._group_turns[group_id] = turn + 1
+        anchor = members[turn % len(members)]
+        return self._sentence(anchor, [self._context_pools[group_id]])
+
+    def _sentence_for_soft(self, word: str) -> list[str]:
+        pools = [self._context_pools[g] for g in self._soft_words[word]]
+        return self._sentence(word, pools)
+
+    def _sentence_for_singleton(self, word: str) -> list[str]:
+        return self._sentence(word, [self._singleton_pools[word]])
+
+    def _background_sentence(self) -> list[str]:
+        return [
+            _FILLER_WORDS[self._rng.integers(len(_FILLER_WORDS))]
+            for _ in range(self._words_per_sentence)
+        ]
+
+    def sentences(
+        self,
+        sentences_per_group: int = 60,
+        background_fraction: float = 0.2,
+    ) -> Iterator[list[str]]:
+        """Yield the full synthetic corpus.
+
+        ``sentences_per_group`` sentences are produced for every synonym
+        group, soft word and singleton, interleaved with background noise
+        sentences making up ``background_fraction`` of the total.
+        """
+        if not 0.0 <= background_fraction < 1.0:
+            raise ConfigurationError("background_fraction must be in [0, 1)")
+        n_groups = len(self._lexicon.groups())
+        anchors = n_groups + len(self._soft_words) + len(self._singletons)
+        total_anchor_sentences = anchors * sentences_per_group
+        n_background = int(
+            total_anchor_sentences * background_fraction / (1.0 - background_fraction)
+        )
+        for _ in range(sentences_per_group):
+            for group_id in range(n_groups):
+                yield self._sentence_for_group(group_id)
+            for word in self._soft_words:
+                yield self._sentence_for_soft(word)
+            for word in self._singletons:
+                yield self._sentence_for_singleton(word)
+        for _ in range(n_background):
+            yield self._background_sentence()
+
+    def corpus(self, sentences_per_group: int = 60) -> list[list[str]]:
+        """Materialise :meth:`sentences` into a list."""
+        return list(self.sentences(sentences_per_group=sentences_per_group))

@@ -1,0 +1,54 @@
+"""Deterministic feature-hashing embeddings.
+
+A semantics-free control model: every word gets a pseudo-random unit
+vector derived from a stable hash of its characters.  Different words are
+near-orthogonal in expectation, so synonym structure is invisible -- using
+these embeddings in LEAPME isolates how much of its performance comes
+from embedding *semantics* rather than from merely having 300 extra
+features.  Also handy wherever a cheap, corpus-free embedding is needed
+(e.g. property-based tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.embeddings.base import WordEmbeddings
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import ConfigurationError
+
+
+def _hash_seed(word: str, salt: int) -> int:
+    """Stable 64-bit seed for a word (Python's hash() is randomised)."""
+    digest = hashlib.sha256(f"{salt}:{word}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def hash_vector(word: str, dimension: int, salt: int = 0) -> np.ndarray:
+    """Unit-norm pseudo-random vector for ``word``; stable across processes."""
+    rng = np.random.default_rng(_hash_seed(word.lower(), salt))
+    vector = rng.standard_normal(dimension)
+    norm = np.linalg.norm(vector)
+    return vector / norm
+
+
+def hash_embeddings(
+    words: list[str],
+    dimension: int = 300,
+    salt: int = 0,
+) -> WordEmbeddings:
+    """Build a :class:`WordEmbeddings` over ``words`` via feature hashing.
+
+    >>> emb = hash_embeddings(["mp", "megapixels"], dimension=16)
+    >>> abs(emb.cosine_similarity("mp", "megapixels")) < 0.9
+    True
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    vocabulary = Vocabulary(word.lower() for word in words)
+    vectors = np.stack(
+        [hash_vector(token, dimension, salt) for token in vocabulary.tokens()]
+    ) if len(vocabulary) else np.zeros((0, dimension))
+    return WordEmbeddings(vocabulary, vectors)

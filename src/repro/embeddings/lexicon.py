@@ -1,0 +1,132 @@
+"""Synonym lexicon: which domain words mean the same thing.
+
+The predictive power the paper gets from pre-trained GloVe is that words
+such as "mp", "megapixels" and "resolution" are close in embedding space
+even though their surface strings are dissimilar.  The lexicon is the
+ground-truth source of that semantic structure in this reproduction:
+
+* the corpus generator emits sentences in which members of a synonym group
+  co-occur with the same context words, so the trained embeddings place
+  them near each other;
+* the dataset generators draw heterogeneous property names from the same
+  groups, so matching properties have dissimilar strings but similar
+  embeddings -- exactly the regime the paper studies;
+* the AML baseline uses it as its "background knowledge resource"
+  (the role WordNet plays in the original tool).
+
+Crucially, the *matcher under test never sees the lexicon*: LEAPME only
+consumes the trained embedding matrix, as it would consume GloVe.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.errors import DataError
+
+
+class SynonymLexicon:
+    """A set of disjoint synonym groups over lower-cased words."""
+
+    def __init__(self, groups: Iterable[Iterable[str]] = ()) -> None:
+        self._groups: list[frozenset[str]] = []
+        self._group_of: dict[str, int] = {}
+        for group in groups:
+            self.add_group(group)
+
+    def add_group(self, members: Iterable[str]) -> int:
+        """Add a synonym group; returns its id.
+
+        Words are lower-cased.  A word may belong to at most one group;
+        re-adding a known word raises :class:`DataError` because overlapping
+        groups would make the generated semantics ambiguous.
+        """
+        normalized = frozenset(word.lower() for word in members)
+        if not normalized:
+            raise DataError("synonym group must not be empty")
+        for word in normalized:
+            if word in self._group_of:
+                raise DataError(f"word {word!r} already belongs to a synonym group")
+        group_id = len(self._groups)
+        self._groups.append(normalized)
+        for word in normalized:
+            self._group_of[word] = group_id
+        return group_id
+
+    def group_of(self, word: str) -> int | None:
+        """Id of the group containing ``word`` (case-insensitive), or None."""
+        return self._group_of.get(word.lower())
+
+    def synonyms(self, word: str) -> frozenset[str]:
+        """All words in the same group as ``word``, including itself.
+
+        Unknown words are their own singleton group.
+        """
+        group_id = self.group_of(word)
+        if group_id is None:
+            return frozenset({word.lower()})
+        return self._groups[group_id]
+
+    def are_synonyms(self, a: str, b: str) -> bool:
+        """True when ``a`` and ``b`` share a group or are equal ignoring case."""
+        if a.lower() == b.lower():
+            return True
+        group_a = self.group_of(a)
+        return group_a is not None and group_a == self.group_of(b)
+
+    def groups(self) -> list[frozenset[str]]:
+        """All groups (copies of internal state)."""
+        return list(self._groups)
+
+    def vocabulary(self) -> set[str]:
+        """Every word known to the lexicon."""
+        return set(self._group_of)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def merged_with(self, other: "SynonymLexicon") -> "SynonymLexicon":
+        """Union of two lexicons; overlapping groups are unioned transitively."""
+        merged = SynonymLexicon()
+        pending = [set(group) for group in self._groups]
+        pending.extend(set(group) for group in other._groups)
+        # Union-find style merge of any groups sharing a word.
+        changed = True
+        while changed:
+            changed = False
+            result: list[set[str]] = []
+            for group in pending:
+                for existing in result:
+                    if existing & group:
+                        existing |= group
+                        changed = True
+                        break
+                else:
+                    result.append(set(group))
+            pending = result
+        for group in pending:
+            merged.add_group(group)
+        return merged
+
+    def to_dict(self) -> dict[str, list[list[str]]]:
+        """JSON-serialisable representation."""
+        return {"groups": [sorted(group) for group in self._groups]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SynonymLexicon":
+        """Inverse of :meth:`to_dict`."""
+        groups = payload.get("groups")
+        if not isinstance(groups, list):
+            raise DataError("lexicon payload must contain a 'groups' list")
+        return cls(groups)  # type: ignore[arg-type]
+
+    def save(self, path: str | Path) -> None:
+        """Write the lexicon as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SynonymLexicon":
+        """Read a lexicon written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

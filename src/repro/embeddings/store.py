@@ -1,0 +1,34 @@
+"""Persistence for trained embeddings (``.npz`` with an embedded vocab)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.base import WordEmbeddings
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import DataError
+
+
+def save_embeddings(embeddings: WordEmbeddings, path: str | Path) -> None:
+    """Write embeddings to a compressed ``.npz`` file.
+
+    The vocabulary is stored as a unicode array aligned with the vector
+    rows, so a single file round-trips the whole model.
+    """
+    tokens = np.array(embeddings.vocabulary.tokens(), dtype=np.str_)
+    np.savez_compressed(Path(path), tokens=tokens, vectors=embeddings.vectors)
+
+
+def load_embeddings(path: str | Path) -> WordEmbeddings:
+    """Read embeddings written by :func:`save_embeddings`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"embedding file not found: {path}")
+    with np.load(path, allow_pickle=False) as payload:
+        if "tokens" not in payload or "vectors" not in payload:
+            raise DataError(f"not an embedding file (missing arrays): {path}")
+        tokens = [str(token) for token in payload["tokens"]]
+        vectors = payload["vectors"]
+    return WordEmbeddings(Vocabulary(tokens), vectors)

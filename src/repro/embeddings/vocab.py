@@ -1,0 +1,87 @@
+"""Token <-> index vocabulary shared by all embedding models."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from repro.errors import VocabularyError
+
+
+class Vocabulary:
+    """A bidirectional mapping between tokens and dense integer ids.
+
+    Ids are assigned in insertion order, so building a vocabulary from the
+    same token stream always produces the same mapping -- a requirement for
+    reproducible embedding training.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._index: dict[str, int] = {}
+        self._tokens: list[str] = []
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Insert ``token`` if new and return its id."""
+        existing = self._index.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self._tokens)
+        self._index[token] = token_id
+        self._tokens.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token`` or raise :class:`VocabularyError`."""
+        try:
+            return self._index[token]
+        except KeyError:
+            raise VocabularyError(f"token not in vocabulary: {token!r}") from None
+
+    def get(self, token: str, default: int | None = None) -> int | None:
+        """Return the id of ``token`` or ``default`` when unknown."""
+        return self._index.get(token, default)
+
+    def token_of(self, token_id: int) -> str:
+        """Return the token with the given id."""
+        try:
+            return self._tokens[token_id]
+        except IndexError:
+            raise VocabularyError(f"id out of range: {token_id}") from None
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (a copy; safe to mutate)."""
+        return list(self._tokens)
+
+    @classmethod
+    def from_corpus(
+        cls,
+        sentences: Iterable[list[str]],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build a frequency-filtered vocabulary from tokenised sentences.
+
+        Tokens are ordered by descending frequency (ties broken
+        alphabetically) so truncating with ``max_size`` keeps the most
+        frequent words, mirroring how published embedding vocabularies are
+        constructed.
+        """
+        counts: Counter[str] = Counter()
+        for sentence in sentences:
+            counts.update(sentence)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        kept = [token for token, count in ranked if count >= min_count]
+        if max_size is not None:
+            kept = kept[:max_size]
+        return cls(kept)

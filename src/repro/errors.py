@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class DataError(ReproError):
+    """Input data is malformed or violates a documented invariant."""
+
+
+class NotFittedError(ReproError):
+    """A model was asked to predict before :meth:`fit` was called."""
+
+
+class VocabularyError(ReproError):
+    """A token or index is not present in an embedding vocabulary."""
+
+
+class DimensionError(ReproError):
+    """Arrays with incompatible shapes were combined."""

@@ -1,0 +1,105 @@
+"""Precision-recall analysis over similarity scores.
+
+The paper reports point metrics at the classifier's 0.5 decision; a
+downstream user choosing a different operating point (high-precision
+auto-fusion vs high-recall candidate generation) needs the whole curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+@dataclass(frozen=True)
+class PrecisionRecallCurve:
+    """A precision-recall curve with the thresholds that produced it.
+
+    Points are ordered by decreasing threshold; ``precisions[i]`` /
+    ``recalls[i]`` are the metrics when predicting positive at
+    ``scores >= thresholds[i]``.
+    """
+
+    thresholds: np.ndarray
+    precisions: np.ndarray
+    recalls: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+    @property
+    def average_precision(self) -> float:
+        """Area under the PR curve (step-wise, as recall increases)."""
+        if len(self) == 0:
+            return 0.0
+        ap = 0.0
+        previous_recall = 0.0
+        for precision, recall in zip(self.precisions, self.recalls):
+            ap += precision * max(0.0, recall - previous_recall)
+            previous_recall = recall
+        return float(ap)
+
+    def best_f1(self) -> tuple[float, float]:
+        """The best achievable F1 and the threshold achieving it."""
+        if len(self) == 0:
+            return 0.0, 0.5
+        with np.errstate(divide="ignore", invalid="ignore"):
+            f1 = 2 * self.precisions * self.recalls / (self.precisions + self.recalls)
+        f1 = np.nan_to_num(f1)
+        index = int(np.argmax(f1))
+        return float(f1[index]), float(self.thresholds[index])
+
+    def precision_at_recall(self, target_recall: float) -> float:
+        """Best precision achievable at recall >= target (0 if unreachable)."""
+        eligible = self.precisions[self.recalls >= target_recall]
+        if len(eligible) == 0:
+            return 0.0
+        return float(eligible.max())
+
+
+def precision_recall_curve(scores: np.ndarray, labels: np.ndarray) -> PrecisionRecallCurve:
+    """Compute the PR curve of similarity scores against binary labels.
+
+    One curve point per distinct score value, ordered by decreasing
+    threshold, computed with a single sorted cumulative sweep.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if scores.shape != labels.shape:
+        raise DimensionError(
+            f"shape mismatch: scores {scores.shape} vs labels {labels.shape}"
+        )
+    if len(scores) == 0 or not labels.any():
+        return PrecisionRecallCurve(
+            thresholds=np.zeros(0), precisions=np.zeros(0), recalls=np.zeros(0)
+        )
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    cumulative_tp = np.cumsum(sorted_labels)
+    predicted = np.arange(1, len(scores) + 1)
+    # Keep one point per distinct threshold: the *last* index of each run.
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    total_positives = int(labels.sum())
+    precisions = cumulative_tp[distinct] / predicted[distinct]
+    recalls = cumulative_tp[distinct] / total_positives
+    return PrecisionRecallCurve(
+        thresholds=sorted_scores[distinct],
+        precisions=precisions.astype(np.float64),
+        recalls=recalls.astype(np.float64),
+    )
+
+
+def render_pr_curve(curve: PrecisionRecallCurve, width: int = 50) -> str:
+    """ASCII rendering of a PR curve for terminal reports."""
+    if len(curve) == 0:
+        return "(empty curve)"
+    lines = [f"AP={curve.average_precision:.3f}  (P vs R, one row per decile)"]
+    for decile in np.linspace(0.1, 1.0, 10):
+        precision = curve.precision_at_recall(decile)
+        bar = "#" * int(round(precision * width))
+        lines.append(f"  R>={decile:.1f}  P={precision:.2f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Markdown rendering of experiment results.
+
+The plain-text tables of :mod:`repro.evaluation.reporting` suit terminal
+runs; this module renders the same results as GitHub-flavoured markdown
+for inclusion in reports like EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.evaluation.runner import ExperimentResult
+
+
+def results_to_markdown(
+    results: list[ExperimentResult],
+    systems: list[str] | None = None,
+    caption: str = "",
+    bold_best: bool = True,
+) -> str:
+    """Render results as a markdown table in the layout of Table II.
+
+    Rows are (dataset, training fraction); each system contributes a
+    ``P / R / F1`` cell; the best F1 per row is bolded.
+    """
+    cells: dict[tuple[str, float], dict[str, ExperimentResult]] = defaultdict(dict)
+    ordered_systems: list[str] = list(systems) if systems else []
+    for result in results:
+        cells[(result.dataset_name, result.settings.train_fraction)][
+            result.matcher_name
+        ] = result
+        if result.matcher_name not in ordered_systems:
+            ordered_systems.append(result.matcher_name)
+    lines: list[str] = []
+    if caption:
+        lines.append(f"**{caption}**")
+        lines.append("")
+    header = ["dataset", "train %"] + ordered_systems
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for (dataset, fraction), row in sorted(cells.items()):
+        best_f1 = max((res.f1 for res in row.values()), default=0.0)
+        rendered = [dataset, f"{fraction:.0%}"]
+        for system in ordered_systems:
+            result = row.get(system)
+            if result is None:
+                rendered.append("–")
+                continue
+            cell = f"{result.precision:.2f} / {result.recall:.2f} / {result.f1:.2f}"
+            if bold_best and best_f1 > 0 and result.f1 >= best_f1:
+                cell = f"**{cell}**"
+            rendered.append(cell)
+        lines.append("| " + " | ".join(rendered) + " |")
+    return "\n".join(lines)
+
+
+def summary_to_markdown(results: list[ExperimentResult]) -> str:
+    """One bullet per result, with the F1 spread across repetitions."""
+    lines = []
+    for result in sorted(
+        results, key=lambda r: (r.dataset_name, r.settings.train_fraction, r.matcher_name)
+    ):
+        lines.append(
+            f"- `{result.matcher_name}` on **{result.dataset_name}** @ "
+            f"{result.settings.train_fraction:.0%}: "
+            f"F1 {result.f1:.2f} ± {result.f1_std:.2f} "
+            f"(P {result.precision:.2f}, R {result.recall:.2f}, "
+            f"{len(result.qualities)} reps)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Match-quality metrics (re-exported from :mod:`repro.metrics`).
+
+The implementations live in the dependency-free top-level module so that
+:mod:`repro.graph` can score clusterings without importing the (heavier)
+evaluation harness.
+"""
+
+from repro.metrics import (
+    MatchQuality,
+    evaluate_predictions,
+    evaluate_scores,
+    mean_quality,
+)
+
+__all__ = [
+    "MatchQuality",
+    "evaluate_predictions",
+    "evaluate_scores",
+    "mean_quality",
+]

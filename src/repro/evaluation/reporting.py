@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results (Table II style)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.evaluation.runner import ExperimentResult
+
+
+def render_results_table(results: list[ExperimentResult]) -> str:
+    """A flat table: one row per (system, dataset, fraction)."""
+    header = f"{'system':<32} {'dataset':<12} {'train%':>6}  {'P':>5} {'R':>5} {'F1':>5}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        row = result.as_row()
+        lines.append(
+            f"{row['system']:<32} {row['dataset']:<12} "
+            f"{row['train_fraction']:>6.0%}  "
+            f"{row['precision']:>5.2f} {row['recall']:>5.2f} {row['f1']:>5.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(
+    results: list[ExperimentResult],
+    systems: list[str] | None = None,
+    title: str = "",
+) -> str:
+    """Pivot results into the layout of the paper's Table II.
+
+    Rows are (dataset, training fraction); columns are systems, each with
+    a P/R/F1 triple.  The best F1 of every row is marked with ``*``, the
+    paper's boldface.
+    """
+    cells: dict[tuple[str, float], dict[str, ExperimentResult]] = defaultdict(dict)
+    ordered_systems: list[str] = list(systems) if systems else []
+    for result in results:
+        key = (result.dataset_name, result.settings.train_fraction)
+        cells[key][result.matcher_name] = result
+        if result.matcher_name not in ordered_systems:
+            ordered_systems.append(result.matcher_name)
+    column_width = 18
+    header_parts = [f"{'dataset':<12} {'tr%':>4}"]
+    header_parts.extend(f"{system[:column_width]:^{column_width}}" for system in ordered_systems)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header_parts))
+    lines.append("-" * len(lines[-1]))
+    for (dataset, fraction), row in sorted(cells.items()):
+        best_f1 = max((res.f1 for res in row.values()), default=0.0)
+        parts = [f"{dataset:<12} {fraction:>4.0%}"]
+        for system in ordered_systems:
+            result = row.get(system)
+            if result is None:
+                parts.append(f"{'-':^{column_width}}")
+                continue
+            marker = "*" if result.f1 >= best_f1 and best_f1 > 0 else " "
+            parts.append(
+                f"{result.precision:>5.2f} {result.recall:>5.2f} "
+                f"{result.f1:>5.2f}{marker}"
+            )
+        lines.append(" | ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Statistical significance of matcher comparisons.
+
+Table II compares mean F1 over repeated random source splits; whether
+"LEAPME 0.89 vs Nezhadi 0.65" is a real difference or split luck needs a
+test.  Two standard non-parametric procedures are provided:
+
+* :func:`paired_permutation_test` -- for two systems evaluated on the
+  *same* repetitions (paired by split), the sign-flip permutation test
+  on the per-repetition metric differences;
+* :func:`bootstrap_confidence_interval` -- percentile bootstrap CI for a
+  single system's mean metric over its repetitions.
+
+Both operate on plain per-repetition score lists, so they apply to any
+metric the harness produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of a paired significance test between two systems."""
+
+    mean_difference: float
+    p_value: float
+    n_pairs: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"dmean={self.mean_difference:+.3f}, p={self.p_value:.4f} "
+            f"({self.n_pairs} paired runs)"
+        )
+
+
+def paired_permutation_test(
+    scores_a: list[float],
+    scores_b: list[float],
+    n_permutations: int = 10_000,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Sign-flip permutation test on paired per-repetition scores.
+
+    Tests the two-sided null hypothesis that systems A and B have the
+    same expected metric: under the null, each paired difference is
+    symmetric around zero, so flipping signs at random generates the
+    reference distribution of the mean difference.
+
+    With few repetitions (< ~13) all ``2^n`` sign assignments are
+    enumerated exactly instead of sampled.
+    """
+    if len(scores_a) != len(scores_b):
+        raise ConfigurationError(
+            f"paired scores must align, got {len(scores_a)} vs {len(scores_b)}"
+        )
+    if len(scores_a) == 0:
+        raise ConfigurationError("need at least one paired run")
+    differences = np.asarray(scores_a, dtype=np.float64) - np.asarray(
+        scores_b, dtype=np.float64
+    )
+    observed = float(differences.mean())
+    n = len(differences)
+    if np.allclose(differences, 0.0):
+        return ComparisonResult(mean_difference=0.0, p_value=1.0, n_pairs=n)
+    if n <= 12:
+        # Exact enumeration of every sign assignment.
+        count = 0
+        total = 1 << n
+        for mask in range(total):
+            signs = np.array(
+                [1.0 if mask & (1 << bit) else -1.0 for bit in range(n)]
+            )
+            if abs(float((differences * signs).mean())) >= abs(observed) - 1e-12:
+                count += 1
+        p_value = count / total
+    else:
+        rng = np.random.default_rng(seed)
+        signs = rng.choice([-1.0, 1.0], size=(n_permutations, n))
+        permuted = (signs * differences).mean(axis=1)
+        # +1 smoothing keeps the p-value away from an impossible 0.
+        count = int((np.abs(permuted) >= abs(observed) - 1e-12).sum())
+        p_value = (count + 1) / (n_permutations + 1)
+    return ComparisonResult(
+        mean_difference=observed, p_value=float(p_value), n_pairs=n
+    )
+
+
+def bootstrap_confidence_interval(
+    scores: list[float],
+    confidence: float = 0.95,
+    n_resamples: int = 10_000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of per-repetition scores."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    if len(scores) == 0:
+        raise ConfigurationError("need at least one score")
+    values = np.asarray(scores, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(values), size=(n_resamples, len(values)))
+    means = values[indices].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [tail, 1.0 - tail])
+    return float(low), float(high)
+
+
+def compare_results(result_a, result_b, metric: str = "f1") -> ComparisonResult:
+    """Paired test between two :class:`ExperimentResult` objects.
+
+    Both results must come from the same :class:`RunSettings` (same
+    splits), which the harness guarantees when the same dataset, seed and
+    fractions are used -- verified here via the settings.
+    """
+    if result_a.settings != result_b.settings:
+        raise ConfigurationError(
+            "results were produced under different settings; pairing is invalid"
+        )
+    if result_a.dataset_name != result_b.dataset_name:
+        raise ConfigurationError("results cover different datasets")
+    extractor = {
+        "f1": lambda quality: quality.f1,
+        "precision": lambda quality: quality.precision,
+        "recall": lambda quality: quality.recall,
+    }.get(metric)
+    if extractor is None:
+        raise ConfigurationError(f"unknown metric {metric!r}")
+    scores_a = [extractor(quality) for quality in result_a.qualities]
+    scores_b = [extractor(quality) for quality in result_b.qualities]
+    return paired_permutation_test(scores_a, scores_b)

@@ -1,0 +1,32 @@
+"""Similarity graph and property clustering.
+
+Algorithm 1's output ``Sim`` is "a set of property pairs with similarities
+(similarity graph)"; Section II notes that "such a graph can be used as
+input for clustering so that all matching properties are in the same
+cluster", and Section VI names deriving clusters as planned future work.
+This package implements both the graph container and several clustering
+strategies, built on :mod:`networkx`.
+"""
+
+from repro.graph.clustering import (
+    cluster_connected_components,
+    cluster_correlation,
+    cluster_star,
+    clustering_metrics,
+)
+from repro.graph.fusion import FusedAttribute, fuse_cluster, fuse_clusters
+from repro.graph.incremental import IncrementalClusterer
+from repro.graph.simgraph import SimilarityEdge, SimilarityGraph
+
+__all__ = [
+    "SimilarityEdge",
+    "SimilarityGraph",
+    "IncrementalClusterer",
+    "FusedAttribute",
+    "fuse_cluster",
+    "fuse_clusters",
+    "cluster_connected_components",
+    "cluster_star",
+    "cluster_correlation",
+    "clustering_metrics",
+]

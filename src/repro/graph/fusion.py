@@ -1,0 +1,154 @@
+"""Value fusion: collapse a property cluster into one KG attribute.
+
+The paper's motivation (Section I) is that matched properties must be
+*fused* when building a knowledge graph: 24 differently-named "camera
+resolution" properties become one canonical attribute whose per-entity
+value is reconciled from the sources.  This module provides the final
+step: canonical naming, per-cluster value reconciliation, and simple
+conflict-resolution strategies from the data-fusion literature.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.model import Dataset, PropertyRef
+from repro.errors import ConfigurationError
+from repro.text.normalize import name_tokens
+from repro.text.tokenize import parse_numeric
+
+
+@dataclass(frozen=True)
+class FusedAttribute:
+    """One canonical attribute produced from a property cluster."""
+
+    canonical_name: str
+    members: tuple[PropertyRef, ...]
+    #: entity id -> reconciled value (entity ids remain source-local).
+    values: dict[str, str] = field(default_factory=dict, compare=False)
+
+    @property
+    def n_sources(self) -> int:
+        """How many sources contributed."""
+        return len({ref.source for ref in self.members})
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.canonical_name}: {len(self.members)} properties from "
+            f"{self.n_sources} sources, {len(self.values)} fused values"
+        )
+
+
+def canonical_name(members: list[PropertyRef]) -> str:
+    """The most common normalised name among cluster members.
+
+    Normalisation collapses the casing/separator heterogeneity so
+    ``Screen_Size`` and ``screen size`` vote together; ties break
+    alphabetically for determinism.
+    """
+    votes = Counter(" ".join(name_tokens(ref.name)) for ref in members)
+    best = max(sorted(votes), key=lambda name: votes[name])
+    return best
+
+
+def _majority(values: list[str]) -> str:
+    """Most frequent exact value, ties broken deterministically."""
+    votes = Counter(values)
+    return max(sorted(votes), key=lambda value: votes[value])
+
+
+_NUMBER_RE = re.compile(r"\d+(?:[.,]\d+)?")
+
+
+def _numeric_median(values: list[str]) -> str:
+    """Median of the parseable numbers; falls back to majority vote.
+
+    The first number embedded in each value is used, tolerating attached
+    unit suffixes ("24.3MP" -> 24.3).
+    """
+    numbers = []
+    for value in values:
+        direct = parse_numeric(value)
+        if direct != -1.0:
+            numbers.append(direct)
+            continue
+        match = _NUMBER_RE.search(value)
+        if match is not None:
+            parsed = parse_numeric(match.group(0))
+            if parsed != -1.0:
+                numbers.append(parsed)
+    if not numbers:
+        return _majority(values)
+    median = float(np.median(numbers))
+    if median.is_integer():
+        return str(int(median))
+    return f"{median:g}"
+
+
+_STRATEGIES = {
+    "majority": _majority,
+    "numeric_median": _numeric_median,
+}
+
+
+def fuse_cluster(
+    dataset: Dataset,
+    cluster: set[PropertyRef],
+    strategy: str = "majority",
+) -> FusedAttribute:
+    """Fuse one property cluster into a :class:`FusedAttribute`.
+
+    Values are reconciled *per entity*: when several member properties
+    describe the same entity (which happens for same-source members of an
+    over-merged cluster, or after entity resolution has unified ids), the
+    chosen strategy resolves the conflict; otherwise the single observed
+    value is kept.
+    """
+    try:
+        resolve = _STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ConfigurationError(
+            f"unknown fusion strategy {strategy!r}; known: {known}"
+        ) from None
+    members = tuple(sorted(cluster))
+    per_entity: dict[str, list[str]] = {}
+    for ref in members:
+        for instance in dataset.instances_of(ref):
+            per_entity.setdefault(instance.entity_id, []).append(instance.value)
+    values = {
+        entity: (candidates[0] if len(candidates) == 1 else resolve(candidates))
+        for entity, candidates in per_entity.items()
+    }
+    return FusedAttribute(
+        canonical_name=canonical_name(list(members)),
+        members=members,
+        values=values,
+    )
+
+
+def fuse_clusters(
+    dataset: Dataset,
+    clusters: list[set[PropertyRef]],
+    strategy: str = "majority",
+    min_sources: int = 2,
+) -> list[FusedAttribute]:
+    """Fuse every cluster spanning at least ``min_sources`` sources.
+
+    Returned attributes are ordered by decreasing source coverage -- the
+    attributes most worth curating first.
+    """
+    if min_sources < 1:
+        raise ConfigurationError("min_sources must be >= 1")
+    fused = [
+        fuse_cluster(dataset, cluster, strategy)
+        for cluster in clusters
+        if len({ref.source for ref in cluster}) >= min_sources
+    ]
+    fused.sort(key=lambda attribute: (-attribute.n_sources, attribute.canonical_name))
+    return fused

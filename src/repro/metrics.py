@@ -1,0 +1,100 @@
+"""Match-quality metrics: precision, recall, F1 over property pairs.
+
+"The focus is on match quality with the standard metrics precision,
+recall and F-measure (F1 score)." (Section V)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Confusion counts with derived precision/recall/F1.
+
+    The conventions for empty denominators follow the matching
+    literature: precision of zero predictions is 0 unless there was also
+    nothing to find, in which case all three metrics are 1 (a matcher
+    that correctly stays silent is perfect).
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def __post_init__(self) -> None:
+        if min(self.true_positives, self.false_positives, self.false_negatives) < 0:
+            raise DimensionError("confusion counts must be non-negative")
+
+    @property
+    def precision(self) -> float:
+        predicted = self.true_positives + self.false_positives
+        if predicted == 0:
+            return 1.0 if self.false_negatives == 0 else 0.0
+        return self.true_positives / predicted
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return 1.0
+        return self.true_positives / actual
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def __add__(self, other: "MatchQuality") -> "MatchQuality":
+        """Micro-average accumulation across runs."""
+        return MatchQuality(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+        )
+
+    def as_row(self) -> tuple[float, float, float]:
+        """(P, R, F1) -- the column triple of Table II."""
+        return (self.precision, self.recall, self.f1)
+
+
+def evaluate_predictions(predictions: np.ndarray, labels: np.ndarray) -> MatchQuality:
+    """Score binary match predictions against binary ground truth."""
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise DimensionError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    tp = int((predictions & labels).sum())
+    fp = int((predictions & ~labels).sum())
+    fn = int((~predictions & labels).sum())
+    return MatchQuality(true_positives=tp, false_positives=fp, false_negatives=fn)
+
+
+def evaluate_scores(
+    scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> MatchQuality:
+    """Threshold similarity scores, then score the decisions."""
+    return evaluate_predictions(np.asarray(scores) >= threshold, labels)
+
+
+def mean_quality(qualities: list[MatchQuality]) -> tuple[float, float, float]:
+    """Macro-average (P, R, F1) across repetitions (the paper's averaging)."""
+    if not qualities:
+        return (0.0, 0.0, 0.0)
+    ps = [quality.precision for quality in qualities]
+    rs = [quality.recall for quality in qualities]
+    f1s = [quality.f1 for quality in qualities]
+    return (
+        float(np.mean(ps)),
+        float(np.mean(rs)),
+        float(np.mean(f1s)),
+    )

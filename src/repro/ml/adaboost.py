@@ -1,0 +1,84 @@
+"""AdaBoost (SAMME) over depth-limited decision trees."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class AdaBoostClassifier(Classifier):
+    """Multi-class AdaBoost with the SAMME weight update.
+
+    Weak learners are shallow CART trees (stumps by default), re-fitted on
+    re-weighted samples each round.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 1,
+        learning_rate: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise ConfigurationError(f"n_estimators must be >= 1, got {n_estimators}")
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.estimator_weights_: list[float] = []
+
+    def _fit(self, inputs: np.ndarray, labels: np.ndarray) -> None:
+        n = len(labels)
+        n_classes = int(labels.max()) + 1
+        weights = np.full(n, 1.0 / n)
+        self.estimators_ = []
+        self.estimator_weights_ = []
+        for _ in range(self.n_estimators):
+            stump = DecisionTreeClassifier(max_depth=self.max_depth)
+            stump.fit_weighted(inputs, labels, weights)
+            predictions = stump.predict(inputs)
+            incorrect = predictions != labels
+            error = float(np.sum(weights[incorrect]))
+            if error <= 0.0:
+                # Perfect learner: give it a large but finite weight and stop.
+                self.estimators_.append(stump)
+                self.estimator_weights_.append(10.0)
+                break
+            if error >= 1.0 - 1.0 / n_classes:
+                # Worse than chance; SAMME cannot use it.
+                break
+            alpha = self.learning_rate * (
+                np.log((1.0 - error) / error) + np.log(n_classes - 1.0)
+            )
+            self.estimators_.append(stump)
+            self.estimator_weights_.append(float(alpha))
+            weights *= np.exp(alpha * incorrect)
+            weights /= weights.sum()
+        if not self.estimators_:
+            # Degenerate data: fall back to a single stump so predict works.
+            stump = DecisionTreeClassifier(max_depth=self.max_depth)
+            stump.fit_weighted(inputs, labels, np.full(n, 1.0 / n))
+            self.estimators_.append(stump)
+            self.estimator_weights_.append(1.0)
+        self._n_encoded_classes = n_classes
+
+    def _predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        scores = np.zeros((len(inputs), self._n_encoded_classes))
+        for stump, alpha in zip(self.estimators_, self.estimator_weights_):
+            votes = stump.predict(inputs)
+            for cls in range(self._n_encoded_classes):
+                scores[:, cls] += alpha * (votes == cls)
+        total = scores.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return scores / total
+
+    @property
+    def n_fitted_estimators(self) -> int:
+        """How many weak learners the boosting loop actually kept."""
+        return len(self.estimators_)

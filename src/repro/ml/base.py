@@ -1,0 +1,65 @@
+"""The estimator protocol shared by all classical classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class Classifier:
+    """Base class for supervised classifiers.
+
+    Subclasses implement :meth:`_fit` and :meth:`_predict_proba`; this base
+    handles input validation, label encoding (arbitrary label values are
+    mapped to contiguous class indices) and the fitted-state checks.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    # -- template methods -------------------------------------------------
+    def _fit(self, inputs: np.ndarray, encoded_labels: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API --------------------------------------------------------
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "Classifier":
+        """Train the classifier; returns ``self`` for chaining."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels)
+        if inputs.ndim != 2:
+            raise ConfigurationError(f"inputs must be 2-D, got shape {inputs.shape}")
+        if len(inputs) != len(labels):
+            raise ConfigurationError(
+                f"inputs ({len(inputs)}) and labels ({len(labels)}) disagree"
+            )
+        if len(inputs) == 0:
+            raise ConfigurationError("cannot fit on an empty training set")
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        self._fit(inputs, encoded.astype(np.int64))
+        return self
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-class probabilities ``(n, n_classes)`` in ``classes_`` order."""
+        if self.classes_ is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2:
+            raise ConfigurationError(f"inputs must be 2-D, got shape {inputs.shape}")
+        probs = self._predict_proba(inputs)
+        return probs
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Hard predictions in the original label space."""
+        probs = self.predict_proba(inputs)
+        return self.classes_[probs.argmax(axis=1)]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes seen at fit time."""
+        if self.classes_ is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        return len(self.classes_)

@@ -1,0 +1,157 @@
+"""Probability calibration: Platt scaling and isotonic regression.
+
+LEAPME trains on 2:1 negative-sampled pairs but is evaluated on the full
+candidate distribution where negatives outnumber positives ~25:1, so its
+raw softmax scores are systematically over-confident about the positive
+class.  Calibrating the scores on a held-out slice of the training pairs
+restores meaningful probabilities (and therefore a meaningful 0.5
+threshold).  Two standard calibrators are provided:
+
+* :class:`PlattCalibrator` -- fits a logistic curve ``sigmoid(a*s + b)``
+  to (score, label) pairs; smooth, robust with little data.
+* :class:`IsotonicCalibrator` -- pool-adjacent-violators (PAVA) fit of a
+  monotone step function; non-parametric, needs more data.
+
+Both also support *prior correction*: mapping probabilities learned under
+a training positive-rate to a deployment positive-rate in closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError, NotFittedError
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(np.float64)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise DimensionError(
+            f"need matching 1-D arrays, got {scores.shape} and {labels.shape}"
+        )
+    if len(scores) == 0:
+        raise ConfigurationError("cannot calibrate on empty data")
+    return scores, labels
+
+
+class PlattCalibrator:
+    """Logistic (Platt, 1999) calibration of similarity scores."""
+
+    def __init__(self, max_iter: int = 200, learning_rate: float = 1.0) -> None:
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.a_: float | None = None
+        self.b_: float | None = None
+
+    def fit(self, scores: np.ndarray, labels: np.ndarray) -> "PlattCalibrator":
+        """Fit the sigmoid with Platt's label smoothing."""
+        scores, labels = _validate(scores, labels)
+        n_pos = labels.sum()
+        n_neg = len(labels) - n_pos
+        # Platt's smoothed targets avoid saturation at 0/1.
+        target_pos = (n_pos + 1.0) / (n_pos + 2.0)
+        target_neg = 1.0 / (n_neg + 2.0)
+        targets = np.where(labels > 0.5, target_pos, target_neg)
+        a, b = 1.0, 0.0
+        for _ in range(self.max_iter):
+            logits = a * scores + b
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            error = probs - targets
+            grad_a = float((error * scores).mean())
+            grad_b = float(error.mean())
+            a -= self.learning_rate * grad_a
+            b -= self.learning_rate * grad_b
+        self.a_, self.b_ = a, b
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to calibrated probabilities."""
+        if self.a_ is None or self.b_ is None:
+            raise NotFittedError("PlattCalibrator is not fitted")
+        logits = self.a_ * np.asarray(scores, dtype=np.float64) + self.b_
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+
+    def fit_transform(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit then transform the same scores."""
+        return self.fit(scores, labels).transform(scores)
+
+
+class IsotonicCalibrator:
+    """Monotone calibration via pool-adjacent-violators (PAVA)."""
+
+    def __init__(self) -> None:
+        self.thresholds_: np.ndarray | None = None
+        self.values_: np.ndarray | None = None
+
+    def fit(self, scores: np.ndarray, labels: np.ndarray) -> "IsotonicCalibrator":
+        """Fit the monotone step function minimising squared error."""
+        scores, labels = _validate(scores, labels)
+        order = np.argsort(scores, kind="stable")
+        sorted_scores = scores[order]
+        sorted_labels = labels[order]
+        # PAVA with blocks of (value, weight, start-score).
+        block_values: list[float] = []
+        block_weights: list[float] = []
+        block_scores: list[float] = []
+        for score, label in zip(sorted_scores, sorted_labels):
+            block_values.append(float(label))
+            block_weights.append(1.0)
+            block_scores.append(float(score))
+            while (
+                len(block_values) >= 2 and block_values[-2] >= block_values[-1]
+            ):
+                merged_weight = block_weights[-2] + block_weights[-1]
+                merged_value = (
+                    block_values[-2] * block_weights[-2]
+                    + block_values[-1] * block_weights[-1]
+                ) / merged_weight
+                block_scores[-2] = block_scores[-2]
+                block_values[-2] = merged_value
+                block_weights[-2] = merged_weight
+                del block_values[-1], block_weights[-1], block_scores[-1]
+        self.thresholds_ = np.array(block_scores)
+        self.values_ = np.array(block_values)
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to calibrated probabilities (step interpolation)."""
+        if self.thresholds_ is None or self.values_ is None:
+            raise NotFittedError("IsotonicCalibrator is not fitted")
+        scores = np.asarray(scores, dtype=np.float64)
+        indices = np.searchsorted(self.thresholds_, scores, side="right") - 1
+        indices = np.clip(indices, 0, len(self.values_) - 1)
+        return self.values_[indices]
+
+    def fit_transform(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit then transform the same scores."""
+        return self.fit(scores, labels).transform(scores)
+
+
+def prior_correction(
+    probabilities: np.ndarray,
+    train_positive_rate: float,
+    deploy_positive_rate: float,
+) -> np.ndarray:
+    """Re-weight probabilities learned under a different class prior.
+
+    The closed-form correction (Elkan, 2001): with ``p`` learned at
+    training prior ``pi_t`` and deployment prior ``pi_d``, the corrected
+    probability is ``r*p / (r*p + s*(1-p))`` with ``r = pi_d/pi_t`` and
+    ``s = (1-pi_d)/(1-pi_t)``.  This is exactly what LEAPME's 2:1
+    training vs skewed-test mismatch calls for.
+    """
+    for rate, label in (
+        (train_positive_rate, "train_positive_rate"),
+        (deploy_positive_rate, "deploy_positive_rate"),
+    ):
+        if not 0.0 < rate < 1.0:
+            raise ConfigurationError(f"{label} must be in (0, 1), got {rate}")
+    probabilities = np.clip(np.asarray(probabilities, dtype=np.float64), 0.0, 1.0)
+    ratio_pos = deploy_positive_rate / train_positive_rate
+    ratio_neg = (1.0 - deploy_positive_rate) / (1.0 - train_positive_rate)
+    numerator = ratio_pos * probabilities
+    denominator = numerator + ratio_neg * (1.0 - probabilities)
+    with np.errstate(invalid="ignore"):
+        corrected = np.where(denominator > 0, numerator / denominator, 0.0)
+    return corrected

@@ -1,0 +1,59 @@
+"""k-nearest-neighbour classifier (Euclidean, optional distance weighting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import Classifier
+
+
+class KNeighborsClassifier(Classifier):
+    """Brute-force k-NN; fine for the pair counts in this benchmark."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        super().__init__()
+        if n_neighbors < 1:
+            raise ConfigurationError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ConfigurationError(
+                f"weights must be 'uniform' or 'distance', got {weights!r}"
+            )
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._train_inputs: np.ndarray | None = None
+        self._train_labels: np.ndarray | None = None
+
+    def _fit(self, inputs: np.ndarray, labels: np.ndarray) -> None:
+        self._train_inputs = inputs
+        self._train_labels = labels
+
+    def _predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        train = self._train_inputs
+        labels = self._train_labels
+        k = min(self.n_neighbors, len(train))
+        n_classes = int(labels.max()) + 1
+        probs = np.zeros((len(inputs), n_classes))
+        # Chunk queries to bound the distance-matrix memory.
+        chunk = max(1, 4_000_000 // max(1, len(train)))
+        for start in range(0, len(inputs), chunk):
+            block = inputs[start : start + chunk]
+            # Squared Euclidean distances via the expansion trick.
+            d2 = (
+                (block * block).sum(axis=1)[:, None]
+                - 2.0 * block @ train.T
+                + (train * train).sum(axis=1)[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            neighbor_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for row, neighbors in enumerate(neighbor_idx):
+                dists = np.sqrt(d2[row, neighbors])
+                if self.weights == "distance":
+                    vote_weights = 1.0 / np.maximum(dists, 1e-12)
+                else:
+                    vote_weights = np.ones(k)
+                votes = np.bincount(
+                    labels[neighbors], weights=vote_weights, minlength=n_classes
+                )
+                probs[start + row] = votes / votes.sum()
+        return probs

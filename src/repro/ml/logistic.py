@@ -1,0 +1,71 @@
+"""Multinomial logistic regression trained with full-batch gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import Classifier
+
+
+class LogisticRegression(Classifier):
+    """Softmax regression with L2 regularisation.
+
+    Trained with plain gradient descent plus a simple backtracking step;
+    adequate for the small, dense feature matrices of the baselines.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        max_iter: int = 300,
+        l2: float = 1e-4,
+        tol: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+        if l2 < 0:
+            raise ConfigurationError("l2 must be non-negative")
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.tol = tol
+        self.weights_: np.ndarray | None = None
+        self.bias_: np.ndarray | None = None
+        self.n_iter_: int = 0
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def _fit(self, inputs: np.ndarray, labels: np.ndarray) -> None:
+        n, n_features = inputs.shape
+        n_classes = int(labels.max()) + 1
+        weights = np.zeros((n_features, n_classes))
+        bias = np.zeros(n_classes)
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), labels] = 1.0
+        previous_loss = np.inf
+        for iteration in range(self.max_iter):
+            probs = self._softmax(inputs @ weights + bias)
+            error = (probs - onehot) / n
+            grad_weights = inputs.T @ error + self.l2 * weights
+            grad_bias = error.sum(axis=0)
+            weights -= self.learning_rate * grad_weights
+            bias -= self.learning_rate * grad_bias
+            picked = probs[np.arange(n), labels]
+            loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+            self.n_iter_ = iteration + 1
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.weights_ = weights
+        self.bias_ = bias
+
+    def _predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        return self._softmax(inputs @ self.weights_ + self.bias_)

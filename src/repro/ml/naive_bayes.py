@@ -1,0 +1,54 @@
+"""Gaussian naive Bayes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+
+class GaussianNaiveBayes(Classifier):
+    """Naive Bayes with per-class diagonal Gaussian likelihoods.
+
+    Variances are smoothed by ``var_smoothing`` times the largest feature
+    variance, the same stabilisation scikit-learn applies.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        super().__init__()
+        self.var_smoothing = var_smoothing
+        self._means: np.ndarray | None = None
+        self._variances: np.ndarray | None = None
+        self._log_priors: np.ndarray | None = None
+
+    def _fit(self, inputs: np.ndarray, labels: np.ndarray) -> None:
+        n_classes = int(labels.max()) + 1
+        n_features = inputs.shape[1]
+        means = np.zeros((n_classes, n_features))
+        variances = np.zeros((n_classes, n_features))
+        priors = np.zeros(n_classes)
+        epsilon = self.var_smoothing * float(inputs.var(axis=0).max() or 1.0)
+        for cls in range(n_classes):
+            members = inputs[labels == cls]
+            priors[cls] = len(members) / len(inputs)
+            means[cls] = members.mean(axis=0)
+            variances[cls] = members.var(axis=0) + epsilon
+        self._means = means
+        self._variances = variances
+        self._log_priors = np.log(np.clip(priors, 1e-12, None))
+
+    def _predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        n_classes = len(self._log_priors)
+        log_likelihood = np.zeros((len(inputs), n_classes))
+        for cls in range(n_classes):
+            mean = self._means[cls]
+            var = self._variances[cls]
+            log_likelihood[:, cls] = (
+                -0.5 * np.sum(np.log(2.0 * np.pi * var))
+                - 0.5 * np.sum((inputs - mean) ** 2 / var, axis=1)
+                + self._log_priors[cls]
+            )
+        # Log-sum-exp normalisation.
+        shifted = log_likelihood - log_likelihood.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,40 @@
+"""Weight initialisers for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialisation, the right scale for ReLU nets."""
+    scale = np.sqrt(2.0 / fan_in)
+    return rng.standard_normal((fan_in, fan_out)) * scale
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot (Xavier) uniform initialisation, Keras's Dense default."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialisation (for biases)."""
+    return np.zeros((fan_in, fan_out))
+
+
+_INITIALIZERS = {
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_INITIALIZERS))
+        raise ConfigurationError(f"unknown initializer {name!r}; known: {known}") from None

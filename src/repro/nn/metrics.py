@@ -1,0 +1,39 @@
+"""Training metrics for the network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct class predictions.
+
+    ``predictions`` may be hard labels (1-D) or class scores (2-D, argmax
+    is taken).
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    if predictions.shape != labels.shape:
+        raise DimensionError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if len(labels) == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def confusion_counts(predictions: np.ndarray, labels: np.ndarray) -> tuple[int, int, int, int]:
+    """Binary (tp, fp, fn, tn) counts; class 1 is "positive"."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    tp = int(((predictions == 1) & (labels == 1)).sum())
+    fp = int(((predictions == 1) & (labels == 0)).sum())
+    fn = int(((predictions == 0) & (labels == 1)).sum())
+    tn = int(((predictions == 0) & (labels == 0)).sum())
+    return tp, fp, fn, tn

@@ -1,0 +1,81 @@
+"""Gradient-descent optimisers updating parameter arrays in place."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Optimizer:
+    """Base optimiser; subclasses implement :meth:`step`.
+
+    The learning rate is a mutable attribute so the phase schedule can
+    change it between epochs without rebuilding optimiser state.
+    """
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Apply one update to every parameter array, in place."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 1e-3, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        for param, grad in zip(parameters, gradients, strict=True):
+            if self.momentum > 0.0:
+                velocity = self._velocity.setdefault(id(param), np.zeros_like(param))
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) -- the Keras default LEAPME trains with."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad in zip(parameters, gradients, strict=True):
+            m = self._m.setdefault(id(param), np.zeros_like(param))
+            v = self._v.setdefault(id(param), np.zeros_like(param))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,67 @@
+"""Phased learning-rate schedules.
+
+The paper trains its network in three phases: "a batch size of 32 and
+perform 10 epochs with learning rate 1e-3, 5 with 1e-4, and 5 with 1e-5".
+A :class:`TrainingSchedule` is simply an ordered list of
+``(epochs, learning_rate)`` phases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrainingPhase:
+    """A block of epochs trained at one learning rate."""
+
+    epochs: int
+    learning_rate: float
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"phase epochs must be >= 1, got {self.epochs}")
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"phase learning rate must be positive, got {self.learning_rate}"
+            )
+
+
+@dataclass(frozen=True)
+class TrainingSchedule:
+    """An ordered sequence of :class:`TrainingPhase` blocks."""
+
+    phases: tuple[TrainingPhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("schedule must contain at least one phase")
+
+    @property
+    def total_epochs(self) -> int:
+        """Total epochs across all phases."""
+        return sum(phase.epochs for phase in self.phases)
+
+    def epoch_rates(self) -> Iterator[float]:
+        """Yield the learning rate to use for every epoch, in order."""
+        for phase in self.phases:
+            for _ in range(phase.epochs):
+                yield phase.learning_rate
+
+    @classmethod
+    def constant(cls, epochs: int, learning_rate: float) -> "TrainingSchedule":
+        """A single-phase schedule."""
+        return cls((TrainingPhase(epochs, learning_rate),))
+
+    @classmethod
+    def from_pairs(cls, pairs: list[tuple[int, float]]) -> "TrainingSchedule":
+        """Build a schedule from ``(epochs, learning_rate)`` tuples."""
+        return cls(tuple(TrainingPhase(epochs, rate) for epochs, rate in pairs))
+
+
+def paper_schedule() -> TrainingSchedule:
+    """The exact schedule of the paper: 10@1e-3, 5@1e-4, 5@1e-5."""
+    return TrainingSchedule.from_pairs([(10, 1e-3), (5, 1e-4), (5, 1e-5)])

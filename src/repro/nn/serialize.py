@@ -1,0 +1,86 @@
+"""Serialisation of :class:`~repro.nn.network.Sequential` networks.
+
+A network is stored as one compressed ``.npz``: a JSON architecture
+description plus the parameter arrays in layer order, so a trained
+classifier can be shipped without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers import Dense, Dropout, Layer
+from repro.nn.network import Sequential
+
+_ACTIVATIONS = {"relu": ReLU, "sigmoid": Sigmoid, "tanh": Tanh}
+
+
+def _layer_spec(layer: Layer) -> dict:
+    if isinstance(layer, Dense):
+        return {
+            "kind": "dense",
+            "in_features": layer.in_features,
+            "out_features": layer.out_features,
+        }
+    if isinstance(layer, Dropout):
+        return {"kind": "dropout", "rate": layer.rate}
+    for name, cls in _ACTIVATIONS.items():
+        if isinstance(layer, cls):
+            return {"kind": name}
+    raise DataError(f"cannot serialise layer type {type(layer).__name__}")
+
+
+def _build_layer(spec: dict) -> Layer:
+    kind = spec.get("kind")
+    if kind == "dense":
+        return Dense(int(spec["in_features"]), int(spec["out_features"]))
+    if kind == "dropout":
+        return Dropout(float(spec["rate"]))
+    if kind in _ACTIVATIONS:
+        return _ACTIVATIONS[kind]()
+    raise DataError(f"unknown layer kind in network file: {kind!r}")
+
+
+def save_network(network: Sequential, path: str | Path) -> None:
+    """Write architecture + parameters to a compressed ``.npz``."""
+    architecture = [_layer_spec(layer) for layer in network.layers]
+    arrays = {
+        f"param_{index}": parameter
+        for index, parameter in enumerate(network.parameters())
+    }
+    np.savez_compressed(
+        Path(path),
+        architecture=np.array(json.dumps(architecture)),
+        fitted=np.array(network._fitted),
+        **arrays,
+    )
+
+
+def load_network(path: str | Path) -> Sequential:
+    """Read a network written by :func:`save_network`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"network file not found: {path}")
+    with np.load(path, allow_pickle=False) as payload:
+        if "architecture" not in payload:
+            raise DataError(f"not a network file: {path}")
+        architecture = json.loads(str(payload["architecture"]))
+        network = Sequential([_build_layer(spec) for spec in architecture])
+        parameters = network.parameters()
+        for index, parameter in enumerate(parameters):
+            key = f"param_{index}"
+            if key not in payload:
+                raise DataError(f"network file missing parameter {key}")
+            stored = payload[key]
+            if stored.shape != parameter.shape:
+                raise DataError(
+                    f"parameter {key} shape {stored.shape} != expected {parameter.shape}"
+                )
+            parameter[...] = stored
+        network._fitted = bool(payload["fitted"])
+    return network

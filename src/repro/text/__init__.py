@@ -1,0 +1,72 @@
+"""String-similarity substrate used by LEAPME's pair features and baselines.
+
+This package implements, from scratch, every string distance listed in
+Table I of the paper (rows 8-15) plus the tokenisation and character-type
+analysis required by the instance meta-features (rows 1-2):
+
+* :mod:`repro.text.chartypes` -- Unicode character-category counting.
+* :mod:`repro.text.tokenize` -- word / token segmentation and token typing.
+* :mod:`repro.text.levenshtein` -- Levenshtein, optimal string alignment
+  (restricted Damerau-Levenshtein) and the full Damerau-Levenshtein
+  distances.
+* :mod:`repro.text.lcs` -- longest common substring / subsequence distances.
+* :mod:`repro.text.ngrams` -- n-gram distance and n-gram profile distances
+  (cosine, Jaccard).
+* :mod:`repro.text.jaro` -- Jaro and Jaro-Winkler similarity/distance.
+* :mod:`repro.text.similarity` -- a registry of normalised distances used to
+  assemble feature vectors.
+"""
+
+from repro.text.chartypes import CharacterTypeCounts, count_character_types
+from repro.text.jaro import jaro_similarity, jaro_winkler_distance, jaro_winkler_similarity
+from repro.text.lcs import (
+    longest_common_subsequence_length,
+    longest_common_substring_distance,
+    longest_common_substring_length,
+)
+from repro.text.levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    normalized_levenshtein,
+    optimal_string_alignment_distance,
+)
+from repro.text.ngrams import (
+    ngram_cosine_distance,
+    ngram_distance,
+    ngram_jaccard_distance,
+    ngram_profile,
+    ngrams,
+)
+from repro.text.similarity import (
+    PAIR_DISTANCE_NAMES,
+    name_distance_vector,
+    normalized_distance,
+)
+from repro.text.tokenize import TokenTypeCounts, count_token_types, tokenize, words
+
+__all__ = [
+    "CharacterTypeCounts",
+    "count_character_types",
+    "TokenTypeCounts",
+    "count_token_types",
+    "tokenize",
+    "words",
+    "levenshtein_distance",
+    "optimal_string_alignment_distance",
+    "damerau_levenshtein_distance",
+    "normalized_levenshtein",
+    "longest_common_substring_length",
+    "longest_common_substring_distance",
+    "longest_common_subsequence_length",
+    "ngrams",
+    "ngram_profile",
+    "ngram_distance",
+    "ngram_cosine_distance",
+    "ngram_jaccard_distance",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "jaro_winkler_distance",
+    "PAIR_DISTANCE_NAMES",
+    "name_distance_vector",
+    "normalized_distance",
+]

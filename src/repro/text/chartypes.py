@@ -1,0 +1,131 @@
+"""Unicode character-type analysis (Table I, feature row 1).
+
+The paper counts, for every instance value, "the fraction and number of
+occurrences of several character types (letters (uppercase, lowercase, and
+both), mark characters, numbers, punctuation, symbols, separators, other)".
+These classes map directly onto the major Unicode general categories:
+
+========  =====================  ==========================
+class     Unicode major class    examples
+========  =====================  ==========================
+letter    L                      ``a``, ``B``, ``ñ``
+upper     Lu                     ``B``
+lower     Ll                     ``a``
+mark      M                      combining accents
+number    N                      ``3``, ``Ⅷ``
+punct     P                      ``,``, ``-``
+symbol    S                      ``$``, ``+``
+separator Z (plus ASCII spacing) `` ``
+other     C and anything else    control characters
+========  =====================  ==========================
+
+``count_character_types`` returns both the raw counts and the fractions
+relative to the string length, giving the 18 numeric features of row 1
+(9 classes x {count, fraction}).
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from dataclasses import dataclass, fields
+
+#: Order in which the character classes appear in feature vectors.
+CHARACTER_CLASSES: tuple[str, ...] = (
+    "letter",
+    "upper",
+    "lower",
+    "mark",
+    "number",
+    "punctuation",
+    "symbol",
+    "separator",
+    "other",
+)
+
+
+@dataclass(frozen=True)
+class CharacterTypeCounts:
+    """Raw per-class character counts for one string."""
+
+    letter: int = 0
+    upper: int = 0
+    lower: int = 0
+    mark: int = 0
+    number: int = 0
+    punctuation: int = 0
+    symbol: int = 0
+    separator: int = 0
+    other: int = 0
+    total: int = 0
+
+    def counts(self) -> list[int]:
+        """Return the per-class counts in :data:`CHARACTER_CLASSES` order."""
+        return [getattr(self, name) for name in CHARACTER_CLASSES]
+
+    def fractions(self) -> list[float]:
+        """Return per-class fractions of the string length.
+
+        An empty string yields all-zero fractions rather than dividing by
+        zero; this matches the behaviour the classifier expects (a neutral
+        feature for missing text).
+        """
+        if self.total == 0:
+            return [0.0] * len(CHARACTER_CLASSES)
+        return [count / self.total for count in self.counts()]
+
+    def as_features(self) -> list[float]:
+        """Counts followed by fractions: the 18 features of Table I row 1."""
+        return [float(c) for c in self.counts()] + self.fractions()
+
+
+def _classify(char: str) -> tuple[str, ...]:
+    """Return the feature classes a single character contributes to.
+
+    A character can contribute to more than one class: an uppercase letter
+    counts as both ``letter`` and ``upper``.
+    """
+    category = unicodedata.category(char)
+    major = category[0]
+    if major == "L":
+        if category == "Lu":
+            return ("letter", "upper")
+        if category == "Ll":
+            return ("letter", "lower")
+        return ("letter",)
+    if major == "M":
+        return ("mark",)
+    if major == "N":
+        return ("number",)
+    if major == "P":
+        return ("punctuation",)
+    if major == "S":
+        return ("symbol",)
+    if major == "Z" or char in "\t\n\r\x0b\x0c":
+        return ("separator",)
+    return ("other",)
+
+
+def count_character_types(text: str) -> CharacterTypeCounts:
+    """Count the Unicode character classes present in ``text``.
+
+    >>> counts = count_character_types("Ab 3,$")
+    >>> (counts.letter, counts.upper, counts.lower) == (2, 1, 1)
+    True
+    >>> (counts.number, counts.punctuation, counts.symbol) == (1, 1, 1)
+    True
+    """
+    tallies = dict.fromkeys(CHARACTER_CLASSES, 0)
+    for char in text:
+        for klass in _classify(char):
+            tallies[klass] += 1
+    return CharacterTypeCounts(total=len(text), **tallies)
+
+
+#: Number of numeric features produced by :meth:`CharacterTypeCounts.as_features`.
+NUM_CHARACTER_FEATURES = len(CHARACTER_CLASSES) * 2
+
+# Keep the dataclass field order in sync with CHARACTER_CLASSES; this is a
+# module-load-time invariant check rather than a runtime branch.
+_field_names = tuple(f.name for f in fields(CharacterTypeCounts))[: len(CHARACTER_CLASSES)]
+if _field_names != CHARACTER_CLASSES:  # pragma: no cover - guards refactors
+    raise AssertionError("CharacterTypeCounts fields out of sync with CHARACTER_CLASSES")

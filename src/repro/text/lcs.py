@@ -1,0 +1,71 @@
+"""Longest common substring / subsequence measures (Table I row 11).
+
+The paper uses "the longest common substring distance between the property
+names".  We implement the standard formulation
+
+``lcs_distance(a, b) = 1 - |LCSubstring(a, b)| / max(|a|, |b|)``
+
+plus the longest common *subsequence* length, which some baselines use for
+token-level comparisons.
+"""
+
+from __future__ import annotations
+
+
+def longest_common_substring_length(a: str, b: str) -> int:
+    """Length of the longest contiguous substring shared by ``a`` and ``b``.
+
+    >>> longest_common_substring_length("megapixels", "pixel count")
+    5
+    """
+    if not a or not b:
+        return 0
+    if len(b) > len(a):
+        a, b = b, a
+    best = 0
+    previous = [0] * (len(b) + 1)
+    for char_a in a:
+        current = [0] * (len(b) + 1)
+        for j, char_b in enumerate(b, start=1):
+            if char_a == char_b:
+                current[j] = previous[j - 1] + 1
+                if current[j] > best:
+                    best = current[j]
+        previous = current
+    return best
+
+
+def longest_common_substring_distance(a: str, b: str) -> float:
+    """Normalised LCSubstring distance in [0, 1]; 0 for identical strings.
+
+    >>> longest_common_substring_distance("abc", "abc")
+    0.0
+    >>> longest_common_substring_distance("abc", "xyz")
+    1.0
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return 1.0 - longest_common_substring_length(a, b) / longest
+
+
+def longest_common_subsequence_length(a: str, b: str) -> int:
+    """Length of the longest (not necessarily contiguous) common subsequence.
+
+    >>> longest_common_subsequence_length("ABCBDAB", "BDCABA")
+    4
+    """
+    if not a or not b:
+        return 0
+    if len(b) > len(a):
+        a, b = b, a
+    previous = [0] * (len(b) + 1)
+    for char_a in a:
+        current = [0]
+        for j, char_b in enumerate(b, start=1):
+            if char_a == char_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]

@@ -1,0 +1,145 @@
+"""Edit distances (Table I rows 8-10).
+
+Three related edit distances appear as separate pair features in the paper:
+
+* :func:`levenshtein_distance` -- insertions, deletions, substitutions.
+* :func:`optimal_string_alignment_distance` -- additionally allows the
+  transposition of two *adjacent* characters, but no substring may be edited
+  more than once (also called the restricted Damerau-Levenshtein distance).
+* :func:`damerau_levenshtein_distance` -- the full Damerau-Levenshtein
+  distance where transposed characters may take part in further edits.
+
+All three are implemented with classic dynamic programming; the full
+Damerau-Levenshtein uses the Lowrance-Wagner algorithm with a last-occurrence
+table.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of insertions, deletions and substitutions.
+
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner dimension for O(min(m, n)) memory.
+    if len(b) > len(a):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def optimal_string_alignment_distance(a: str, b: str) -> int:
+    """Edit distance with adjacent transpositions, each substring edited once.
+
+    Unlike the full Damerau-Levenshtein distance the OSA distance does not
+    satisfy the triangle inequality, e.g. ``osa("ca", "abc") == 3`` while the
+    full distance is 2.
+
+    >>> optimal_string_alignment_distance("ca", "abc")
+    3
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    rows = len(a) + 1
+    cols = len(b) + 1
+    d = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        d[i][0] = i
+    for j in range(cols):
+        d[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            d[i][j] = min(
+                d[i - 1][j] + 1,
+                d[i][j - 1] + 1,
+                d[i - 1][j - 1] + cost,
+            )
+            if i > 1 and j > 1 and a[i - 1] == b[j - 2] and a[i - 2] == b[j - 1]:
+                d[i][j] = min(d[i][j], d[i - 2][j - 2] + 1)
+    return d[-1][-1]
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Full Damerau-Levenshtein distance (Lowrance-Wagner algorithm).
+
+    Transpositions may involve characters that are later edited again, which
+    restores the triangle inequality that the OSA variant lacks.
+
+    >>> damerau_levenshtein_distance("ca", "abc")
+    2
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    len_a, len_b = len(a), len(b)
+    max_dist = len_a + len_b
+    # d is indexed from -1 .. len, hence the +2 offsets.
+    d = [[0] * (len_b + 2) for _ in range(len_a + 2)]
+    d[0][0] = max_dist
+    for i in range(len_a + 1):
+        d[i + 1][0] = max_dist
+        d[i + 1][1] = i
+    for j in range(len_b + 1):
+        d[0][j + 1] = max_dist
+        d[1][j + 1] = j
+    last_row: dict[str, int] = {}
+    for i in range(1, len_a + 1):
+        last_col = 0
+        for j in range(1, len_b + 1):
+            row = last_row.get(b[j - 1], 0)
+            col = last_col
+            if a[i - 1] == b[j - 1]:
+                cost = 0
+                last_col = j
+            else:
+                cost = 1
+            d[i + 1][j + 1] = min(
+                d[i][j] + cost,  # substitution
+                d[i + 1][j] + 1,  # insertion
+                d[i][j + 1] + 1,  # deletion
+                d[row][col] + (i - row - 1) + 1 + (j - col - 1),  # transposition
+            )
+        last_row[a[i - 1]] = i
+    return d[len_a + 1][len_b + 1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """Levenshtein distance scaled into [0, 1] by the longer string length.
+
+    >>> normalized_levenshtein("abc", "abc")
+    0.0
+    >>> normalized_levenshtein("", "abcd")
+    1.0
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return levenshtein_distance(a, b) / longest

@@ -1,0 +1,52 @@
+"""Name normalisation shared by the lexical baselines.
+
+AML and FCA-Map normalise labels before comparing them: lower-casing,
+separator splitting and light morphological normalisation (plural
+stripping).  Crucially this is *generic* linguistic knowledge -- it does
+not know that "mp" means "megapixels"; resolving such domain synonymy is
+exactly what the paper shows these systems to lack.
+"""
+
+from __future__ import annotations
+
+from repro.text.tokenize import words
+
+_ES_ENDINGS = ("ches", "shes", "xes", "sses", "zes")
+
+
+def light_stem(word: str) -> str:
+    """Strip simple English plural suffixes.
+
+    >>> light_stem("megapixels")
+    'megapixel'
+    >>> light_stem("inches")
+    'inch'
+    >>> light_stem("glass")
+    'glass'
+    """
+    lowered = word.lower()
+    for ending in _ES_ENDINGS:
+        if lowered.endswith(ending) and len(lowered) > len(ending):
+            return lowered[:-2]
+    if lowered.endswith("ies") and len(lowered) > 3:
+        return lowered[:-3] + "y"
+    if lowered.endswith("s") and not lowered.endswith("ss") and len(lowered) > 3:
+        return lowered[:-1]
+    return lowered
+
+
+def name_tokens(name: str, stem: bool = True) -> list[str]:
+    """Normalised word tokens of a property name.
+
+    >>> name_tokens("Effective_Pixels")
+    ['effective', 'pixel']
+    """
+    tokens = words(name)
+    if stem:
+        return [light_stem(token) for token in tokens]
+    return tokens
+
+
+def token_set(name: str, stem: bool = True) -> frozenset[str]:
+    """Normalised token set of a name (order- and duplicate-free)."""
+    return frozenset(name_tokens(name, stem=stem))

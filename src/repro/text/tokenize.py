@@ -1,0 +1,152 @@
+"""Tokenisation and token-type analysis (Table I, feature row 2).
+
+The paper counts "the fraction and number of occurrences of several token
+types (words, words starting with a lowercase letter, words starting with an
+uppercase letter followed by a non separator character, uppercase words,
+numeric strings)" for every instance value.
+
+Tokens are maximal runs of alphanumeric characters; everything else
+(punctuation, separators, symbols) delimits tokens.  This matches how the
+average-embedding features treat text as bags of words.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(r"[^\W_]+", re.UNICODE)
+_WORD_RE = re.compile(r"[^\W\d_]+", re.UNICODE)
+_NUMERIC_RE = re.compile(r"^\d+([.,]\d+)*$")
+_CAMEL_RE = re.compile(r"(?<=[a-z])(?=[A-Z])")
+
+#: Order in which token classes appear in feature vectors.
+TOKEN_CLASSES: tuple[str, ...] = (
+    "word",
+    "lower_start",
+    "capitalized",
+    "upper",
+    "numeric",
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into alphanumeric tokens.
+
+    >>> tokenize("Shutter-speed: 1/4000s")
+    ['Shutter', 'speed', '1', '4000s']
+    """
+    return _TOKEN_RE.findall(text)
+
+
+def words(text: str) -> list[str]:
+    """Return the lower-cased purely-alphabetic words of ``text``.
+
+    This is the unit used for embedding lookups: the paper averages the
+    embedding vectors of the *words* of a property name or value.
+    camelCase boundaries are treated as word separators, matching how
+    attribute names extracted from web sources are normalised.
+
+    >>> words("Effective Pixels: 20.1 MP")
+    ['effective', 'pixels', 'mp']
+    >>> words("wearingStyle")
+    ['wearing', 'style']
+    """
+    text = _CAMEL_RE.sub(" ", text)
+    return [w.lower() for w in _WORD_RE.findall(text)]
+
+
+@dataclass(frozen=True)
+class TokenTypeCounts:
+    """Raw per-class token counts for one string (Table I row 2)."""
+
+    word: int = 0
+    lower_start: int = 0
+    capitalized: int = 0
+    upper: int = 0
+    numeric: int = 0
+    total: int = 0
+
+    def counts(self) -> list[int]:
+        """Per-class counts in :data:`TOKEN_CLASSES` order."""
+        return [self.word, self.lower_start, self.capitalized, self.upper, self.numeric]
+
+    def fractions(self) -> list[float]:
+        """Per-class fractions of the total token count (zeros when empty)."""
+        if self.total == 0:
+            return [0.0] * len(TOKEN_CLASSES)
+        return [count / self.total for count in self.counts()]
+
+    def as_features(self) -> list[float]:
+        """Counts followed by fractions: the 10 features of Table I row 2."""
+        return [float(c) for c in self.counts()] + self.fractions()
+
+
+def _is_word(token: str) -> bool:
+    return token.isalpha()
+
+
+def _is_capitalized(token: str) -> bool:
+    """Uppercase first letter followed by at least one non-separator char."""
+    return len(token) >= 2 and token[0].isupper() and not token[1].isspace()
+
+
+def count_token_types(text: str) -> TokenTypeCounts:
+    """Classify the tokens of ``text`` into the paper's five token types.
+
+    >>> counts = count_token_types("Nikon D500 camera 20.9")
+    >>> (counts.word, counts.numeric)  # "20.9" splits into two numerics
+    (2, 2)
+    """
+    tokens = tokenize(text)
+    word = lower_start = capitalized = upper = numeric = 0
+    for token in tokens:
+        if _is_word(token):
+            word += 1
+            if token[0].islower():
+                lower_start += 1
+            if token.isupper():
+                upper += 1
+            if _is_capitalized(token):
+                capitalized += 1
+        elif _NUMERIC_RE.match(token):
+            numeric += 1
+    return TokenTypeCounts(
+        word=word,
+        lower_start=lower_start,
+        capitalized=capitalized,
+        upper=upper,
+        numeric=numeric,
+        total=len(tokens),
+    )
+
+
+#: Number of numeric features produced by :meth:`TokenTypeCounts.as_features`.
+NUM_TOKEN_FEATURES = len(TOKEN_CLASSES) * 2
+
+
+def parse_numeric(text: str) -> float:
+    """Return the numeric value of ``text`` or ``-1.0`` (Table I row 3).
+
+    The paper encodes "the numeric value of the instance (-1 if it is not a
+    number)".  Values with thousands separators or decimal commas are
+    normalised before parsing.
+
+    >>> parse_numeric("20.1")
+    20.1
+    >>> parse_numeric("1,5")
+    1.5
+    >>> parse_numeric("f/2.8")
+    -1.0
+    """
+    stripped = text.strip()
+    if not stripped:
+        return -1.0
+    candidate = stripped.replace(",", ".")
+    try:
+        value = float(candidate)
+    except ValueError:
+        return -1.0
+    if value in (float("inf"), float("-inf")) or value != value:
+        return -1.0
+    return value

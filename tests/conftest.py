@@ -1,0 +1,38 @@
+"""Shared fixtures: tiny datasets and embeddings, cached per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_domain_embeddings, load_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_headphones():
+    """A small but realistic multi-source dataset."""
+    return load_dataset("headphones", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_cameras():
+    """The camera domain at test scale."""
+    return load_dataset("cameras", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_embeddings():
+    """Trained embeddings covering the tiny headphone domain."""
+    return build_domain_embeddings("headphones", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_camera_embeddings():
+    """Trained embeddings covering the tiny camera domain."""
+    return build_domain_embeddings("cameras", scale="tiny")
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

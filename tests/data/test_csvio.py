@@ -1,0 +1,80 @@
+"""Tests for CSV dataset ingestion."""
+
+import pytest
+
+from repro.data.csvio import load_dataset_csv, save_dataset_csv
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def dataset():
+    instances = [
+        PropertyInstance("shopA", "resolution", "e1", "20 mp"),
+        PropertyInstance("shopB", "megapixels", "e2", "24, with \"quotes\""),
+    ]
+    alignment = {
+        PropertyRef("shopA", "resolution"): "resolution",
+        PropertyRef("shopB", "megapixels"): "resolution",
+    }
+    return Dataset("shop", instances, alignment)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_with_alignment(self, dataset, tmp_path):
+        instances_csv = tmp_path / "instances.csv"
+        alignment_csv = tmp_path / "alignment.csv"
+        save_dataset_csv(dataset, instances_csv, alignment_csv)
+        loaded = load_dataset_csv(instances_csv, alignment_csv, name="shop")
+        assert loaded.instances == dataset.instances
+        assert loaded.alignment == dataset.alignment
+
+    def test_roundtrip_without_alignment(self, dataset, tmp_path):
+        instances_csv = tmp_path / "instances.csv"
+        save_dataset_csv(dataset, instances_csv)
+        loaded = load_dataset_csv(instances_csv)
+        assert loaded.alignment == {}
+        assert len(loaded.instances) == 2
+
+    def test_name_defaults_to_stem(self, dataset, tmp_path):
+        path = tmp_path / "myshop.csv"
+        save_dataset_csv(dataset, path)
+        assert load_dataset_csv(path).name == "myshop"
+
+    def test_quoted_values_preserved(self, dataset, tmp_path):
+        path = tmp_path / "instances.csv"
+        save_dataset_csv(dataset, path)
+        loaded = load_dataset_csv(path)
+        assert loaded.instances[1].value == '24, with "quotes"'
+
+
+class TestCsvValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            load_dataset_csv(tmp_path / "nope.csv")
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("source,property\nA,p\n")
+        with pytest.raises(DataError, match="missing required columns"):
+            load_dataset_csv(path)
+
+    def test_empty_cell_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("source,property,entity,value\nA,p,e,v\nA,,e,v\n")
+        with pytest.raises(DataError, match=":3"):
+            load_dataset_csv(path)
+
+    def test_alignment_for_unknown_property_rejected(self, tmp_path):
+        instances = tmp_path / "instances.csv"
+        instances.write_text("source,property,entity,value\nA,p,e,v\n")
+        alignment = tmp_path / "alignment.csv"
+        alignment.write_text("source,property,reference\nA,ghost,r\n")
+        with pytest.raises(DataError, match="no instances"):
+            load_dataset_csv(instances, alignment)
+
+    def test_empty_header(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="no header"):
+            load_dataset_csv(path)

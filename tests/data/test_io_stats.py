@@ -1,0 +1,79 @@
+"""Tests for dataset JSON persistence and statistics."""
+
+import json
+
+import pytest
+
+from repro.data.io import dataset_from_dict, dataset_to_dict, load_dataset_json, save_dataset_json
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.data.stats import dataset_stats
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def dataset():
+    instances = [
+        PropertyInstance("s1", "p", "e1", "v1"),
+        PropertyInstance("s1", "p", "e2", "v2"),
+        PropertyInstance("s2", "q", "e3", "v3"),
+    ]
+    alignment = {
+        PropertyRef("s1", "p"): "r",
+        PropertyRef("s2", "q"): "r",
+    }
+    return Dataset("demo", instances, alignment)
+
+
+class TestIo:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset_json(dataset, path)
+        loaded = load_dataset_json(path)
+        assert loaded.name == dataset.name
+        assert loaded.instances == dataset.instances
+        assert loaded.alignment == dataset.alignment
+
+    def test_dict_roundtrip(self, dataset):
+        assert dataset_from_dict(dataset_to_dict(dataset)).alignment == dataset.alignment
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            load_dataset_json(tmp_path / "nope.json")
+
+    def test_bad_version(self, dataset):
+        payload = dataset_to_dict(dataset)
+        payload["version"] = 99
+        with pytest.raises(DataError, match="version"):
+            dataset_from_dict(payload)
+
+    def test_missing_key(self, dataset):
+        payload = dataset_to_dict(dataset)
+        del payload["instances"][0]["value"]
+        with pytest.raises(DataError, match="missing key"):
+            dataset_from_dict(payload)
+
+    def test_file_is_valid_json(self, dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset_json(dataset, path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+
+
+class TestStats:
+    def test_counts(self, dataset):
+        stats = dataset_stats(dataset)
+        assert stats.n_sources == 2
+        assert stats.n_entities == 3
+        assert stats.n_properties == 2
+        assert stats.n_instances == 3
+        assert stats.n_matching_pairs == 1
+        assert stats.n_reference_properties == 1
+
+    def test_balance(self, dataset):
+        stats = dataset_stats(dataset)
+        assert stats.min_entities_per_source == 1
+        assert stats.max_entities_per_source == 2
+        assert stats.entity_balance == 0.5
+
+    def test_describe_mentions_name(self, dataset):
+        assert "demo" in dataset_stats(dataset).describe()

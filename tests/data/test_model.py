@@ -1,0 +1,143 @@
+"""Tests for the core data model (Section III definitions)."""
+
+import pytest
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.errors import DataError
+
+
+def _instance(source, prop, entity, value):
+    return PropertyInstance(source, prop, entity, value)
+
+
+@pytest.fixture()
+def dataset():
+    instances = [
+        _instance("s1", "resolution", "e1", "20 MP"),
+        _instance("s1", "resolution", "e2", "24 MP"),
+        _instance("s1", "weight", "e1", "500 g"),
+        _instance("s2", "megapixels", "e3", "18"),
+        _instance("s2", "mass", "e3", "600 grams"),
+        _instance("s3", "pixels", "e4", "12 mp"),
+        _instance("s3", "junk", "e4", "zzz"),
+    ]
+    alignment = {
+        PropertyRef("s1", "resolution"): "resolution",
+        PropertyRef("s2", "megapixels"): "resolution",
+        PropertyRef("s3", "pixels"): "resolution",
+        PropertyRef("s1", "weight"): "weight",
+        PropertyRef("s2", "mass"): "weight",
+    }
+    return Dataset(name="test", instances=instances, alignment=alignment)
+
+
+class TestAccessors:
+    def test_sources_sorted(self, dataset):
+        assert dataset.sources() == ["s1", "s2", "s3"]
+
+    def test_properties_all(self, dataset):
+        assert len(dataset.properties()) == 6
+
+    def test_properties_per_source(self, dataset):
+        assert dataset.properties("s1") == [
+            PropertyRef("s1", "resolution"),
+            PropertyRef("s1", "weight"),
+        ]
+
+    def test_schema_of(self, dataset):
+        assert dataset.schema_of("s3") == ["junk", "pixels"]
+
+    def test_entities(self, dataset):
+        assert dataset.entities("s1") == ["e1", "e2"]
+        assert len(dataset.entities()) == 4
+
+    def test_values_of(self, dataset):
+        assert dataset.values_of(PropertyRef("s1", "resolution")) == ["20 MP", "24 MP"]
+        assert dataset.values_of(PropertyRef("nope", "nope")) == []
+
+    def test_instance_ref(self):
+        instance = _instance("s", "p", "e", "v")
+        assert instance.ref == PropertyRef("s", "p")
+
+
+class TestGroundTruth:
+    def test_aligned_same_reference_match(self, dataset):
+        assert dataset.is_match(
+            PropertyRef("s1", "resolution"), PropertyRef("s2", "megapixels")
+        )
+
+    def test_different_reference_no_match(self, dataset):
+        assert not dataset.is_match(
+            PropertyRef("s1", "resolution"), PropertyRef("s2", "mass")
+        )
+
+    def test_same_source_never_matches(self, dataset):
+        assert not dataset.is_match(
+            PropertyRef("s1", "resolution"), PropertyRef("s1", "resolution")
+        )
+
+    def test_unaligned_matches_nothing(self, dataset):
+        assert not dataset.is_match(
+            PropertyRef("s3", "junk"), PropertyRef("s1", "resolution")
+        )
+
+    def test_matching_pairs_count(self, dataset):
+        # resolution: 3 sources -> 3 pairs; weight: 2 sources -> 1 pair.
+        assert len(dataset.matching_pairs()) == 4
+
+    def test_matching_pairs_are_cross_source(self, dataset):
+        for pair in dataset.matching_pairs():
+            left, right = sorted(pair)
+            assert left.source != right.source
+
+    def test_reference_of(self, dataset):
+        assert dataset.reference_of(PropertyRef("s3", "pixels")) == "resolution"
+        assert dataset.reference_of(PropertyRef("s3", "junk")) is None
+
+
+class TestValidation:
+    def test_alignment_without_instances_rejected(self):
+        with pytest.raises(DataError, match="no instances"):
+            Dataset(
+                name="bad",
+                instances=[_instance("s1", "p", "e", "v")],
+                alignment={PropertyRef("s1", "ghost"): "r"},
+            )
+
+
+class TestTransforms:
+    def test_restrict_to_sources(self, dataset):
+        restricted = dataset.restrict_to_sources(["s1", "s2"])
+        assert restricted.sources() == ["s1", "s2"]
+        assert len(restricted.matching_pairs()) == 2
+
+    def test_restrict_unknown_source(self, dataset):
+        with pytest.raises(DataError, match="unknown sources"):
+            dataset.restrict_to_sources(["s1", "nope"])
+
+    def test_cap_entities(self, dataset):
+        capped = dataset.cap_entities_per_source(1)
+        assert capped.entities("s1") == ["e1"]
+        # e2's instances are gone; s1 still has its two properties via e1.
+        assert len(capped.values_of(PropertyRef("s1", "resolution"))) == 1
+
+    def test_cap_drops_empty_alignments(self):
+        instances = [
+            _instance("s1", "p", "e1", "v1"),
+            _instance("s1", "q", "e2", "v2"),
+            _instance("s2", "p2", "e9", "w"),
+        ]
+        alignment = {
+            PropertyRef("s1", "p"): "r",
+            PropertyRef("s1", "q"): "r2",
+            PropertyRef("s2", "p2"): "r",
+        }
+        dataset = Dataset("x", instances, alignment)
+        capped = dataset.cap_entities_per_source(1)
+        # q only had e2 > cap, so it disappears from schema and alignment.
+        assert PropertyRef("s1", "q") not in capped.alignment
+        assert capped.schema_of("s1") == ["p"]
+
+    def test_cap_invalid(self, dataset):
+        with pytest.raises(DataError):
+            dataset.cap_entities_per_source(0)

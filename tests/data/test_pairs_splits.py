@@ -1,0 +1,160 @@
+"""Tests for pair generation, negative sampling and source splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.data.pairs import build_pairs, sample_training_pairs
+from repro.data.splits import repeated_source_splits, split_sources
+from repro.errors import ConfigurationError
+
+
+def _dataset(n_sources=4, props_per_source=3):
+    """Synthetic dataset where property p<i> of every source aligns to r<i>."""
+    instances = []
+    alignment = {}
+    for s in range(n_sources):
+        source = f"s{s}"
+        for p in range(props_per_source):
+            name = f"p{p}"
+            instances.append(PropertyInstance(source, name, f"e{s}", f"v{p}"))
+            alignment[PropertyRef(source, name)] = f"r{p}"
+    return Dataset("synthetic", instances, alignment)
+
+
+class TestBuildPairs:
+    def test_all_pairs_cross_source(self):
+        pairs = build_pairs(_dataset())
+        for pair in pairs:
+            assert pair.left.source != pair.right.source
+
+    def test_pair_count(self):
+        # 4 sources x 3 props = 12 properties; cross-source pairs:
+        # C(12,2) - 4*C(3,2) = 66 - 12 = 54.
+        assert len(build_pairs(_dataset())) == 54
+
+    def test_labels_match_ground_truth(self):
+        dataset = _dataset()
+        for pair in build_pairs(dataset):
+            assert pair.label == dataset.is_match(pair.left, pair.right)
+
+    def test_within_restricts_to_both_inside(self):
+        dataset = _dataset()
+        pairs = build_pairs(dataset, ["s0", "s1"], within=True)
+        for pair in pairs:
+            assert {pair.left.source, pair.right.source} <= {"s0", "s1"}
+
+    def test_outside_is_complement(self):
+        dataset = _dataset()
+        inside = build_pairs(dataset, ["s0", "s1"], within=True)
+        outside = build_pairs(dataset, ["s0", "s1"], within=False)
+        assert len(inside) + len(outside) == len(build_pairs(dataset))
+        inside_keys = {pair.key for pair in inside}
+        assert all(pair.key not in inside_keys for pair in outside)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sources"):
+            build_pairs(_dataset(), ["nope"])
+
+    def test_no_duplicate_pairs(self):
+        pairs = build_pairs(_dataset())
+        keys = [pair.key for pair in pairs]
+        assert len(keys) == len(set(keys))
+
+
+class TestNegativeSampling:
+    def test_ratio_respected(self, rng):
+        candidates = build_pairs(_dataset(n_sources=5))
+        sampled = sample_training_pairs(candidates, negative_ratio=2.0, rng=rng)
+        positives = len(sampled.positives())
+        negatives = len(sampled.negatives())
+        assert negatives == 2 * positives
+
+    def test_all_positives_kept(self, rng):
+        candidates = build_pairs(_dataset())
+        sampled = sample_training_pairs(candidates, negative_ratio=1.0, rng=rng)
+        assert len(sampled.positives()) == len(candidates.positives())
+
+    def test_insufficient_negatives_keeps_all(self, rng):
+        candidates = build_pairs(_dataset(n_sources=2))
+        sampled = sample_training_pairs(candidates, negative_ratio=100.0, rng=rng)
+        assert len(sampled.negatives()) == len(candidates.negatives())
+
+    def test_shuffled(self, rng):
+        candidates = build_pairs(_dataset(n_sources=6))
+        sampled = sample_training_pairs(candidates, rng=rng)
+        labels = sampled.labels()
+        # Positives must not all be at the front.
+        first_block = labels[: len(sampled.positives())]
+        assert first_block.sum() < len(sampled.positives())
+
+    def test_deterministic_under_seed(self):
+        candidates = build_pairs(_dataset(n_sources=5))
+        one = sample_training_pairs(candidates, rng=np.random.default_rng(3))
+        two = sample_training_pairs(candidates, rng=np.random.default_rng(3))
+        assert [p.key for p in one] == [p.key for p in two]
+
+    def test_negative_ratio_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_training_pairs(build_pairs(_dataset()), negative_ratio=-1, rng=rng)
+
+    def test_pairset_refs(self):
+        pairs = build_pairs(_dataset(n_sources=2))
+        refs = pairs.refs()
+        assert len(refs) == 6
+        assert refs == sorted(refs)
+
+
+class TestSplits:
+    def test_partition_complete_and_disjoint(self, rng):
+        dataset = _dataset(n_sources=10)
+        split = split_sources(dataset, 0.4, rng)
+        assert sorted(split.train_sources + split.test_sources) == dataset.sources()
+        assert not set(split.train_sources) & set(split.test_sources)
+
+    def test_fraction_respected(self, rng):
+        dataset = _dataset(n_sources=10)
+        split = split_sources(dataset, 0.4, rng)
+        assert len(split.train_sources) == 4
+
+    def test_small_fraction_clamps_to_two_train_sources(self, rng):
+        dataset = _dataset(n_sources=10)
+        split = split_sources(dataset, 0.05, rng)
+        assert len(split.train_sources) == 2
+
+    def test_large_fraction_keeps_one_test_source(self, rng):
+        dataset = _dataset(n_sources=5)
+        split = split_sources(dataset, 0.99, rng)
+        assert len(split.test_sources) >= 1
+
+    def test_single_source_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="need >= 2"):
+            split_sources(_dataset(n_sources=1), 0.5, rng)
+
+    @given(fraction=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=25, deadline=None)
+    def test_any_fraction_yields_valid_split(self, fraction):
+        dataset = _dataset(n_sources=8)
+        split = split_sources(dataset, fraction, np.random.default_rng(0))
+        assert len(split.train_sources) >= 2
+        assert len(split.test_sources) >= 1
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ConfigurationError):
+            split_sources(_dataset(), 0.0, rng)
+        with pytest.raises(ConfigurationError):
+            split_sources(_dataset(), 1.0, rng)
+
+    def test_repeated_splits_differ(self):
+        dataset = _dataset(n_sources=10)
+        splits = list(repeated_source_splits(dataset, 0.5, repetitions=10, seed=0))
+        assert len(splits) == 10
+        assert len({split.train_sources for split in splits}) > 1
+
+    def test_repeated_splits_deterministic(self):
+        dataset = _dataset(n_sources=10)
+        one = [s.train_sources for s in repeated_source_splits(dataset, 0.5, 5, seed=1)]
+        two = [s.train_sources for s in repeated_source_splits(dataset, 0.5, 5, seed=1)]
+        assert one == two

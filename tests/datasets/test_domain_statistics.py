@@ -1,0 +1,58 @@
+"""Regression net over the generated domains' structural statistics.
+
+The benchmark calibration (EXPERIMENTS.md) depends on these staying in
+range; a silent spec edit that, say, halves the matching-pair count
+would invalidate the recorded shapes without failing any functional
+test.  Bounds are deliberately loose -- they catch order-of-magnitude
+drift, not seed noise.
+"""
+
+import pytest
+
+from repro.data.stats import dataset_stats
+from repro.datasets import DATASET_NAMES, load_dataset
+
+EXPECTED = {
+    # name: (n_sources, min_properties, min_matching_pairs, balanced)
+    "cameras": (24, 250, 1500, True),
+    "headphones": (10, 100, 250, False),
+    "phones": (10, 120, 300, False),
+    "tvs": (10, 100, 250, False),
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_small_scale_statistics(name):
+    stats = dataset_stats(load_dataset(name, scale="small"))
+    n_sources, min_properties, min_pairs, balanced = EXPECTED[name]
+    assert stats.n_sources == n_sources
+    assert stats.n_properties >= min_properties
+    assert stats.n_matching_pairs >= min_pairs
+    if balanced:
+        assert stats.entity_balance > 0.9
+    else:
+        assert stats.entity_balance < 0.7
+
+
+def test_cameras_is_largest():
+    all_stats = {
+        name: dataset_stats(load_dataset(name, scale="small"))
+        for name in DATASET_NAMES
+    }
+    cameras = all_stats["cameras"]
+    for name, stats in all_stats.items():
+        if name == "cameras":
+            continue
+        assert cameras.n_matching_pairs > stats.n_matching_pairs
+        assert cameras.n_instances > stats.n_instances
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_positive_rate_is_skewed(name):
+    """Cross-source candidate pairs are overwhelmingly negative."""
+    from repro.data.pairs import build_pairs
+
+    dataset = load_dataset(name, scale="tiny")
+    pairs = build_pairs(dataset)
+    rate = len(pairs.positives()) / len(pairs)
+    assert 0.01 < rate < 0.30

@@ -1,0 +1,206 @@
+"""Tests for the synthetic dataset generator and semantics derivation."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import dataset_stats
+from repro.datasets.generator import (
+    GenerationConfig,
+    derive_lexicon,
+    derive_semantics,
+    generate_dataset,
+)
+from repro.datasets.specs import (
+    DomainSpec,
+    EnumValueSpec,
+    NumericValueSpec,
+    ReferencePropertySpec,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def small_spec():
+    properties = (
+        ReferencePropertySpec(
+            reference_name="resolution",
+            name_variants=("resolution", "megapixel count", "mp rating"),
+            value_spec=NumericValueSpec(8, 60, units=("mp", "megapixels")),
+            exposure=0.9,
+        ),
+        ReferencePropertySpec(
+            reference_name="weight",
+            name_variants=("weight", "body heft"),
+            value_spec=NumericValueSpec(100, 900, units=("g", "grams")),
+            exposure=0.9,
+        ),
+        ReferencePropertySpec(
+            reference_name="wifi",
+            name_variants=("wifi", "wireless link"),
+            value_spec=EnumValueSpec(options=(("yes", "y"), ("no", "n"))),
+            exposure=0.8,
+        ),
+    )
+    return DomainSpec(
+        name="toy",
+        properties=properties,
+        n_sources=4,
+        entities_per_source=6,
+        junk_properties_per_source=1,
+    )
+
+
+class TestGenerateDataset:
+    def test_deterministic(self, small_spec):
+        one = generate_dataset(small_spec, GenerationConfig(seed=5))
+        two = generate_dataset(small_spec, GenerationConfig(seed=5))
+        assert one.instances == two.instances
+        assert one.alignment == two.alignment
+
+    def test_seed_changes_output(self, small_spec):
+        one = generate_dataset(small_spec, GenerationConfig(seed=1))
+        two = generate_dataset(small_spec, GenerationConfig(seed=2))
+        assert one.instances != two.instances
+
+    def test_source_count(self, small_spec):
+        dataset = generate_dataset(small_spec)
+        assert len(dataset.sources()) == 4
+
+    def test_every_aligned_property_has_instances(self, small_spec):
+        dataset = generate_dataset(small_spec)
+        for ref in dataset.alignment:
+            assert dataset.values_of(ref)
+
+    def test_alignment_targets_are_reference_names(self, small_spec):
+        dataset = generate_dataset(small_spec)
+        reference_names = {p.reference_name for p in small_spec.properties}
+        assert set(dataset.alignment.values()) <= reference_names
+
+    def test_junk_properties_unaligned(self, small_spec):
+        dataset = generate_dataset(small_spec)
+        unaligned = [
+            ref for ref in dataset.properties() if ref not in dataset.alignment
+        ]
+        # one junk property per source, when it received instances
+        assert len(unaligned) <= small_spec.n_sources
+        assert unaligned
+
+    def test_matching_pairs_exist(self, small_spec):
+        dataset = generate_dataset(small_spec)
+        assert len(dataset.matching_pairs()) > 0
+
+    def test_entity_scale(self, small_spec):
+        small = generate_dataset(small_spec, GenerationConfig(entity_scale=0.5))
+        large = generate_dataset(small_spec, GenerationConfig(entity_scale=2.0))
+        assert dataset_stats(large).max_entities_per_source > (
+            dataset_stats(small).max_entities_per_source
+        )
+
+    def test_balanced_spec_produces_balanced_dataset(self, small_spec):
+        # Instance sparsity may drop the odd entity entirely (an entity is
+        # only observed through its instances), so "balanced" means "near
+        # 1.0", not exactly 1.0.
+        stats = dataset_stats(generate_dataset(small_spec))
+        assert stats.entity_balance >= 0.8
+        assert stats.max_entities_per_source == small_spec.entities_per_source
+
+    def test_names_unique_within_source(self, small_spec):
+        dataset = generate_dataset(small_spec)
+        for source in dataset.sources():
+            names = [ref.name for ref in dataset.properties(source)]
+            assert len(names) == len(set(names))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(entity_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            GenerationConfig(catalogue_factor=0.5)
+
+
+class TestDeriveLexicon:
+    def test_name_variant_words_grouped(self, small_spec):
+        lexicon = derive_lexicon(small_spec)
+        # "megapixel" and "rating" are distinctive to the resolution
+        # property and merge with the "mp"/"megapixels" unit group.
+        assert lexicon.are_synonyms("megapixel", "rating")
+        assert lexicon.are_synonyms("megapixel", "megapixels")
+
+    def test_ambiguous_words_not_grouped(self):
+        spec = DomainSpec(
+            name="ambig",
+            properties=(
+                ReferencePropertySpec(
+                    "a",
+                    ("screen size", "display diagonal"),
+                    NumericValueSpec(1, 10),
+                    exposure=0.9,
+                ),
+                ReferencePropertySpec(
+                    "b",
+                    ("screen resolution", "display dots"),
+                    NumericValueSpec(100, 1000),
+                    exposure=0.9,
+                ),
+            ),
+            n_sources=2,
+            entities_per_source=3,
+        )
+        lexicon = derive_lexicon(spec)
+        # "screen" and "display" appear in both properties -> ungrouped.
+        assert lexicon.group_of("screen") is None
+        assert lexicon.group_of("display") is None
+        # but "size"/"diagonal" and "resolution"/"dots" are grouped apart.
+        assert lexicon.are_synonyms("size", "diagonal")
+        assert lexicon.are_synonyms("resolution", "dots")
+        assert not lexicon.are_synonyms("size", "resolution")
+
+    def test_enum_options_grouped(self, small_spec):
+        lexicon = derive_lexicon(small_spec)
+        assert lexicon.are_synonyms("yes", "y")
+        assert not lexicon.are_synonyms("yes", "no")
+
+
+class TestDeriveSemantics:
+    def test_ambiguous_words_become_soft(self):
+        spec = DomainSpec(
+            name="ambig",
+            properties=(
+                ReferencePropertySpec(
+                    "a",
+                    ("screen size", "display diagonal"),
+                    NumericValueSpec(1, 10),
+                    exposure=0.9,
+                ),
+                ReferencePropertySpec(
+                    "b",
+                    ("screen resolution", "display dots"),
+                    NumericValueSpec(100, 1000),
+                    exposure=0.9,
+                ),
+            ),
+            n_sources=2,
+            entities_per_source=3,
+        )
+        semantics = derive_semantics(spec)
+        assert "screen" in semantics.soft_words
+        # Related to both properties' groups.
+        assert len(semantics.soft_words["screen"]) == 2
+
+    def test_partition_is_disjoint(self, small_spec):
+        semantics = derive_semantics(small_spec)
+        grouped = semantics.lexicon.vocabulary()
+        soft = set(semantics.soft_words)
+        singles = set(semantics.singletons)
+        assert not grouped & soft
+        assert not grouped & singles
+        assert not soft & singles
+
+    def test_junk_words_are_singletons(self, small_spec):
+        semantics = derive_semantics(small_spec)
+        assert "aux" in semantics.singletons
+
+    def test_soft_word_groups_valid(self, small_spec):
+        semantics = derive_semantics(small_spec)
+        n_groups = len(semantics.lexicon.groups())
+        for groups in semantics.soft_words.values():
+            assert all(0 <= g < n_groups for g in groups)

@@ -1,0 +1,119 @@
+"""Tests for the dataset registry, scale presets and domain specs."""
+
+import pytest
+
+from repro.data.stats import dataset_stats
+from repro.datasets.domains import cameras_spec, headphones_spec, phones_spec, tvs_spec
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    build_domain_embeddings,
+    domain_lexicon,
+    domain_spec,
+    embedding_dimension,
+    load_dataset,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSpecs:
+    def test_cameras_is_paper_sized(self):
+        spec = cameras_spec()
+        assert spec.n_sources == 24
+        assert spec.entities_per_source == 100
+        assert spec.is_balanced
+
+    def test_low_quality_sets_are_imbalanced(self):
+        for builder in (headphones_spec, phones_spec, tvs_spec):
+            assert not builder().is_balanced
+
+    def test_every_domain_has_traps(self):
+        # At least one pair of reference properties must share a name word
+        # (the disambiguation challenge).
+        from repro.text.tokenize import words
+
+        for builder in (cameras_spec, headphones_spec, phones_spec, tvs_spec):
+            spec = builder()
+            seen: dict[str, str] = {}
+            shared = False
+            for prop in spec.properties:
+                for variant in prop.name_variants:
+                    for word in words(variant):
+                        owner = seen.setdefault(word, prop.reference_name)
+                        if owner != prop.reference_name:
+                            shared = True
+            assert shared, f"{spec.name} has no ambiguous name words"
+
+
+class TestRegistry:
+    def test_dataset_names(self):
+        assert DATASET_NAMES == ("cameras", "headphones", "phones", "tvs")
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_load_each_dataset_tiny(self, name):
+        dataset = load_dataset(name, scale="tiny")
+        stats = dataset_stats(dataset)
+        assert stats.n_sources >= 2
+        assert stats.n_matching_pairs > 0
+        assert stats.n_instances > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            load_dataset("toasters")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError, match="unknown scale"):
+            load_dataset("cameras", scale="galactic")
+
+    def test_tiny_scale_caps_sources(self):
+        assert len(load_dataset("cameras", scale="tiny").sources()) == 5
+
+    def test_small_scale_keeps_sources(self):
+        spec = domain_spec("cameras", "small")
+        assert spec.n_sources == 24
+
+    def test_paper_scale_dimension(self):
+        assert embedding_dimension("paper") == 300
+        assert embedding_dimension("tiny") == 32
+
+    def test_seed_changes_dataset(self):
+        one = load_dataset("tvs", scale="tiny", seed=0)
+        two = load_dataset("tvs", scale="tiny", seed=1)
+        assert one.instances != two.instances
+
+    def test_deterministic(self):
+        one = load_dataset("tvs", scale="tiny", seed=3)
+        two = load_dataset("tvs", scale="tiny", seed=3)
+        assert one.instances == two.instances
+
+
+class TestDomainEmbeddings:
+    def test_cached(self):
+        first = build_domain_embeddings("headphones", scale="tiny")
+        second = build_domain_embeddings("headphones", scale="tiny")
+        assert first is second
+
+    def test_covers_domain_synonyms(self):
+        embeddings = build_domain_embeddings("headphones", scale="tiny")
+        lexicon = domain_lexicon("headphones", scale="tiny")
+        group = next(iter(lexicon.groups()))
+        for word in group:
+            assert word in embeddings
+
+    def test_synonyms_closer_than_random(self):
+        embeddings = build_domain_embeddings("headphones", scale="tiny")
+        lexicon = domain_lexicon("headphones", scale="tiny")
+        group = sorted(next(g for g in lexicon.groups() if len(g) >= 2))
+        within = embeddings.cosine_similarity(group[0], group[1])
+        other_group = sorted(lexicon.groups()[-1])
+        across = embeddings.cosine_similarity(group[0], other_group[0])
+        assert within > across
+
+    def test_multi_domain_space(self):
+        embeddings = build_domain_embeddings(["headphones", "tvs"], scale="tiny")
+        # Words from both domains resolve to non-zero vectors.
+        assert "impedance" in embeddings
+        assert "tuner" in embeddings or "webos" in embeddings
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_domain_embeddings([])

@@ -1,0 +1,118 @@
+"""Tests for value rendering and naming conventions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.naming import NamingStyle, choose_variant
+from repro.datasets.specs import (
+    CodeValueSpec,
+    EnumValueSpec,
+    FreeTextValueSpec,
+    NumericValueSpec,
+)
+from repro.datasets.values import latent_value, render_value
+from repro.errors import ConfigurationError
+
+
+class TestLatentValues:
+    def test_numeric_in_range(self, rng):
+        spec = NumericValueSpec(10.0, 20.0)
+        for _ in range(50):
+            assert 10.0 <= latent_value(spec, rng) <= 20.0
+
+    def test_enum_index_valid(self, rng):
+        spec = EnumValueSpec(options=(("a",), ("b",), ("c",)))
+        for _ in range(20):
+            assert 0 <= latent_value(spec, rng) < 3
+
+    def test_code_format(self, rng):
+        spec = CodeValueSpec(prefixes=("wh",), digits=4)
+        code = latent_value(spec, rng)
+        prefix, _, digits = code.partition("-")
+        assert prefix == "wh"
+        assert len(digits) == 4 and digits.isdigit()
+
+    def test_free_text_word_count(self, rng):
+        spec = FreeTextValueSpec(vocabulary=("a", "b", "c"), min_words=2, max_words=4)
+        for _ in range(20):
+            assert 2 <= len(latent_value(spec, rng).split()) <= 4
+
+
+class TestRenderValue:
+    def test_numeric_contains_number(self, rng):
+        spec = NumericValueSpec(10.0, 20.0, units=("mm",), unit_probability=1.0)
+        text = render_value(spec, 15.0, rng)
+        assert "15" in text
+        assert "mm" in text
+
+    def test_numeric_without_units(self, rng):
+        spec = NumericValueSpec(10.0, 20.0)
+        text = render_value(spec, 15.0, rng)
+        assert "mm" not in text
+
+    def test_enum_renders_group_member(self, rng):
+        spec = EnumValueSpec(options=(("yes", "true"), ("no", "false")))
+        for _ in range(10):
+            assert render_value(spec, 0, rng) in ("yes", "true")
+
+    def test_code_identical_across_sources(self, rng):
+        spec = CodeValueSpec(prefixes=("wh",))
+        latent = latent_value(spec, rng)
+        assert render_value(spec, latent, rng) == render_value(spec, latent, rng)
+
+    def test_noise_corrupts_sometimes(self):
+        spec = EnumValueSpec(options=(("wireless",), ("wired",)))
+        rng = np.random.default_rng(0)
+        rendered = {render_value(spec, 0, rng, noise=1.0) for _ in range(30)}
+        assert "wireless" not in rendered or len(rendered) > 1
+
+    def test_zero_noise_is_clean(self, rng):
+        spec = EnumValueSpec(options=(("wireless",), ("wired",)))
+        for _ in range(20):
+            assert render_value(spec, 0, rng, noise=0.0) == "wireless"
+
+
+class TestNamingStyle:
+    def test_render_cases(self):
+        assert NamingStyle("upper", "_", "").render("camera resolution") == (
+            "CAMERA_RESOLUTION"
+        )
+        assert NamingStyle("title", " ", "").render("camera resolution") == (
+            "Camera Resolution"
+        )
+        assert NamingStyle("lower", "-", "").render("Camera Resolution") == (
+            "camera-resolution"
+        )
+
+    def test_decoration_appended_only_on_request(self):
+        style = NamingStyle("lower", " ", "spec")
+        assert style.render("weight") == "weight"
+        assert style.render("weight", decorate=True) == "weight spec"
+
+    def test_random_styles_vary(self):
+        rng = np.random.default_rng(0)
+        styles = {NamingStyle.random(rng) for _ in range(30)}
+        assert len(styles) > 3
+
+    def test_no_empty_separator_generated(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert NamingStyle.random(rng).separator != ""
+
+
+class TestChooseVariant:
+    def test_skewed_towards_first(self):
+        rng = np.random.default_rng(0)
+        variants = ("first", "second", "third")
+        picks = [choose_variant(variants, rng) for _ in range(500)]
+        counts = {v: picks.count(v) for v in variants}
+        assert counts["first"] > counts["second"] > counts["third"]
+
+    def test_single_variant(self, rng):
+        assert choose_variant(("only",), rng) == "only"
+
+    def test_invalid_value_spec_type(self, rng):
+        with pytest.raises(ConfigurationError):
+            latent_value(object(), rng)
+        with pytest.raises(ConfigurationError):
+            render_value(object(), 0, rng)

@@ -1,0 +1,105 @@
+"""Tests for the corpus generator and co-occurrence counting."""
+
+import pytest
+
+from repro.embeddings.cooccurrence import build_cooccurrence
+from repro.embeddings.corpus import CorpusGenerator
+from repro.embeddings.lexicon import SynonymLexicon
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def lexicon():
+    return SynonymLexicon([["mp", "megapixels"], ["g", "grams"]])
+
+
+class TestCorpusGenerator:
+    def test_deterministic_under_seed(self, lexicon):
+        first = CorpusGenerator(lexicon, seed=7).corpus(5)
+        second = CorpusGenerator(lexicon, seed=7).corpus(5)
+        assert first == second
+
+    def test_different_seeds_differ(self, lexicon):
+        first = CorpusGenerator(lexicon, seed=1).corpus(5)
+        second = CorpusGenerator(lexicon, seed=2).corpus(5)
+        assert first != second
+
+    def test_all_group_members_appear(self, lexicon):
+        corpus = CorpusGenerator(lexicon, seed=0).corpus(50)
+        seen = {word for sentence in corpus for word in sentence}
+        assert {"mp", "megapixels", "g", "grams"} <= seen
+
+    def test_soft_words_appear(self, lexicon):
+        generator = CorpusGenerator(lexicon, soft_words={"res": [0]}, seed=0)
+        corpus = generator.corpus(10)
+        seen = {word for sentence in corpus for word in sentence}
+        assert "res" in seen
+
+    def test_singletons_appear(self, lexicon):
+        generator = CorpusGenerator(lexicon, singletons=["zork"], seed=0)
+        seen = {word for sentence in generator.corpus(10) for word in sentence}
+        assert "zork" in seen
+
+    def test_soft_word_unknown_group_rejected(self, lexicon):
+        with pytest.raises(ConfigurationError, match="unknown groups"):
+            CorpusGenerator(lexicon, soft_words={"res": [99]})
+
+    def test_namespace_prefixes_context_pools(self, lexicon):
+        corpus = CorpusGenerator(lexicon, namespace="cam", seed=0).corpus(5)
+        context_words = {
+            word for sentence in corpus for word in sentence if "ctx" in word
+        }
+        assert context_words
+        assert all(word.startswith("cam_") for word in context_words)
+
+    def test_sentence_length(self, lexicon):
+        generator = CorpusGenerator(lexicon, words_per_sentence=6, seed=0)
+        for sentence in generator.corpus(3):
+            assert len(sentence) == 6
+
+    def test_invalid_parameters(self, lexicon):
+        with pytest.raises(ConfigurationError):
+            CorpusGenerator(lexicon, context_pool_size=1)
+        with pytest.raises(ConfigurationError):
+            CorpusGenerator(lexicon, words_per_sentence=2)
+        with pytest.raises(ConfigurationError):
+            CorpusGenerator(lexicon, contamination=1.0)
+
+
+class TestCooccurrence:
+    def test_window_weighting(self):
+        counts = build_cooccurrence([["a", "b", "c"]], window=2)
+        # a-b adjacent: weight 1; a-c at distance 2: weight 0.5.
+        assert counts.count("a", "b") == pytest.approx(1.0)
+        assert counts.count("a", "c") == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        counts = build_cooccurrence([["a", "b", "a"]], window=2)
+        assert counts.count("a", "b") == counts.count("b", "a")
+
+    def test_window_limit(self):
+        counts = build_cooccurrence([["a", "x", "y", "z", "b"]], window=2)
+        assert counts.count("a", "b") == 0.0
+
+    def test_unknown_word_zero(self):
+        counts = build_cooccurrence([["a", "b"]])
+        assert counts.count("a", "ghost") == 0.0
+
+    def test_explicit_vocabulary_skips_unknowns(self):
+        vocab = Vocabulary(["a", "b"])
+        counts = build_cooccurrence([["a", "skipme", "b"]], vocabulary=vocab, window=2)
+        assert counts.count("a", "b") == pytest.approx(0.5)
+        assert len(counts.vocabulary) == 2
+
+    def test_lowercases_tokens(self):
+        counts = build_cooccurrence([["A", "b"]])
+        assert counts.count("a", "b") == pytest.approx(1.0)
+
+    def test_empty_corpus(self):
+        counts = build_cooccurrence([])
+        assert counts.nnz == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            build_cooccurrence([["a"]], window=0)

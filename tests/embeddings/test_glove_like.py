@@ -1,0 +1,94 @@
+"""Tests for PPMI + SVD embedding training."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.embeddings.cooccurrence import CooccurrenceCounts, build_cooccurrence
+from repro.embeddings.corpus import CorpusGenerator
+from repro.embeddings.glove_like import ppmi_matrix, train_glove_like
+from repro.embeddings.lexicon import SynonymLexicon
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import ConfigurationError, DimensionError
+
+
+def _train(dimension=16, anisotropy=0.0, seed=0):
+    lexicon = SynonymLexicon(
+        [["mp", "megapixels", "mpix"], ["g", "grams"], ["hz", "hertz"]]
+    )
+    generator = CorpusGenerator(lexicon, contamination=0.2, seed=seed)
+    counts = build_cooccurrence(generator.sentences(40))
+    return train_glove_like(counts, dimension=dimension, anisotropy=anisotropy, seed=seed)
+
+
+class TestPpmi:
+    def test_ppmi_non_negative(self):
+        matrix = sparse.csr_matrix(np.array([[0.0, 4.0], [4.0, 1.0]]))
+        ppmi = ppmi_matrix(matrix)
+        assert (ppmi.toarray() >= 0).all()
+
+    def test_empty_matrix(self):
+        ppmi = ppmi_matrix(sparse.csr_matrix((3, 3)))
+        assert ppmi.nnz == 0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionError):
+            ppmi_matrix(sparse.csr_matrix((2, 3)))
+
+    def test_shift_reduces_mass(self):
+        matrix = sparse.csr_matrix(np.array([[0.0, 4.0], [4.0, 1.0]]))
+        plain = ppmi_matrix(matrix).sum()
+        shifted = ppmi_matrix(matrix, shift=1.0).sum()
+        assert shifted <= plain
+
+
+class TestTraining:
+    def test_synonyms_close_others_far(self):
+        emb = _train()
+        assert emb.cosine_similarity("mp", "megapixels") > 0.5
+        assert emb.cosine_similarity("mp", "grams") < 0.4
+
+    def test_deterministic(self):
+        first = _train(seed=3)
+        second = _train(seed=3)
+        assert np.allclose(first.vectors, second.vectors)
+
+    def test_requested_dimension_honoured(self):
+        emb = _train(dimension=50)
+        assert emb.dimension == 50
+
+    def test_dimension_larger_than_vocab_is_padded(self):
+        counts = build_cooccurrence([["a", "b"], ["b", "a"]])
+        emb = train_glove_like(counts, dimension=10)
+        assert emb.dimension == 10
+        assert emb.vectors.shape == (2, 10)
+
+    def test_empty_vocabulary_rejected(self):
+        empty = CooccurrenceCounts(Vocabulary(), sparse.csr_matrix((0, 0)))
+        with pytest.raises(ConfigurationError):
+            train_glove_like(empty, dimension=4)
+
+    def test_invalid_dimension(self):
+        counts = build_cooccurrence([["a", "b"]])
+        with pytest.raises(ConfigurationError):
+            train_glove_like(counts, dimension=0)
+
+    def test_no_cooccurrences_gives_zero_vectors(self):
+        counts = build_cooccurrence([["a"], ["b"]])
+        emb = train_glove_like(counts, dimension=4)
+        assert np.allclose(emb.vectors, 0.0)
+
+
+class TestAnisotropy:
+    def test_raises_random_pair_cosine(self):
+        plain = _train(anisotropy=0.0)
+        skewed = _train(anisotropy=0.8)
+        assert abs(plain.cosine_similarity("mp", "hz")) < 0.3
+        assert skewed.cosine_similarity("mp", "hz") > 0.3
+
+    def test_preserves_synonym_ordering(self):
+        skewed = _train(anisotropy=0.8)
+        assert (
+            skewed.cosine_similarity("mp", "megapixels")
+            > skewed.cosine_similarity("mp", "grams")
+        )

@@ -1,0 +1,88 @@
+"""Tests for the synonym lexicon."""
+
+import pytest
+
+from repro.embeddings.lexicon import SynonymLexicon
+from repro.errors import DataError
+
+
+class TestSynonymLexicon:
+    def test_are_synonyms_within_group(self):
+        lexicon = SynonymLexicon([["mp", "megapixels", "resolution"]])
+        assert lexicon.are_synonyms("mp", "megapixels")
+        assert lexicon.are_synonyms("MP", "Resolution")
+
+    def test_equal_words_are_synonyms_even_if_unknown(self):
+        lexicon = SynonymLexicon()
+        assert lexicon.are_synonyms("ghost", "Ghost")
+
+    def test_different_groups_not_synonyms(self):
+        lexicon = SynonymLexicon([["a", "b"], ["c", "d"]])
+        assert not lexicon.are_synonyms("a", "c")
+
+    def test_synonyms_of_unknown_is_singleton(self):
+        lexicon = SynonymLexicon()
+        assert lexicon.synonyms("Ghost") == frozenset({"ghost"})
+
+    def test_synonyms_returns_whole_group(self):
+        lexicon = SynonymLexicon([["a", "b", "c"]])
+        assert lexicon.synonyms("b") == frozenset({"a", "b", "c"})
+
+    def test_overlapping_group_rejected(self):
+        lexicon = SynonymLexicon([["a", "b"]])
+        with pytest.raises(DataError, match="already belongs"):
+            lexicon.add_group(["b", "c"])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(DataError, match="empty"):
+            SynonymLexicon([[]])
+
+    def test_group_of(self):
+        lexicon = SynonymLexicon([["a", "b"], ["c"]])
+        assert lexicon.group_of("a") == lexicon.group_of("b") == 0
+        assert lexicon.group_of("c") == 1
+        assert lexicon.group_of("x") is None
+
+    def test_vocabulary(self):
+        lexicon = SynonymLexicon([["a", "b"], ["c"]])
+        assert lexicon.vocabulary() == {"a", "b", "c"}
+
+    def test_len_counts_groups(self):
+        assert len(SynonymLexicon([["a", "b"], ["c"]])) == 2
+
+
+class TestMerge:
+    def test_disjoint_merge(self):
+        left = SynonymLexicon([["a", "b"]])
+        right = SynonymLexicon([["c", "d"]])
+        merged = left.merged_with(right)
+        assert len(merged) == 2
+        assert merged.are_synonyms("a", "b")
+        assert merged.are_synonyms("c", "d")
+
+    def test_overlapping_merge_unions_transitively(self):
+        left = SynonymLexicon([["a", "b"], ["c", "d"]])
+        right = SynonymLexicon([["b", "c"]])
+        merged = left.merged_with(right)
+        # "b"~"c" bridges the two groups of `left` into one.
+        assert merged.are_synonyms("a", "d")
+        assert len(merged) == 1
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = SynonymLexicon([["a", "b"]])
+        right = SynonymLexicon([["b", "c"]])
+        left.merged_with(right)
+        assert not left.are_synonyms("a", "c")
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        lexicon = SynonymLexicon([["mp", "megapixels"], ["g", "grams"]])
+        path = tmp_path / "lexicon.json"
+        lexicon.save(path)
+        loaded = SynonymLexicon.load(path)
+        assert loaded.to_dict() == lexicon.to_dict()
+
+    def test_from_dict_requires_groups(self):
+        with pytest.raises(DataError, match="groups"):
+            SynonymLexicon.from_dict({})

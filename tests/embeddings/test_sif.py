@@ -1,0 +1,95 @@
+"""Tests for SIF-weighted text encoding."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.base import WordEmbeddings
+from repro.embeddings.sif import SifEncoder
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def embeddings():
+    vocab = Vocabulary(["the", "megapixel", "resolution", "spec"])
+    vectors = np.array(
+        [
+            [1.0, 0.0, 0.0],   # "the" -- a frequent filler
+            [0.0, 1.0, 0.0],   # "megapixel"
+            [0.0, 0.9, 0.1],   # "resolution"
+            [0.0, 0.0, 1.0],   # "spec"
+        ]
+    )
+    return WordEmbeddings(vocab, vectors)
+
+
+@pytest.fixture()
+def frequencies():
+    return {"the": 0.5, "megapixel": 0.001, "resolution": 0.001, "spec": 0.05}
+
+
+class TestSifEncoder:
+    def test_frequent_words_downweighted(self, embeddings, frequencies):
+        encoder = SifEncoder(embeddings, frequencies)
+        plain = embeddings.embed_text("the megapixel")
+        weighted = encoder.embed_text("the megapixel")
+        # The "the" axis (dim 0) contributes much less under SIF.
+        assert weighted[0] < plain[0]
+        assert weighted[1] > plain[1]
+
+    def test_unknown_word_gets_max_weight(self, embeddings, frequencies):
+        encoder = SifEncoder(embeddings, frequencies)
+        assert encoder._weight("neverseen") == encoder._weight("megapixel")
+
+    def test_empty_text(self, embeddings, frequencies):
+        encoder = SifEncoder(embeddings, frequencies)
+        assert np.allclose(encoder.embed_text(""), 0.0)
+
+    def test_common_direction_removed(self, embeddings, frequencies):
+        encoder = SifEncoder(embeddings, frequencies)
+        texts = ["megapixel spec", "resolution spec", "megapixel resolution"]
+        encoder.fit_common_direction(texts)
+        direction = encoder._common_direction
+        assert direction is not None
+        vector = encoder.embed_text("megapixel spec")
+        assert abs(np.dot(vector, direction)) < 1e-9
+
+    def test_fit_with_too_few_texts_is_noop(self, embeddings, frequencies):
+        encoder = SifEncoder(embeddings, frequencies)
+        encoder.fit_common_direction(["", "123"])
+        assert encoder._common_direction is None
+
+    def test_widens_synonym_vs_nonsynonym_margin(self, embeddings, frequencies):
+        from repro.embeddings.base import cosine
+
+        encoder = SifEncoder(embeddings, frequencies)
+
+        def margin(embed):
+            match = cosine(
+                embed("the megapixel"), embed("the resolution")
+            )
+            non_match = cosine(embed("the megapixel"), embed("the spec"))
+            return match - non_match
+
+        # Down-weighting the shared filler "the" must widen the gap
+        # between the synonym pair and the unrelated pair.
+        assert margin(encoder.embed_text) > margin(embeddings.embed_text)
+
+    def test_validation(self, embeddings):
+        with pytest.raises(ConfigurationError):
+            SifEncoder(embeddings, {}, a=1e-3)
+        with pytest.raises(ConfigurationError):
+            SifEncoder(embeddings, {"a": 0.1}, a=0.0)
+
+    def test_frequency_builders(self):
+        from_sentences = SifEncoder.frequencies_from_sentences([["a", "b"], ["a"]])
+        assert from_sentences["a"] == pytest.approx(2 / 3)
+        from_texts = SifEncoder.frequencies_from_texts(["mp rating", "MP"])
+        assert from_texts["mp"] == pytest.approx(2 / 3)
+        with pytest.raises(ConfigurationError):
+            SifEncoder.frequencies_from_texts(["123"])
+
+    def test_vector_passthrough(self, embeddings, frequencies):
+        encoder = SifEncoder(embeddings, frequencies)
+        assert np.allclose(encoder.vector("megapixel"), embeddings.vector("megapixel"))
+        assert encoder.dimension == 3

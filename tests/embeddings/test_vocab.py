@@ -1,0 +1,71 @@
+"""Tests for the embedding vocabulary."""
+
+import pytest
+
+from repro.embeddings.vocab import Vocabulary
+from repro.errors import VocabularyError
+
+
+class TestVocabulary:
+    def test_insertion_order_ids(self):
+        vocab = Vocabulary(["b", "a", "c"])
+        assert vocab.id_of("b") == 0
+        assert vocab.id_of("a") == 1
+        assert vocab.id_of("c") == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("word")
+        second = vocab.add("word")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(VocabularyError, match="not in vocabulary"):
+            Vocabulary().id_of("ghost")
+
+    def test_get_returns_default(self):
+        assert Vocabulary().get("ghost") is None
+        assert Vocabulary().get("ghost", -1) == -1
+
+    def test_token_of_roundtrip(self):
+        vocab = Vocabulary(["x", "y"])
+        for token in vocab:
+            assert vocab.token_of(vocab.id_of(token)) == token
+
+    def test_token_of_out_of_range(self):
+        with pytest.raises(VocabularyError, match="out of range"):
+            Vocabulary(["a"]).token_of(5)
+
+    def test_contains(self):
+        vocab = Vocabulary(["a"])
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_tokens_returns_copy(self):
+        vocab = Vocabulary(["a"])
+        tokens = vocab.tokens()
+        tokens.append("b")
+        assert len(vocab) == 1
+
+
+class TestFromCorpus:
+    def test_frequency_order(self):
+        corpus = [["b", "a", "a"], ["a", "b", "c"]]
+        vocab = Vocabulary.from_corpus(corpus)
+        assert vocab.tokens() == ["a", "b", "c"]
+
+    def test_min_count_filter(self):
+        vocab = Vocabulary.from_corpus([["a", "a", "b"]], min_count=2)
+        assert vocab.tokens() == ["a"]
+
+    def test_max_size_truncates_to_most_frequent(self):
+        vocab = Vocabulary.from_corpus([["a", "a", "b", "c"]], max_size=1)
+        assert vocab.tokens() == ["a"]
+
+    def test_tie_break_alphabetical(self):
+        vocab = Vocabulary.from_corpus([["z", "a"]])
+        assert vocab.tokens() == ["a", "z"]
+
+    def test_empty_corpus(self):
+        assert len(Vocabulary.from_corpus([])) == 0

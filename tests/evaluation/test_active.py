@@ -1,0 +1,85 @@
+"""Tests for the active-learning harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import LeapmeConfig, LeapmeMatcher
+from repro.data.pairs import build_pairs
+from repro.data.splits import split_sources
+from repro.errors import ConfigurationError
+from repro.evaluation.active import ActiveLearningCurve, run_active_learning
+from repro.nn.schedule import TrainingSchedule
+
+FAST = LeapmeConfig(
+    hidden_sizes=(24,),
+    schedule=TrainingSchedule.constant(6, 1e-3),
+)
+
+
+@pytest.fixture()
+def setup(tiny_headphones, tiny_embeddings, rng):
+    split = split_sources(tiny_headphones, 0.6, rng)
+    pool = build_pairs(tiny_headphones, list(split.train_sources), within=True)
+    evaluation = build_pairs(tiny_headphones, list(split.train_sources), within=False)
+    matcher = LeapmeMatcher(tiny_embeddings, config=FAST)
+    return tiny_headphones, matcher, pool, evaluation
+
+
+class TestRunActiveLearning:
+    def test_curve_structure(self, setup, rng):
+        dataset, matcher, pool, evaluation = setup
+        curve = run_active_learning(
+            matcher, dataset, pool, evaluation,
+            budgets=[10, 30], strategy="random", rng=rng,
+        )
+        assert curve.budgets == (10, 30)
+        assert len(curve.f1_scores) == 2
+        assert all(0.0 <= f1 <= 1.0 for f1 in curve.f1_scores)
+
+    def test_uncertainty_runs(self, setup, rng):
+        dataset, matcher, pool, evaluation = setup
+        curve = run_active_learning(
+            matcher, dataset, pool, evaluation,
+            budgets=[10, 30], strategy="uncertainty", rng=rng,
+        )
+        assert curve.strategy == "uncertainty"
+        assert curve.final_f1() >= 0.0
+
+    def test_budget_exceeding_pool_is_capped(self, setup, rng):
+        dataset, matcher, pool, evaluation = setup
+        curve = run_active_learning(
+            matcher, dataset, pool, evaluation,
+            budgets=[10, 10_000], strategy="random", rng=rng,
+        )
+        assert len(curve.f1_scores) == 2
+
+    def test_more_labels_do_not_hurt_much(self, setup, rng):
+        dataset, matcher, pool, evaluation = setup
+        curve = run_active_learning(
+            matcher, dataset, pool, evaluation,
+            budgets=[10, 60], strategy="random", rng=rng,
+        )
+        assert curve.f1_scores[1] >= curve.f1_scores[0] - 0.25
+
+    def test_invalid_strategy(self, setup, rng):
+        dataset, matcher, pool, evaluation = setup
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            run_active_learning(
+                matcher, dataset, pool, evaluation, budgets=[10], strategy="magic"
+            )
+
+    def test_invalid_budgets(self, setup, rng):
+        dataset, matcher, pool, evaluation = setup
+        with pytest.raises(ConfigurationError):
+            run_active_learning(
+                matcher, dataset, pool, evaluation, budgets=[30, 10]
+            )
+        with pytest.raises(ConfigurationError):
+            run_active_learning(
+                matcher, dataset, pool, evaluation, budgets=[2], seed_size=10
+            )
+
+    def test_describe(self):
+        curve = ActiveLearningCurve("random", (10, 20), (0.5, 0.6))
+        assert "random" in curve.describe()
+        assert curve.final_f1() == 0.6

@@ -1,0 +1,103 @@
+"""Tests for precision-recall curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.evaluation.curves import (
+    PrecisionRecallCurve,
+    precision_recall_curve,
+    render_pr_curve,
+)
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_scorer(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        curve = precision_recall_curve(scores, labels)
+        assert curve.average_precision == pytest.approx(1.0)
+        best_f1, _ = curve.best_f1()
+        assert best_f1 == pytest.approx(1.0)
+
+    def test_worst_scorer(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        curve = precision_recall_curve(scores, labels)
+        assert curve.average_precision < 0.6
+
+    def test_random_scorer_ap_near_base_rate(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(5000)
+        labels = (rng.random(5000) < 0.1).astype(int)
+        curve = precision_recall_curve(scores, labels)
+        assert curve.average_precision == pytest.approx(0.1, abs=0.05)
+
+    def test_one_point_per_distinct_score(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.9])
+        labels = np.array([1, 0, 1, 1])
+        curve = precision_recall_curve(scores, labels)
+        assert len(curve) == 2
+
+    def test_recall_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(100)
+        labels = (rng.random(100) < 0.3).astype(int)
+        curve = precision_recall_curve(scores, labels)
+        assert (np.diff(curve.recalls) >= 0).all()
+        assert curve.recalls[-1] == pytest.approx(1.0)
+
+    def test_precision_at_recall(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        labels = np.array([1, 0, 1, 0])
+        curve = precision_recall_curve(scores, labels)
+        assert curve.precision_at_recall(0.5) == pytest.approx(1.0)
+        assert curve.precision_at_recall(1.0) == pytest.approx(2 / 3)
+
+    def test_best_f1_threshold_is_attainable(self):
+        scores = np.array([0.9, 0.6, 0.4, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        curve = precision_recall_curve(scores, labels)
+        best_f1, threshold = curve.best_f1()
+        from repro.metrics import evaluate_scores
+
+        recomputed = evaluate_scores(scores, labels, threshold)
+        assert recomputed.f1 == pytest.approx(best_f1)
+
+    def test_empty_inputs(self):
+        curve = precision_recall_curve(np.zeros(0), np.zeros(0))
+        assert len(curve) == 0
+        assert curve.average_precision == 0.0
+        assert curve.best_f1() == (0.0, 0.5)
+
+    def test_no_positives(self):
+        curve = precision_recall_curve(np.array([0.5]), np.array([0]))
+        assert len(curve) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            precision_recall_curve(np.zeros(3), np.zeros(2))
+
+    @given(
+        scores=st.lists(st.floats(0, 1), min_size=2, max_size=40),
+        seed=st.integers(0, 100),
+    )
+    def test_ap_in_unit_interval(self, scores, seed):
+        scores = np.array(scores)
+        labels = np.random.default_rng(seed).integers(0, 2, size=len(scores))
+        if not labels.any():
+            labels[0] = 1
+        curve = precision_recall_curve(scores, labels)
+        assert 0.0 <= curve.average_precision <= 1.0 + 1e-9
+
+    def test_render(self):
+        scores = np.array([0.9, 0.1])
+        labels = np.array([1, 0])
+        text = render_pr_curve(precision_recall_curve(scores, labels))
+        assert "AP=" in text
+
+    def test_render_empty(self):
+        empty = PrecisionRecallCurve(np.zeros(0), np.zeros(0), np.zeros(0))
+        assert "empty" in render_pr_curve(empty)

@@ -1,0 +1,63 @@
+"""Tests for markdown result rendering."""
+
+import pytest
+
+from repro.evaluation.markdown import results_to_markdown, summary_to_markdown
+from repro.evaluation.runner import ExperimentResult, RunSettings
+from repro.metrics import MatchQuality
+
+
+def _result(system, dataset, fraction, f1_counts=(80, 20, 20)):
+    tp, fp, fn = f1_counts
+    return ExperimentResult(
+        matcher_name=system,
+        dataset_name=dataset,
+        settings=RunSettings(train_fraction=fraction),
+        qualities=[MatchQuality(tp, fp, fn)],
+    )
+
+
+@pytest.fixture()
+def results():
+    return [
+        _result("LEAPME", "cameras", 0.8, (90, 5, 5)),
+        _result("AML", "cameras", 0.8, (40, 5, 55)),
+        _result("LEAPME", "cameras", 0.2, (70, 20, 30)),
+    ]
+
+
+class TestResultsToMarkdown:
+    def test_structure(self, results):
+        text = results_to_markdown(results, caption="Table II")
+        lines = text.splitlines()
+        assert lines[0] == "**Table II**"
+        assert lines[2].startswith("| dataset | train % | LEAPME | AML |")
+        assert lines[3].count("---") == 4
+
+    def test_best_f1_bolded(self, results):
+        text = results_to_markdown(results)
+        row_80 = next(line for line in text.splitlines() if "80%" in line)
+        assert "**" in row_80
+        assert row_80.index("0.95") > 0  # LEAPME precision present
+
+    def test_missing_cell_dashed(self, results):
+        text = results_to_markdown(results, systems=["LEAPME", "AML", "ghost"])
+        row_20 = next(line for line in text.splitlines() if "20%" in line)
+        assert "–" in row_20
+
+    def test_no_bold_option(self, results):
+        text = results_to_markdown(results, bold_best=False)
+        assert "**" not in text
+
+    def test_rows_sorted(self, results):
+        text = results_to_markdown(results)
+        body = [line for line in text.splitlines() if line.startswith("| cameras")]
+        assert "20%" in body[0] and "80%" in body[1]
+
+
+class TestSummaryToMarkdown:
+    def test_bullets(self, results):
+        text = summary_to_markdown(results)
+        assert text.count("\n") == 2
+        assert "`LEAPME` on **cameras**" in text
+        assert "±" in text

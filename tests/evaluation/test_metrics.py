@@ -1,0 +1,82 @@
+"""Tests for match-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.metrics import MatchQuality, evaluate_predictions, evaluate_scores, mean_quality
+
+
+class TestMatchQuality:
+    def test_simple_counts(self):
+        quality = MatchQuality(true_positives=8, false_positives=2, false_negatives=4)
+        assert quality.precision == 0.8
+        assert quality.recall == pytest.approx(8 / 12)
+        assert quality.f1 == pytest.approx(2 * 0.8 * (8 / 12) / (0.8 + 8 / 12))
+
+    def test_no_predictions_nothing_to_find(self):
+        quality = MatchQuality(0, 0, 0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_no_predictions_but_positives_exist(self):
+        quality = MatchQuality(0, 0, 5)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_addition_micro_averages(self):
+        total = MatchQuality(1, 2, 3) + MatchQuality(4, 5, 6)
+        assert total == MatchQuality(5, 7, 9)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(DimensionError):
+            MatchQuality(-1, 0, 0)
+
+    def test_as_row(self):
+        quality = MatchQuality(1, 1, 1)
+        assert quality.as_row() == (0.5, 0.5, 0.5)
+
+    @given(
+        tp=st.integers(0, 100),
+        fp=st.integers(0, 100),
+        fn=st.integers(0, 100),
+    )
+    def test_f1_between_precision_and_recall(self, tp, fp, fn):
+        quality = MatchQuality(tp, fp, fn)
+        low = min(quality.precision, quality.recall)
+        high = max(quality.precision, quality.recall)
+        assert low - 1e-9 <= quality.f1 <= high + 1e-9
+
+
+class TestEvaluate:
+    def test_evaluate_predictions(self):
+        predictions = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        quality = evaluate_predictions(predictions, labels)
+        assert (quality.true_positives, quality.false_positives, quality.false_negatives) == (1, 1, 1)
+
+    def test_evaluate_scores_threshold(self):
+        scores = np.array([0.9, 0.4, 0.6])
+        labels = np.array([1, 1, 0])
+        quality = evaluate_scores(scores, labels, threshold=0.5)
+        assert quality.true_positives == 1
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            evaluate_predictions(np.array([1]), np.array([1, 0]))
+
+    def test_mean_quality(self):
+        qualities = [MatchQuality(1, 0, 0), MatchQuality(0, 0, 1)]
+        precision, recall, f1 = mean_quality(qualities)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_mean_quality_empty(self):
+        assert mean_quality([]) == (0.0, 0.0, 0.0)

@@ -1,0 +1,87 @@
+"""Edge-case tests for the experiment runner."""
+
+import numpy as np
+
+from repro.core.api import Matcher
+from repro.data.model import Dataset, PropertyInstance
+from repro.evaluation import RunSettings, evaluate_matcher
+
+
+class NeverCalledMatcher(Matcher):
+    """Supervised matcher that must never be fitted nor score."""
+
+    name = "NeverCalled"
+    is_supervised = True
+
+    def __init__(self):
+        self.fit_calls = 0
+
+    def fit(self, dataset, training_pairs):
+        self.fit_calls += 1
+
+    def score_pairs(self, dataset, pairs):
+        return np.zeros(len(pairs))
+
+
+class ConstantMatcher(Matcher):
+    """Unsupervised matcher scoring everything the same."""
+
+    name = "Constant"
+    is_supervised = False
+
+    def __init__(self, score):
+        self._score = score
+
+    def score_pairs(self, dataset, pairs):
+        return np.full(len(pairs), self._score)
+
+
+def _unlabelled_dataset():
+    instances = [
+        PropertyInstance(f"s{i}", f"p{i}{j}", f"e{i}", "v")
+        for i in range(4)
+        for j in range(2)
+    ]
+    return Dataset("nolabels", instances, {})
+
+
+class TestSkippedRepetitions:
+    def test_no_positive_training_pairs_skips_all(self):
+        dataset = _unlabelled_dataset()
+        matcher = NeverCalledMatcher()
+        result = evaluate_matcher(matcher, dataset, RunSettings(repetitions=3))
+        assert result.skipped_repetitions == 3
+        assert result.qualities == []
+        assert matcher.fit_calls == 0
+
+    def test_metrics_of_empty_result(self):
+        dataset = _unlabelled_dataset()
+        result = evaluate_matcher(
+            NeverCalledMatcher(), dataset, RunSettings(repetitions=2)
+        )
+        assert result.precision == 0.0
+        assert result.f1 == 0.0
+        assert result.f1_std == 0.0
+
+
+class TestConstantMatchers:
+    def test_all_positive_predictions(self):
+        dataset = _unlabelled_dataset()
+        result = evaluate_matcher(
+            ConstantMatcher(1.0), dataset, RunSettings(repetitions=1)
+        )
+        # No true matches exist: precision 0, recall (vacuous) 1.
+        quality = result.qualities[0]
+        assert quality.precision == 0.0
+        assert quality.recall == 1.0
+
+    def test_all_negative_predictions_on_unlabelled(self):
+        dataset = _unlabelled_dataset()
+        result = evaluate_matcher(
+            ConstantMatcher(0.0), dataset, RunSettings(repetitions=1)
+        )
+        # Predicting nothing when there is nothing to find is perfect.
+        quality = result.qualities[0]
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0

@@ -1,0 +1,124 @@
+"""Tests for significance testing of matcher comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.significance import (
+    ComparisonResult,
+    bootstrap_confidence_interval,
+    compare_results,
+    paired_permutation_test,
+)
+
+
+class TestPairedPermutationTest:
+    def test_identical_scores_not_significant(self):
+        scores = [0.8, 0.7, 0.9, 0.85]
+        result = paired_permutation_test(scores, list(scores))
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_consistent_large_gap_significant(self):
+        scores_a = [0.9, 0.91, 0.89, 0.92, 0.9, 0.88, 0.93, 0.9, 0.91, 0.9]
+        scores_b = [0.5, 0.52, 0.48, 0.51, 0.5, 0.49, 0.53, 0.5, 0.52, 0.51]
+        result = paired_permutation_test(scores_a, scores_b)
+        assert result.mean_difference == pytest.approx(0.4, abs=0.02)
+        assert result.significant(0.05)
+
+    def test_balanced_differences_not_significant(self):
+        # Differences alternate +d / -d: the mean difference is exactly 0
+        # and no sign-flip assignment is more extreme than observed.
+        scores_a = [0.8, 0.7, 0.9, 0.6, 0.85, 0.75]
+        scores_b = [0.75, 0.75, 0.85, 0.65, 0.8, 0.8]
+        result = paired_permutation_test(scores_a, scores_b)
+        assert result.mean_difference == pytest.approx(0.0)
+        assert result.p_value > 0.5
+
+    def test_symmetry(self):
+        scores_a = [0.9, 0.8, 0.85]
+        scores_b = [0.6, 0.65, 0.55]
+        forward = paired_permutation_test(scores_a, scores_b)
+        backward = paired_permutation_test(scores_b, scores_a)
+        assert forward.p_value == pytest.approx(backward.p_value)
+        assert forward.mean_difference == pytest.approx(-backward.mean_difference)
+
+    def test_exact_small_n_matches_enumeration(self):
+        # n=2, differences (0.1, 0.1): 4 assignments, |mean| >= 0.1 for
+        # (+,+) and (-,-) -> p = 0.5.
+        result = paired_permutation_test([0.6, 0.7], [0.5, 0.6])
+        assert result.p_value == pytest.approx(0.5)
+
+    def test_large_n_sampled_path(self):
+        rng = np.random.default_rng(1)
+        scores_a = list(0.8 + rng.normal(0, 0.01, 20))
+        scores_b = list(0.5 + rng.normal(0, 0.01, 20))
+        result = paired_permutation_test(scores_a, scores_b, n_permutations=2000)
+        assert result.p_value < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paired_permutation_test([0.5], [0.5, 0.6])
+        with pytest.raises(ConfigurationError):
+            paired_permutation_test([], [])
+
+    def test_describe(self):
+        result = ComparisonResult(0.123, 0.01, 5)
+        assert "+0.123" in result.describe()
+
+
+class TestBootstrap:
+    def test_interval_contains_mean(self):
+        scores = [0.8, 0.82, 0.78, 0.81, 0.79]
+        low, high = bootstrap_confidence_interval(scores)
+        assert low <= np.mean(scores) <= high
+
+    def test_wider_confidence_wider_interval(self):
+        scores = list(np.random.default_rng(0).random(10))
+        narrow = bootstrap_confidence_interval(scores, confidence=0.5)
+        wide = bootstrap_confidence_interval(scores, confidence=0.99)
+        assert wide[0] <= narrow[0] and narrow[1] <= wide[1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval([], confidence=0.9)
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval([0.5], confidence=1.0)
+
+
+class TestCompareResults:
+    def _result(self, f1s, dataset="d"):
+        from repro.evaluation.runner import ExperimentResult, RunSettings
+        from repro.metrics import MatchQuality
+
+        qualities = []
+        for f1 in f1s:
+            # Construct counts realising roughly the requested F1.
+            tp = int(round(100 * f1))
+            fp = 100 - tp
+            fn = 100 - tp
+            qualities.append(MatchQuality(tp, fp, fn))
+        return ExperimentResult(
+            matcher_name="m",
+            dataset_name=dataset,
+            settings=RunSettings(),
+            qualities=qualities,
+        )
+
+    def test_compare(self):
+        a = self._result([0.9, 0.91, 0.9, 0.92])
+        b = self._result([0.6, 0.62, 0.59, 0.61])
+        comparison = compare_results(a, b)
+        assert comparison.mean_difference > 0.2
+
+    def test_mismatched_datasets_rejected(self):
+        a = self._result([0.9], dataset="x")
+        b = self._result([0.8], dataset="y")
+        with pytest.raises(ConfigurationError, match="different datasets"):
+            compare_results(a, b)
+
+    def test_unknown_metric(self):
+        a = self._result([0.9])
+        b = self._result([0.8])
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            compare_results(a, b, metric="accuracy")

@@ -1,0 +1,109 @@
+"""Tests for cluster value fusion."""
+
+import pytest
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.errors import ConfigurationError
+from repro.graph.fusion import canonical_name, fuse_cluster, fuse_clusters
+
+
+@pytest.fixture()
+def dataset():
+    instances = [
+        PropertyInstance("s1", "Screen_Size", "e1", "6.1 inch"),
+        PropertyInstance("s1", "Screen_Size", "e2", "6.7 inch"),
+        PropertyInstance("s2", "screen size", "e3", "5.5 in"),
+        PropertyInstance("s3", "panel inches", "e4", "6.4"),
+        PropertyInstance("s2", "weight", "e3", "190 g"),
+    ]
+    alignment = {
+        PropertyRef("s1", "Screen_Size"): "screen",
+        PropertyRef("s2", "screen size"): "screen",
+        PropertyRef("s3", "panel inches"): "screen",
+        PropertyRef("s2", "weight"): "weight",
+    }
+    return Dataset("f", instances, alignment)
+
+
+SCREEN_CLUSTER = {
+    PropertyRef("s1", "Screen_Size"),
+    PropertyRef("s2", "screen size"),
+    PropertyRef("s3", "panel inches"),
+}
+
+
+class TestCanonicalName:
+    def test_majority_normalised_name(self):
+        assert canonical_name(sorted(SCREEN_CLUSTER)) == "screen size"
+
+    def test_deterministic_tie_break(self):
+        members = [PropertyRef("s1", "beta"), PropertyRef("s2", "alpha")]
+        assert canonical_name(members) == "alpha"
+
+
+class TestFuseCluster:
+    def test_structure(self, dataset):
+        fused = fuse_cluster(dataset, SCREEN_CLUSTER)
+        assert fused.canonical_name == "screen size"
+        assert fused.n_sources == 3
+        assert len(fused.values) == 4  # four distinct entities
+
+    def test_single_values_kept_verbatim(self, dataset):
+        fused = fuse_cluster(dataset, SCREEN_CLUSTER)
+        assert fused.values["e1"] == "6.1 inch"
+
+    def test_majority_resolves_conflicts(self):
+        instances = [
+            PropertyInstance("s1", "color", "e1", "black"),
+            PropertyInstance("s2", "colour", "e1", "black"),
+            PropertyInstance("s3", "shade", "e1", "noir"),
+        ]
+        dataset = Dataset("c", instances, {})
+        cluster = {ref for ref in dataset.properties()}
+        fused = fuse_cluster(dataset, cluster, strategy="majority")
+        assert fused.values["e1"] == "black"
+
+    def test_numeric_median_parses_units(self):
+        instances = [
+            PropertyInstance("s1", "res", "e1", "20 mp"),
+            PropertyInstance("s2", "mp", "e1", "24mp"),
+            PropertyInstance("s3", "pixels", "e1", "22"),
+        ]
+        dataset = Dataset("n", instances, {})
+        cluster = set(dataset.properties())
+        fused = fuse_cluster(dataset, cluster, strategy="numeric_median")
+        assert fused.values["e1"] == "22"
+
+    def test_numeric_median_falls_back_to_majority(self):
+        instances = [
+            PropertyInstance("s1", "a", "e1", "yes"),
+            PropertyInstance("s2", "b", "e1", "yes"),
+            PropertyInstance("s3", "c", "e1", "no"),
+        ]
+        dataset = Dataset("m", instances, {})
+        fused = fuse_cluster(dataset, set(dataset.properties()), "numeric_median")
+        assert fused.values["e1"] == "yes"
+
+    def test_unknown_strategy(self, dataset):
+        with pytest.raises(ConfigurationError, match="unknown fusion strategy"):
+            fuse_cluster(dataset, SCREEN_CLUSTER, strategy="quantum")
+
+    def test_describe(self, dataset):
+        assert "screen size" in fuse_cluster(dataset, SCREEN_CLUSTER).describe()
+
+
+class TestFuseClusters:
+    def test_min_sources_filter(self, dataset):
+        clusters = [SCREEN_CLUSTER, {PropertyRef("s2", "weight")}]
+        fused = fuse_clusters(dataset, clusters, min_sources=2)
+        assert len(fused) == 1
+        assert fused[0].canonical_name == "screen size"
+
+    def test_ordering_by_coverage(self, dataset):
+        clusters = [{PropertyRef("s2", "weight")}, SCREEN_CLUSTER]
+        fused = fuse_clusters(dataset, clusters, min_sources=1)
+        assert fused[0].n_sources >= fused[-1].n_sources
+
+    def test_invalid_min_sources(self, dataset):
+        with pytest.raises(ConfigurationError):
+            fuse_clusters(dataset, [], min_sources=0)

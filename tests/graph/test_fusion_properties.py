@@ -1,0 +1,79 @@
+"""Property-based tests for value fusion invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.graph.fusion import canonical_name, fuse_cluster
+
+value_text = st.text(
+    alphabet="abcdefghij 0123456789.", min_size=1, max_size=12
+).filter(str.strip)
+
+
+@st.composite
+def cluster_datasets(draw):
+    """A dataset plus one cross-source cluster over its properties."""
+    n_sources = draw(st.integers(2, 4))
+    instances = []
+    cluster = set()
+    for s in range(n_sources):
+        source = f"s{s}"
+        name = draw(st.sampled_from(["size", "Size", "panel_size", "size spec"]))
+        ref = PropertyRef(source, name)
+        cluster.add(ref)
+        for e in range(draw(st.integers(1, 3))):
+            instances.append(
+                PropertyInstance(source, name, f"e{s}_{e}", draw(value_text))
+            )
+    return Dataset("prop", instances, {}), cluster
+
+
+class TestFusionProperties:
+    @given(data=cluster_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_every_entity_gets_a_value(self, data):
+        dataset, cluster = data
+        fused = fuse_cluster(dataset, cluster)
+        entities = {
+            instance.entity_id
+            for ref in cluster
+            for instance in dataset.instances_of(ref)
+        }
+        assert set(fused.values) == entities
+
+    @given(data=cluster_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_fused_value_is_an_observed_value_under_majority(self, data):
+        dataset, cluster = data
+        fused = fuse_cluster(dataset, cluster, strategy="majority")
+        observed = {
+            instance.entity_id: set()
+            for ref in cluster
+            for instance in dataset.instances_of(ref)
+        }
+        for ref in cluster:
+            for instance in dataset.instances_of(ref):
+                observed[instance.entity_id].add(instance.value)
+        for entity, value in fused.values.items():
+            assert value in observed[entity]
+
+    @given(data=cluster_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_canonical_name_normalised_form_of_a_member(self, data):
+        dataset, cluster = data
+        from repro.text.normalize import name_tokens
+
+        name = canonical_name(sorted(cluster))
+        member_forms = {" ".join(name_tokens(ref.name)) for ref in cluster}
+        assert name in member_forms
+
+    @given(data=cluster_datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, data):
+        dataset, cluster = data
+        one = fuse_cluster(dataset, cluster)
+        two = fuse_cluster(dataset, cluster)
+        assert one.values == two.values
+        assert one.canonical_name == two.canonical_name

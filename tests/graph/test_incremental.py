@@ -1,0 +1,107 @@
+"""Tests for incremental source-by-source integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import Matcher
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.errors import ConfigurationError, DataError
+from repro.graph.clustering import clustering_metrics
+from repro.graph.incremental import IncrementalClusterer
+
+
+class OracleMatcher(Matcher):
+    """Scores pairs by ground truth."""
+
+    name = "Oracle"
+    is_supervised = False
+
+    def score_pairs(self, dataset, pairs):
+        return np.array(
+            [1.0 if dataset.is_match(p.left, p.right) else 0.0 for p in pairs]
+        )
+
+
+@pytest.fixture()
+def dataset():
+    instances = []
+    alignment = {}
+    for source in ("s1", "s2", "s3"):
+        for prop, reference in (("a", "ra"), ("b", "rb")):
+            name = f"{prop}_{source}"
+            instances.append(PropertyInstance(source, name, f"e{source}", "v"))
+            alignment[PropertyRef(source, name)] = reference
+    return Dataset("inc", instances, alignment)
+
+
+class TestIncrementalClusterer:
+    def test_first_source_founds_singletons(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset)
+        changes = clusterer.add_source("s1")
+        assert changes == {"joined": 0, "founded": 2}
+        assert all(len(c) == 1 for c in clusterer.clusters())
+
+    def test_oracle_recovers_perfect_clusters(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset)
+        clusterer.add_all()
+        clusters = clusterer.clusters()
+        assert sorted(len(c) for c in clusters) == [3, 3]
+        quality = clustering_metrics(clusters, dataset)
+        assert quality.f1 == 1.0
+
+    def test_second_source_joins(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset)
+        clusterer.add_source("s1")
+        changes = clusterer.add_source("s2")
+        assert changes == {"joined": 2, "founded": 0}
+
+    def test_duplicate_source_rejected(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset)
+        clusterer.add_source("s1")
+        with pytest.raises(DataError, match="already integrated"):
+            clusterer.add_source("s1")
+
+    def test_unknown_source_rejected(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset)
+        with pytest.raises(DataError, match="unknown source"):
+            clusterer.add_source("ghost")
+
+    def test_one_property_per_cluster_per_source(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset)
+        clusterer.add_all()
+        for cluster in clusterer.clusters():
+            sources = [ref.source for ref in cluster]
+            assert len(sources) == len(set(sources))
+
+    def test_average_linkage(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset, linkage="average")
+        clusterer.add_all()
+        assert clustering_metrics(clusterer.clusters(), dataset).f1 == 1.0
+
+    def test_invalid_linkage(self, dataset):
+        with pytest.raises(ConfigurationError):
+            IncrementalClusterer(OracleMatcher(), dataset, linkage="single")
+
+    def test_integration_order_recorded(self, dataset):
+        clusterer = IncrementalClusterer(OracleMatcher(), dataset)
+        clusterer.add_all(order=["s3", "s1", "s2"])
+        assert clusterer.integrated_sources == ["s3", "s1", "s2"]
+
+    def test_with_real_matcher(self, tiny_headphones, tiny_embeddings, rng):
+        from repro.core import LeapmeConfig, LeapmeMatcher
+        from repro.data.pairs import build_pairs, sample_training_pairs
+        from repro.nn.schedule import TrainingSchedule
+
+        matcher = LeapmeMatcher(
+            tiny_embeddings,
+            config=LeapmeConfig(
+                hidden_sizes=(32,), schedule=TrainingSchedule.constant(6, 1e-3)
+            ),
+        )
+        training = sample_training_pairs(build_pairs(tiny_headphones), rng=rng)
+        matcher.fit(tiny_headphones, training)
+        clusterer = IncrementalClusterer(matcher, tiny_headphones)
+        totals = clusterer.add_all()
+        assert totals["joined"] > 0
+        quality = clustering_metrics(clusterer.clusters(), tiny_headphones)
+        assert quality.f1 > 0.3

@@ -1,0 +1,140 @@
+"""Tests for the similarity graph and property clustering."""
+
+import pytest
+
+from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.errors import ConfigurationError
+from repro.graph import (
+    SimilarityGraph,
+    cluster_connected_components,
+    cluster_correlation,
+    cluster_star,
+    clustering_metrics,
+)
+
+
+def _ref(source, name):
+    return PropertyRef(source, name)
+
+
+@pytest.fixture()
+def graph():
+    g = SimilarityGraph()
+    g.add(_ref("s1", "a"), _ref("s2", "a"), 0.9)
+    g.add(_ref("s1", "a"), _ref("s3", "a"), 0.8)
+    g.add(_ref("s2", "a"), _ref("s3", "a"), 0.7)
+    g.add(_ref("s1", "b"), _ref("s2", "b"), 0.6)
+    g.add(_ref("s1", "a"), _ref("s2", "b"), 0.1)
+    return g
+
+
+@pytest.fixture()
+def dataset():
+    instances = []
+    alignment = {}
+    for source in ("s1", "s2", "s3"):
+        for name in ("a", "b"):
+            instances.append(PropertyInstance(source, name, f"e{source}", "v"))
+            alignment[PropertyRef(source, name)] = name
+    return Dataset("g", instances, alignment)
+
+
+class TestSimilarityGraph:
+    def test_add_and_score(self, graph):
+        assert graph.score(_ref("s1", "a"), _ref("s2", "a")) == 0.9
+        # Order-independent lookup.
+        assert graph.score(_ref("s2", "a"), _ref("s1", "a")) == 0.9
+        assert graph.score(_ref("s1", "a"), _ref("s9", "z")) is None
+
+    def test_matches_thresholded_and_sorted(self, graph):
+        matches = graph.matches(0.5)
+        assert len(matches) == 4
+        scores = [edge.score for edge in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_match_keys(self, graph):
+        keys = graph.match_keys(0.65)
+        assert frozenset((_ref("s1", "a"), _ref("s2", "a"))) in keys
+        assert len(keys) == 3
+
+    def test_self_edge_rejected(self):
+        graph = SimilarityGraph()
+        with pytest.raises(ConfigurationError):
+            graph.add(_ref("s1", "a"), _ref("s1", "a"), 0.5)
+
+    def test_score_out_of_range(self):
+        graph = SimilarityGraph()
+        with pytest.raises(ConfigurationError):
+            graph.add(_ref("s1", "a"), _ref("s2", "b"), 1.5)
+
+    def test_overwrite(self, graph):
+        graph.add(_ref("s1", "a"), _ref("s2", "a"), 0.2)
+        assert graph.score(_ref("s1", "a"), _ref("s2", "a")) == 0.2
+        assert len(graph) == 5
+
+    def test_to_networkx(self, graph):
+        nx_graph = graph.to_networkx(0.5)
+        assert nx_graph.number_of_edges() == 4
+        assert nx_graph.number_of_nodes() == len(graph.properties())
+
+    def test_properties_sorted(self, graph):
+        properties = graph.properties()
+        assert properties == sorted(properties)
+
+
+class TestClustering:
+    def test_connected_components(self, graph):
+        clusters = cluster_connected_components(graph, 0.5)
+        sizes = sorted(len(cluster) for cluster in clusters)
+        assert sizes == [2, 3]
+
+    def test_star_clusters_disjoint(self, graph):
+        clusters = cluster_star(graph, 0.5)
+        seen = set()
+        for cluster in clusters:
+            assert not seen & cluster
+            seen |= cluster
+
+    def test_correlation_clusters_disjoint(self, graph):
+        clusters = cluster_correlation(graph, 0.5)
+        seen = set()
+        for cluster in clusters:
+            assert not seen & cluster
+            seen |= cluster
+
+    @pytest.mark.parametrize(
+        "method", [cluster_connected_components, cluster_star, cluster_correlation]
+    )
+    def test_perfect_graph_recovers_truth(self, graph, dataset, method):
+        clusters = method(graph, 0.5)
+        quality = clustering_metrics(clusters, dataset)
+        assert quality.precision == 1.0
+        # The 'b' cluster lacks s3 (never scored) so recall is below 1.
+        assert quality.recall > 0.5
+
+    def test_chain_error_split_by_star(self):
+        # a1 -- a2 -- b1 where a2-b1 is a false edge: components merge all
+        # three, star keeps the heavier pair together.
+        g = SimilarityGraph()
+        g.add(_ref("s1", "a"), _ref("s2", "a"), 0.9)
+        g.add(_ref("s2", "a"), _ref("s3", "b"), 0.55)
+        components = cluster_connected_components(g, 0.5)
+        stars = cluster_star(g, 0.5)
+        assert max(len(c) for c in components) == 3
+        assert max(len(c) for c in stars) <= 3
+
+    def test_overlapping_clusters_rejected(self, dataset):
+        overlapping = [{_ref("s1", "a")}, {_ref("s1", "a"), _ref("s2", "a")}]
+        with pytest.raises(ConfigurationError, match="overlap"):
+            clustering_metrics(overlapping, dataset)
+
+    def test_restrict_to(self, graph, dataset):
+        restricted = {_ref("s1", "a"), _ref("s2", "a")}
+        clusters = cluster_connected_components(graph, 0.5)
+        quality = clustering_metrics(clusters, dataset, restrict_to=restricted)
+        assert quality.true_positives == 1
+        assert quality.false_negatives == 0
+
+    def test_empty_graph(self, dataset):
+        clusters = cluster_connected_components(SimilarityGraph(), 0.5)
+        assert clusters == []

@@ -1,0 +1,126 @@
+"""Tests for probability calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.calibration import IsotonicCalibrator, PlattCalibrator, prior_correction
+
+
+def _noisy_scores(rng, n=400, positive_rate=0.3):
+    labels = (rng.random(n) < positive_rate).astype(int)
+    scores = np.clip(labels * 0.6 + rng.normal(0.2, 0.15, n), 0, 1)
+    return scores, labels
+
+
+class TestPlatt:
+    def test_monotone_in_score(self, rng):
+        scores, labels = _noisy_scores(rng)
+        calibrator = PlattCalibrator().fit(scores, labels)
+        grid = np.linspace(0, 1, 20)
+        out = calibrator.transform(grid)
+        assert (np.diff(out) >= -1e-12).all()
+
+    def test_outputs_are_probabilities(self, rng):
+        scores, labels = _noisy_scores(rng)
+        out = PlattCalibrator().fit_transform(scores, labels)
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_improves_calibration_error(self, rng):
+        # Raw scores deliberately over-confident: squash into [0.4, 0.6].
+        scores, labels = _noisy_scores(rng, n=1000)
+        raw = 0.4 + 0.2 * scores
+        calibrated = PlattCalibrator().fit_transform(raw, labels)
+
+        def ece(probabilities):
+            bins = np.clip((probabilities * 10).astype(int), 0, 9)
+            error = 0.0
+            for b in range(10):
+                members = bins == b
+                if members.sum() < 5:
+                    continue
+                error += abs(labels[members].mean() - probabilities[members].mean()) * members.mean()
+            return error
+
+        assert ece(calibrated) < ece(raw)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().transform(np.array([0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlattCalibrator().fit(np.zeros(0), np.zeros(0))
+
+
+class TestIsotonic:
+    def test_perfectly_separable(self, rng):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        out = calibrator.transform(np.array([0.15, 0.85]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_monotone_output(self, rng):
+        scores, labels = _noisy_scores(rng)
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        grid = np.linspace(0, 1, 50)
+        out = calibrator.transform(grid)
+        assert (np.diff(out) >= -1e-12).all()
+
+    def test_pava_pools_violators(self):
+        # Labels 1,0 at increasing scores must pool to the mean 0.5.
+        scores = np.array([0.3, 0.7])
+        labels = np.array([1, 0])
+        calibrator = IsotonicCalibrator().fit(scores, labels)
+        assert calibrator.transform(np.array([0.5]))[0] == pytest.approx(0.5)
+
+    def test_below_first_block_clamped(self):
+        calibrator = IsotonicCalibrator().fit(np.array([0.5, 0.9]), np.array([0, 1]))
+        assert calibrator.transform(np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            IsotonicCalibrator().transform(np.array([0.5]))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        scores, labels = _noisy_scores(rng, n=100)
+        out = IsotonicCalibrator().fit_transform(scores, labels)
+        # Isotonic regression preserves the overall positive rate.
+        assert out.mean() == pytest.approx(labels.mean(), abs=1e-9)
+
+
+class TestPriorCorrection:
+    def test_identity_when_priors_match(self):
+        probabilities = np.array([0.2, 0.5, 0.9])
+        out = prior_correction(probabilities, 0.3, 0.3)
+        assert np.allclose(out, probabilities)
+
+    def test_lower_deploy_prior_lowers_probabilities(self):
+        probabilities = np.array([0.5])
+        out = prior_correction(probabilities, train_positive_rate=1 / 3,
+                               deploy_positive_rate=0.05)
+        assert out[0] < 0.5
+
+    def test_extremes_fixed_points(self):
+        out = prior_correction(np.array([0.0, 1.0]), 0.3, 0.05)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_correct_bayes_arithmetic(self):
+        # r = 0.5/0.25 = 2, s = 0.5/0.75 = 2/3, p = 0.5:
+        # 2*0.5 / (2*0.5 + (2/3)*0.5) = 1 / (4/3) = 0.75
+        out = prior_correction(np.array([0.5]), 0.25, 0.5)
+        assert out[0] == pytest.approx(0.75)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigurationError):
+            prior_correction(np.array([0.5]), 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            prior_correction(np.array([0.5]), 0.5, 1.0)

@@ -1,0 +1,148 @@
+"""Tests for k-NN, naive Bayes, logistic regression and the scaler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.scaling import StandardScaler
+
+
+def _blobs(rng, n=200, separation=3.0):
+    half = n // 2
+    x0 = rng.standard_normal((half, 3)) + separation
+    x1 = rng.standard_normal((half, 3)) - separation
+    return np.vstack([x0, x1]), np.array([0] * half + [1] * half)
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda: KNeighborsClassifier(n_neighbors=3),
+        lambda: KNeighborsClassifier(n_neighbors=3, weights="distance"),
+        GaussianNaiveBayes,
+        LogisticRegression,
+    ],
+)
+class TestCommonBehaviour:
+    def test_fits_separable_data(self, model_factory, rng):
+        inputs, labels = _blobs(rng)
+        model = model_factory().fit(inputs, labels)
+        assert (model.predict(inputs) == labels).mean() > 0.95
+
+    def test_probabilities_valid(self, model_factory, rng):
+        inputs, labels = _blobs(rng)
+        model = model_factory().fit(inputs, labels)
+        probs = model.predict_proba(inputs)
+        assert probs.shape == (len(inputs), 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_not_fitted_raises(self, model_factory):
+        with pytest.raises(NotFittedError):
+            model_factory().predict(np.zeros((1, 3)))
+
+    def test_label_space_preserved(self, model_factory, rng):
+        inputs, labels = _blobs(rng)
+        renamed = np.where(labels == 0, -5, 5)
+        model = model_factory().fit(inputs, renamed)
+        assert set(np.unique(model.predict(inputs))) <= {-5, 5}
+
+    def test_empty_training_rejected(self, model_factory):
+        with pytest.raises(ConfigurationError):
+            model_factory().fit(np.zeros((0, 3)), np.zeros(0))
+
+
+class TestKnnSpecifics:
+    def test_single_neighbor_memorises(self, rng):
+        inputs, labels = _blobs(rng, n=20)
+        model = KNeighborsClassifier(n_neighbors=1).fit(inputs, labels)
+        assert (model.predict(inputs) == labels).all()
+
+    def test_k_larger_than_train_set(self, rng):
+        inputs, labels = _blobs(rng, n=6)
+        model = KNeighborsClassifier(n_neighbors=50).fit(inputs, labels)
+        # Falls back to all points; still predicts something sensible.
+        assert model.predict(inputs).shape == (6,)
+
+    def test_distance_weighting_prefers_closest(self):
+        inputs = np.array([[0.0], [0.1], [10.0], [10.1], [10.2]])
+        labels = np.array([0, 0, 1, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=5, weights="distance").fit(
+            inputs, labels
+        )
+        assert model.predict(np.array([[0.05]]))[0] == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            KNeighborsClassifier(n_neighbors=0)
+        with pytest.raises(ConfigurationError):
+            KNeighborsClassifier(weights="bogus")
+
+
+class TestNaiveBayesSpecifics:
+    def test_prior_influences_prediction(self, rng):
+        # Overlapping classes with a 9:1 prior; ambiguous points go to the
+        # majority class.
+        inputs = np.vstack([rng.standard_normal((90, 1)), rng.standard_normal((10, 1))])
+        labels = np.array([0] * 90 + [1] * 10)
+        model = GaussianNaiveBayes().fit(inputs, labels)
+        assert model.predict(np.array([[0.0]]))[0] == 0
+
+    def test_variance_smoothing_handles_constant_feature(self, rng):
+        inputs = np.hstack([np.ones((50, 1)), rng.standard_normal((50, 1))])
+        labels = np.array([0, 1] * 25)
+        model = GaussianNaiveBayes().fit(inputs, labels)
+        probs = model.predict_proba(inputs)
+        assert np.isfinite(probs).all()
+
+
+class TestLogisticSpecifics:
+    def test_converges_and_records_iterations(self, rng):
+        inputs, labels = _blobs(rng)
+        model = LogisticRegression(max_iter=500)
+        model.fit(inputs, labels)
+        assert 1 <= model.n_iter_ <= 500
+
+    def test_multinomial(self, rng):
+        inputs = np.vstack(
+            [rng.standard_normal((50, 2)) + offset for offset in ([0, 5], [5, -5], [-5, -5])]
+        )
+        labels = np.repeat([0, 1, 2], 50)
+        model = LogisticRegression(max_iter=400).fit(inputs, labels)
+        assert (model.predict(inputs) == labels).mean() > 0.95
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(max_iter=0)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        inputs = rng.standard_normal((100, 4)) * 5 + 3
+        scaled = StandardScaler().fit_transform(inputs)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        inputs = np.hstack([np.ones((10, 1)), np.arange(10).reshape(-1, 1) * 1.0])
+        scaled = StandardScaler().fit_transform(inputs)
+        assert np.allclose(scaled[:, 0], 0.0)
+        assert np.isfinite(scaled).all()
+
+    def test_inverse_transform_roundtrip(self, rng):
+        inputs = rng.standard_normal((20, 3)) * 2 + 1
+        scaler = StandardScaler().fit(inputs)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(inputs)), inputs)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().fit(np.zeros((0, 2)))

@@ -1,0 +1,41 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.initializers import get_initializer, glorot_uniform, he_normal, zeros
+
+
+class TestInitializers:
+    def test_he_normal_scale(self, rng):
+        weights = he_normal(400, 50, rng)
+        assert weights.shape == (400, 50)
+        # Std should be close to sqrt(2/fan_in).
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.15)
+        assert abs(weights.mean()) < 0.02
+
+    def test_glorot_uniform_bounds(self, rng):
+        weights = glorot_uniform(30, 70, rng)
+        limit = np.sqrt(6.0 / 100)
+        assert weights.shape == (30, 70)
+        assert (np.abs(weights) <= limit).all()
+
+    def test_zeros(self, rng):
+        weights = zeros(3, 4, rng)
+        assert weights.shape == (3, 4)
+        assert not weights.any()
+
+    def test_registry_lookup(self):
+        assert get_initializer("he_normal") is he_normal
+        assert get_initializer("glorot_uniform") is glorot_uniform
+        assert get_initializer("zeros") is zeros
+
+    def test_unknown_initializer(self):
+        with pytest.raises(ConfigurationError, match="unknown initializer"):
+            get_initializer("fancy")
+
+    def test_deterministic_under_seed(self):
+        one = he_normal(5, 5, np.random.default_rng(3))
+        two = he_normal(5, 5, np.random.default_rng(3))
+        assert np.allclose(one, two)

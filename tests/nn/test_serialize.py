@@ -1,0 +1,62 @@
+"""Tests for network serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.nn import Dense, Dropout, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.schedule import TrainingSchedule
+from repro.nn.serialize import load_network, save_network
+
+
+@pytest.fixture()
+def trained_network(rng):
+    network = Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+    inputs = rng.standard_normal((60, 4))
+    labels = (inputs[:, 0] > 0).astype(int)
+    network.fit(inputs, labels, TrainingSchedule.constant(3, 1e-2), rng=rng)
+    return network
+
+
+class TestSerialize:
+    def test_roundtrip_predictions(self, trained_network, rng, tmp_path):
+        path = tmp_path / "net.npz"
+        save_network(trained_network, path)
+        loaded = load_network(path)
+        inputs = rng.standard_normal((10, 4))
+        assert np.allclose(
+            trained_network.predict_proba(inputs), loaded.predict_proba(inputs)
+        )
+
+    def test_all_layer_kinds(self, rng, tmp_path):
+        network = Sequential(
+            [Dense(3, 5, rng=rng), Sigmoid(), Dropout(0.2), Dense(5, 4, rng=rng), Tanh(), Dense(4, 2, rng=rng)]
+        )
+        inputs = rng.standard_normal((30, 3))
+        labels = rng.integers(0, 2, 30)
+        network.fit(inputs, labels, TrainingSchedule.constant(1, 1e-2), rng=rng)
+        path = tmp_path / "net.npz"
+        save_network(network, path)
+        loaded = load_network(path)
+        assert np.allclose(network.predict_proba(inputs), loaded.predict_proba(inputs))
+
+    def test_fitted_flag_preserved(self, rng, tmp_path):
+        network = Sequential([Dense(2, 2, rng=rng)])
+        path = tmp_path / "net.npz"
+        save_network(network, path)
+        loaded = load_network(path)
+        # Unfitted in, unfitted out: prediction must still be guarded.
+        from repro.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            loaded.predict(np.zeros((1, 2)))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            load_network(tmp_path / "ghost.npz")
+
+    def test_wrong_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(2))
+        with pytest.raises(DataError, match="not a network file"):
+            load_network(path)

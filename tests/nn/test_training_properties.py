@@ -1,0 +1,61 @@
+"""Property-based tests on neural-network training behaviour."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Dense, ReLU, Sequential, TrainingSchedule
+
+
+def _network(input_dim, hidden, seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(input_dim, hidden, rng=rng), ReLU(), Dense(hidden, 2, rng=rng)]
+    )
+
+
+class TestTrainingProperties:
+    @given(
+        seed=st.integers(0, 50),
+        separation=st.floats(1.5, 4.0),
+        hidden=st.integers(4, 24),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_separable_blobs_always_learnable(self, seed, separation, hidden):
+        rng = np.random.default_rng(seed)
+        half = 60
+        x0 = rng.standard_normal((half, 3)) + separation
+        x1 = rng.standard_normal((half, 3)) - separation
+        inputs = np.vstack([x0, x1])
+        labels = np.array([0] * half + [1] * half)
+        network = _network(3, hidden, seed)
+        network.fit(inputs, labels, TrainingSchedule.constant(12, 1e-2), rng=rng)
+        accuracy = (network.predict(inputs) == labels).mean()
+        assert accuracy > 0.9
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_loss_trajectory_descends_on_average(self, seed):
+        rng = np.random.default_rng(seed)
+        inputs = rng.standard_normal((120, 4))
+        labels = (inputs[:, 0] + 0.5 * inputs[:, 1] > 0).astype(int)
+        network = _network(4, 16, seed)
+        history = network.fit(
+            inputs, labels, TrainingSchedule.constant(10, 1e-2), rng=rng
+        )
+        first_half = np.mean(history.losses[:5])
+        second_half = np.mean(history.losses[5:])
+        assert second_half < first_half
+
+    @given(seed=st.integers(0, 20), scale=st.floats(0.5, 20.0))
+    @settings(max_examples=10, deadline=None)
+    def test_probabilities_always_valid(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        inputs = rng.standard_normal((40, 5)) * scale
+        labels = rng.integers(0, 2, 40)
+        network = _network(5, 8, seed)
+        network.fit(inputs, labels, TrainingSchedule.constant(2, 1e-3), rng=rng)
+        probs = network.predict_proba(inputs * scale)
+        assert np.isfinite(probs).all()
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_all_files(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--dataset", "tvs", "--scale", "tiny", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        for filename in ("instances.csv", "alignment.csv", "dataset.json"):
+            assert (tmp_path / filename).exists()
+        assert "tvs" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_builtin_dataset(self, capsys):
+        code = main(["stats", "--dataset", "headphones", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "headphones" in out
+        assert "sources" in out
+
+    def test_user_csv(self, tmp_path, capsys):
+        instances = tmp_path / "instances.csv"
+        instances.write_text(
+            "source,property,entity,value\n"
+            "A,resolution,e1,20 mp\n"
+            "B,megapixels,e2,24 mp\n"
+        )
+        code = main(["stats", "--instances", str(instances)])
+        assert code == 0
+        assert "2 sources" in capsys.readouterr().out
+
+    def test_no_dataset_or_instances_fails(self, capsys):
+        code = main(["stats"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("system", ["leapme", "aml", "lsh"])
+    def test_systems_run(self, system, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset", "headphones",
+                "--scale", "tiny",
+                "--system", system,
+                "--train-fraction", "0.6",
+                "--repetitions", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P=" in out and "F1=" in out
+
+
+class TestMatch:
+    def test_supervised_match_to_csv(self, tmp_path, capsys):
+        out_csv = tmp_path / "matches.csv"
+        code = main(
+            [
+                "match",
+                "--dataset", "headphones",
+                "--scale", "tiny",
+                "--out", str(out_csv),
+            ]
+        )
+        assert code == 0
+        with out_csv.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows, "no matches emitted"
+        for row in rows:
+            assert float(row["score"]) >= 0.5
+            assert row["left_source"] != row["right_source"]
+
+    def test_unsupervised_match_on_user_data(self, tmp_path, capsys):
+        instances = tmp_path / "instances.csv"
+        instances.write_text(
+            "source,property,entity,value\n"
+            "A,resolution,e1,20 mp\n"
+            "B,resolution,e2,24 mp\n"
+            "B,weight,e2,300 g\n"
+        )
+        out_csv = tmp_path / "matches.csv"
+        code = main(
+            ["match", "--instances", str(instances), "--system", "aml",
+             "--out", str(out_csv)]
+        )
+        assert code == 0
+        with out_csv.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert any(
+            row["left_property"] == "resolution" and row["right_property"] == "resolution"
+            for row in rows
+        )
+
+    def test_match_without_alignment_fails_for_supervised(self, tmp_path, capsys):
+        instances = tmp_path / "instances.csv"
+        instances.write_text(
+            "source,property,entity,value\nA,p,e,v\nB,q,e2,w\n"
+        )
+        code = main(
+            ["match", "--instances", str(instances), "--out", str(tmp_path / "m.csv")]
+        )
+        assert code == 2
+        assert "no positive training pairs" in capsys.readouterr().err

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DataError,
+    DimensionError,
+    NotFittedError,
+    ReproError,
+    VocabularyError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    DataError,
+    NotFittedError,
+    VocabularyError,
+    DimensionError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(error_cls):
+    assert issubclass(error_cls, ReproError)
+    with pytest.raises(ReproError):
+        raise error_cls("boom")
+
+
+def test_single_except_catches_library_failures():
+    # The documented usage pattern: one except clause for everything.
+    from repro.datasets import load_dataset
+
+    try:
+        load_dataset("not-a-dataset")
+    except ReproError as error:
+        assert "unknown dataset" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected a ReproError")

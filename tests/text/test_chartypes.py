@@ -1,0 +1,108 @@
+"""Tests for Unicode character-type counting (Table I row 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.chartypes import (
+    CHARACTER_CLASSES,
+    NUM_CHARACTER_FEATURES,
+    CharacterTypeCounts,
+    count_character_types,
+)
+
+
+class TestCountCharacterTypes:
+    def test_empty_string(self):
+        counts = count_character_types("")
+        assert counts.total == 0
+        assert counts.counts() == [0] * len(CHARACTER_CLASSES)
+        assert counts.fractions() == [0.0] * len(CHARACTER_CLASSES)
+
+    def test_letters_lower_and_upper(self):
+        counts = count_character_types("aB")
+        assert counts.letter == 2
+        assert counts.lower == 1
+        assert counts.upper == 1
+
+    def test_titlecase_letter_counts_as_letter_only(self):
+        # 'ǅ' is category Lt: a letter that is neither Lu nor Ll.
+        counts = count_character_types("ǅ")
+        assert counts.letter == 1
+        assert counts.upper == 0
+        assert counts.lower == 0
+
+    def test_digits(self):
+        counts = count_character_types("123")
+        assert counts.number == 3
+        assert counts.letter == 0
+
+    def test_punctuation_and_symbols(self):
+        counts = count_character_types("a,b$c")
+        assert counts.punctuation == 1
+        assert counts.symbol == 1
+
+    def test_separators(self):
+        counts = count_character_types("a b\tc\n")
+        assert counts.separator == 3
+
+    def test_combining_mark(self):
+        # e + combining acute accent.
+        counts = count_character_types("é")
+        assert counts.mark == 1
+        assert counts.letter == 1
+
+    def test_control_characters_are_other(self):
+        counts = count_character_types("\x00\x01")
+        assert counts.other == 2
+
+    def test_unicode_letters(self):
+        counts = count_character_types("ñÑ")
+        assert counts.letter == 2
+        assert counts.lower == 1
+        assert counts.upper == 1
+
+    def test_realistic_value(self):
+        counts = count_character_types("20.1 MP")
+        assert counts.number == 3
+        assert counts.punctuation == 1
+        assert counts.upper == 2
+        assert counts.separator == 1
+        assert counts.total == 7
+
+
+class TestFeatureVector:
+    def test_feature_count_matches_constant(self):
+        features = count_character_types("anything").as_features()
+        assert len(features) == NUM_CHARACTER_FEATURES == 18
+
+    def test_counts_precede_fractions(self):
+        counts = count_character_types("ab")
+        features = counts.as_features()
+        assert features[:9] == [float(c) for c in counts.counts()]
+        assert features[9:] == counts.fractions()
+
+    @given(st.text(max_size=50))
+    def test_fractions_sum_bounded(self, text):
+        counts = count_character_types(text)
+        fractions = counts.fractions()
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        # letter/upper/lower overlap, so the sum over the disjoint classes
+        # (everything except upper/lower) must be exactly 1 for non-empty text.
+        disjoint = (
+            counts.letter + counts.mark + counts.number + counts.punctuation
+            + counts.symbol + counts.separator + counts.other
+        )
+        assert disjoint == counts.total
+
+    @given(st.text(max_size=50))
+    def test_upper_lower_bounded_by_letters(self, text):
+        counts = count_character_types(text)
+        assert counts.upper + counts.lower <= 2 * counts.letter
+        assert counts.upper <= counts.letter
+        assert counts.lower <= counts.letter
+
+    def test_counts_are_immutable(self):
+        counts = count_character_types("abc")
+        with pytest.raises(AttributeError):
+            counts.letter = 5

@@ -1,0 +1,73 @@
+"""Cross-distance property tests: relations BETWEEN the Table I measures.
+
+Each distance was tested individually; these verify the mathematical
+relations that hold between them, which the matcher implicitly relies on
+(e.g. the DL <= OSA <= Levenshtein chain that makes the three features
+correlated but not redundant).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.lcs import (
+    longest_common_subsequence_length,
+    longest_common_substring_length,
+)
+from repro.text.levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    optimal_string_alignment_distance,
+)
+from repro.text.ngrams import ngram_jaccard_distance, ngrams
+from repro.text.tokenize import words
+
+text = st.text(alphabet="abcde", max_size=10)
+
+
+class TestEditDistanceChain:
+    @given(a=text, b=text)
+    def test_dl_osa_levenshtein_ordering(self, a, b):
+        dl = damerau_levenshtein_distance(a, b)
+        osa = optimal_string_alignment_distance(a, b)
+        lev = levenshtein_distance(a, b)
+        assert dl <= osa <= lev
+
+    @given(a=text, b=text)
+    def test_levenshtein_lcs_relation(self, a, b):
+        # Levenshtein with unit costs is bounded below by the deletions/
+        # insertions needed around the longest common subsequence.
+        lcs = longest_common_subsequence_length(a, b)
+        assert levenshtein_distance(a, b) >= max(len(a), len(b)) - lcs
+        assert levenshtein_distance(a, b) <= len(a) + len(b) - 2 * lcs
+
+    @given(a=text, b=text)
+    def test_prefix_edit_bound(self, a, b):
+        # Appending the same suffix never increases the distance.
+        assert levenshtein_distance(a + "zz", b + "zz") <= levenshtein_distance(a, b) + 0
+
+
+class TestGramAndSubstringRelations:
+    @given(a=text, b=text)
+    def test_shared_long_substring_implies_shared_grams(self, a, b):
+        # Any common substring of length >= 3 yields a shared 3-gram,
+        # hence a Jaccard distance strictly below 1.
+        if longest_common_substring_length(a, b) >= 3:
+            assert ngram_jaccard_distance(a, b, 3) < 1.0
+
+    @given(a=text)
+    def test_gram_count(self, a):
+        expected = 0 if not a else max(1, len(a) - 2)
+        assert len(ngrams(a, 3)) == expected
+
+
+class TestWordsConsistency:
+    @given(a=text, b=text)
+    def test_concatenation_with_separator_unions_words(self, a, b):
+        combined = words(a + " " + b)
+        assert combined == words(a) + words(b)
+
+    @given(a=st.text(alphabet="abc XYZ", max_size=12))
+    def test_words_are_lowercase_alpha(self, a):
+        for word in words(a):
+            assert word.isalpha()
+            assert word == word.lower()

@@ -1,0 +1,163 @@
+"""Tests for LCS, n-gram and Jaro-Winkler measures (Table I rows 11-15)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.jaro import (
+    jaro_similarity,
+    jaro_winkler_distance,
+    jaro_winkler_similarity,
+)
+from repro.text.lcs import (
+    longest_common_subsequence_length,
+    longest_common_substring_distance,
+    longest_common_substring_length,
+)
+from repro.text.ngrams import (
+    jaccard_distance,
+    ngram_cosine_distance,
+    ngram_distance,
+    ngram_jaccard_distance,
+    ngram_profile,
+    ngrams,
+)
+
+short_text = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLongestCommonSubstring:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("abc", "", 0),
+            ("abc", "abc", 3),
+            ("megapixels", "pixel count", 5),
+            ("xabcy", "zabcw", 3),
+        ],
+    )
+    def test_length(self, a, b, expected):
+        assert longest_common_substring_length(a, b) == expected
+
+    def test_distance_identical(self):
+        assert longest_common_substring_distance("abc", "abc") == 0.0
+
+    def test_distance_disjoint(self):
+        assert longest_common_substring_distance("abc", "xyz") == 1.0
+
+    def test_distance_both_empty(self):
+        assert longest_common_substring_distance("", "") == 0.0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert longest_common_substring_length(a, b) == longest_common_substring_length(b, a)
+
+    @given(short_text, short_text)
+    def test_substring_bounded_by_subsequence(self, a, b):
+        assert longest_common_substring_length(a, b) <= (
+            longest_common_subsequence_length(a, b)
+        )
+
+
+class TestLongestCommonSubsequence:
+    def test_classic(self):
+        assert longest_common_subsequence_length("ABCBDAB", "BDCABA") == 4
+
+    def test_empty(self):
+        assert longest_common_subsequence_length("", "abc") == 0
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert longest_common_subsequence_length(a, a) == len(a)
+
+
+class TestNgrams:
+    def test_basic(self):
+        assert ngrams("pixel", 3) == ["pix", "ixe", "xel"]
+
+    def test_short_string_falls_back(self):
+        assert ngrams("mp", 3) == ["mp"]
+
+    def test_empty(self):
+        assert ngrams("", 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+    def test_profile_counts_duplicates(self):
+        profile = ngram_profile("aaaa", 2)
+        assert profile["aa"] == 3
+
+
+class TestNgramDistances:
+    @pytest.mark.parametrize(
+        "distance",
+        [ngram_distance, ngram_cosine_distance, ngram_jaccard_distance],
+    )
+    def test_identical_is_zero(self, distance):
+        assert distance("resolution", "resolution") == 0.0
+
+    @pytest.mark.parametrize(
+        "distance",
+        [ngram_distance, ngram_cosine_distance, ngram_jaccard_distance],
+    )
+    def test_disjoint_is_one(self, distance):
+        assert distance("abc", "xyz") == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "distance",
+        [ngram_distance, ngram_cosine_distance, ngram_jaccard_distance],
+    )
+    @given(a=short_text, b=short_text)
+    def test_range_and_symmetry(self, distance, a, b):
+        value = distance(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(distance(b, a))
+
+    def test_both_empty(self):
+        assert ngram_distance("", "") == 0.0
+        assert ngram_cosine_distance("", "") == 0.0
+        assert ngram_jaccard_distance("", "") == 0.0
+
+    def test_one_empty(self):
+        assert ngram_cosine_distance("abc", "") == 1.0
+
+    def test_jaccard_tokens_helper(self):
+        assert jaccard_distance(["a", "b"], ["b", "c"]) == pytest.approx(2 / 3)
+        assert jaccard_distance([], []) == 0.0
+
+
+class TestJaro:
+    def test_classic_martha(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-4)
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.9611, abs=1e-4
+        )
+
+    def test_identical(self):
+        assert jaro_similarity("abc", "abc") == 1.0
+        assert jaro_winkler_distance("abc", "abc") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("", "") == 1.0  # equal strings
+
+    def test_no_matches(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_prefix_boost(self):
+        plain = jaro_similarity("prefixed", "prefixxx")
+        boosted = jaro_winkler_similarity("prefixed", "prefixxx")
+        assert boosted > plain
+
+    def test_invalid_prefix_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+
+    @given(short_text, short_text)
+    def test_range_and_symmetry(self, a, b):
+        similarity = jaro_winkler_similarity(a, b)
+        assert 0.0 <= similarity <= 1.0
+        assert similarity == pytest.approx(jaro_winkler_similarity(b, a))

@@ -1,0 +1,133 @@
+"""Tests for the three edit distances (Table I rows 8-10)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    normalized_levenshtein,
+    optimal_string_alignment_distance,
+)
+
+short_text = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("a", "b", 1),
+            ("megapixel", "megapixels", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        distance = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+
+class TestOptimalStringAlignment:
+    def test_transposition_counts_once(self):
+        assert optimal_string_alignment_distance("ab", "ba") == 1
+        assert levenshtein_distance("ab", "ba") == 2
+
+    def test_osa_restriction(self):
+        # The classic example where OSA differs from full DL.
+        assert optimal_string_alignment_distance("ca", "abc") == 3
+        assert damerau_levenshtein_distance("ca", "abc") == 2
+
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [("", "", 0), ("abc", "abc", 0), ("", "ab", 2), ("abcd", "acbd", 1)],
+    )
+    def test_known_values(self, a, b, expected):
+        assert optimal_string_alignment_distance(a, b) == expected
+
+    @given(short_text, short_text)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert optimal_string_alignment_distance(a, b) <= levenshtein_distance(a, b)
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert optimal_string_alignment_distance(
+            a, b
+        ) == optimal_string_alignment_distance(b, a)
+
+
+class TestDamerauLevenshtein:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("ab", "ba", 1),
+            ("ca", "abc", 2),
+            # delete the 'a' of "cat", then transpose "ct" -> "tc"
+            ("a cat", "a tc", 2),
+            ("specter", "spectre", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert damerau_levenshtein_distance(a, b) == expected
+
+    @given(short_text, short_text)
+    def test_never_exceeds_osa(self, a, b):
+        assert damerau_levenshtein_distance(
+            a, b
+        ) <= optimal_string_alignment_distance(a, b)
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        # Unlike OSA, the full distance is a metric.
+        assert damerau_levenshtein_distance(a, c) <= (
+            damerau_levenshtein_distance(a, b) + damerau_levenshtein_distance(b, c)
+        )
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein_distance(a, b) == damerau_levenshtein_distance(b, a)
+
+    @given(short_text, short_text)
+    def test_zero_iff_equal(self, a, b):
+        distance = damerau_levenshtein_distance(a, b)
+        assert (distance == 0) == (a == b)
+
+
+class TestNormalizedLevenshtein:
+    def test_identical(self):
+        assert normalized_levenshtein("abc", "abc") == 0.0
+
+    def test_completely_different(self):
+        assert normalized_levenshtein("", "abcd") == 1.0
+
+    def test_both_empty(self):
+        assert normalized_levenshtein("", "") == 0.0
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0

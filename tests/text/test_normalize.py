@@ -1,0 +1,41 @@
+"""Tests for name normalisation used by the lexical baselines."""
+
+from repro.text.normalize import light_stem, name_tokens, token_set
+
+
+class TestLightStem:
+    def test_plural_s(self):
+        assert light_stem("megapixels") == "megapixel"
+
+    def test_es_endings(self):
+        assert light_stem("inches") == "inch"
+
+    def test_ies(self):
+        assert light_stem("batteries") == "battery"
+
+    def test_double_s_untouched(self):
+        assert light_stem("glass") == "glass"
+
+    def test_short_words_untouched(self):
+        assert light_stem("gps") == "gps"
+        assert light_stem("is") == "is"
+
+    def test_lowercases(self):
+        assert light_stem("Pixels") == "pixel"
+
+
+class TestNameTokens:
+    def test_separator_styles_converge(self):
+        assert name_tokens("Effective_Pixels") == ["effective", "pixel"]
+        assert name_tokens("effective-pixels") == ["effective", "pixel"]
+        assert name_tokens("EFFECTIVE PIXELS") == ["effective", "pixel"]
+
+    def test_without_stemming(self):
+        assert name_tokens("Effective Pixels", stem=False) == ["effective", "pixels"]
+
+    def test_token_set_deduplicates(self):
+        assert token_set("pixel pixels") == frozenset({"pixel"})
+
+    def test_empty(self):
+        assert name_tokens("") == []
+        assert token_set("123") == frozenset()

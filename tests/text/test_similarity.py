@@ -1,0 +1,69 @@
+"""Tests for the distance registry and the 8-feature name vector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.text.similarity import (
+    PAIR_DISTANCE_NAMES,
+    name_distance_vector,
+    normalized_distance,
+)
+
+short_text = st.text(alphabet="abcdef _-", max_size=15)
+
+
+class TestRegistry:
+    def test_eight_distances(self):
+        assert len(PAIR_DISTANCE_NAMES) == 8
+
+    def test_expected_names(self):
+        assert set(PAIR_DISTANCE_NAMES) == {
+            "osa",
+            "levenshtein",
+            "damerau_levenshtein",
+            "lcs",
+            "ngram",
+            "ngram_cosine",
+            "ngram_jaccard",
+            "jaro_winkler",
+        }
+
+    def test_unknown_distance_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown distance"):
+            normalized_distance("bogus", "a", "b")
+
+    @pytest.mark.parametrize("name", PAIR_DISTANCE_NAMES)
+    def test_each_distance_zero_on_identical(self, name):
+        assert normalized_distance(name, "shutter speed", "shutter speed") == 0.0
+
+    @pytest.mark.parametrize("name", PAIR_DISTANCE_NAMES)
+    @given(a=short_text, b=short_text)
+    def test_each_distance_in_unit_range(self, name, a, b):
+        assert 0.0 <= normalized_distance(name, a, b) <= 1.0
+
+
+class TestNameDistanceVector:
+    def test_length(self):
+        assert len(name_distance_vector("a", "b")) == 8
+
+    def test_case_insensitive(self):
+        assert name_distance_vector("Resolution", "resolution") == [0.0] * 8
+
+    def test_order_matches_registry(self):
+        vector = name_distance_vector("shutter speed", "exposure time")
+        for name, value in zip(PAIR_DISTANCE_NAMES, vector):
+            assert value == pytest.approx(
+                normalized_distance(name, "shutter speed", "exposure time")
+            )
+
+    @given(a=short_text, b=short_text)
+    def test_symmetric(self, a, b):
+        left = name_distance_vector(a, b)
+        right = name_distance_vector(b, a)
+        assert left == pytest.approx(right)
+
+    def test_dissimilar_names_have_large_distances(self):
+        vector = name_distance_vector("megapixel", "wifi")
+        assert all(value > 0.5 for value in vector)

@@ -1,0 +1,105 @@
+"""Tests for tokenisation and token typing (Table I rows 2-3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    NUM_TOKEN_FEATURES,
+    count_token_types,
+    parse_numeric,
+    tokenize,
+    words,
+)
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize("shutter speed") == ["shutter", "speed"]
+
+    def test_punctuation_splits(self):
+        assert tokenize("Shutter-speed: 1/4000s") == ["Shutter", "speed", "1", "4000s"]
+
+    def test_underscores_split(self):
+        assert tokenize("effective_pixels") == ["effective", "pixels"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("24 MP") == ["24", "MP"]
+
+
+class TestWords:
+    def test_lowercases(self):
+        assert words("Effective Pixels") == ["effective", "pixels"]
+
+    def test_drops_numbers(self):
+        assert words("20.1 MP") == ["mp"]
+
+    def test_camel_case_split(self):
+        assert words("wearingStyle") == ["wearing", "style"]
+        assert words("NoiseCancelling") == ["noise", "cancelling"]
+
+    def test_unicode(self):
+        # Greek capital omega is a letter; it lowercases like any other.
+        assert words("ánodo Ω") == ["ánodo", "ω"]
+
+    def test_empty(self):
+        assert words("") == []
+
+
+class TestCountTokenTypes:
+    def test_word_classes(self):
+        counts = count_token_types("Nikon camera UHD 20")
+        assert counts.word == 3
+        assert counts.capitalized == 2  # Nikon, UHD (upper first + non-sep second)
+        assert counts.lower_start == 1  # camera
+        assert counts.upper == 1  # UHD
+        assert counts.numeric == 1  # 20
+        assert counts.total == 4
+
+    def test_empty(self):
+        counts = count_token_types("")
+        assert counts.total == 0
+        assert counts.fractions() == [0.0] * 5
+
+    def test_numeric_with_decimal(self):
+        counts = count_token_types("20.1")
+        # Tokenisation splits on '.', producing two numeric tokens.
+        assert counts.numeric == 2
+
+    def test_feature_vector_size(self):
+        assert len(count_token_types("a b").as_features()) == NUM_TOKEN_FEATURES == 10
+
+    @given(st.text(max_size=60))
+    def test_class_counts_bounded_by_total(self, text):
+        counts = count_token_types(text)
+        for count in counts.counts():
+            assert 0 <= count <= counts.total
+
+
+class TestParseNumeric:
+    def test_plain_integer(self):
+        assert parse_numeric("42") == 42.0
+
+    def test_decimal(self):
+        assert parse_numeric("20.1") == 20.1
+
+    def test_decimal_comma(self):
+        assert parse_numeric("1,5") == 1.5
+
+    def test_whitespace_tolerated(self):
+        assert parse_numeric("  3.5  ") == 3.5
+
+    def test_non_number(self):
+        assert parse_numeric("f/2.8") == -1.0
+
+    def test_empty(self):
+        assert parse_numeric("") == -1.0
+
+    def test_infinity_rejected(self):
+        assert parse_numeric("inf") == -1.0
+        assert parse_numeric("nan") == -1.0
+
+    def test_negative_number(self):
+        assert parse_numeric("-4") == -4.0
