@@ -1,12 +1,19 @@
 # Developer convenience targets.
 
-.PHONY: install test bench bench-tiny bench-paper examples lines
+.PHONY: install test check bench bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Tier-1 tests plus a fast fault-injection smoke: an evaluation run with
+# an injected failure must complete, report the skip, and a killed run
+# must resume from its journal with identical aggregates.
+check:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python scripts/fault_smoke.py
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

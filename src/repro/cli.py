@@ -38,7 +38,13 @@ from repro.data.stats import dataset_stats
 from repro.datasets import DATASET_NAMES, build_domain_embeddings, load_dataset
 from repro.embeddings.hashing import hash_embeddings
 from repro.errors import ReproError
-from repro.evaluation import RunSettings, evaluate_matcher
+from repro.evaluation import (
+    RetryPolicy,
+    RunJournal,
+    RunSettings,
+    evaluate_matcher,
+    render_robustness_report,
+)
 from repro.text.tokenize import words
 
 SYSTEMS = ("leapme", "leapme-emb", "leapme-noemb", "aml", "fcamap", "nezhadi", "semprop", "lsh")
@@ -121,6 +127,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.resume and args.journal is None:
+        raise ReproError("--resume requires --journal <path>")
     dataset = _load_cli_dataset(args)
     embeddings = _embeddings_for(dataset, args)
     matcher = _build_matcher(args.system, embeddings)
@@ -129,11 +137,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
     )
-    result = evaluate_matcher(matcher, dataset, settings)
+    journal = RunJournal(args.journal) if args.journal is not None else None
+    result = evaluate_matcher(
+        matcher,
+        dataset,
+        settings,
+        journal=journal,
+        resume=args.resume,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+    )
     print(result.describe())
-    if result.skipped_repetitions:
-        print(f"  ({result.skipped_repetitions} repetition(s) skipped: "
-              "no positive training pairs)")
+    report = render_robustness_report([result])
+    if report:
+        print(report)
+    if journal is not None:
+        print(f"journal: {journal.path}"
+              + (" (resumed)" if result.resumed_repetitions else ""))
     return 0
 
 
@@ -212,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--system", choices=SYSTEMS, default="leapme")
     evaluate.add_argument("--train-fraction", type=float, default=0.8)
     evaluate.add_argument("--repetitions", type=int, default=3)
+    evaluate.add_argument("--journal", default=None, metavar="PATH",
+                          help="append per-repetition outcomes to this JSONL run "
+                               "journal as they complete")
+    evaluate.add_argument("--resume", action="store_true",
+                          help="reuse completed repetitions from --journal instead "
+                               "of re-running them")
+    evaluate.add_argument("--max-retries", type=int, default=1,
+                          help="retries per failing repetition before it is "
+                               "recorded as failed (default 1)")
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     match = commands.add_parser("match", help="score pairs and emit matches as CSV")

@@ -23,7 +23,11 @@ and kinds in {embedding, non_embedding, both}.
 """
 
 from repro.core.api import Matcher
-from repro.core.classifier import LeapmeClassifier
+from repro.core.classifier import (
+    FittedState,
+    LeapmeClassifier,
+    ResilientClassifier,
+)
 from repro.core.config import (
     FeatureConfig,
     FeatureKinds,
@@ -57,6 +61,8 @@ __all__ = [
     "PropertyFeatureTable",
     "pair_feature_matrix",
     "LeapmeClassifier",
+    "ResilientClassifier",
+    "FittedState",
     "LeapmeMatcher",
     "BlockImportance",
     "permutation_importance",

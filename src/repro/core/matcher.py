@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.api import Matcher
-from repro.core.classifier import LeapmeClassifier
+from repro.core.classifier import LeapmeClassifier, ResilientClassifier
 from repro.core.config import FeatureConfig, LeapmeConfig
 from repro.core.pair_features import pair_feature_matrix
 from repro.core.property_features import PropertyFeatureTable
@@ -37,6 +37,13 @@ class LeapmeMatcher(Matcher):
         neural network (:class:`LeapmeClassifier`); pass a factory
         returning a :class:`repro.core.classical.ClassicalPairClassifier`
         to ablate the classifier family.
+    resilient:
+        When true, train through the
+        :class:`~repro.core.classifier.ResilientClassifier` degradation
+        ladder (reduced learning rate, then classical fallback) instead
+        of letting a diverged run abort; ``last_degradation`` reports
+        which rung the most recent :meth:`fit` ended on.  Ignored when
+        an explicit ``classifier_factory`` is given.
     """
 
     is_supervised = True
@@ -47,28 +54,36 @@ class LeapmeMatcher(Matcher):
         feature_config: FeatureConfig | None = None,
         config: LeapmeConfig | None = None,
         classifier_factory=None,
+        resilient: bool = False,
     ) -> None:
         self.embeddings = embeddings
         self.feature_config = feature_config if feature_config is not None else FeatureConfig()
         self.config = config if config is not None else LeapmeConfig()
         self.threshold = self.config.decision_threshold
         self.name = f"LEAPME[{self.feature_config.label()}]"
-        self._classifier_factory = (
-            classifier_factory
-            if classifier_factory is not None
-            else (lambda: LeapmeClassifier(self.config))
-        )
+        if classifier_factory is not None:
+            self._classifier_factory = classifier_factory
+        elif resilient:
+            self._classifier_factory = lambda: ResilientClassifier(self.config)
+        else:
+            self._classifier_factory = lambda: LeapmeClassifier(self.config)
         self._table: PropertyFeatureTable | None = None
-        self._table_dataset: str | None = None
+        self._table_key: str | None = None
         self._classifier: LeapmeClassifier | None = None
+        #: Degradation label of the most recent fit (None when the
+        #: classifier trained normally or does not report degradation).
+        self.last_degradation: str | None = None
 
     def prepare(self, dataset: Dataset) -> None:
         """Compute the property feature table (Algorithm 1 steps 1-4)."""
         self._table = PropertyFeatureTable(dataset, self.embeddings)
-        self._table_dataset = dataset.name
+        self._table_key = dataset.fingerprint()
 
     def _ensure_table(self, dataset: Dataset) -> PropertyFeatureTable:
-        if self._table is None or self._table_dataset != dataset.name:
+        # Keyed on the content fingerprint, not the bare name: two
+        # different datasets that happen to share a name must not reuse
+        # each other's cached feature table.
+        if self._table is None or self._table_key != dataset.fingerprint():
             self.prepare(dataset)
         return self._table
 
@@ -79,6 +94,7 @@ class LeapmeMatcher(Matcher):
         labels = training_pairs.labels()
         self._classifier = self._classifier_factory()
         self._classifier.fit(features, labels)
+        self.last_degradation = getattr(self._classifier, "degradation", None)
 
     def score_pairs(self, dataset: Dataset, pairs: list[LabeledPair]) -> np.ndarray:
         """Positive-class probabilities for candidate pairs."""

@@ -7,6 +7,11 @@ new property pairs without retraining:
 * ``network.npz``    -- the trained classifier network;
 * ``scaler.npz``     -- the feature scaler (when enabled);
 * ``config.json``    -- feature configuration + hyper-parameters.
+
+Every file is written atomically (temp file + ``os.replace``), and
+``config.json`` -- the file :func:`load_matcher` requires first -- is
+written last, so a process killed mid-save never leaves a bundle that
+loads but is corrupt.
 """
 
 from __future__ import annotations
@@ -16,11 +21,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.classifier import LeapmeClassifier
+from repro.core.classifier import FittedState, LeapmeClassifier
 from repro.core.config import FeatureConfig, FeatureKinds, FeatureScope, LeapmeConfig
 from repro.core.matcher import LeapmeMatcher
 from repro.embeddings.store import load_embeddings, save_embeddings
-from repro.errors import DataError, NotFittedError
+from repro.errors import DataError
+from repro.ioutils import atomic_save, atomic_write_text
 from repro.ml.scaling import StandardScaler
 from repro.nn.schedule import TrainingSchedule
 from repro.nn.serialize import load_network, save_network
@@ -31,17 +37,18 @@ _FORMAT_VERSION = 1
 def save_matcher(matcher: LeapmeMatcher, directory: str | Path) -> None:
     """Write a fitted matcher bundle to ``directory`` (created if needed)."""
     classifier = matcher.classifier  # raises NotFittedError when unfitted
-    if classifier._network is None:
-        raise NotFittedError("matcher's classifier holds no trained network")
+    state = classifier.fitted_state()  # raises when no trained network
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     save_embeddings(matcher.embeddings, directory / "embeddings.npz")
-    save_network(classifier._network, directory / "network.npz")
-    if classifier._scaler is not None:
-        np.savez_compressed(
+    save_network(state.network, directory / "network.npz")
+    if state.scaler is not None:
+        atomic_save(
             directory / "scaler.npz",
-            mean=classifier._scaler.mean_,
-            scale=classifier._scaler.scale_,
+            lambda path: np.savez_compressed(
+                path, mean=state.scaler.mean_, scale=state.scaler.scale_
+            ),
+            suffix=".npz",
         )
     config = {
         "version": _FORMAT_VERSION,
@@ -58,7 +65,7 @@ def save_matcher(matcher: LeapmeMatcher, directory: str | Path) -> None:
         "scale_features": matcher.config.scale_features,
         "seed": matcher.config.seed,
     }
-    (directory / "config.json").write_text(json.dumps(config, indent=2))
+    atomic_write_text(directory / "config.json", json.dumps(config, indent=2))
 
 
 def load_matcher(directory: str | Path) -> LeapmeMatcher:
@@ -92,14 +99,16 @@ def load_matcher(directory: str | Path) -> LeapmeMatcher:
     )
     embeddings = load_embeddings(directory / "embeddings.npz")
     matcher = LeapmeMatcher(embeddings, feature_config, leapme_config)
-    classifier = LeapmeClassifier(leapme_config)
-    classifier._network = load_network(directory / "network.npz")
+    network = load_network(directory / "network.npz")
+    scaler = None
     scaler_path = directory / "scaler.npz"
     if scaler_path.exists():
         with np.load(scaler_path, allow_pickle=False) as arrays:
             scaler = StandardScaler()
             scaler.mean_ = arrays["mean"]
             scaler.scale_ = arrays["scale"]
-            classifier._scaler = scaler
+    classifier = LeapmeClassifier(leapme_config).restore_fitted_state(
+        FittedState(network=network, scaler=scaler)
+    )
     matcher._classifier = classifier
     return matcher

@@ -7,6 +7,7 @@ from pathlib import Path
 
 from repro.data.model import Dataset, PropertyInstance, PropertyRef
 from repro.errors import DataError
+from repro.ioutils import atomic_write_text
 
 _FORMAT_VERSION = 1
 
@@ -58,8 +59,8 @@ def dataset_from_dict(payload: dict) -> Dataset:
 
 
 def save_dataset_json(dataset: Dataset, path: str | Path) -> None:
-    """Write a dataset to a JSON file."""
-    Path(path).write_text(json.dumps(dataset_to_dict(dataset), indent=2))
+    """Write a dataset to a JSON file (atomically: temp + ``os.replace``)."""
+    atomic_write_text(path, json.dumps(dataset_to_dict(dataset), indent=2))
 
 
 def load_dataset_json(path: str | Path) -> Dataset:

@@ -81,6 +81,26 @@ class Dataset:
                 f"(e.g. {sample})"
             )
 
+    def fingerprint(self) -> str:
+        """Cheap content fingerprint: name plus structural counts.
+
+        Two datasets that merely share a ``name`` get different
+        fingerprints whenever their instance or alignment content
+        differs in size, which is what per-dataset caches (feature
+        tables, run journals) must key on instead of the bare name.
+        O(1) after the first call -- no hashing of instance values.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = (
+                f"{self.name}"
+                f":i{len(self.instances)}"
+                f":a{len(self.alignment)}"
+                f":s{len({instance.source for instance in self.instances})}"
+            )
+            self._fingerprint = cached
+        return cached
+
     # -- schema-level accessors ---------------------------------------------
     def sources(self) -> list[str]:
         """Sorted list of all source identifiers."""

@@ -9,16 +9,22 @@ import numpy as np
 from repro.embeddings.base import WordEmbeddings
 from repro.embeddings.vocab import Vocabulary
 from repro.errors import DataError
+from repro.ioutils import atomic_save
 
 
 def save_embeddings(embeddings: WordEmbeddings, path: str | Path) -> None:
     """Write embeddings to a compressed ``.npz`` file.
 
     The vocabulary is stored as a unicode array aligned with the vector
-    rows, so a single file round-trips the whole model.
+    rows, so a single file round-trips the whole model.  The write is
+    atomic: a kill mid-save never leaves a truncated archive.
     """
     tokens = np.array(embeddings.vocabulary.tokens(), dtype=np.str_)
-    np.savez_compressed(Path(path), tokens=tokens, vectors=embeddings.vectors)
+    atomic_save(
+        Path(path),
+        lambda temp: np.savez_compressed(temp, tokens=tokens, vectors=embeddings.vectors),
+        suffix=".npz",
+    )
 
 
 def load_embeddings(path: str | Path) -> WordEmbeddings:

@@ -30,3 +30,20 @@ class VocabularyError(ReproError):
 
 class DimensionError(ReproError):
     """Arrays with incompatible shapes were combined."""
+
+
+class NumericError(ReproError):
+    """A numeric health guard tripped: NaN or Inf where finite values
+    are required (feature matrices, similarity scores, losses)."""
+
+
+class TrainingDivergedError(NumericError):
+    """Model training produced a non-finite loss and cannot continue.
+
+    Callers may retry with a smaller learning rate or fall back to a
+    classical learner; see :class:`repro.core.classifier.ResilientClassifier`.
+    """
+
+
+class JournalError(ReproError):
+    """A run journal file is unreadable or from an unsupported version."""

@@ -6,6 +6,7 @@ baseline comparison and the transfer-learning extension.
 """
 
 from repro.evaluation.active import ActiveLearningCurve, run_active_learning
+from repro.evaluation.checkpoint import JournalEntry, RunJournal, run_key
 from repro.evaluation.curves import (
     PrecisionRecallCurve,
     precision_recall_curve,
@@ -13,10 +14,16 @@ from repro.evaluation.curves import (
 )
 from repro.evaluation.markdown import results_to_markdown, summary_to_markdown
 from repro.evaluation.metrics import MatchQuality, evaluate_predictions, evaluate_scores
-from repro.evaluation.reporting import format_table2, render_results_table
+from repro.evaluation.reporting import (
+    format_table2,
+    render_results_table,
+    render_robustness_report,
+)
 from repro.evaluation.runner import (
     ExperimentResult,
     ExperimentRunner,
+    RepetitionFailure,
+    RetryPolicy,
     RunSettings,
     evaluate_matcher,
 )
@@ -40,8 +47,14 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentResult",
     "RunSettings",
+    "RetryPolicy",
+    "RepetitionFailure",
+    "RunJournal",
+    "JournalEntry",
+    "run_key",
     "evaluate_matcher",
     "render_results_table",
+    "render_robustness_report",
     "results_to_markdown",
     "summary_to_markdown",
     "format_table2",

@@ -1,0 +1,278 @@
+"""Run journal: checkpoint/resume for the experiment runner.
+
+The paper's protocol (Section V-B) multiplies 25 repetitions by 4
+datasets by 9 feature configurations -- hours of compute that, without a
+journal, a single crash throws away.  This module gives every
+(matcher, dataset, settings) cell a durable append-only record of its
+repetitions so an interrupted grid resumes exactly where it left off.
+
+Format
+------
+A journal is a JSONL file.  The first line is a header record::
+
+    {"type": "journal", "version": 1}
+
+Every subsequent line describes one repetition of one run cell::
+
+    {"type": "repetition", "key": "...", "repetition": 3,
+     "status": "ok", "tp": 10, "fp": 1, "fn": 2,
+     "degradation": null, "attempts": 1}
+
+``status`` is ``ok`` (quality recorded), ``skipped`` (no usable training
+split) or ``failed`` (all retries exhausted; carries ``error_type`` and
+``error``).  ``key`` identifies the cell -- see :func:`run_key` -- so one
+journal file can serve a whole experiment grid.
+
+Durability: each record is a single fsynced ``O_APPEND`` write
+(:func:`repro.ioutils.fsync_append_line`).  A process killed mid-write
+can leave at most one torn *final* line, which the reader detects and
+drops; torn lines anywhere else mean real corruption and raise
+:class:`~repro.errors.JournalError`.  Re-running a repetition appends a
+fresh record; on read, the *last* record per (key, repetition) wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.data.model import Dataset
+from repro.errors import JournalError
+from repro.evaluation.metrics import MatchQuality
+from repro.ioutils import fsync_append_line
+
+_JOURNAL_VERSION = 1
+
+STATUS_OK = "ok"
+STATUS_SKIPPED = "skipped"
+STATUS_FAILED = "failed"
+
+
+def run_key(matcher_name: str, dataset: Dataset, settings) -> str:
+    """Stable identifier for one (matcher, dataset, settings) run cell.
+
+    Hashes the matcher name, the dataset's content fingerprint and every
+    protocol parameter that affects the repetition stream, so resuming
+    with *any* changed knob starts a fresh cell instead of silently
+    mixing incompatible repetitions.  A human-readable prefix keeps
+    journal files greppable.
+    """
+    payload = json.dumps(
+        {
+            "matcher": matcher_name,
+            "dataset": dataset.fingerprint(),
+            "train_fraction": settings.train_fraction,
+            "repetitions": settings.repetitions,
+            "negative_ratio": settings.negative_ratio,
+            "seed": settings.seed,
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return f"{matcher_name}|{dataset.name}|{digest}"
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One repetition's outcome as recorded in (or read from) a journal."""
+
+    key: str
+    repetition: int
+    status: str
+    quality: MatchQuality | None = None
+    degradation: str | None = None
+    attempts: int = 1
+    error_type: str | None = None
+    error: str | None = None
+
+    def to_record(self) -> dict:
+        """JSON-serialisable journal line."""
+        record: dict = {
+            "type": "repetition",
+            "key": self.key,
+            "repetition": self.repetition,
+            "status": self.status,
+            "attempts": self.attempts,
+        }
+        if self.quality is not None:
+            record.update(
+                tp=self.quality.true_positives,
+                fp=self.quality.false_positives,
+                fn=self.quality.false_negatives,
+            )
+        if self.degradation is not None:
+            record["degradation"] = self.degradation
+        if self.error_type is not None:
+            record["error_type"] = self.error_type
+            record["error"] = self.error
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JournalEntry":
+        """Inverse of :meth:`to_record`."""
+        try:
+            quality = None
+            if "tp" in record:
+                quality = MatchQuality(
+                    true_positives=int(record["tp"]),
+                    false_positives=int(record["fp"]),
+                    false_negatives=int(record["fn"]),
+                )
+            return cls(
+                key=record["key"],
+                repetition=int(record["repetition"]),
+                status=record["status"],
+                quality=quality,
+                degradation=record.get("degradation"),
+                attempts=int(record.get("attempts", 1)),
+                error_type=record.get("error_type"),
+                error=record.get("error"),
+            )
+        except (KeyError, TypeError, ValueError) as problem:
+            raise JournalError(f"malformed journal record: {problem}") from None
+
+
+class RunJournal:
+    """Append-only JSONL journal of experiment repetitions.
+
+    One instance wraps one file path; the file is created (with its
+    header line) on the first append.  Reading never requires the file
+    to exist -- a missing journal is simply an empty one, so
+    ``evaluate_matcher(..., journal=RunJournal(path))`` works identically
+    for fresh and resumed runs.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # -- writing -------------------------------------------------------------
+    def _ensure_header(self) -> None:
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            fsync_append_line(
+                self.path,
+                json.dumps({"type": "journal", "version": _JOURNAL_VERSION}),
+            )
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably record one repetition outcome (a single fsynced line)."""
+        self._ensure_header()
+        fsync_append_line(self.path, json.dumps(entry.to_record(), sort_keys=True))
+
+    def record_quality(
+        self,
+        key: str,
+        repetition: int,
+        quality: MatchQuality,
+        degradation: str | None = None,
+        attempts: int = 1,
+    ) -> None:
+        """Record a completed repetition."""
+        self.append(
+            JournalEntry(
+                key=key,
+                repetition=repetition,
+                status=STATUS_OK,
+                quality=quality,
+                degradation=degradation,
+                attempts=attempts,
+            )
+        )
+
+    def record_skip(self, key: str, repetition: int, reason: str) -> None:
+        """Record a repetition skipped for data reasons (no positives)."""
+        self.append(
+            JournalEntry(
+                key=key,
+                repetition=repetition,
+                status=STATUS_SKIPPED,
+                error_type="skip",
+                error=reason,
+            )
+        )
+
+    def record_failure(
+        self, key: str, repetition: int, error: BaseException, attempts: int
+    ) -> None:
+        """Record a repetition that exhausted its retries."""
+        self.append(
+            JournalEntry(
+                key=key,
+                repetition=repetition,
+                status=STATUS_FAILED,
+                attempts=attempts,
+                error_type=type(error).__name__,
+                error=str(error),
+            )
+        )
+
+    # -- reading -------------------------------------------------------------
+    def _raw_records(self) -> list[dict]:
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text(encoding="utf-8").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records: list[dict] = []
+        for number, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) - 1:
+                    # Torn final line from a kill mid-append: recoverable.
+                    continue
+                raise JournalError(
+                    f"corrupt journal line {number + 1} in {self.path}"
+                ) from None
+            records.append(record)
+        if records:
+            header = records[0]
+            if header.get("type") != "journal":
+                raise JournalError(f"not a run journal (missing header): {self.path}")
+            if header.get("version") != _JOURNAL_VERSION:
+                raise JournalError(
+                    f"unsupported journal version {header.get('version')!r} "
+                    f"in {self.path}"
+                )
+        return records[1:]
+
+    def entries(self, key: str) -> dict[int, JournalEntry]:
+        """Latest entry per repetition for one run cell (empty if none)."""
+        latest: dict[int, JournalEntry] = {}
+        for record in self._raw_records():
+            if record.get("type") != "repetition" or record.get("key") != key:
+                continue
+            entry = JournalEntry.from_record(record)
+            latest[entry.repetition] = entry
+        return latest
+
+    def keys(self) -> list[str]:
+        """All run-cell keys present in the journal, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self._raw_records():
+            if record.get("type") == "repetition" and "key" in record:
+                seen.setdefault(record["key"], None)
+        return list(seen)
+
+    def describe(self) -> str:
+        """One line per run cell: completed / skipped / failed counts."""
+        lines = [f"journal {self.path}:"]
+        for key in self.keys():
+            per_status: dict[str, int] = {}
+            degraded = 0
+            for entry in self.entries(key).values():
+                per_status[entry.status] = per_status.get(entry.status, 0) + 1
+                if entry.degradation is not None:
+                    degraded += 1
+            parts = [f"{per_status.get(STATUS_OK, 0)} ok"]
+            if per_status.get(STATUS_SKIPPED):
+                parts.append(f"{per_status[STATUS_SKIPPED]} skipped")
+            if per_status.get(STATUS_FAILED):
+                parts.append(f"{per_status[STATUS_FAILED]} failed")
+            if degraded:
+                parts.append(f"{degraded} degraded")
+            lines.append(f"  {key}: " + ", ".join(parts))
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

@@ -1,4 +1,10 @@
-"""Plain-text rendering of experiment results (Table II style)."""
+"""Plain-text rendering of experiment results (Table II style).
+
+Besides the paper's quality tables, :func:`render_robustness_report`
+surfaces the fault-tolerance telemetry -- skipped, failed, degraded and
+resumed repetitions -- so partial failures are reported rather than
+silently averaged away.
+"""
 
 from __future__ import annotations
 
@@ -19,6 +25,35 @@ def render_results_table(results: list[ExperimentResult]) -> str:
             f"{row['precision']:>5.2f} {row['recall']:>5.2f} {row['f1']:>5.2f}"
         )
     return "\n".join(lines)
+
+
+def render_robustness_report(results: list[ExperimentResult]) -> str:
+    """Per-cell health summary: completed/skipped/degraded/resumed/failures.
+
+    Returns an empty string when every cell is fully healthy, so callers
+    can print it unconditionally without adding noise to clean runs.
+    """
+    lines: list[str] = []
+    for result in results:
+        flags: list[str] = []
+        if result.skipped_repetitions:
+            flags.append(f"{result.skipped_repetitions} skipped")
+        if result.degraded_repetitions:
+            flags.append(f"{result.degraded_repetitions} degraded")
+        if result.resumed_repetitions:
+            flags.append(f"{result.resumed_repetitions} resumed")
+        if not flags:
+            continue
+        lines.append(
+            f"{result.matcher_name} on {result.dataset_name} "
+            f"@{result.settings.train_fraction:.0%}: "
+            f"{len(result.qualities)} completed, " + ", ".join(flags)
+        )
+        for failure in result.failures:
+            lines.append(f"  - {failure.describe()}")
+    if not lines:
+        return ""
+    return "robustness report:\n" + "\n".join(f"  {line}" for line in lines)
 
 
 def format_table2(

@@ -11,10 +11,25 @@ Implements the protocol of Section V-B:
   combinations of training sources" (repetitions are configurable; the
   benchmark defaults use fewer for wall-clock reasons and the paper
   value via the ``paper`` scale).
+
+Fault tolerance
+---------------
+Long grids must survive bad repetitions and process kills:
+
+* every repetition runs inside failure isolation -- an exception is
+  retried under a :class:`RetryPolicy` (deterministic reseeding,
+  exponential backoff hook) and, if retries are exhausted, recorded as a
+  structured :class:`RepetitionFailure` instead of aborting siblings;
+* with a :class:`~repro.evaluation.checkpoint.RunJournal`, each
+  repetition's outcome is durably appended as it completes, and a rerun
+  resumes from the journal, re-executing only what is missing.  Because
+  each repetition derives its randomness from ``(seed, repetition)``
+  alone, a resumed grid is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,7 +39,18 @@ from repro.data.model import Dataset
 from repro.data.pairs import build_pairs, sample_training_pairs
 from repro.data.splits import repeated_source_splits
 from repro.errors import ConfigurationError
+from repro.evaluation.checkpoint import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    JournalEntry,
+    RunJournal,
+    run_key,
+)
 from repro.evaluation.metrics import MatchQuality, evaluate_scores, mean_quality
+from repro.nn.guards import assert_finite
+
+_SKIP_NO_POSITIVES = "no positive/negative training pairs in split"
 
 
 @dataclass(frozen=True)
@@ -45,6 +71,55 @@ class RunSettings:
             raise ConfigurationError("negative_ratio must be >= 0")
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failing repetition is retried before being recorded as failed.
+
+    Each retry reseeds the training-pair sampler deterministically from
+    ``(seed, repetition, attempt)``, so a transient numeric failure on
+    one draw gets a genuinely different (but reproducible) draw, and two
+    machines running the same grid behave identically.  ``backoff_base``
+    seconds (doubling per attempt) are slept between attempts when
+    positive -- the hook for rate-limited or I/O-bound matchers; the
+    default of zero keeps tests and CPU-bound grids fast.
+    """
+
+    max_retries: int = 1
+    backoff_base: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ConfigurationError("backoff_base must be >= 0")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before ``attempt`` (exponential, attempt >= 1)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return self.backoff_base * (2.0 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class RepetitionFailure:
+    """A repetition that exhausted its retries (structured, not a string)."""
+
+    repetition: int
+    error_type: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"repetition {self.repetition}: {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt(s))"
+        )
+
+
 @dataclass
 class ExperimentResult:
     """Per-repetition qualities for one (matcher, dataset, settings) cell."""
@@ -53,7 +128,16 @@ class ExperimentResult:
     dataset_name: str
     settings: RunSettings
     qualities: list[MatchQuality] = field(default_factory=list)
+    #: Repetitions that produced no quality: unusable training splits
+    #: plus repetitions whose failures exhausted the retry policy.
     skipped_repetitions: int = 0
+    #: Structured records for the failed subset of ``skipped_repetitions``.
+    failures: list[RepetitionFailure] = field(default_factory=list)
+    #: Repetitions that completed only via degraded training
+    #: (reduced learning rate or classical-classifier fallback).
+    degraded_repetitions: int = 0
+    #: Repetitions restored from a journal instead of being re-run.
+    resumed_repetitions: int = 0
 
     @property
     def precision(self) -> float:
@@ -87,18 +171,137 @@ class ExperimentResult:
 
     def describe(self) -> str:
         """One-line summary."""
-        return (
+        text = (
             f"{self.matcher_name} on {self.dataset_name} "
             f"@{self.settings.train_fraction:.0%}: "
             f"P={self.precision:.2f} R={self.recall:.2f} F1={self.f1:.2f} "
             f"({len(self.qualities)} reps)"
         )
+        health = []
+        if self.skipped_repetitions:
+            health.append(f"{self.skipped_repetitions} skipped")
+        if self.degraded_repetitions:
+            health.append(f"{self.degraded_repetitions} degraded")
+        if self.resumed_repetitions:
+            health.append(f"{self.resumed_repetitions} resumed")
+        if health:
+            text += f" [{', '.join(health)}]"
+        return text
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """Internal: what one repetition produced after isolation/retries."""
+
+    status: str
+    quality: MatchQuality | None = None
+    degradation: str | None = None
+    attempts: int = 1
+    error: BaseException | None = None
+    skip_reason: str | None = None
+
+
+def _run_repetition(
+    matcher: Matcher,
+    dataset: Dataset,
+    settings: RunSettings,
+    repetition: int,
+    split,
+    retry_policy: RetryPolicy,
+    sleep,
+) -> _Outcome:
+    """One repetition under failure isolation and the retry policy.
+
+    Only :class:`Exception` is caught: ``KeyboardInterrupt`` and other
+    ``BaseException`` kills (including the fault harness's simulated
+    ones) propagate, exactly like a real ``SIGKILL`` would end the
+    process -- the journal then carries the completed prefix.
+    """
+    last_error: Exception | None = None
+    for attempt in range(1, retry_policy.max_attempts + 1):
+        if attempt > 1:
+            delay = retry_policy.delay(attempt - 1)
+            if delay > 0:
+                sleep(delay)
+        try:
+            notify = getattr(matcher, "notify_repetition", None)
+            if notify is not None:
+                notify(repetition, attempt)
+            test = build_pairs(dataset, list(split.train_sources), within=False)
+            if matcher.is_supervised:
+                # Attempt 1 reproduces the historical stream exactly;
+                # retries get a deterministic fresh draw.
+                rng = np.random.default_rng(
+                    [settings.seed, repetition, 1709 + (attempt - 1)]
+                )
+                candidates = build_pairs(
+                    dataset, list(split.train_sources), within=True
+                )
+                training = sample_training_pairs(
+                    candidates, settings.negative_ratio, rng
+                )
+                if not training.positives() or not training.negatives():
+                    return _Outcome(
+                        status=STATUS_SKIPPED,
+                        skip_reason=_SKIP_NO_POSITIVES,
+                        attempts=attempt,
+                    )
+                matcher.fit(dataset, training)
+            scores = matcher.score_pairs(dataset, test.pairs)
+            assert_finite(scores, "similarity scores")
+            quality = evaluate_scores(scores, test.labels(), matcher.threshold)
+            return _Outcome(
+                status=STATUS_OK,
+                quality=quality,
+                degradation=getattr(matcher, "last_degradation", None),
+                attempts=attempt,
+            )
+        except Exception as error:  # noqa: BLE001 -- isolation boundary
+            last_error = error
+    return _Outcome(
+        status=STATUS_FAILED, error=last_error, attempts=retry_policy.max_attempts
+    )
+
+
+def _apply_outcome(result: ExperimentResult, outcome: _Outcome) -> None:
+    if outcome.status == STATUS_OK:
+        result.qualities.append(outcome.quality)
+        if outcome.degradation is not None:
+            result.degraded_repetitions += 1
+    else:
+        result.skipped_repetitions += 1
+
+
+def _apply_journal_entry(
+    result: ExperimentResult, repetition: int, entry: JournalEntry
+) -> None:
+    result.resumed_repetitions += 1
+    if entry.status == STATUS_OK and entry.quality is not None:
+        result.qualities.append(entry.quality)
+        if entry.degradation is not None:
+            result.degraded_repetitions += 1
+    else:
+        result.skipped_repetitions += 1
+        if entry.status == STATUS_FAILED:
+            result.failures.append(
+                RepetitionFailure(
+                    repetition=repetition,
+                    error_type=entry.error_type or "Exception",
+                    message=entry.error or "",
+                    attempts=entry.attempts,
+                )
+            )
 
 
 def evaluate_matcher(
     matcher: Matcher,
     dataset: Dataset,
     settings: RunSettings | None = None,
+    *,
+    journal: RunJournal | None = None,
+    resume: bool = True,
+    retry_policy: RetryPolicy | None = None,
+    sleep=time.sleep,
 ) -> ExperimentResult:
     """Run the paper's repeated-split protocol for one matcher.
 
@@ -109,34 +312,58 @@ def evaluate_matcher(
 
     Repetitions whose random training split contains no positive pair
     (possible on tiny datasets) are skipped and counted in
-    ``skipped_repetitions``.
+    ``skipped_repetitions``; repetitions that raise are retried under
+    ``retry_policy`` and recorded in ``failures`` (never aborting their
+    siblings).  With ``journal`` set, every outcome is durably appended
+    as it completes, and ``resume=True`` (the default) restores already
+    journaled repetitions instead of re-running them.
     """
     settings = settings if settings is not None else RunSettings()
+    retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
     result = ExperimentResult(
         matcher_name=matcher.name,
         dataset_name=dataset.name,
         settings=settings,
     )
+    key = run_key(matcher.name, dataset, settings) if journal is not None else None
+    done = journal.entries(key) if (journal is not None and resume) else {}
     matcher.prepare(dataset)
     splits = repeated_source_splits(
         dataset, settings.train_fraction, settings.repetitions, settings.seed
     )
     for repetition, split in enumerate(splits):
-        test = build_pairs(dataset, list(split.train_sources), within=False)
-        if matcher.is_supervised:
-            rng = np.random.default_rng([settings.seed, repetition, 1709])
-            candidates = build_pairs(dataset, list(split.train_sources), within=True)
-            training = sample_training_pairs(
-                candidates, settings.negative_ratio, rng
-            )
-            if not training.positives() or not training.negatives():
-                result.skipped_repetitions += 1
-                continue
-            matcher.fit(dataset, training)
-        scores = matcher.score_pairs(dataset, test.pairs)
-        result.qualities.append(
-            evaluate_scores(scores, test.labels(), matcher.threshold)
+        entry = done.get(repetition)
+        if entry is not None:
+            _apply_journal_entry(result, repetition, entry)
+            continue
+        outcome = _run_repetition(
+            matcher, dataset, settings, repetition, split, retry_policy, sleep
         )
+        _apply_outcome(result, outcome)
+        if outcome.status == STATUS_FAILED:
+            result.failures.append(
+                RepetitionFailure(
+                    repetition=repetition,
+                    error_type=type(outcome.error).__name__,
+                    message=str(outcome.error),
+                    attempts=outcome.attempts,
+                )
+            )
+        if journal is not None:
+            if outcome.status == STATUS_OK:
+                journal.record_quality(
+                    key,
+                    repetition,
+                    outcome.quality,
+                    degradation=outcome.degradation,
+                    attempts=outcome.attempts,
+                )
+            elif outcome.status == STATUS_SKIPPED:
+                journal.record_skip(key, repetition, outcome.skip_reason or "")
+            else:
+                journal.record_failure(
+                    key, repetition, outcome.error, outcome.attempts
+                )
     return result
 
 
@@ -160,8 +387,17 @@ class ExperimentRunner:
         repetitions: int = 5,
         seed: int = 0,
         negative_ratio: float = 2.0,
+        journal: RunJournal | None = None,
+        resume: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ) -> list[ExperimentResult]:
-        """Run the full grid; returns one result per cell."""
+        """Run the full grid; returns one result per cell.
+
+        A cell that fails entirely cannot happen: failures are isolated
+        per repetition inside :func:`evaluate_matcher`.  With a journal,
+        a killed grid rerun with ``resume=True`` recomputes only the
+        missing repetitions of the missing cells.
+        """
         results: list[ExperimentResult] = []
         for dataset in datasets:
             for fraction in train_fractions:
@@ -173,7 +409,18 @@ class ExperimentRunner:
                 )
                 for label, factory in self._factories.items():
                     matcher = factory()
-                    result = evaluate_matcher(matcher, dataset, settings)
+                    # The factory label is the cell identity (journal key
+                    # included); two configs sharing a display name must
+                    # not share journal entries.
+                    matcher.name = label
+                    result = evaluate_matcher(
+                        matcher,
+                        dataset,
+                        settings,
+                        journal=journal,
+                        resume=resume,
+                        retry_policy=retry_policy,
+                    )
                     result.matcher_name = label
                     results.append(result)
         return results

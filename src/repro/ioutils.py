@@ -1,0 +1,91 @@
+"""Crash-safe filesystem helpers.
+
+Every artifact the library writes (matcher bundles, dataset JSON, run
+journals) goes through these helpers so that a process killed mid-write
+never leaves a corrupt or half-written file behind: content is written
+to a temporary sibling in the same directory and atomically swapped into
+place with :func:`os.replace`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+
+@contextlib.contextmanager
+def atomic_path(path: str | Path, suffix: str = "") -> Iterator[Path]:
+    """Yield a temporary path that replaces ``path`` on clean exit.
+
+    The temporary file lives in the destination directory (so the final
+    :func:`os.replace` never crosses a filesystem boundary).  If the body
+    raises, the temporary file is removed and the destination is left
+    exactly as it was.
+
+    ``suffix`` is appended to the temporary name for writers that infer
+    the format from the extension (e.g. ``numpy.savez`` appends ``.npz``
+    to names without one).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=suffix
+    )
+    os.close(descriptor)
+    temp = Path(temp_name)
+    try:
+        yield temp
+        os.replace(temp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            temp.unlink()
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text`` (fsynced before the swap)."""
+    with atomic_path(path) as temp:
+        with temp.open("w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (fsynced before the swap)."""
+    with atomic_path(path) as temp:
+        with temp.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def atomic_save(path: str | Path, writer: Callable[[Path], None], suffix: str = "") -> None:
+    """Run ``writer(temp_path)`` and atomically move its output to ``path``.
+
+    For writers that insist on opening the file themselves
+    (``numpy.savez_compressed`` and friends).
+    """
+    with atomic_path(path, suffix=suffix) as temp:
+        writer(temp)
+
+
+def fsync_append_line(path: str | Path, line: str, encoding: str = "utf-8") -> None:
+    """Append one newline-terminated line and fsync it to disk.
+
+    ``O_APPEND`` writes of a single small line are effectively atomic on
+    POSIX filesystems; a kill between the write and the fsync can at
+    worst leave one torn *final* line, which journal readers detect and
+    ignore (see :mod:`repro.evaluation.checkpoint`).
+    """
+    if not line.endswith("\n"):
+        line += "\n"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding=encoding) as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -1,0 +1,52 @@
+"""Numeric health guards: fail fast on NaN/Inf instead of averaging it away.
+
+A single NaN in a feature matrix silently propagates through matrix
+products, turns every similarity score into NaN and -- because ``NaN >=
+threshold`` is False -- degrades a matcher to "predicts nothing" without
+any error.  These guards convert that silent corruption into typed
+exceptions (:class:`~repro.errors.NumericError`,
+:class:`~repro.errors.TrainingDivergedError`) that the evaluation
+runner's failure isolation and the resilient classifier can act on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NumericError, TrainingDivergedError
+
+
+def fraction_nonfinite(array: np.ndarray) -> float:
+    """Fraction of entries that are NaN or +/-Inf (0.0 for empty arrays)."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(~np.isfinite(array))) / array.size
+
+
+def assert_finite(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` unchanged, raising :class:`NumericError` on NaN/Inf.
+
+    The error message reports how much of the array is corrupt and a
+    sample of offending positions, which is what one actually needs when
+    debugging a poisoned feature pipeline.
+    """
+    array = np.asarray(array)
+    if array.size == 0 or np.isfinite(array).all():
+        return array
+    bad = np.argwhere(~np.isfinite(np.asarray(array, dtype=np.float64)))
+    sample = ", ".join(str(tuple(int(i) for i in index)) for index in bad[:3])
+    raise NumericError(
+        f"{name} contains {len(bad)} non-finite value(s) "
+        f"({fraction_nonfinite(array):.1%} of {array.size}; e.g. at {sample})"
+    )
+
+
+def check_loss(loss: float, epoch: int) -> float:
+    """Return ``loss``, raising :class:`TrainingDivergedError` if non-finite."""
+    if not np.isfinite(loss):
+        raise TrainingDivergedError(
+            f"training loss became non-finite ({loss!r}) at epoch {epoch}; "
+            "the optimisation has diverged"
+        )
+    return float(loss)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError
+from repro.nn.guards import assert_finite, check_loss
 from repro.nn.layers import Layer
 from repro.nn.losses import SoftmaxCrossEntropy, softmax
 from repro.nn.optimizers import Adam, Optimizer
@@ -95,8 +96,16 @@ class Sequential:
         rng:
             Source of shuffling randomness; pass a seeded generator for
             reproducible training.
+
+        Raises
+        ------
+        NumericError
+            If ``inputs`` contains NaN/Inf values.
+        TrainingDivergedError
+            If any epoch's mean loss becomes non-finite.
         """
         inputs = np.asarray(inputs, dtype=np.float64)
+        assert_finite(inputs, "training inputs")
         labels = np.asarray(labels, dtype=np.int64)
         if inputs.ndim != 2:
             raise ConfigurationError(f"inputs must be 2-D, got shape {inputs.shape}")
@@ -125,7 +134,7 @@ class Sequential:
                 optimizer.step(self.parameters(), self.gradients())
                 epoch_loss += loss
                 batches += 1
-            history.losses.append(epoch_loss / batches)
+            history.losses.append(check_loss(epoch_loss / batches, len(history.losses)))
             history.learning_rates.append(learning_rate)
         self._fitted = True
         return history

@@ -51,6 +51,21 @@ class TrainingSchedule:
             for _ in range(phase.epochs):
                 yield phase.learning_rate
 
+    def scaled(self, factor: float) -> "TrainingSchedule":
+        """This schedule with every learning rate multiplied by ``factor``.
+
+        Used by the resilient training ladder to retry a diverged run at
+        a reduced learning rate while keeping the epoch structure.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return TrainingSchedule(
+            tuple(
+                TrainingPhase(phase.epochs, phase.learning_rate * factor)
+                for phase in self.phases
+            )
+        )
+
     @classmethod
     def constant(cls, epochs: int, learning_rate: float) -> "TrainingSchedule":
         """A single-phase schedule."""

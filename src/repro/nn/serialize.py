@@ -13,6 +13,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import DataError
+from repro.ioutils import atomic_save
 from repro.nn.activations import ReLU, Sigmoid, Tanh
 from repro.nn.layers import Dense, Dropout, Layer
 from repro.nn.network import Sequential
@@ -47,17 +48,25 @@ def _build_layer(spec: dict) -> Layer:
 
 
 def save_network(network: Sequential, path: str | Path) -> None:
-    """Write architecture + parameters to a compressed ``.npz``."""
+    """Write architecture + parameters to a compressed ``.npz``.
+
+    The write is atomic (temp file + ``os.replace``): a kill mid-save
+    leaves either the previous file or none, never a truncated archive.
+    """
     architecture = [_layer_spec(layer) for layer in network.layers]
     arrays = {
         f"param_{index}": parameter
         for index, parameter in enumerate(network.parameters())
     }
-    np.savez_compressed(
+    atomic_save(
         Path(path),
-        architecture=np.array(json.dumps(architecture)),
-        fitted=np.array(network._fitted),
-        **arrays,
+        lambda temp: np.savez_compressed(
+            temp,
+            architecture=np.array(json.dumps(architecture)),
+            fitted=np.array(network._fitted),
+            **arrays,
+        ),
+        suffix=".npz",
     )
 
 

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for robustness testing.
+
+Everything here exists to *prove* the fault-tolerance layer works: the
+harness injects NaN features, mid-repetition exceptions, diverged
+training and simulated process kills at exact, reproducible points, so
+integration tests can assert that checkpoints resume and fallbacks fire.
+"""
+
+from repro.testing.faults import (
+    AlwaysDivergingClassifier,
+    FaultInjected,
+    FaultPlan,
+    FaultyMatcher,
+    SimulatedKill,
+    corrupt_with_nan,
+)
+
+__all__ = [
+    "AlwaysDivergingClassifier",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultyMatcher",
+    "SimulatedKill",
+    "corrupt_with_nan",
+]

@@ -1,0 +1,194 @@
+"""Deterministic fault-injection harness.
+
+The runner's failure isolation, retry policy and checkpoint/resume are
+only trustworthy if they can be exercised against *controlled* faults.
+This module injects four failure modes at exact (repetition, attempt)
+coordinates:
+
+* transient or persistent exceptions during training
+  (:class:`FaultInjected`);
+* diverged training (:class:`~repro.errors.TrainingDivergedError`), both
+  at the matcher level and -- via :class:`AlwaysDivergingClassifier` --
+  inside the resilient-classifier ladder;
+* NaN-corrupted similarity scores / feature matrices
+  (:func:`corrupt_with_nan`), which the numeric guards must catch;
+* simulated process kills (:class:`SimulatedKill`), a ``BaseException``
+  that -- like a real ``SIGKILL`` -- must *not* be absorbed by the
+  per-repetition isolation, leaving the journal with the completed
+  prefix only.
+
+Determinism is the point: a plan says exactly where each fault fires, so
+a test that kills a run "after repetition k" does so on every machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import Matcher
+from repro.data.model import Dataset
+from repro.data.pairs import LabeledPair, PairSet
+from repro.errors import ReproError, TrainingDivergedError
+
+
+class FaultInjected(ReproError):
+    """An exception deliberately raised by the fault harness."""
+
+
+class SimulatedKill(BaseException):
+    """A simulated ``SIGKILL``.
+
+    Deliberately **not** an :class:`Exception`: per-repetition failure
+    isolation catches ``Exception`` only, so this propagates straight
+    out of the runner -- exactly like a killed process -- while the
+    journal keeps everything completed so far.
+    """
+
+
+def corrupt_with_nan(
+    array: np.ndarray, fraction: float = 0.1, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """A copy of ``array`` with ``fraction`` of its entries set to NaN.
+
+    At least one entry is corrupted whenever the array is non-empty, so
+    a guard under test can never pass by luck.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    corrupted = np.array(array, dtype=np.float64, copy=True)
+    if corrupted.size == 0:
+        return corrupted
+    count = max(1, int(round(fraction * corrupted.size)))
+    positions = rng.choice(corrupted.size, size=min(count, corrupted.size), replace=False)
+    flat = corrupted.reshape(-1)
+    flat[positions] = np.nan
+    return corrupted
+
+
+class AlwaysDivergingClassifier:
+    """A primary classifier whose training always diverges.
+
+    Plug into ``ResilientClassifier(primary_factory=AlwaysDivergingClassifier)``
+    to force the ladder all the way down to the classical fallback.
+    """
+
+    def __init__(self, config=None) -> None:
+        self.config = config
+        self.fit_calls = 0
+
+    def fit(self, features, labels):
+        self.fit_calls += 1
+        raise TrainingDivergedError("injected divergence (fault harness)")
+
+    def match_scores(self, features):  # pragma: no cover - never fitted
+        raise AssertionError("a diverging classifier never scores")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Where and how faults fire, keyed by repetition index.
+
+    Parameters
+    ----------
+    fail_attempts:
+        ``{repetition: n}`` -- the first ``n`` attempts of that
+        repetition raise :class:`FaultInjected` (so ``n=1`` with one
+        retry allowed tests recovery; ``n`` >= max attempts tests
+        exhaustion).
+    kill_before:
+        Repetitions that raise :class:`SimulatedKill` before any work --
+        "the process died right as repetition k started".
+    diverge_on:
+        Repetitions whose ``fit`` raises
+        :class:`~repro.errors.TrainingDivergedError` on every attempt.
+    nan_scores_on:
+        Repetitions whose similarity scores come back NaN-corrupted,
+        which the runner's numeric guard must turn into a failure.
+    """
+
+    fail_attempts: Mapping[int, int] = field(default_factory=dict)
+    kill_before: frozenset[int] = frozenset()
+    diverge_on: frozenset[int] = frozenset()
+    nan_scores_on: frozenset[int] = frozenset()
+
+    @classmethod
+    def failing(cls, *repetitions: int, attempts: int = 10**9) -> "FaultPlan":
+        """A plan where the given repetitions always fail."""
+        return cls(fail_attempts={rep: attempts for rep in repetitions})
+
+    @classmethod
+    def kill_at(cls, repetition: int) -> "FaultPlan":
+        """A plan that simulates a process kill as ``repetition`` starts."""
+        return cls(kill_before=frozenset({repetition}))
+
+
+class FaultyMatcher(Matcher):
+    """Wraps any matcher and injects the faults of a :class:`FaultPlan`.
+
+    The runner announces ``(repetition, attempt)`` through
+    ``notify_repetition`` before each attempt; the wrapper uses those
+    coordinates to decide which fault (if any) to fire, and keeps an
+    ``injected`` log of ``(repetition, attempt, kind)`` triples plus an
+    ``executed_repetitions`` set so tests can assert exactly what ran.
+    """
+
+    def __init__(self, inner: Matcher, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name
+        self.is_supervised = inner.is_supervised
+        self.threshold = inner.threshold
+        self.injected: list[tuple[int, int, str]] = []
+        self.executed_repetitions: set[int] = set()
+        self._repetition = -1
+        self._attempt = 1
+
+    def notify_repetition(self, repetition: int, attempt: int) -> None:
+        """Runner hook: the coordinates of the attempt about to run."""
+        self._repetition = repetition
+        self._attempt = attempt
+        self.executed_repetitions.add(repetition)
+        if repetition in self.plan.kill_before:
+            self.injected.append((repetition, attempt, "kill"))
+            raise SimulatedKill(f"simulated kill before repetition {repetition}")
+        inner_notify = getattr(self.inner, "notify_repetition", None)
+        if inner_notify is not None:
+            inner_notify(repetition, attempt)
+
+    def _maybe_fail(self, stage: str) -> None:
+        budget = self.plan.fail_attempts.get(self._repetition, 0)
+        if self._attempt <= budget:
+            self.injected.append((self._repetition, self._attempt, "fail"))
+            raise FaultInjected(
+                f"injected {stage} failure at repetition {self._repetition}, "
+                f"attempt {self._attempt}"
+            )
+
+    def prepare(self, dataset: Dataset) -> None:
+        self.inner.prepare(dataset)
+
+    def fit(self, dataset: Dataset, training_pairs: PairSet) -> None:
+        self._maybe_fail("fit")
+        if self._repetition in self.plan.diverge_on:
+            self.injected.append((self._repetition, self._attempt, "diverge"))
+            raise TrainingDivergedError(
+                f"injected divergence at repetition {self._repetition}"
+            )
+        self.inner.fit(dataset, training_pairs)
+
+    def score_pairs(self, dataset: Dataset, pairs: list[LabeledPair]) -> np.ndarray:
+        if not self.is_supervised:
+            # Unsupervised matchers have no fit; inject here instead.
+            self._maybe_fail("score")
+        scores = self.inner.score_pairs(dataset, pairs)
+        if self._repetition in self.plan.nan_scores_on:
+            self.injected.append((self._repetition, self._attempt, "nan"))
+            scores = corrupt_with_nan(scores)
+        return scores
+
+    @property
+    def last_degradation(self):
+        """Pass through the wrapped matcher's degradation report."""
+        return getattr(self.inner, "last_degradation", None)

@@ -1,0 +1,93 @@
+"""Tests for the crash-safe write helpers and their use by persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_dataset_json, save_dataset_json
+from repro.data.model import Dataset, PropertyInstance
+from repro.ioutils import (
+    atomic_path,
+    atomic_save,
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_append_line,
+)
+
+
+def _no_temp_leftovers(directory):
+    return [p.name for p in directory.iterdir() if p.name.startswith(".")] == []
+
+
+class TestAtomicWrite:
+    def test_write_text_round_trip(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"a": 1}')
+        assert json.loads(target.read_text()) == {"a": 1}
+        assert _no_temp_leftovers(tmp_path)
+
+    def test_write_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "nested" / "deep" / "out.txt"
+        atomic_write_text(target, "content")
+        assert target.read_text() == "content"
+
+    def test_failed_write_preserves_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "original")
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as temp:
+                temp.write_text("partial garbage")
+                raise RuntimeError("simulated kill mid-write")
+        assert target.read_text() == "original"
+        assert _no_temp_leftovers(tmp_path)
+
+    def test_atomic_save_with_npz_writer(self, tmp_path):
+        target = tmp_path / "arrays.npz"
+        atomic_save(
+            target, lambda path: np.savez(path, x=np.arange(3)), suffix=".npz"
+        )
+        with np.load(target) as payload:
+            np.testing.assert_array_equal(payload["x"], np.arange(3))
+        assert _no_temp_leftovers(tmp_path)
+
+    def test_append_line_appends_and_terminates(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        fsync_append_line(target, "one")
+        fsync_append_line(target, "two\n")
+        assert target.read_text() == "one\ntwo\n"
+
+
+class TestDatasetJsonAtomicity:
+    def _dataset(self):
+        return Dataset(
+            name="demo",
+            instances=[
+                PropertyInstance(
+                    source="a", property_name="p", entity_id="e", value="1"
+                )
+            ],
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset_json(self._dataset(), path)
+        assert load_dataset_json(path).name == "demo"
+        assert _no_temp_leftovers(tmp_path)
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path, monkeypatch):
+        path = tmp_path / "dataset.json"
+        save_dataset_json(self._dataset(), path)
+        before = path.read_text()
+        monkeypatch.setattr(
+            "repro.data.io.dataset_to_dict",
+            lambda dataset: (_ for _ in ()).throw(RuntimeError("mid-write kill")),
+        )
+        with pytest.raises(RuntimeError):
+            save_dataset_json(self._dataset(), path)
+        assert path.read_text() == before

@@ -1,0 +1,137 @@
+"""Tests for the run journal (checkpoint/resume storage layer)."""
+
+import json
+
+import pytest
+
+from repro.data.model import Dataset, PropertyInstance
+from repro.errors import JournalError
+from repro.evaluation import RunSettings
+from repro.evaluation.checkpoint import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    JournalEntry,
+    RunJournal,
+    run_key,
+)
+from repro.metrics import MatchQuality
+
+
+def _dataset(name="demo", n=2):
+    instances = [
+        PropertyInstance(source=f"s{i}", property_name="p", entity_id="e", value=str(i))
+        for i in range(n)
+    ]
+    return Dataset(name=name, instances=instances)
+
+
+class TestRunKey:
+    def test_stable_for_same_inputs(self):
+        dataset = _dataset()
+        settings = RunSettings(repetitions=3)
+        assert run_key("m", dataset, settings) == run_key("m", dataset, settings)
+
+    def test_sensitive_to_every_protocol_knob(self):
+        dataset = _dataset()
+        base = run_key("m", dataset, RunSettings())
+        assert run_key("other", dataset, RunSettings()) != base
+        assert run_key("m", dataset, RunSettings(seed=1)) != base
+        assert run_key("m", dataset, RunSettings(train_fraction=0.5)) != base
+        assert run_key("m", dataset, RunSettings(repetitions=7)) != base
+        assert run_key("m", dataset, RunSettings(negative_ratio=1.0)) != base
+
+    def test_sensitive_to_dataset_content_not_just_name(self):
+        settings = RunSettings()
+        assert run_key("m", _dataset(n=2), settings) != run_key(
+            "m", _dataset(n=3), settings
+        )
+
+    def test_human_readable_prefix(self):
+        key = run_key("LEAPME", _dataset(), RunSettings())
+        assert key.startswith("LEAPME|demo|")
+
+
+class TestJournalRoundTrip:
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = RunJournal(tmp_path / "absent.jsonl")
+        assert journal.entries("any") == {}
+        assert journal.keys() == []
+
+    def test_quality_round_trips_exactly(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        quality = MatchQuality(true_positives=7, false_positives=2, false_negatives=3)
+        journal.record_quality("k", 0, quality, degradation="reduced-lr", attempts=2)
+        entry = journal.entries("k")[0]
+        assert entry.status == STATUS_OK
+        assert entry.quality == quality
+        assert entry.degradation == "reduced-lr"
+        assert entry.attempts == 2
+
+    def test_skip_and_failure_records(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_skip("k", 1, "no positives")
+        journal.record_failure("k", 2, ValueError("boom"), attempts=3)
+        entries = journal.entries("k")
+        assert entries[1].status == STATUS_SKIPPED
+        assert entries[2].status == STATUS_FAILED
+        assert entries[2].error_type == "ValueError"
+        assert entries[2].error == "boom"
+        assert entries[2].attempts == 3
+
+    def test_keys_isolated_per_cell(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        quality = MatchQuality(1, 0, 0)
+        journal.record_quality("a", 0, quality)
+        journal.record_quality("b", 0, quality)
+        assert journal.keys() == ["a", "b"]
+        assert set(journal.entries("a")) == {0}
+
+    def test_last_record_per_repetition_wins(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_failure("k", 0, RuntimeError("first try"), attempts=1)
+        journal.record_quality("k", 0, MatchQuality(5, 0, 0))
+        assert journal.entries("k")[0].status == STATUS_OK
+
+    def test_describe_summarises(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_quality("k", 0, MatchQuality(1, 0, 0))
+        journal.record_failure("k", 1, RuntimeError("x"), attempts=2)
+        text = journal.describe()
+        assert "1 ok" in text and "1 failed" in text
+
+
+class TestJournalDurability:
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record_quality("k", 0, MatchQuality(1, 0, 0))
+        with path.open("a") as handle:
+            handle.write('{"type": "repetition", "key": "k", "repe')  # torn write
+        assert set(RunJournal(path).entries("k")) == {0}
+
+    def test_corruption_mid_file_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record_quality("k", 0, MatchQuality(1, 0, 0))
+        with path.open("a") as handle:
+            handle.write("GARBAGE\n")
+        journal.record_quality("k", 1, MatchQuality(1, 0, 0))
+        with pytest.raises(JournalError):
+            RunJournal(path).entries("k")
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-journal.jsonl"
+        path.write_text(json.dumps({"type": "something-else"}) + "\n")
+        with pytest.raises(JournalError):
+            RunJournal(path).entries("k")
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"type": "journal", "version": 99}) + "\n")
+        with pytest.raises(JournalError):
+            RunJournal(path).entries("k")
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(JournalError):
+            JournalEntry.from_record({"type": "repetition"})  # missing fields

@@ -1,0 +1,274 @@
+"""Integration tests: failure isolation, retries, resume, degradation.
+
+These are the proofs behind the fault-tolerance layer's claims:
+
+* a repetition that raises is recorded and never aborts its siblings;
+* a killed run resumed from its journal re-executes only the missing
+  repetitions and reproduces the uninterrupted aggregates exactly;
+* injected divergence completes the repetition through the classical
+  fallback, and the degradation is visible in journal and report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LeapmeConfig, LeapmeMatcher, ResilientClassifier
+from repro.core.api import Matcher
+from repro.evaluation import (
+    ExperimentRunner,
+    RetryPolicy,
+    RunJournal,
+    RunSettings,
+    evaluate_matcher,
+    render_robustness_report,
+    run_key,
+)
+from repro.evaluation.checkpoint import STATUS_FAILED, STATUS_OK
+from repro.nn.schedule import TrainingSchedule
+from repro.testing import (
+    AlwaysDivergingClassifier,
+    FaultInjected,
+    FaultPlan,
+    FaultyMatcher,
+    SimulatedKill,
+)
+from repro.text.normalize import token_set
+
+SETTINGS = RunSettings(train_fraction=0.5, repetitions=4, seed=7)
+
+
+class NameEqMatcher(Matcher):
+    """Cheap deterministic supervised matcher: token-set name equality.
+
+    ``fit`` is a recorded no-op, so tests can count which repetitions
+    actually executed training.
+    """
+
+    name = "NameEq"
+    is_supervised = True
+
+    def __init__(self):
+        self.fit_calls = 0
+
+    def fit(self, dataset, training_pairs):
+        self.fit_calls += 1
+
+    def score_pairs(self, dataset, pairs):
+        return np.array(
+            [
+                1.0 if token_set(p.left.name) == token_set(p.right.name) else 0.0
+                for p in pairs
+            ]
+        )
+
+
+class TestFailureIsolation:
+    def test_failing_repetition_does_not_poison_the_rest(self, tiny_headphones):
+        clean = evaluate_matcher(NameEqMatcher(), tiny_headphones, SETTINGS)
+        faulty = FaultyMatcher(NameEqMatcher(), FaultPlan.failing(1))
+        result = evaluate_matcher(
+            faulty, tiny_headphones, SETTINGS, retry_policy=RetryPolicy(max_retries=0)
+        )
+        assert result.skipped_repetitions == 1
+        assert len(result.qualities) == SETTINGS.repetitions - 1
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.repetition == 1
+        assert failure.error_type == "FaultInjected"
+        # The surviving repetitions are exactly the clean run's others.
+        clean_without_rep1 = [q for i, q in enumerate(clean.qualities) if i != 1]
+        assert result.qualities == clean_without_rep1
+
+    def test_transient_failure_recovered_by_retry(self, tiny_headphones):
+        faulty = FaultyMatcher(NameEqMatcher(), FaultPlan(fail_attempts={1: 1}))
+        result = evaluate_matcher(
+            faulty, tiny_headphones, SETTINGS, retry_policy=RetryPolicy(max_retries=1)
+        )
+        assert result.skipped_repetitions == 0
+        assert len(result.qualities) == SETTINGS.repetitions
+        assert (1, 1, "fail") in faulty.injected
+
+    def test_retries_exhausted_becomes_structured_failure(self, tiny_headphones):
+        faulty = FaultyMatcher(NameEqMatcher(), FaultPlan(fail_attempts={0: 5}))
+        result = evaluate_matcher(
+            faulty, tiny_headphones, SETTINGS, retry_policy=RetryPolicy(max_retries=2)
+        )
+        assert result.failures[0].attempts == 3
+
+    def test_backoff_hook_is_exercised(self, tiny_headphones):
+        slept = []
+        faulty = FaultyMatcher(NameEqMatcher(), FaultPlan(fail_attempts={0: 2}))
+        evaluate_matcher(
+            faulty,
+            tiny_headphones,
+            SETTINGS,
+            retry_policy=RetryPolicy(max_retries=2, backoff_base=0.5),
+            sleep=slept.append,
+        )
+        assert slept == [0.5, 1.0]  # exponential doubling
+
+    def test_nan_scores_tripped_by_numeric_guard(self, tiny_headphones):
+        faulty = FaultyMatcher(NameEqMatcher(), FaultPlan(nan_scores_on=frozenset({0})))
+        result = evaluate_matcher(
+            faulty, tiny_headphones, SETTINGS, retry_policy=RetryPolicy(max_retries=0)
+        )
+        assert result.failures[0].error_type == "NumericError"
+        assert "similarity scores" in result.failures[0].message
+
+
+class TestCheckpointResume:
+    def test_kill_then_resume_is_bit_identical(self, tiny_headphones, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        uninterrupted = evaluate_matcher(NameEqMatcher(), tiny_headphones, SETTINGS)
+
+        # The process dies as repetition 2 starts...
+        doomed = FaultyMatcher(NameEqMatcher(), FaultPlan.kill_at(2))
+        with pytest.raises(SimulatedKill):
+            evaluate_matcher(doomed, tiny_headphones, SETTINGS, journal=journal)
+        key = run_key("NameEq", tiny_headphones, SETTINGS)
+        assert set(journal.entries(key)) == {0, 1}
+
+        # ...and the rerun executes only repetitions 2..N.
+        survivor = FaultyMatcher(NameEqMatcher(), FaultPlan())
+        resumed = evaluate_matcher(
+            survivor, tiny_headphones, SETTINGS, journal=journal
+        )
+        assert survivor.executed_repetitions == {2, 3}
+        assert resumed.resumed_repetitions == 2
+        assert resumed.qualities == uninterrupted.qualities
+        assert (resumed.precision, resumed.recall, resumed.f1) == (
+            uninterrupted.precision,
+            uninterrupted.recall,
+            uninterrupted.f1,
+        )
+
+    def test_fully_journaled_run_executes_nothing(self, tiny_headphones, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        first = evaluate_matcher(
+            NameEqMatcher(), tiny_headphones, SETTINGS, journal=journal
+        )
+        rerun_matcher = NameEqMatcher()
+        rerun = evaluate_matcher(
+            rerun_matcher, tiny_headphones, SETTINGS, journal=journal
+        )
+        assert rerun_matcher.fit_calls == 0
+        assert rerun.resumed_repetitions == SETTINGS.repetitions
+        assert rerun.qualities == first.qualities
+
+    def test_resume_false_re_executes(self, tiny_headphones, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        evaluate_matcher(NameEqMatcher(), tiny_headphones, SETTINGS, journal=journal)
+        rerun_matcher = NameEqMatcher()
+        rerun = evaluate_matcher(
+            rerun_matcher, tiny_headphones, SETTINGS, journal=journal, resume=False
+        )
+        assert rerun_matcher.fit_calls > 0
+        assert rerun.resumed_repetitions == 0
+
+    def test_journaled_failures_resume_as_failures(self, tiny_headphones, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        faulty = FaultyMatcher(NameEqMatcher(), FaultPlan.failing(0))
+        evaluate_matcher(
+            faulty,
+            tiny_headphones,
+            SETTINGS,
+            journal=journal,
+            retry_policy=RetryPolicy(max_retries=0),
+        )
+        resumed = evaluate_matcher(
+            NameEqMatcher(), tiny_headphones, SETTINGS, journal=journal
+        )
+        assert resumed.skipped_repetitions == 1
+        assert resumed.failures[0].error_type == "FaultInjected"
+
+    def test_runner_grid_resumes_through_journal(
+        self, tiny_headphones, tiny_cameras, tmp_path
+    ):
+        journal = RunJournal(tmp_path / "grid.jsonl")
+        runner = ExperimentRunner({"nameeq": NameEqMatcher})
+        first = runner.run(
+            [tiny_headphones, tiny_cameras],
+            train_fractions=[0.5],
+            repetitions=2,
+            seed=3,
+            journal=journal,
+        )
+        second = runner.run(
+            [tiny_headphones, tiny_cameras],
+            train_fractions=[0.5],
+            repetitions=2,
+            seed=3,
+            journal=journal,
+        )
+        assert [r.qualities for r in second] == [r.qualities for r in first]
+        assert all(r.resumed_repetitions == 2 for r in second)
+
+
+class TestDegradation:
+    def _resilient_leapme(self, embeddings):
+        config = LeapmeConfig(
+            hidden_sizes=(8,), schedule=TrainingSchedule.constant(2, 1e-3)
+        )
+        return LeapmeMatcher(
+            embeddings,
+            config=config,
+            classifier_factory=lambda: ResilientClassifier(
+                config, primary_factory=AlwaysDivergingClassifier
+            ),
+        )
+
+    def test_divergence_completes_via_classical_fallback(
+        self, tiny_headphones, tiny_embeddings, tmp_path
+    ):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        matcher = self._resilient_leapme(tiny_embeddings)
+        settings = RunSettings(train_fraction=0.5, repetitions=1, seed=0)
+        result = evaluate_matcher(matcher, tiny_headphones, settings, journal=journal)
+        # The repetition completed despite every network fit diverging...
+        assert len(result.qualities) == 1
+        assert result.skipped_repetitions == 0
+        assert result.degraded_repetitions == 1
+        # ...the journal records how...
+        key = run_key(matcher.name, tiny_headphones, settings)
+        entry = journal.entries(key)[0]
+        assert entry.status == STATUS_OK
+        assert entry.degradation == "classical-fallback"
+        # ...and reporting surfaces it.
+        report = render_robustness_report([result])
+        assert "1 degraded" in report
+        assert "degraded" in result.describe()
+
+    def test_matcher_level_divergence_without_resilience_is_isolated(
+        self, tiny_headphones, tmp_path
+    ):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        faulty = FaultyMatcher(NameEqMatcher(), FaultPlan(diverge_on=frozenset({0})))
+        result = evaluate_matcher(
+            faulty,
+            tiny_headphones,
+            SETTINGS,
+            journal=journal,
+            retry_policy=RetryPolicy(max_retries=0),
+        )
+        assert result.failures[0].error_type == "TrainingDivergedError"
+        key = run_key("NameEq", tiny_headphones, SETTINGS)
+        assert journal.entries(key)[0].status == STATUS_FAILED
+
+    def test_healthy_run_reports_nothing(self, tiny_headphones):
+        result = evaluate_matcher(NameEqMatcher(), tiny_headphones, SETTINGS)
+        assert render_robustness_report([result]) == ""
+
+
+class TestFaultPlanUnits:
+    def test_failing_plan_always_fails(self):
+        plan = FaultPlan.failing(0, 2)
+        assert plan.fail_attempts[0] > 100
+        assert 1 not in plan.fail_attempts
+
+    def test_injected_error_is_catchable_as_exception(self):
+        with pytest.raises(Exception):
+            raise FaultInjected("boom")
+
+    def test_simulated_kill_is_not_an_exception(self):
+        assert not issubclass(SimulatedKill, Exception)
+        assert issubclass(SimulatedKill, BaseException)

@@ -1,0 +1,105 @@
+"""Tests for the numeric health guards."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericError, TrainingDivergedError
+from repro.nn.activations import ReLU
+from repro.nn.guards import assert_finite, check_loss, fraction_nonfinite
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.nn.schedule import TrainingSchedule
+from repro.testing import corrupt_with_nan
+
+
+class TestAssertFinite:
+    def test_finite_array_passes_through(self):
+        array = np.arange(6.0).reshape(2, 3)
+        assert assert_finite(array, "x") is array
+
+    def test_empty_array_passes(self):
+        assert_finite(np.zeros((0, 4)), "empty")
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_raises_with_location(self, bad):
+        array = np.zeros((3, 3))
+        array[1, 2] = bad
+        with pytest.raises(NumericError) as excinfo:
+            assert_finite(array, "features")
+        message = str(excinfo.value)
+        assert "features" in message
+        assert "(1, 2)" in message
+
+    def test_fraction_nonfinite(self):
+        array = np.zeros(10)
+        array[:3] = np.nan
+        assert fraction_nonfinite(array) == pytest.approx(0.3)
+        assert fraction_nonfinite(np.zeros(0)) == 0.0
+
+
+class TestCheckLoss:
+    def test_finite_loss_passes(self):
+        assert check_loss(0.25, 3) == 0.25
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nonfinite_loss_raises(self, bad):
+        with pytest.raises(TrainingDivergedError) as excinfo:
+            check_loss(bad, epoch=4)
+        assert "epoch 4" in str(excinfo.value)
+
+
+class TestNetworkGuards:
+    def _network(self, rng):
+        return Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+
+    def test_nan_inputs_rejected_before_training(self):
+        rng = np.random.default_rng(0)
+        network = self._network(rng)
+        inputs = corrupt_with_nan(rng.normal(size=(32, 4)))
+        labels = np.zeros(32, dtype=np.int64)
+        with pytest.raises(NumericError):
+            network.fit(
+                inputs, labels, schedule=TrainingSchedule.constant(1, 1e-3)
+            )
+
+    def test_divergence_raises_training_diverged(self):
+        rng = np.random.default_rng(0)
+        network = self._network(rng)
+        # Poison one weight so the very first epoch's loss is non-finite.
+        network.layers[0].parameters()[0][0, 0] = np.inf
+        inputs = rng.normal(size=(32, 4))
+        labels = (rng.random(32) > 0.5).astype(np.int64)
+        with np.errstate(all="ignore"), pytest.raises(TrainingDivergedError):
+            network.fit(
+                inputs, labels, schedule=TrainingSchedule.constant(2, 1e-3)
+            )
+
+    def test_classifier_rejects_nan_features(self):
+        from repro.core import LeapmeConfig
+        from repro.core.classifier import LeapmeClassifier
+
+        rng = np.random.default_rng(1)
+        features = corrupt_with_nan(rng.normal(size=(40, 5)))
+        labels = (rng.random(40) > 0.5).astype(np.int64)
+        classifier = LeapmeClassifier(
+            LeapmeConfig(hidden_sizes=(4,), schedule=TrainingSchedule.constant(1, 1e-3))
+        )
+        with pytest.raises(NumericError):
+            classifier.fit(features, labels)
+
+
+class TestCorruptWithNan:
+    def test_corrupts_at_least_one_entry(self):
+        corrupted = corrupt_with_nan(np.zeros((2, 2)), fraction=0.0)
+        assert np.isnan(corrupted).sum() == 1
+
+    def test_original_untouched(self):
+        array = np.zeros(8)
+        corrupt_with_nan(array, fraction=0.5)
+        assert np.isfinite(array).all()
+
+    def test_deterministic_given_rng(self):
+        array = np.zeros(20)
+        first = corrupt_with_nan(array, 0.25, np.random.default_rng(5))
+        second = corrupt_with_nan(array, 0.25, np.random.default_rng(5))
+        np.testing.assert_array_equal(np.isnan(first), np.isnan(second))

@@ -60,6 +60,39 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "P=" in out and "F1=" in out
 
+    def test_journal_written_and_resumed(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        argv = [
+            "evaluate",
+            "--dataset", "headphones",
+            "--scale", "tiny",
+            "--system", "lsh",
+            "--train-fraction", "0.6",
+            "--repetitions", "2",
+            "--journal", str(journal),
+        ]
+        assert main(argv) == 0
+        first_out = capsys.readouterr().out
+        assert str(journal) in first_out
+        assert journal.exists()
+        lines = journal.read_text().strip().split("\n")
+        assert len(lines) == 3  # header + 2 repetitions
+
+        assert main(argv + ["--resume"]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "(resumed)" in resumed_out
+        assert "2 resumed" in resumed_out
+        # Resuming re-ran nothing, so no new repetition lines appeared.
+        assert len(journal.read_text().strip().split("\n")) == 3
+
+    def test_resume_without_journal_rejected(self, capsys):
+        code = main(
+            ["evaluate", "--dataset", "headphones", "--scale", "tiny",
+             "--system", "lsh", "--repetitions", "1", "--resume"]
+        )
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
 
 class TestMatch:
     def test_supervised_match_to_csv(self, tmp_path, capsys):

@@ -6,8 +6,11 @@ from repro.errors import (
     ConfigurationError,
     DataError,
     DimensionError,
+    JournalError,
     NotFittedError,
+    NumericError,
     ReproError,
+    TrainingDivergedError,
     VocabularyError,
 )
 
@@ -17,6 +20,9 @@ ALL_ERRORS = [
     NotFittedError,
     VocabularyError,
     DimensionError,
+    NumericError,
+    TrainingDivergedError,
+    JournalError,
 ]
 
 
@@ -25,6 +31,20 @@ def test_all_errors_derive_from_repro_error(error_cls):
     assert issubclass(error_cls, ReproError)
     with pytest.raises(ReproError):
         raise error_cls("boom")
+
+
+def test_diverged_is_a_numeric_error():
+    # The degradation ladder catches divergence specifically; a generic
+    # numeric guard handler must also see it.
+    assert issubclass(TrainingDivergedError, NumericError)
+
+
+def test_simulated_kill_escapes_exception_handlers():
+    # The fault harness's kill must behave like SIGKILL: uncatchable by
+    # the runner's `except Exception` isolation.
+    from repro.testing import SimulatedKill
+
+    assert not issubclass(SimulatedKill, Exception)
 
 
 def test_single_except_catches_library_failures():
