@@ -13,6 +13,7 @@ Follows Section III of the paper:
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -82,21 +83,49 @@ class Dataset:
             )
 
     def fingerprint(self) -> str:
-        """Cheap content fingerprint: name plus structural counts.
+        """Content fingerprint: name, structural counts and a content hash.
 
-        Two datasets that merely share a ``name`` get different
-        fingerprints whenever their instance or alignment content
-        differs in size, which is what per-dataset caches (feature
-        tables, run journals) must key on instead of the bare name.
-        O(1) after the first call -- no hashing of instance values.
+        Two datasets that merely share a ``name`` -- even with identical
+        instance and alignment *counts* -- get different fingerprints
+        whenever any instance tuple or alignment entry differs, which is
+        what per-dataset caches (feature tables, run-journal keys) must
+        key on instead of the bare name.  The hash covers the sorted
+        ``(source, property, entity, value)`` tuples plus the alignment,
+        so it is order-insensitive.
+
+        The value is computed once and cached; a ``Dataset`` must not be
+        mutated after its fingerprint (or any derived cache key) has been
+        used.  The transformation methods (:meth:`restrict_to_sources`,
+        :meth:`cap_entities_per_source`) already return new instances.
         """
         cached = getattr(self, "_fingerprint", None)
         if cached is None:
+            hasher = hashlib.sha256()
+            for instance in sorted(
+                self.instances,
+                key=lambda i: (i.source, i.property_name, i.entity_id, i.value),
+            ):
+                hasher.update(
+                    "\x1f".join(
+                        (
+                            instance.source,
+                            instance.property_name,
+                            instance.entity_id,
+                            instance.value,
+                        )
+                    ).encode("utf-8")
+                )
+                hasher.update(b"\x1e")
+            for ref, reference in sorted(self.alignment.items()):
+                hasher.update(
+                    "\x1f".join((ref.source, ref.name, reference)).encode("utf-8")
+                )
+                hasher.update(b"\x1e")
             cached = (
                 f"{self.name}"
                 f":i{len(self.instances)}"
                 f":a{len(self.alignment)}"
-                f":s{len({instance.source for instance in self.instances})}"
+                f":{hasher.hexdigest()[:16]}"
             )
             self._fingerprint = cached
         return cached

@@ -22,7 +22,8 @@ Long grids must survive bad repetitions and process kills:
   structured :class:`RepetitionFailure` instead of aborting siblings;
 * with a :class:`~repro.evaluation.checkpoint.RunJournal`, each
   repetition's outcome is durably appended as it completes, and a rerun
-  resumes from the journal, re-executing only what is missing.  Because
+  resumes from the journal, re-executing only what is missing or
+  previously failed (journaled failures get a fresh attempt).  Because
   each repetition derives its randomness from ``(seed, repetition)``
   alone, a resumed grid is bit-identical to an uninterrupted one.
 """
@@ -272,9 +273,14 @@ def _apply_outcome(result: ExperimentResult, outcome: _Outcome) -> None:
         result.skipped_repetitions += 1
 
 
-def _apply_journal_entry(
-    result: ExperimentResult, repetition: int, entry: JournalEntry
-) -> None:
+def _apply_journal_entry(result: ExperimentResult, entry: JournalEntry) -> None:
+    """Restore one journaled ``ok``/``skipped`` outcome into the result.
+
+    ``failed`` entries are never restored -- the resume loop re-runs
+    them, because a rerun is the natural recovery move after transient
+    failures (possibly with a more generous retry policy), and
+    last-record-wins means the fresh outcome supersedes the old one.
+    """
     result.resumed_repetitions += 1
     if entry.status == STATUS_OK and entry.quality is not None:
         result.qualities.append(entry.quality)
@@ -282,15 +288,6 @@ def _apply_journal_entry(
             result.degraded_repetitions += 1
     else:
         result.skipped_repetitions += 1
-        if entry.status == STATUS_FAILED:
-            result.failures.append(
-                RepetitionFailure(
-                    repetition=repetition,
-                    error_type=entry.error_type or "Exception",
-                    message=entry.error or "",
-                    attempts=entry.attempts,
-                )
-            )
 
 
 def evaluate_matcher(
@@ -316,7 +313,10 @@ def evaluate_matcher(
     ``retry_policy`` and recorded in ``failures`` (never aborting their
     siblings).  With ``journal`` set, every outcome is durably appended
     as it completes, and ``resume=True`` (the default) restores already
-    journaled repetitions instead of re-running them.
+    journaled ``ok``/``skipped`` repetitions instead of re-running them;
+    journaled *failures* are re-attempted (so rerunning with a higher
+    ``max_retries`` actually retries them) and the fresh outcome
+    supersedes the old record.
     """
     settings = settings if settings is not None else RunSettings()
     retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
@@ -333,8 +333,8 @@ def evaluate_matcher(
     )
     for repetition, split in enumerate(splits):
         entry = done.get(repetition)
-        if entry is not None:
-            _apply_journal_entry(result, repetition, entry)
+        if entry is not None and entry.status != STATUS_FAILED:
+            _apply_journal_entry(result, entry)
             continue
         outcome = _run_repetition(
             matcher, dataset, settings, repetition, split, retry_policy, sleep

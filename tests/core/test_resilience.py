@@ -162,3 +162,39 @@ class TestTableCacheFingerprint:
         )
         assert first.fingerprint() != second.fingerprint()
         assert first.fingerprint() == first.fingerprint()
+
+    def test_fingerprint_distinguishes_same_size_content(self):
+        # Same name, same instance/alignment counts, same sources --
+        # only a value differs.  Structural counts alone would collide.
+        first = _named_dataset("x", [("a", "p", "1"), ("b", "p", "2")])
+        edited = _named_dataset("x", [("a", "p", "1"), ("b", "p", "999")])
+        assert first.fingerprint() != edited.fingerprint()
+
+    def test_fingerprint_distinguishes_alignment_only_change(self):
+        base = [("a", "p", "1"), ("b", "q", "2")]
+        instances = [
+            PropertyInstance(source=s, property_name=p, entity_id="e1", value=v)
+            for s, p, v in base
+        ]
+        matched = Dataset(
+            name="x",
+            instances=list(instances),
+            alignment={
+                PropertyRef("a", "p"): "ref1",
+                PropertyRef("b", "q"): "ref1",
+            },
+        )
+        unmatched = Dataset(
+            name="x",
+            instances=list(instances),
+            alignment={
+                PropertyRef("a", "p"): "ref1",
+                PropertyRef("b", "q"): "ref2",
+            },
+        )
+        assert matched.fingerprint() != unmatched.fingerprint()
+
+    def test_fingerprint_is_order_insensitive(self):
+        forward = _named_dataset("x", [("a", "p", "1"), ("b", "q", "2")])
+        backward = _named_dataset("x", [("b", "q", "2"), ("a", "p", "1")])
+        assert forward.fingerprint() == backward.fingerprint()

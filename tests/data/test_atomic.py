@@ -62,6 +62,19 @@ class TestAtomicWrite:
         fsync_append_line(target, "two\n")
         assert target.read_text() == "one\ntwo\n"
 
+    def test_append_line_truncates_torn_tail(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        fsync_append_line(target, "one")
+        target.write_text("one\ntw")  # kill mid-append: newline-less tail
+        fsync_append_line(target, "three")
+        assert target.read_text() == "one\nthree\n"
+
+    def test_append_line_to_torn_only_line(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text("tw")  # torn very first line, no newline at all
+        fsync_append_line(target, "one")
+        assert target.read_text() == "one\n"
+
 
 class TestDatasetJsonAtomicity:
     def _dataset(self):

@@ -110,6 +110,21 @@ class TestJournalDurability:
             handle.write('{"type": "repetition", "key": "k", "repe')  # torn write
         assert set(RunJournal(path).entries("k")) == {0}
 
+    def test_append_after_torn_line_stays_readable(self, tmp_path):
+        # A kill mid-append must not poison later appends: the torn tail
+        # is truncated away, the new record lands on its own line, and
+        # every subsequent read (and resume) still works.
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record_quality("k", 0, MatchQuality(1, 0, 0))
+        with path.open("a") as handle:
+            handle.write('{"type": "repetition", "key": "k", "repe')  # torn write
+        journal.record_quality("k", 1, MatchQuality(2, 0, 0))
+        journal.record_quality("k", 2, MatchQuality(3, 0, 0))
+        entries = RunJournal(path).entries("k")
+        assert set(entries) == {0, 1, 2}
+        assert entries[1].quality == MatchQuality(2, 0, 0)
+
     def test_corruption_mid_file_raises(self, tmp_path):
         path = tmp_path / "run.jsonl"
         journal = RunJournal(path)

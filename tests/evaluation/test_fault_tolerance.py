@@ -165,21 +165,32 @@ class TestCheckpointResume:
         assert rerun_matcher.fit_calls > 0
         assert rerun.resumed_repetitions == 0
 
-    def test_journaled_failures_resume_as_failures(self, tiny_headphones, tmp_path):
+    def test_journaled_failures_are_retried_on_resume(self, tiny_headphones, tmp_path):
         journal = RunJournal(tmp_path / "run.jsonl")
         faulty = FaultyMatcher(NameEqMatcher(), FaultPlan.failing(0))
-        evaluate_matcher(
+        first = evaluate_matcher(
             faulty,
             tiny_headphones,
             SETTINGS,
             journal=journal,
             retry_policy=RetryPolicy(max_retries=0),
         )
+        assert first.failures[0].error_type == "FaultInjected"
+
+        # The rerun restores the healthy repetitions but re-attempts the
+        # failed one (e.g. after raising --max-retries), and the fresh
+        # outcome supersedes the journaled failure.
+        survivor = FaultyMatcher(NameEqMatcher(), FaultPlan())
         resumed = evaluate_matcher(
-            NameEqMatcher(), tiny_headphones, SETTINGS, journal=journal
+            survivor, tiny_headphones, SETTINGS, journal=journal
         )
-        assert resumed.skipped_repetitions == 1
-        assert resumed.failures[0].error_type == "FaultInjected"
+        assert survivor.executed_repetitions == {0}
+        assert resumed.resumed_repetitions == SETTINGS.repetitions - 1
+        assert resumed.skipped_repetitions == 0
+        assert resumed.failures == []
+        assert len(resumed.qualities) == SETTINGS.repetitions
+        key = run_key("NameEq", tiny_headphones, SETTINGS)
+        assert journal.entries(key)[0].status == STATUS_OK
 
     def test_runner_grid_resumes_through_journal(
         self, tiny_headphones, tiny_cameras, tmp_path
