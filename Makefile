@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test check bench bench-tiny bench-paper examples lines
+.PHONY: install test check bench bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,7 +15,12 @@ check:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/fault_smoke.py
 
+# Evaluation-engine benchmark: serial legacy grid vs shared feature
+# store + process-pool executor.  Writes BENCH_grid.json.
 bench:
+	PYTHONPATH=src python scripts/bench_grid.py
+
+bench-suite:
 	pytest benchmarks/ --benchmark-only -s
 
 bench-tiny:

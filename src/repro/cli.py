@@ -39,6 +39,7 @@ from repro.datasets import DATASET_NAMES, build_domain_embeddings, load_dataset
 from repro.embeddings.hashing import hash_embeddings
 from repro.errors import ReproError
 from repro.evaluation import (
+    ExperimentRunner,
     RetryPolicy,
     RunJournal,
     RunSettings,
@@ -138,14 +139,34 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     journal = RunJournal(args.journal) if args.journal is not None else None
-    result = evaluate_matcher(
-        matcher,
-        dataset,
-        settings,
-        journal=journal,
-        resume=args.resume,
-        retry_policy=RetryPolicy(max_retries=args.max_retries),
-    )
+    retry_policy = RetryPolicy(max_retries=args.max_retries)
+    if args.workers > 1:
+        # The process-pool engine: same journal, same aggregates,
+        # repetitions fanned out across worker processes.  The factory
+        # key is the matcher's own name so the result label and the
+        # journal cell key match the serial path exactly.
+        runner = ExperimentRunner(
+            {matcher.name: lambda: _build_matcher(args.system, embeddings)}
+        )
+        result = runner.run(
+            [dataset],
+            train_fractions=[args.train_fraction],
+            repetitions=args.repetitions,
+            seed=args.seed,
+            journal=journal,
+            resume=args.resume,
+            retry_policy=retry_policy,
+            workers=args.workers,
+        )[0]
+    else:
+        result = evaluate_matcher(
+            matcher,
+            dataset,
+            settings,
+            journal=journal,
+            resume=args.resume,
+            retry_policy=retry_policy,
+        )
     print(result.describe())
     report = render_robustness_report([result])
     if report:
@@ -240,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--max-retries", type=int, default=1,
                           help="retries per failing repetition before it is "
                                "recorded as failed (default 1)")
+    evaluate.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the repetition grid; "
+                               "results are byte-identical to --workers 1 "
+                               "(default 1)")
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     match = commands.add_parser("match", help="score pairs and emit matches as CSV")

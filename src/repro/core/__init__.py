@@ -44,8 +44,13 @@ from repro.core.instance_features import (
     instance_meta_features,
     instance_meta_matrix,
 )
+from repro.core.feature_cache import PairFeatureStore, PairUniverse
 from repro.core.matcher import LeapmeMatcher
-from repro.core.pair_features import pair_feature_matrix
+from repro.core.pair_features import (
+    FeatureBlock,
+    FeatureLayout,
+    pair_feature_matrix,
+)
 from repro.core.persistence import load_matcher, save_matcher
 from repro.core.property_features import PropertyFeatureTable
 
@@ -59,6 +64,10 @@ __all__ = [
     "instance_meta_features",
     "instance_meta_matrix",
     "PropertyFeatureTable",
+    "FeatureBlock",
+    "FeatureLayout",
+    "PairFeatureStore",
+    "PairUniverse",
     "pair_feature_matrix",
     "LeapmeClassifier",
     "ResilientClassifier",

@@ -1,0 +1,284 @@
+"""Shared pair-feature store: the full Table I matrix, computed once.
+
+The evaluation grid of Section V re-scores the *same* candidate pairs
+under nine feature configurations, two training fractions and many
+repetitions.  The seed implementation recomputed, per grid cell:
+
+* the cross-source pair enumeration (``build_pairs``, quadratic in the
+  property count), once per repetition per cell;
+* the pair feature matrix, even though every config's matrix is a
+  column subset of one full matrix (see
+  :class:`repro.core.pair_features.FeatureLayout`).
+
+This module hoists both.  :class:`PairUniverse` enumerates all
+cross-source pairs of a dataset exactly once and serves every
+``(sources, within)`` subset by filtering that enumeration -- the
+result is element-identical to ``build_pairs``.  :class:`PairFeatureStore`
+computes the full-width feature matrix over the universe once (name
+distances through the batched kernel in :mod:`repro.text.batch`), then
+serves any (pair set, config) request as a row gather plus a column
+slice; the gathered full-width submatrix is cached per pair set, so the
+nine configs of a grid cell share one gather and eight of them are
+zero-copy column views of it.
+
+Stores are keyed by the dataset's content fingerprint: a store never
+answers for a dataset it was not built from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.config import FeatureConfig
+from repro.core.pair_features import (
+    FeatureLayout,
+    name_distance_block,
+)
+from repro.core.property_features import PropertyFeatureTable
+from repro.data.model import Dataset, PropertyRef
+from repro.data.pairs import LabeledPair, PairSet, sample_training_pairs
+from repro.errors import ConfigurationError
+
+
+class PairUniverse:
+    """All cross-source pairs of a dataset, enumerated once.
+
+    ``subset`` reproduces :func:`repro.data.pairs.build_pairs` exactly
+    (same pair objects, same order) by filtering the single enumeration
+    instead of re-walking the quadratic property grid per grid cell.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset_fingerprint = dataset.fingerprint()
+        self._all_sources = set(dataset.sources())
+        properties = dataset.properties()
+        pairs: list[LabeledPair] = []
+        for i, left in enumerate(properties):
+            for right in properties[i + 1 :]:
+                if left.source == right.source:
+                    continue
+                pairs.append(
+                    LabeledPair(left, right, dataset.is_match(left, right))
+                )
+        self.pairs: tuple[LabeledPair, ...] = tuple(pairs)
+        self._row_of: dict[frozenset[PropertyRef], int] = {
+            pair.key: row for row, pair in enumerate(self.pairs)
+        }
+        self._subset_cache: dict[tuple[frozenset[str], bool], PairSet] = {}
+        # rows_of is a per-pair Python loop; the same (memoised) pair
+        # list recurs for every config of a grid cell, so cache the row
+        # arrays by list identity.  Entries hold a strong reference to
+        # the list, which keeps the id stable while cached.  Sizing: a
+        # grid touches repetitions+1 entries per train fraction, and the
+        # entries are small (index arrays / pair lists), so the caps sit
+        # well above any realistic repetition count.
+        self._rows_cache: OrderedDict[int, tuple[object, np.ndarray]] = OrderedDict()
+        self._rows_cache_size = 256
+        self._sample_cache: OrderedDict[tuple, tuple[object, PairSet]] = OrderedDict()
+        self._sample_cache_size = 256
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def subset(
+        self, sources: list[str] | None = None, *, within: bool = True
+    ) -> PairSet:
+        """The ``build_pairs(dataset, sources, within=...)`` pair set."""
+        if sources is None:
+            selected = self._all_sources
+        else:
+            unknown = set(sources) - self._all_sources
+            if unknown:
+                raise ConfigurationError(f"unknown sources: {sorted(unknown)}")
+            selected = set(sources)
+        # The same split recurs across the nine configs of a grid cell;
+        # memoise so the filter runs once per (sources, within).
+        cache_key = (frozenset(selected), within)
+        cached = self._subset_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        kept = [
+            pair
+            for pair in self.pairs
+            if (pair.left.source in selected and pair.right.source in selected)
+            == within
+        ]
+        result = self._subset_cache[cache_key] = PairSet(kept)
+        return result
+
+    def training_sample(
+        self,
+        candidates: PairSet,
+        negative_ratio: float,
+        rng_seed: tuple[int, ...],
+    ) -> PairSet:
+        """Memoised :func:`sample_training_pairs` over a memoised subset.
+
+        Every config of a grid cell draws the same training sample (the
+        rng is reseeded from ``rng_seed`` per draw), so the sample --
+        like the subset it comes from -- is computed once and the shared
+        ``PairSet`` object lets the row/gather caches downstream hit.
+        The draw consumes a fresh generator exactly as the direct path
+        does, so the sampled content is bit-identical.
+        """
+        key = (id(candidates), float(negative_ratio), tuple(rng_seed))
+        cached = self._sample_cache.get(key)
+        if cached is not None and cached[0] is candidates:
+            self._sample_cache.move_to_end(key)
+            return cached[1]
+        sample = sample_training_pairs(
+            candidates, negative_ratio, np.random.default_rng(list(rng_seed))
+        )
+        self._sample_cache[key] = (candidates, sample)
+        if len(self._sample_cache) > self._sample_cache_size:
+            self._sample_cache.popitem(last=False)
+        return sample
+
+    def row_of(self, pair: LabeledPair | tuple[PropertyRef, PropertyRef]) -> int:
+        """Universe row of an (unordered) pair."""
+        key = (
+            pair.key
+            if isinstance(pair, LabeledPair)
+            else frozenset(pair)
+        )
+        try:
+            return self._row_of[key]
+        except KeyError:
+            raise ConfigurationError(
+                "pair is not part of this dataset's cross-source universe"
+            ) from None
+
+    def rows_of(
+        self, pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]]
+    ) -> np.ndarray:
+        """Universe rows of many pairs, in order."""
+        cached = self._rows_cache.get(id(pairs))
+        if cached is not None and cached[0] is pairs:
+            self._rows_cache.move_to_end(id(pairs))
+            return cached[1]
+        rows = np.array([self.row_of(pair) for pair in pairs], dtype=np.intp)
+        rows.setflags(write=False)
+        self._rows_cache[id(pairs)] = (pairs, rows)
+        if len(self._rows_cache) > self._rows_cache_size:
+            self._rows_cache.popitem(last=False)
+        return rows
+
+
+class PairFeatureStore:
+    """Full-width pair features over a :class:`PairUniverse`, shared.
+
+    The matrix is computed once at construction; every
+    ``features(pairs, config)`` call afterwards is a cached row gather
+    plus a column slice.  The store is read-only: the full matrix and
+    the cached gathers have their write flags cleared, so the views
+    handed to different grid cells cannot corrupt each other.
+    """
+
+    def __init__(
+        self,
+        table: PropertyFeatureTable,
+        universe: PairUniverse,
+        *,
+        gather_cache_size: int = 64,
+        gather_cache_bytes: int = 1 << 30,
+    ) -> None:
+        if table.dataset_fingerprint != universe.dataset_fingerprint:
+            raise ConfigurationError(
+                "feature table and pair universe come from different datasets"
+            )
+        self.universe = universe
+        self.dataset_fingerprint = universe.dataset_fingerprint
+        self.layout = FeatureLayout(table.embedding_dimension)
+        self.timings: dict[str, float] = {}
+        started = perf_counter()
+        lefts = [pair.left for pair in universe.pairs]
+        rights = [pair.right for pair in universe.pairs]
+        left_rows = table.rows_of(lefts)
+        right_rows = table.rows_of(rights)
+        matrix = np.empty((len(universe), self.layout.total_width))
+        for block in self.layout.blocks:
+            if block.key == "instance_meta":
+                matrix[:, block.columns] = np.abs(
+                    table.meta[left_rows] - table.meta[right_rows]
+                )
+            elif block.key == "instance_embedding":
+                matrix[:, block.columns] = np.abs(
+                    table.value_embedding[left_rows]
+                    - table.value_embedding[right_rows]
+                )
+            elif block.key == "name_embedding":
+                matrix[:, block.columns] = np.abs(
+                    table.name_embedding[left_rows]
+                    - table.name_embedding[right_rows]
+                )
+            else:  # name_distances
+                distance_started = perf_counter()
+                matrix[:, block.columns] = name_distance_block(
+                    [(left.name, right.name) for left, right in zip(lefts, rights)]
+                )
+                self.timings["name_distances"] = perf_counter() - distance_started
+        matrix.setflags(write=False)
+        self.matrix = matrix
+        self.timings["build"] = perf_counter() - started
+        # Gathers are the memory-heavy cache (full-width row submatrices).
+        # A grid touches repetitions+1 of them per train fraction, so the
+        # count cap sits above realistic repetition counts; the byte
+        # budget bounds worst-case memory at large dataset scales.
+        self._gather_cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._gather_cache_size = gather_cache_size
+        self._gather_cache_bytes = gather_cache_bytes
+        self._gather_bytes = 0
+
+    @classmethod
+    def build(
+        cls, dataset: Dataset, embeddings, universe: PairUniverse | None = None
+    ) -> "PairFeatureStore":
+        """Construct table, universe and store in one step."""
+        if universe is None:
+            universe = PairUniverse(dataset)
+        table = PropertyFeatureTable(dataset, embeddings)
+        return cls(table, universe)
+
+    def serves(self, dataset: Dataset) -> bool:
+        """Whether this store was built from ``dataset``'s content."""
+        return self.dataset_fingerprint == dataset.fingerprint()
+
+    def _gathered(self, rows: np.ndarray) -> np.ndarray:
+        key = rows.tobytes()
+        cached = self._gather_cache.get(key)
+        if cached is not None:
+            self._gather_cache.move_to_end(key)
+            return cached
+        gathered = self.matrix[rows]
+        gathered.setflags(write=False)
+        self._gather_cache[key] = gathered
+        self._gather_bytes += gathered.nbytes
+        while self._gather_cache and (
+            len(self._gather_cache) > self._gather_cache_size
+            or self._gather_bytes > self._gather_cache_bytes
+        ):
+            _, evicted = self._gather_cache.popitem(last=False)
+            self._gather_bytes -= evicted.nbytes
+        return gathered
+
+    def features(
+        self,
+        pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]] | PairSet,
+        config: FeatureConfig,
+    ) -> np.ndarray:
+        """Feature matrix for ``pairs`` under ``config``.
+
+        Zero-copy whenever the config's blocks are adjacent in the full
+        layout (eight of the nine grid cells): the result is a column
+        view of the cached row gather.
+        """
+        if isinstance(pairs, PairSet):
+            pairs = pairs.pairs
+        if not pairs:
+            return np.zeros((0, self.layout.width(config)))
+        rows = self.universe.rows_of(pairs)
+        columns = self.layout.active_columns(config)
+        return self._gathered(rows)[:, columns]

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.config import FeatureConfig
 from repro.core.matcher import LeapmeMatcher
-from repro.core.pair_features import NUM_NAME_DISTANCES, pair_feature_matrix
+from repro.core.pair_features import FeatureLayout, pair_feature_matrix
 from repro.data.model import Dataset
 from repro.data.pairs import PairSet
 from repro.metrics import evaluate_scores
@@ -38,21 +38,7 @@ class BlockImportance:
 
 def _block_slices(config: FeatureConfig, dimension: int) -> dict[str, slice]:
     """Column ranges of the active feature blocks, in matrix order."""
-    slices: dict[str, slice] = {}
-    offset = 0
-    if config.scope.uses_instances and config.kinds.uses_non_embeddings:
-        slices["instance_meta"] = slice(offset, offset + 29)
-        offset += 29
-    if config.scope.uses_instances and config.kinds.uses_embeddings:
-        slices["instance_embedding"] = slice(offset, offset + dimension)
-        offset += dimension
-    if config.scope.uses_names and config.kinds.uses_embeddings:
-        slices["name_embedding"] = slice(offset, offset + dimension)
-        offset += dimension
-    if config.scope.uses_names and config.kinds.uses_non_embeddings:
-        slices["name_distances"] = slice(offset, offset + NUM_NAME_DISTANCES)
-        offset += NUM_NAME_DISTANCES
-    return slices
+    return FeatureLayout(dimension).active_slices(config)
 
 
 def permutation_importance(

@@ -7,6 +7,8 @@ into the similarity graph.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.api import Matcher
@@ -69,28 +71,66 @@ class LeapmeMatcher(Matcher):
             self._classifier_factory = lambda: LeapmeClassifier(self.config)
         self._table: PropertyFeatureTable | None = None
         self._table_key: str | None = None
+        self._store = None
         self._classifier: LeapmeClassifier | None = None
         #: Degradation label of the most recent fit (None when the
         #: classifier trained normally or does not report degradation).
         self.last_degradation: str | None = None
+        #: Cumulative seconds spent assembling pair-feature matrices;
+        #: the runner's phase instrumentation reads deltas of this.
+        self.feature_seconds: float = 0.0
 
     def prepare(self, dataset: Dataset) -> None:
-        """Compute the property feature table (Algorithm 1 steps 1-4)."""
+        """Compute the property feature table (Algorithm 1 steps 1-4).
+
+        A no-op when an attached :class:`PairFeatureStore` already
+        serves this dataset: the store embeds the same table content.
+        """
+        if self._store is not None and self._store.serves(dataset):
+            return
         self._table = PropertyFeatureTable(dataset, self.embeddings)
-        self._table_key = dataset.fingerprint()
+        self._table_key = self._table.dataset_fingerprint
+
+    def attach_store(self, store) -> None:
+        """Share a precomputed :class:`PairFeatureStore`.
+
+        While attached, ``fit``/``score_pairs`` on the store's dataset
+        take column slices of the shared full feature matrix instead of
+        assembling per-config matrices; other datasets fall back to the
+        direct path.  Pass ``None`` to detach.
+        """
+        self._store = store
+
+    def build_feature_store(self, dataset: Dataset, universe=None):
+        """Build a :class:`PairFeatureStore` with this matcher's embeddings."""
+        from repro.core.feature_cache import PairFeatureStore, PairUniverse
+
+        if universe is None:
+            universe = PairUniverse(dataset)
+        return PairFeatureStore(self._ensure_table(dataset), universe)
 
     def _ensure_table(self, dataset: Dataset) -> PropertyFeatureTable:
         # Keyed on the content fingerprint, not the bare name: two
         # different datasets that happen to share a name must not reuse
         # each other's cached feature table.
         if self._table is None or self._table_key != dataset.fingerprint():
-            self.prepare(dataset)
+            self._table = PropertyFeatureTable(dataset, self.embeddings)
+            self._table_key = self._table.dataset_fingerprint
         return self._table
+
+    def _features(self, dataset: Dataset, pairs: list[LabeledPair]) -> np.ndarray:
+        started = perf_counter()
+        try:
+            if self._store is not None and self._store.serves(dataset):
+                return self._store.features(pairs, self.feature_config)
+            table = self._ensure_table(dataset)
+            return pair_feature_matrix(table, pairs, self.feature_config)
+        finally:
+            self.feature_seconds += perf_counter() - started
 
     def fit(self, dataset: Dataset, training_pairs: PairSet) -> None:
         """Train the classifier on labelled pairs (Algorithm 1 step 5)."""
-        table = self._ensure_table(dataset)
-        features = pair_feature_matrix(table, training_pairs.pairs, self.feature_config)
+        features = self._features(dataset, training_pairs.pairs)
         labels = training_pairs.labels()
         self._classifier = self._classifier_factory()
         self._classifier.fit(features, labels)
@@ -100,8 +140,7 @@ class LeapmeMatcher(Matcher):
         """Positive-class probabilities for candidate pairs."""
         if self._classifier is None:
             raise NotFittedError("LeapmeMatcher must be fitted before scoring")
-        table = self._ensure_table(dataset)
-        features = pair_feature_matrix(table, pairs, self.feature_config)
+        features = self._features(dataset, pairs)
         return self._classifier.match_scores(features)
 
     @property

@@ -39,6 +39,8 @@ class PropertyFeatureTable:
     """
 
     def __init__(self, dataset: Dataset, embeddings: WordEmbeddings) -> None:
+        #: Content fingerprint of the dataset the table was built from.
+        self.dataset_fingerprint: str = dataset.fingerprint()
         self.refs: list[PropertyRef] = dataset.properties()
         self._row_of: dict[PropertyRef, int] = {
             ref: i for i, ref in enumerate(self.refs)

@@ -57,8 +57,19 @@ class PairSet:
         return [pair for pair in self.pairs if not pair.label]
 
     def labels(self) -> np.ndarray:
-        """Labels as an int array (1 = match)."""
-        return np.array([int(pair.label) for pair in self.pairs], dtype=np.int64)
+        """Labels as an int array (1 = match).
+
+        Computed once and cached read-only: pair sets are shared across
+        grid cells, and every cell needs the same label vector.
+        """
+        cached = getattr(self, "_labels", None)
+        if cached is None:
+            cached = np.array(
+                [int(pair.label) for pair in self.pairs], dtype=np.int64
+            )
+            cached.setflags(write=False)
+            self._labels = cached
+        return cached
 
     def refs(self) -> list[PropertyRef]:
         """All distinct property refs mentioned by the pairs, sorted."""

@@ -22,6 +22,7 @@ from repro.evaluation.reporting import (
 from repro.evaluation.runner import (
     ExperimentResult,
     ExperimentRunner,
+    PhaseTimings,
     RepetitionFailure,
     RetryPolicy,
     RunSettings,
@@ -46,6 +47,7 @@ __all__ = [
     "evaluate_scores",
     "ExperimentRunner",
     "ExperimentResult",
+    "PhaseTimings",
     "RunSettings",
     "RetryPolicy",
     "RepetitionFailure",

@@ -1,0 +1,348 @@
+"""Process-pool grid execution: parallel, byte-identical to serial.
+
+``ExperimentRunner.run(workers=N)`` lands here.  The grid is flattened
+into (cell, repetition) work items and fanned out to a
+``ProcessPoolExecutor``; the parent consumes results **in serial grid
+order** -- cells in dataset/fraction/matcher order, repetitions
+ascending -- and is the only process that touches the journal.
+
+Why the parallel grid is bit-identical to the serial one:
+
+* every repetition's randomness derives from ``(seed, repetition
+  [, attempt])`` alone -- the split from ``default_rng((seed,
+  repetition))``, the training sample from ``default_rng([seed,
+  repetition, 1709 + attempt-1])`` -- so a worker computes exactly the
+  numbers the serial loop would;
+* workers run the *same* ``_run_repetition`` function as the serial
+  path and ship back picklable ``_Outcome`` records; the parent folds
+  them into results and journals them with the same helpers the serial
+  path uses, in the same order, so journal files match byte for byte;
+* workers never write the journal: durability stays a single-writer,
+  fsynced append stream, and resume semantics are unchanged (already
+  journaled repetitions are restored in the parent and never
+  submitted).
+
+A ``BaseException`` escaping a repetition (e.g. the fault harness's
+``SimulatedKill``) propagates from the worker through ``future.result()``
+at that item's position in serial order; later completed items are
+discarded unjournaled, leaving exactly the journal prefix a serial kill
+would have left.
+
+Workers keep per-process caches (matcher per cell, pair universe and
+feature store per dataset).  With ``share_features=True`` under the
+``fork`` start method the parent prebuilds universes and stores before
+creating the pool; children inherit the read-only matrices through
+copy-on-write pages, so the construction cost is paid exactly once per
+grid.  Under ``spawn`` each worker builds its own, at most once per
+dataset.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.model import Dataset
+from repro.data.splits import split_sources
+from repro.errors import ConfigurationError
+from repro.evaluation.checkpoint import STATUS_FAILED, RunJournal, run_key
+from repro.evaluation.runner import (
+    ExperimentResult,
+    RetryPolicy,
+    RunSettings,
+    _apply_journal_entry,
+    _apply_outcome,
+    _journal_outcome,
+    _run_repetition,
+)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (dataset, fraction, matcher) cell of the flattened grid."""
+
+    index: int
+    dataset_index: int
+    label: str
+    settings: RunSettings
+
+
+# Worker-process state, populated once by the pool initializer and
+# extended lazily with per-cell matchers and per-dataset shared
+# features.  Module-level because worker functions must be importable.
+_STATE: dict = {}
+
+# Shared features prebuilt by the parent just before forking the pool.
+# Fork children inherit these via copy-on-write -- the store matrices
+# are read-only, so the pages stay physically shared and no worker pays
+# the construction cost again.  Empty under spawn, where children build
+# their own.
+_PREBUILT: dict = {}
+
+
+def _init_worker(factories, datasets, retry_policy, share_features) -> None:
+    _STATE.clear()
+    _STATE.update(
+        factories=factories,
+        datasets=datasets,
+        retry_policy=retry_policy,
+        share_features=share_features,
+        matchers={},
+        universes=dict(_PREBUILT.get("universes", ())),
+        stores=dict(_PREBUILT.get("stores", ())),
+    )
+
+
+def _prebuild_shared(factories, datasets, dataset_indices) -> None:
+    """Build pair universes and feature stores once, in the parent.
+
+    Only called when the pool uses the ``fork`` start method: children
+    then find the results in ``_PREBUILT`` instead of each rebuilding
+    them.  Stores are keyed by ``(dataset_index, id(embeddings))`` --
+    ids survive fork, so a worker's factory-made matcher resolves the
+    same key.  Matchers that do not support stores are skipped; they
+    prepare per worker as before.
+    """
+    from repro.core.feature_cache import PairUniverse
+
+    universes: dict = {}
+    stores: dict = {}
+    for dataset_index in sorted(dataset_indices):
+        dataset = datasets[dataset_index]
+        for label in factories:
+            matcher = factories[label]()
+            build = getattr(matcher, "build_feature_store", None)
+            embeddings = getattr(matcher, "embeddings", None)
+            if (
+                build is None
+                or embeddings is None
+                or getattr(matcher, "attach_store", None) is None
+            ):
+                continue
+            key = (dataset_index, id(embeddings))
+            if key in stores:
+                continue
+            universe = universes.get(dataset_index)
+            if universe is None:
+                universe = universes[dataset_index] = PairUniverse(dataset)
+            stores[key] = build(dataset, universe)
+    _PREBUILT.clear()
+    _PREBUILT.update(universes=universes, stores=stores)
+
+
+def _worker_universe(dataset_index: int):
+    universe = _STATE["universes"].get(dataset_index)
+    if universe is None:
+        from repro.core.feature_cache import PairUniverse
+
+        universe = PairUniverse(_STATE["datasets"][dataset_index])
+        _STATE["universes"][dataset_index] = universe
+    return universe
+
+
+def _worker_matcher(cell: GridCell):
+    matcher = _STATE["matchers"].get(cell.index)
+    if matcher is not None:
+        return matcher
+    dataset: Dataset = _STATE["datasets"][cell.dataset_index]
+    matcher = _STATE["factories"][cell.label]()
+    attach = getattr(matcher, "attach_store", None)
+    build = getattr(matcher, "build_feature_store", None)
+    embeddings = getattr(matcher, "embeddings", None)
+    if (
+        _STATE["share_features"]
+        and attach is not None
+        and build is not None
+        and embeddings is not None
+    ):
+        store_key = (cell.dataset_index, id(embeddings))
+        store = _STATE["stores"].get(store_key)
+        if store is None:
+            store = _STATE["stores"][store_key] = build(
+                dataset, _worker_universe(cell.dataset_index)
+            )
+        attach(store)
+    else:
+        matcher.prepare(dataset)
+    _STATE["matchers"][cell.index] = matcher
+    return matcher
+
+
+def _execute_item(cell: GridCell, repetition: int):
+    """Worker entry point: run one repetition, return its ``_Outcome``.
+
+    The split is recomputed locally from ``(seed, repetition)`` --
+    identical to the serial loop's stream by construction.
+    """
+    dataset: Dataset = _STATE["datasets"][cell.dataset_index]
+    rng = np.random.default_rng((cell.settings.seed, repetition))
+    split = split_sources(dataset, cell.settings.train_fraction, rng)
+    universe = (
+        _worker_universe(cell.dataset_index) if _STATE["share_features"] else None
+    )
+    matcher = _worker_matcher(cell)
+    return _run_repetition(
+        matcher,
+        dataset,
+        cell.settings,
+        repetition,
+        split,
+        _STATE["retry_policy"],
+        time.sleep,
+        universe=universe,
+    )
+
+
+def _pool_context():
+    """Prefer ``fork``: cheap start-up and no pickling of factories."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_grid_parallel(
+    factories: dict[str, "callable"],
+    datasets: list[Dataset],
+    *,
+    train_fractions: tuple[float, ...],
+    repetitions: int,
+    seed: int,
+    negative_ratio: float,
+    journal: RunJournal | None,
+    resume: bool,
+    retry_policy: RetryPolicy | None,
+    workers: int,
+    share_features: bool,
+) -> list[ExperimentResult]:
+    """Run the experiment grid on ``workers`` processes.
+
+    Returns the same ``ExperimentResult`` list, with the same journal
+    side effects, as the serial ``ExperimentRunner.run`` -- only faster.
+    """
+    if workers < 2:
+        raise ConfigurationError("run_grid_parallel needs workers >= 2")
+    retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+
+    cells: list[GridCell] = []
+    results: list[ExperimentResult] = []
+    keys: list[str | None] = []
+    restored: list[dict] = []
+    for dataset_index, dataset in enumerate(datasets):
+        for fraction in train_fractions:
+            settings = RunSettings(
+                train_fraction=fraction,
+                repetitions=repetitions,
+                negative_ratio=negative_ratio,
+                seed=seed,
+            )
+            for label in factories:
+                cell = GridCell(
+                    index=len(cells),
+                    dataset_index=dataset_index,
+                    label=label,
+                    settings=settings,
+                )
+                cells.append(cell)
+                results.append(
+                    ExperimentResult(
+                        matcher_name=label,
+                        dataset_name=dataset.name,
+                        settings=settings,
+                    )
+                )
+                key = (
+                    run_key(label, dataset, settings)
+                    if journal is not None
+                    else None
+                )
+                keys.append(key)
+                restored.append(
+                    journal.entries(key)
+                    if (journal is not None and resume)
+                    else {}
+                )
+
+    # Serial grid order: cells outermost, repetitions innermost.
+    pending: list[tuple[int, int]] = [
+        (cell.index, repetition)
+        for cell in cells
+        for repetition in range(repetitions)
+        if not (
+            (entry := restored[cell.index].get(repetition)) is not None
+            and entry.status != STATUS_FAILED
+        )
+    ]
+
+    outcomes: dict[tuple[int, int], object] = {}
+    if pending:
+        context = _pool_context()
+        if share_features and context.get_start_method() == "fork":
+            _prebuild_shared(
+                factories,
+                datasets,
+                {cells[index].dataset_index for index, _ in pending},
+            )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(factories, datasets, retry_policy, share_features),
+            ) as pool:
+                futures = {
+                    item: pool.submit(_execute_item, cells[item[0]], item[1])
+                    for item in pending
+                }
+                try:
+                    for item in pending:
+                        outcomes[item] = futures[item].result()
+                except BaseException:
+                    # A worker died mid-grid (or the parent was
+                    # interrupted): journal exactly the serial-order
+                    # prefix completed so far, then propagate -- resume
+                    # will pick up the rest.
+                    _drain(cells, results, keys, restored, outcomes, journal)
+                    for future in futures.values():
+                        future.cancel()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        finally:
+            _PREBUILT.clear()
+
+    _drain(cells, results, keys, restored, outcomes, journal)
+    return results
+
+
+def _drain(
+    cells: list[GridCell],
+    results: list[ExperimentResult],
+    keys: list[str | None],
+    restored: list[dict],
+    outcomes: dict[tuple[int, int], object],
+    journal: RunJournal | None,
+) -> None:
+    """Fold restored entries and completed outcomes, in serial order.
+
+    Journal writes happen here, in the parent only, in exactly the
+    order the serial runner would emit them.  Stops at the first item
+    that is neither restored nor completed (after a kill, that is the
+    item that raised).
+    """
+    for cell in cells:
+        result = results[cell.index]
+        for repetition in range(cell.settings.repetitions):
+            entry = restored[cell.index].get(repetition)
+            if entry is not None and entry.status != STATUS_FAILED:
+                _apply_journal_entry(result, entry)
+                continue
+            outcome = outcomes.pop((cell.index, repetition), None)
+            if outcome is None:
+                return
+            _apply_outcome(result, repetition, outcome)
+            if journal is not None:
+                _journal_outcome(journal, keys[cell.index], repetition, outcome)

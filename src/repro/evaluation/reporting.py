@@ -14,15 +14,24 @@ from repro.evaluation.runner import ExperimentResult
 
 
 def render_results_table(results: list[ExperimentResult]) -> str:
-    """A flat table: one row per (system, dataset, fraction)."""
-    header = f"{'system':<32} {'dataset':<12} {'train%':>6}  {'P':>5} {'R':>5} {'F1':>5}"
+    """A flat table: one row per (system, dataset, fraction).
+
+    Besides P/R/F1 the table surfaces the F1 spread and per-cell health
+    (skipped/failed repetition counts), so a cell whose average hides
+    bad repetitions is visible at a glance.
+    """
+    header = (
+        f"{'system':<32} {'dataset':<12} {'train%':>6}  "
+        f"{'P':>5} {'R':>5} {'F1':>5} {'±F1':>5}  {'skip':>4} {'fail':>4}"
+    )
     lines = [header, "-" * len(header)]
     for result in results:
         row = result.as_row()
         lines.append(
             f"{row['system']:<32} {row['dataset']:<12} "
             f"{row['train_fraction']:>6.0%}  "
-            f"{row['precision']:>5.2f} {row['recall']:>5.2f} {row['f1']:>5.2f}"
+            f"{row['precision']:>5.2f} {row['recall']:>5.2f} {row['f1']:>5.2f} "
+            f"{row['f1_std']:>5.2f}  {row['skipped']:>4d} {row['failed']:>4d}"
         )
     return "\n".join(lines)
 

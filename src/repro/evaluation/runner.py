@@ -26,12 +26,35 @@ Long grids must survive bad repetitions and process kills:
   previously failed (journaled failures get a fresh attempt).  Because
   each repetition derives its randomness from ``(seed, repetition)``
   alone, a resumed grid is bit-identical to an uninterrupted one.
+
+Performance
+-----------
+The grid is cache-aware and parallelisable:
+
+* with ``share_features=True`` (the default), each dataset's
+  cross-source pair universe is enumerated once
+  (:class:`~repro.core.feature_cache.PairUniverse`) and matchers that
+  support it share one full-width
+  :class:`~repro.core.feature_cache.PairFeatureStore` per
+  (dataset, embeddings), so the nine feature configurations become
+  column slices of one matrix instead of nine recomputations;
+* ``ExperimentRunner.run(workers=N)`` fans (cell, repetition) work
+  items out to a process pool (:mod:`repro.evaluation.parallel`);
+  because repetition randomness derives only from ``(seed,
+  repetition[, attempt])`` and the parent applies and journals
+  outcomes in serial order, the parallel grid is byte-identical to the
+  serial one;
+* every executed repetition reports per-phase wall-clock
+  (:class:`PhaseTimings`), aggregated on the
+  :class:`ExperimentResult`, so speedups are measured rather than
+  asserted (``scripts/bench_grid.py``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -105,6 +128,42 @@ class RetryPolicy:
         return self.backoff_base * (2.0 ** (attempt - 1))
 
 
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per phase of executed repetitions.
+
+    ``train`` and ``score`` exclude the feature-assembly share when the
+    matcher reports it (``matcher.feature_seconds``), so the breakdown
+    sums to roughly the repetition wall-clock without double counting.
+    Timings are measurement, not protocol: they are never journaled and
+    resumed repetitions contribute nothing.
+    """
+
+    pair_build: float = 0.0
+    feature_assembly: float = 0.0
+    train: float = 0.0
+    score: float = 0.0
+
+    def merge(self, other: "PhaseTimings") -> None:
+        self.pair_build += other.pair_build
+        self.feature_assembly += other.feature_assembly
+        self.train += other.train
+        self.score += other.score
+
+    @property
+    def total(self) -> float:
+        return self.pair_build + self.feature_assembly + self.train + self.score
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "pair_build": self.pair_build,
+            "feature_assembly": self.feature_assembly,
+            "train": self.train,
+            "score": self.score,
+            "total": self.total,
+        }
+
+
 @dataclass(frozen=True)
 class RepetitionFailure:
     """A repetition that exhausted its retries (structured, not a string)."""
@@ -139,6 +198,8 @@ class ExperimentResult:
     degraded_repetitions: int = 0
     #: Repetitions restored from a journal instead of being re-run.
     resumed_repetitions: int = 0
+    #: Per-phase wall-clock of the repetitions actually executed here.
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
 
     @property
     def precision(self) -> float:
@@ -168,6 +229,9 @@ class ExperimentResult:
             "precision": self.precision,
             "recall": self.recall,
             "f1": self.f1,
+            "f1_std": self.f1_std,
+            "skipped": self.skipped_repetitions,
+            "failed": len(self.failures),
         }
 
     def describe(self) -> str:
@@ -192,14 +256,25 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class _Outcome:
-    """Internal: what one repetition produced after isolation/retries."""
+    """Internal: what one repetition produced after isolation/retries.
+
+    Fully picklable (errors are carried as strings, not exception
+    objects) so parallel workers can ship outcomes back to the parent.
+    """
 
     status: str
     quality: MatchQuality | None = None
     degradation: str | None = None
     attempts: int = 1
-    error: BaseException | None = None
+    error_type: str | None = None
+    error_message: str | None = None
     skip_reason: str | None = None
+    timings: PhaseTimings | None = None
+
+
+def _matcher_feature_seconds(matcher: Matcher) -> float:
+    seconds = getattr(matcher, "feature_seconds", 0.0)
+    return seconds if isinstance(seconds, (int, float)) else 0.0
 
 
 def _run_repetition(
@@ -210,6 +285,7 @@ def _run_repetition(
     split,
     retry_policy: RetryPolicy,
     sleep,
+    universe=None,
 ) -> _Outcome:
     """One repetition under failure isolation and the retry policy.
 
@@ -217,9 +293,26 @@ def _run_repetition(
     ``BaseException`` kills (including the fault harness's simulated
     ones) propagate, exactly like a real ``SIGKILL`` would end the
     process -- the journal then carries the completed prefix.
+
+    With ``universe`` (a :class:`~repro.core.feature_cache.PairUniverse`
+    of this dataset), pair sets are memoised filters of the one-time
+    enumeration instead of fresh quadratic walks.
     """
+
+    shared = universe is not None and (
+        universe.dataset_fingerprint == dataset.fingerprint()
+    )
+
+    def pairs_for(within: bool):
+        if shared:
+            return universe.subset(list(split.train_sources), within=within)
+        return build_pairs(dataset, list(split.train_sources), within=within)
+
+    timings = PhaseTimings()
     last_error: Exception | None = None
+    attempts_made = 0
     for attempt in range(1, retry_policy.max_attempts + 1):
+        attempts_made = attempt
         if attempt > 1:
             delay = retry_policy.delay(attempt - 1)
             if delay > 0:
@@ -228,27 +321,52 @@ def _run_repetition(
             notify = getattr(matcher, "notify_repetition", None)
             if notify is not None:
                 notify(repetition, attempt)
-            test = build_pairs(dataset, list(split.train_sources), within=False)
+            started = perf_counter()
+            test = pairs_for(within=False)
+            timings.pair_build += perf_counter() - started
             if matcher.is_supervised:
                 # Attempt 1 reproduces the historical stream exactly;
                 # retries get a deterministic fresh draw.
-                rng = np.random.default_rng(
-                    [settings.seed, repetition, 1709 + (attempt - 1)]
-                )
-                candidates = build_pairs(
-                    dataset, list(split.train_sources), within=True
-                )
-                training = sample_training_pairs(
-                    candidates, settings.negative_ratio, rng
-                )
+                sample_seed = (settings.seed, repetition, 1709 + (attempt - 1))
+                started = perf_counter()
+                candidates = pairs_for(within=True)
+                if shared:
+                    # Same draw, memoised: every config of this grid
+                    # cell reuses one PairSet object, so the store's
+                    # row/gather caches hit across configs.
+                    training = universe.training_sample(
+                        candidates, settings.negative_ratio, sample_seed
+                    )
+                else:
+                    training = sample_training_pairs(
+                        candidates,
+                        settings.negative_ratio,
+                        np.random.default_rng(list(sample_seed)),
+                    )
+                timings.pair_build += perf_counter() - started
                 if not training.positives() or not training.negatives():
                     return _Outcome(
                         status=STATUS_SKIPPED,
                         skip_reason=_SKIP_NO_POSITIVES,
                         attempts=attempt,
+                        timings=timings,
                     )
+                features_before = _matcher_feature_seconds(matcher)
+                started = perf_counter()
                 matcher.fit(dataset, training)
+                elapsed = perf_counter() - started
+                feature_share = (
+                    _matcher_feature_seconds(matcher) - features_before
+                )
+                timings.feature_assembly += feature_share
+                timings.train += max(0.0, elapsed - feature_share)
+            features_before = _matcher_feature_seconds(matcher)
+            started = perf_counter()
             scores = matcher.score_pairs(dataset, test.pairs)
+            elapsed = perf_counter() - started
+            feature_share = _matcher_feature_seconds(matcher) - features_before
+            timings.feature_assembly += feature_share
+            timings.score += max(0.0, elapsed - feature_share)
             assert_finite(scores, "similarity scores")
             quality = evaluate_scores(scores, test.labels(), matcher.threshold)
             return _Outcome(
@@ -256,21 +374,67 @@ def _run_repetition(
                 quality=quality,
                 degradation=getattr(matcher, "last_degradation", None),
                 attempts=attempt,
+                timings=timings,
             )
         except Exception as error:  # noqa: BLE001 -- isolation boundary
             last_error = error
     return _Outcome(
-        status=STATUS_FAILED, error=last_error, attempts=retry_policy.max_attempts
+        status=STATUS_FAILED,
+        error_type=type(last_error).__name__,
+        error_message=str(last_error),
+        attempts=attempts_made,
+        timings=timings,
     )
 
 
-def _apply_outcome(result: ExperimentResult, outcome: _Outcome) -> None:
+def _apply_outcome(
+    result: ExperimentResult, repetition: int, outcome: _Outcome
+) -> None:
+    """Fold one executed repetition's outcome into the cell result."""
     if outcome.status == STATUS_OK:
         result.qualities.append(outcome.quality)
         if outcome.degradation is not None:
             result.degraded_repetitions += 1
     else:
         result.skipped_repetitions += 1
+    if outcome.status == STATUS_FAILED:
+        result.failures.append(
+            RepetitionFailure(
+                repetition=repetition,
+                error_type=outcome.error_type or "Exception",
+                message=outcome.error_message or "",
+                attempts=outcome.attempts,
+            )
+        )
+    if outcome.timings is not None:
+        result.timings.merge(outcome.timings)
+
+
+def _journal_outcome(
+    journal: RunJournal, key: str, repetition: int, outcome: _Outcome
+) -> None:
+    """Durably append one executed outcome (shared by serial + parallel)."""
+    if outcome.status == STATUS_OK:
+        journal.record_quality(
+            key,
+            repetition,
+            outcome.quality,
+            degradation=outcome.degradation,
+            attempts=outcome.attempts,
+        )
+    elif outcome.status == STATUS_SKIPPED:
+        journal.record_skip(key, repetition, outcome.skip_reason or "")
+    else:
+        journal.append(
+            JournalEntry(
+                key=key,
+                repetition=repetition,
+                status=STATUS_FAILED,
+                attempts=outcome.attempts,
+                error_type=outcome.error_type,
+                error=outcome.error_message,
+            )
+        )
 
 
 def _apply_journal_entry(result: ExperimentResult, entry: JournalEntry) -> None:
@@ -299,6 +463,9 @@ def evaluate_matcher(
     resume: bool = True,
     retry_policy: RetryPolicy | None = None,
     sleep=time.sleep,
+    label: str | None = None,
+    universe=None,
+    prepare=None,
 ) -> ExperimentResult:
     """Run the paper's repeated-split protocol for one matcher.
 
@@ -317,53 +484,52 @@ def evaluate_matcher(
     journaled *failures* are re-attempted (so rerunning with a higher
     ``max_retries`` actually retries them) and the fresh outcome
     supersedes the old record.
+
+    ``label`` names the run cell (result and journal key) without
+    mutating ``matcher.name``.  ``universe`` shares a precomputed
+    :class:`~repro.core.feature_cache.PairUniverse` across cells.
+    Preparation is lazy: ``matcher.prepare(dataset)`` -- or the
+    ``prepare`` callable when given -- runs before the first repetition
+    that actually executes, so a fully journaled rerun builds nothing.
     """
     settings = settings if settings is not None else RunSettings()
     retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+    cell_name = label if label is not None else matcher.name
     result = ExperimentResult(
-        matcher_name=matcher.name,
+        matcher_name=cell_name,
         dataset_name=dataset.name,
         settings=settings,
     )
-    key = run_key(matcher.name, dataset, settings) if journal is not None else None
+    key = run_key(cell_name, dataset, settings) if journal is not None else None
     done = journal.entries(key) if (journal is not None and resume) else {}
-    matcher.prepare(dataset)
     splits = repeated_source_splits(
         dataset, settings.train_fraction, settings.repetitions, settings.seed
     )
+    prepared = False
     for repetition, split in enumerate(splits):
         entry = done.get(repetition)
         if entry is not None and entry.status != STATUS_FAILED:
             _apply_journal_entry(result, entry)
             continue
-        outcome = _run_repetition(
-            matcher, dataset, settings, repetition, split, retry_policy, sleep
-        )
-        _apply_outcome(result, outcome)
-        if outcome.status == STATUS_FAILED:
-            result.failures.append(
-                RepetitionFailure(
-                    repetition=repetition,
-                    error_type=type(outcome.error).__name__,
-                    message=str(outcome.error),
-                    attempts=outcome.attempts,
-                )
-            )
-        if journal is not None:
-            if outcome.status == STATUS_OK:
-                journal.record_quality(
-                    key,
-                    repetition,
-                    outcome.quality,
-                    degradation=outcome.degradation,
-                    attempts=outcome.attempts,
-                )
-            elif outcome.status == STATUS_SKIPPED:
-                journal.record_skip(key, repetition, outcome.skip_reason or "")
+        if not prepared:
+            if prepare is not None:
+                prepare()
             else:
-                journal.record_failure(
-                    key, repetition, outcome.error, outcome.attempts
-                )
+                matcher.prepare(dataset)
+            prepared = True
+        outcome = _run_repetition(
+            matcher,
+            dataset,
+            settings,
+            repetition,
+            split,
+            retry_policy,
+            sleep,
+            universe=universe,
+        )
+        _apply_outcome(result, repetition, outcome)
+        if journal is not None:
+            _journal_outcome(journal, key, repetition, outcome)
     return result
 
 
@@ -371,8 +537,11 @@ class ExperimentRunner:
     """Sweep matchers across datasets and training fractions.
 
     The runner holds matcher *factories* rather than instances so every
-    cell starts from a pristine matcher (feature tables are rebuilt per
-    dataset anyway; classifier state must not leak between cells).
+    cell starts from a pristine matcher (classifier state must not leak
+    between cells).  With ``share_features=True`` the expensive
+    per-dataset artefacts -- the pair universe and, for matchers that
+    support it, the full-width pair-feature store -- are built once per
+    (dataset, embeddings) and shared across all cells of that dataset.
     """
 
     def __init__(self, matcher_factories: dict[str, "callable"]) -> None:
@@ -383,13 +552,15 @@ class ExperimentRunner:
     def run(
         self,
         datasets: list[Dataset],
-        train_fractions: list[float] = (0.2, 0.8),
+        train_fractions: tuple[float, ...] | list[float] = (0.2, 0.8),
         repetitions: int = 5,
         seed: int = 0,
         negative_ratio: float = 2.0,
         journal: RunJournal | None = None,
         resume: bool = True,
         retry_policy: RetryPolicy | None = None,
+        workers: int = 1,
+        share_features: bool = True,
     ) -> list[ExperimentResult]:
         """Run the full grid; returns one result per cell.
 
@@ -397,9 +568,39 @@ class ExperimentRunner:
         per repetition inside :func:`evaluate_matcher`.  With a journal,
         a killed grid rerun with ``resume=True`` recomputes only the
         missing repetitions of the missing cells.
+
+        ``workers > 1`` fans (cell, repetition) items out to a process
+        pool; results and journals are byte-identical to ``workers=1``
+        because the parent applies outcomes in serial order and every
+        repetition's randomness derives from ``(seed, repetition)``
+        alone.
         """
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if workers > 1:
+            from repro.evaluation.parallel import run_grid_parallel
+
+            return run_grid_parallel(
+                self._factories,
+                datasets,
+                train_fractions=tuple(train_fractions),
+                repetitions=repetitions,
+                seed=seed,
+                negative_ratio=negative_ratio,
+                journal=journal,
+                resume=resume,
+                retry_policy=retry_policy,
+                workers=workers,
+                share_features=share_features,
+            )
         results: list[ExperimentResult] = []
         for dataset in datasets:
+            universe = None
+            stores: dict[int, object] = {}
+            if share_features:
+                from repro.core.feature_cache import PairUniverse
+
+                universe = PairUniverse(dataset)
             for fraction in train_fractions:
                 settings = RunSettings(
                     train_fraction=fraction,
@@ -409,10 +610,11 @@ class ExperimentRunner:
                 )
                 for label, factory in self._factories.items():
                     matcher = factory()
-                    # The factory label is the cell identity (journal key
-                    # included); two configs sharing a display name must
-                    # not share journal entries.
-                    matcher.name = label
+                    prepare = None
+                    if share_features:
+                        prepare = _shared_prepare(
+                            matcher, dataset, universe, stores
+                        )
                     result = evaluate_matcher(
                         matcher,
                         dataset,
@@ -420,7 +622,36 @@ class ExperimentRunner:
                         journal=journal,
                         resume=resume,
                         retry_policy=retry_policy,
+                        label=label,
+                        universe=universe,
+                        prepare=prepare,
                     )
-                    result.matcher_name = label
                     results.append(result)
         return results
+
+
+def _shared_prepare(matcher, dataset, universe, stores: dict):
+    """Lazy preparation that shares feature stores across grid cells.
+
+    Returns a callable invoked before a cell's first executed
+    repetition.  Matchers exposing ``build_feature_store``/
+    ``attach_store`` share one :class:`PairFeatureStore` per
+    (dataset, embeddings object); everything else falls back to plain
+    ``matcher.prepare(dataset)``.  Nothing is built for fully resumed
+    cells because the callable is never invoked.
+    """
+
+    def _prepare() -> None:
+        attach = getattr(matcher, "attach_store", None)
+        build = getattr(matcher, "build_feature_store", None)
+        embeddings = getattr(matcher, "embeddings", None)
+        if attach is None or build is None or embeddings is None:
+            matcher.prepare(dataset)
+            return
+        store_key = id(embeddings)
+        store = stores.get(store_key)
+        if store is None:
+            store = stores[store_key] = build(dataset, universe)
+        attach(store)
+
+    return _prepare

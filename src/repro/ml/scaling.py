@@ -32,7 +32,11 @@ class StandardScaler:
         if self.mean_ is None or self.scale_ is None:
             raise NotFittedError("StandardScaler is not fitted")
         inputs = np.asarray(inputs, dtype=np.float64)
-        return (inputs - self.mean_) / self.scale_
+        # Subtract into a fresh array, then divide in place: one output
+        # allocation instead of two (these matrices reach tens of MB).
+        scaled = np.subtract(inputs, self.mean_)
+        scaled /= self.scale_
+        return scaled
 
     def fit_transform(self, inputs: np.ndarray) -> np.ndarray:
         """Fit then transform in one call."""

@@ -1,0 +1,184 @@
+"""The shared feature store must be invisible except for speed.
+
+Every matrix the store serves must equal what the direct
+``pair_feature_matrix`` path produces, for every config of the 3x3
+grid; the pair universe must reproduce ``build_pairs`` for every
+``(sources, within)`` request; and the zero-copy claim is checked with
+``np.shares_memory``, not assumed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FeatureConfig,
+    LeapmeMatcher,
+    PairFeatureStore,
+    PairUniverse,
+    PropertyFeatureTable,
+    pair_feature_matrix,
+)
+from repro.core.config import FeatureKinds, FeatureScope
+from repro.core.pair_features import FeatureLayout
+from repro.data.pairs import build_pairs, sample_training_pairs
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def store_fixture(tiny_headphones, tiny_embeddings):
+    table = PropertyFeatureTable(tiny_headphones, tiny_embeddings)
+    universe = PairUniverse(tiny_headphones)
+    return table, universe, PairFeatureStore(table, universe)
+
+
+class TestPairUniverse:
+    def test_universe_is_all_cross_source_pairs(self, tiny_headphones):
+        universe = PairUniverse(tiny_headphones)
+        reference = build_pairs(tiny_headphones)
+        assert list(universe.pairs) == reference.pairs
+
+    @pytest.mark.parametrize("within", [True, False])
+    def test_subset_matches_build_pairs(self, tiny_headphones, within):
+        universe = PairUniverse(tiny_headphones)
+        sources = tiny_headphones.sources()
+        for cut in range(1, len(sources)):
+            selected = sources[:cut]
+            expected = build_pairs(tiny_headphones, selected, within=within)
+            actual = universe.subset(selected, within=within)
+            assert actual.pairs == expected.pairs
+
+    def test_subset_rejects_unknown_sources(self, tiny_headphones):
+        universe = PairUniverse(tiny_headphones)
+        with pytest.raises(ConfigurationError):
+            universe.subset(["no-such-source"])
+
+    def test_row_lookup_is_orientation_independent(self, tiny_headphones):
+        universe = PairUniverse(tiny_headphones)
+        pair = universe.pairs[3]
+        assert universe.row_of((pair.left, pair.right)) == 3
+        assert universe.row_of((pair.right, pair.left)) == 3
+
+    def test_foreign_pair_is_rejected(self, tiny_headphones, tiny_cameras):
+        universe = PairUniverse(tiny_headphones)
+        foreign = PairUniverse(tiny_cameras).pairs[0]
+        with pytest.raises(ConfigurationError):
+            universe.row_of(foreign)
+
+
+class TestPairFeatureStore:
+    @pytest.mark.parametrize("config", FeatureConfig.grid(), ids=lambda c: c.label())
+    def test_store_matches_direct_path_for_every_config(
+        self, store_fixture, config
+    ):
+        table, universe, store = store_fixture
+        pairs = universe.subset()
+        direct = pair_feature_matrix(table, pairs.pairs, config)
+        served = store.features(pairs, config)
+        np.testing.assert_array_equal(served, direct)
+
+    def test_training_sample_is_served_identically(self, store_fixture):
+        table, universe, store = store_fixture
+        candidates = universe.subset()
+        training = sample_training_pairs(
+            candidates, rng=np.random.default_rng(5)
+        )
+        config = FeatureConfig()
+        direct = pair_feature_matrix(table, training.pairs, config)
+        np.testing.assert_array_equal(store.features(training, config), direct)
+
+    def test_contiguous_configs_are_zero_copy_views(self, store_fixture):
+        _, universe, store = store_fixture
+        pairs = universe.subset()
+        gathered = store._gathered(universe.rows_of(pairs.pairs))
+        for config in FeatureConfig.grid():
+            served = store.features(pairs, config)
+            contiguous = isinstance(
+                store.layout.active_columns(config), slice
+            )
+            assert np.shares_memory(served, gathered) == contiguous
+
+    def test_only_split_scope_non_embedding_needs_a_copy(self, store_fixture):
+        _, _, store = store_fixture
+        copying = [
+            config.label()
+            for config in FeatureConfig.grid()
+            if not isinstance(store.layout.active_columns(config), slice)
+        ]
+        assert copying == ["both/non_embedding"]
+
+    def test_served_matrices_are_read_only(self, store_fixture):
+        _, universe, store = store_fixture
+        served = store.features(universe.subset(), FeatureConfig())
+        with pytest.raises(ValueError):
+            served[0, 0] = 1.0
+
+    def test_gather_is_cached_across_configs(self, store_fixture):
+        _, universe, store = store_fixture
+        pairs = universe.subset()
+        store._gather_cache.clear()
+        for config in FeatureConfig.grid():
+            store.features(pairs, config)
+        # All nine configs share one row gather of the full matrix.
+        assert len(store._gather_cache) == 1
+        (gathered,) = store._gather_cache.values()
+        served = store.features(
+            pairs, FeatureConfig(scope=FeatureScope.INSTANCES)
+        )
+        assert np.shares_memory(served, gathered)
+
+    def test_store_refuses_mismatched_table_and_universe(
+        self, tiny_headphones, tiny_cameras, tiny_embeddings
+    ):
+        table = PropertyFeatureTable(tiny_cameras, tiny_embeddings)
+        universe = PairUniverse(tiny_headphones)
+        with pytest.raises(ConfigurationError):
+            PairFeatureStore(table, universe)
+
+    def test_empty_pair_list(self, store_fixture):
+        _, _, store = store_fixture
+        config = FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING)
+        empty = store.features([], config)
+        assert empty.shape == (0, store.layout.width(config))
+
+
+class TestMatcherIntegration:
+    def test_matcher_scores_identically_with_and_without_store(
+        self, tiny_headphones, tiny_embeddings
+    ):
+        from repro.core import LeapmeConfig
+        from repro.nn.schedule import TrainingSchedule
+
+        config = LeapmeConfig(
+            hidden_sizes=(8,), schedule=TrainingSchedule.constant(2, 1e-3)
+        )
+        candidates = build_pairs(tiny_headphones)
+        training = sample_training_pairs(
+            candidates, rng=np.random.default_rng(0)
+        )
+
+        plain = LeapmeMatcher(tiny_embeddings, config=config)
+        plain.fit(tiny_headphones, training)
+        baseline = plain.score_pairs(tiny_headphones, candidates.pairs)
+
+        shared = LeapmeMatcher(tiny_embeddings, config=config)
+        shared.attach_store(shared.build_feature_store(tiny_headphones))
+        shared.fit(tiny_headphones, training)
+        served = shared.score_pairs(tiny_headphones, candidates.pairs)
+        np.testing.assert_array_equal(served, baseline)
+
+    def test_store_for_other_dataset_falls_back(
+        self, tiny_headphones, tiny_cameras, tiny_embeddings
+    ):
+        matcher = LeapmeMatcher(tiny_embeddings)
+        matcher.attach_store(matcher.build_feature_store(tiny_cameras))
+        pairs = build_pairs(tiny_headphones)
+        training = sample_training_pairs(pairs, rng=np.random.default_rng(1))
+        matcher.fit(tiny_headphones, training)  # must not raise
+        scores = matcher.score_pairs(tiny_headphones, pairs.pairs)
+        assert scores.shape == (len(pairs),)
+
+    def test_layout_total_width_covers_all_blocks(self, store_fixture):
+        table, _, store = store_fixture
+        layout = FeatureLayout(table.embedding_dimension)
+        assert store.matrix.shape[1] == layout.total_width
+        assert layout.total_width == 29 + 2 * table.embedding_dimension + 8

@@ -1,0 +1,98 @@
+"""Property-based equivalence: batched kernel == scalar reference.
+
+The batched kernel must be a pure optimisation: for any input, every
+row of :func:`repro.text.batch.name_distance_matrix` must equal
+:func:`repro.text.similarity.name_distance_vector` bit for bit.  The
+generators below stress the regimes where the DP vectorisation could
+diverge: empty strings, single characters, repeated characters (the
+Damerau transposition bookkeeping), shared prefixes (Jaro-Winkler),
+multi-byte unicode, and case folding that changes string length.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.text.batch import (
+    COLUMNS,
+    name_distance_matrix,
+    unique_lowered_pairs,
+)
+from repro.text.similarity import PAIR_DISTANCE_NAMES, name_distance_vector
+
+ALPHABETS = [
+    "ab",  # tiny alphabet: maximises repeats and transpositions
+    "abcdefgh",
+    "abcdefghijklmnopqrstuvwxyz0123456789 _-",
+    "résolution mégapixels größe 日本語カメラ",
+    "AaBbİıẞß😀",  # case folding changes lengths ('İ'.lower() has len 2)
+]
+
+
+def _random_pairs(seed: int, count: int) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        alphabet = rng.choice(ALPHABETS)
+        a = "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 14)))
+        if rng.random() < 0.3:
+            # Mutate a copy: realistic near-duplicates with transpositions.
+            chars = list(a)
+            for _ in range(rng.randrange(0, 3)):
+                if len(chars) >= 2:
+                    i = rng.randrange(len(chars) - 1)
+                    chars[i], chars[i + 1] = chars[i + 1], chars[i]
+            b = "".join(chars)
+        else:
+            b = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(0, 14))
+            )
+        pairs.append((a, b))
+    return pairs
+
+
+class TestBatchedEquivalence:
+    def test_columns_match_registry_order(self):
+        assert COLUMNS == PAIR_DISTANCE_NAMES
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unicode_pairs_match_reference_exactly(self, seed):
+        pairs = _random_pairs(seed, 150)
+        batched = name_distance_matrix(pairs)
+        reference = np.array([name_distance_vector(a, b) for a, b in pairs])
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_known_edge_cases(self):
+        pairs = [
+            ("", ""),
+            ("", "abc"),
+            ("abc", ""),
+            ("a", "a"),
+            ("ca", "abc"),  # OSA=3 vs full Damerau=2 territory
+            ("ab", "ba"),
+            ("martha", "marhta"),
+            ("Resolution", "resolution"),
+            ("megapixels", "pixel count"),
+            ("aaaa", "aa"),
+            ("abab", "baba"),
+        ]
+        batched = name_distance_matrix(pairs)
+        reference = np.array([name_distance_vector(a, b) for a, b in pairs])
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_symmetry_and_dedup(self):
+        pairs = [("Width", "height"), ("height", "Width"), ("width", "HEIGHT")]
+        uniq, inverse = unique_lowered_pairs(pairs)
+        assert len(uniq) == 1
+        assert inverse.tolist() == [0, 0, 0]
+        matrix = name_distance_matrix(pairs)
+        np.testing.assert_array_equal(matrix[0], matrix[1])
+        np.testing.assert_array_equal(matrix[0], matrix[2])
+
+    def test_empty_input(self):
+        assert name_distance_matrix([]).shape == (0, 8)
+
+    def test_identical_names_are_all_zero(self):
+        matrix = name_distance_matrix([("focal length", "Focal Length")])
+        np.testing.assert_array_equal(matrix, np.zeros((1, 8)))
