@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test check bench bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test check chaos bench bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,15 @@ test:
 check:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/fault_smoke.py
+
+# Chaos suite: real worker deaths (os._exit), hangs past the cell
+# deadline, SIGTERM mid-grid -- asserting the journal stays valid and
+# resumed aggregates match a clean serial run byte for byte.
+chaos:
+	PYTHONPATH=src python -m pytest -q \
+		tests/evaluation/test_supervisor.py \
+		tests/evaluation/test_chaos.py \
+		tests/evaluation/test_fault_tolerance.py
 
 # Evaluation-engine benchmark: serial legacy grid vs shared feature
 # store + process-pool executor.  Writes BENCH_grid.json.

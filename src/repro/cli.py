@@ -7,6 +7,7 @@ Commands
 ``stats``      print structural statistics of a dataset.
 ``evaluate``   run the paper's evaluation protocol for one system.
 ``match``      train on chosen sources and emit scored matches as CSV.
+``describe``   post-mortem summary of a run journal (per-status counts).
 
 The CLI works on the built-in domains (``--dataset cameras`` ...) or on
 user data (``--instances file.csv [--alignment file.csv]``).
@@ -37,12 +38,13 @@ from repro.data.pairs import build_pairs, sample_training_pairs
 from repro.data.stats import dataset_stats
 from repro.datasets import DATASET_NAMES, build_domain_embeddings, load_dataset
 from repro.embeddings.hashing import hash_embeddings
-from repro.errors import ReproError
+from repro.errors import GridInterrupted, ReproError
 from repro.evaluation import (
     ExperimentRunner,
     RetryPolicy,
     RunJournal,
     RunSettings,
+    SupervisorPolicy,
     evaluate_matcher,
     render_robustness_report,
 )
@@ -124,6 +126,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for source in dataset.sources():
         print(f"  {source}: {len(dataset.schema_of(source))} properties, "
               f"{len(dataset.entities(source))} entities")
+    if dataset.validation:
+        dropped = dataset.rows_dropped()
+        per_source = ", ".join(f"{k}={v}" for k, v in sorted(dropped.items()))
+        print(f"  rows quarantined on load: {len(dataset.validation)} ({per_source})")
+        for record in dataset.validation[:5]:
+            print(f"    {record.describe()}")
+        if len(dataset.validation) > 5:
+            print(f"    ... and {len(dataset.validation) - 5} more")
     return 0
 
 
@@ -141,10 +151,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     journal = RunJournal(args.journal) if args.journal is not None else None
     retry_policy = RetryPolicy(max_retries=args.max_retries)
     if args.workers > 1:
-        # The process-pool engine: same journal, same aggregates,
-        # repetitions fanned out across worker processes.  The factory
-        # key is the matcher's own name so the result label and the
-        # journal cell key match the serial path exactly.
+        # The supervised process-pool engine: same journal, same
+        # aggregates, repetitions fanned out across worker processes
+        # under the supervisor's failure model.  The factory key is the
+        # matcher's own name so the result label and the journal cell
+        # key match the serial path exactly.
+        supervisor = SupervisorPolicy(
+            cell_timeout=args.cell_timeout,
+            max_pool_respawns=args.max_pool_respawns,
+        )
         runner = ExperimentRunner(
             {matcher.name: lambda: _build_matcher(args.system, embeddings)}
         )
@@ -157,6 +172,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             resume=args.resume,
             retry_policy=retry_policy,
             workers=args.workers,
+            supervisor=supervisor,
         )[0]
     else:
         result = evaluate_matcher(
@@ -174,6 +190,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if journal is not None:
         print(f"journal: {journal.path}"
               + (" (resumed)" if result.resumed_repetitions else ""))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    journal = RunJournal(args.journal)
+    if not journal.path.exists():
+        raise ReproError(f"journal not found: {journal.path}")
+    print(journal.describe())
     return 0
 
 
@@ -265,7 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the repetition grid; "
                                "results are byte-identical to --workers 1 "
                                "(default 1)")
+    evaluate.add_argument("--cell-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock deadline per repetition under "
+                               "--workers: a hung repetition is killed, "
+                               "re-dispatched, and quarantined if it keeps "
+                               "timing out (default: no deadline)")
+    evaluate.add_argument("--max-pool-respawns", type=int, default=5,
+                          help="worker-pool deaths tolerated before the grid "
+                               "degrades to serial in-process execution "
+                               "(default 5)")
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    describe = commands.add_parser(
+        "describe", help="summarise a run journal (post-mortem)"
+    )
+    describe.add_argument("--journal", required=True, metavar="PATH",
+                          help="JSONL run journal to summarise")
+    describe.set_defaults(handler=_cmd_describe)
 
     match = commands.add_parser("match", help="score pairs and emit matches as CSV")
     _add_dataset_arguments(match)
@@ -284,6 +325,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except GridInterrupted as interrupted:
+        # Clean signal shutdown: the journal already holds the completed
+        # prefix, so the natural next step is a --resume rerun.
+        print(
+            f"interrupted: {interrupted}",
+            file=sys.stderr,
+        )
+        if getattr(args, "journal", None):
+            print(
+                f"resume with: --journal {args.journal} --resume",
+                file=sys.stderr,
+            )
+        return 128 + (interrupted.signum or 15)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

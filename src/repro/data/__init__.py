@@ -14,7 +14,12 @@ defines when two properties match.
 * :mod:`repro.data.stats` -- dataset statistics (Table-style summaries).
 """
 
-from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.data.model import (
+    Dataset,
+    DataValidationError,
+    PropertyInstance,
+    PropertyRef,
+)
 from repro.data.csvio import load_dataset_csv, save_dataset_csv
 from repro.data.io import load_dataset_json, save_dataset_json
 from repro.data.pairs import LabeledPair, PairSet, build_pairs, sample_training_pairs
@@ -25,6 +30,7 @@ __all__ = [
     "PropertyInstance",
     "PropertyRef",
     "Dataset",
+    "DataValidationError",
     "save_dataset_json",
     "load_dataset_json",
     "save_dataset_csv",

@@ -9,6 +9,17 @@ common interchange is two CSV files:
 * an optional **alignment** file with columns
   ``source, property, reference`` mapping source properties to the
   reference ontology (the ground truth; omit it for pure prediction).
+
+Malformed *rows* (short rows, empty required cells) are quarantined as
+structured :class:`~repro.data.model.DataValidationError` records
+instead of raising: a bad line in a million-row export must not crash
+an experiment grid hours in.  The surviving dataset carries the records
+(``Dataset.validation``) and per-source drop counts
+(``Dataset.rows_dropped()``), and the stats layer reports them, so the
+loss is visible rather than silent.  Structural problems -- a missing
+file, no header, missing required *columns* -- still raise
+:class:`~repro.errors.DataError`: those mean the file as a whole is not
+what the caller thinks it is.
 """
 
 from __future__ import annotations
@@ -16,14 +27,29 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
-from repro.data.model import Dataset, PropertyInstance, PropertyRef
+from repro.data.model import (
+    Dataset,
+    DataValidationError,
+    PropertyInstance,
+    PropertyRef,
+)
 from repro.errors import DataError
 
 INSTANCE_COLUMNS = ("source", "property", "entity", "value")
 ALIGNMENT_COLUMNS = ("source", "property", "reference")
 
 
-def _read_rows(path: Path, required: tuple[str, ...]) -> list[dict[str, str]]:
+def _read_rows(
+    path: Path,
+    required: tuple[str, ...],
+    quarantined: list[DataValidationError],
+) -> list[dict[str, str]]:
+    """Rows of ``path`` with every required cell present and non-blank.
+
+    Rows failing validation are appended to ``quarantined`` (with path,
+    line number, best-effort source attribution and a reason) and
+    dropped.  File-level problems raise :class:`DataError`.
+    """
     if not path.exists():
         raise DataError(f"CSV file not found: {path}")
     with path.open(newline="", encoding="utf-8") as handle:
@@ -38,11 +64,28 @@ def _read_rows(path: Path, required: tuple[str, ...]) -> list[dict[str, str]]:
             )
         rows = []
         for line_number, row in enumerate(reader, start=2):
-            empty = [column for column in required if not (row.get(column) or "").strip()]
-            if empty:
-                raise DataError(
-                    f"{path}:{line_number}: empty value in column(s) {empty}"
+            short = [column for column in required if row.get(column) is None]
+            if short:
+                quarantined.append(
+                    DataValidationError(
+                        path=str(path),
+                        line=line_number,
+                        reason=f"short row: missing column(s) {short}",
+                        source=(row.get("source") or "").strip() or None,
+                    )
                 )
+                continue
+            empty = [column for column in required if not row[column].strip()]
+            if empty:
+                quarantined.append(
+                    DataValidationError(
+                        path=str(path),
+                        line=line_number,
+                        reason=f"empty value in column(s) {empty}",
+                        source=(row.get("source") or "").strip() or None,
+                    )
+                )
+                continue
             rows.append(row)
         return rows
 
@@ -54,11 +97,14 @@ def load_dataset_csv(
 ) -> Dataset:
     """Build a :class:`Dataset` from instance (and optional alignment) CSVs.
 
-    Alignment rows referring to properties absent from the instance file
-    are rejected -- they would silently distort recall.
+    Malformed rows are quarantined into ``Dataset.validation`` rather
+    than raising (see module docstring).  Alignment rows referring to
+    properties absent from the instance file are rejected -- they would
+    silently distort recall.
     """
     instances_path = Path(instances_path)
-    instance_rows = _read_rows(instances_path, INSTANCE_COLUMNS)
+    quarantined: list[DataValidationError] = []
+    instance_rows = _read_rows(instances_path, INSTANCE_COLUMNS, quarantined)
     instances = [
         PropertyInstance(
             source=row["source"].strip(),
@@ -70,13 +116,14 @@ def load_dataset_csv(
     ]
     alignment: dict[PropertyRef, str] = {}
     if alignment_path is not None:
-        for row in _read_rows(Path(alignment_path), ALIGNMENT_COLUMNS):
+        for row in _read_rows(Path(alignment_path), ALIGNMENT_COLUMNS, quarantined):
             ref = PropertyRef(row["source"].strip(), row["property"].strip())
             alignment[ref] = row["reference"].strip()
     return Dataset(
         name=name or instances_path.stem,
         instances=instances,
         alignment=alignment,
+        validation=tuple(quarantined),
     )
 
 

@@ -32,6 +32,28 @@ class PropertyRef:
 
 
 @dataclass(frozen=True)
+class DataValidationError:
+    """One quarantined input row: a structured record, not an exception.
+
+    Loaders that meet a malformed row mid-file (short row, empty
+    required cell) must not crash a grid that is hours into its run;
+    they drop the row, record *what* was dropped and *why* here, and
+    surface the counts through :class:`Dataset` stats so silent data
+    loss is impossible.
+    """
+
+    path: str
+    line: int
+    reason: str
+    source: str | None = None
+
+    def describe(self) -> str:
+        where = f"{self.path}:{self.line}"
+        prefix = f"[{self.source}] " if self.source else ""
+        return f"{where}: {prefix}{self.reason}"
+
+
+@dataclass(frozen=True)
 class PropertyInstance:
     """One observed value of a property: the paper's ``(p, e, v)`` tuple.
 
@@ -64,11 +86,17 @@ class Dataset:
         Maps each :class:`PropertyRef` to the name of the reference-ontology
         property it is aligned to.  Properties without an alignment entry
         are unaligned and match nothing.
+    validation:
+        :class:`DataValidationError` records for input rows the loader
+        quarantined instead of ingesting (empty for clean or generated
+        data).  Not part of the content fingerprint -- two datasets with
+        identical surviving instances are the same dataset.
     """
 
     name: str
     instances: list[PropertyInstance]
     alignment: dict[PropertyRef, str] = field(default_factory=dict)
+    validation: tuple[DataValidationError, ...] = ()
 
     def __post_init__(self) -> None:
         self._instances_by_ref: dict[PropertyRef, list[PropertyInstance]] = defaultdict(list)
@@ -129,6 +157,14 @@ class Dataset:
             )
             self._fingerprint = cached
         return cached
+
+    def rows_dropped(self) -> dict[str, int]:
+        """Quarantined input rows per source (``"?"`` when unattributable)."""
+        dropped: dict[str, int] = {}
+        for record in self.validation:
+            key = record.source if record.source else "?"
+            dropped[key] = dropped.get(key, 0) + 1
+        return dropped
 
     # -- schema-level accessors ---------------------------------------------
     def sources(self) -> list[str]:

@@ -20,6 +20,7 @@ class DatasetStats:
     n_reference_properties: int
     min_entities_per_source: int
     max_entities_per_source: int
+    n_rows_dropped: int = 0
 
     @property
     def entity_balance(self) -> float:
@@ -34,12 +35,15 @@ class DatasetStats:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"{self.name}: {self.n_sources} sources, {self.n_entities} entities, "
             f"{self.n_properties} properties, {self.n_instances} instances, "
             f"{self.n_matching_pairs} matching pairs "
             f"(balance {self.entity_balance:.2f})"
         )
+        if self.n_rows_dropped:
+            line += f" [{self.n_rows_dropped} input row(s) quarantined on load]"
+        return line
 
 
 def dataset_stats(dataset: Dataset) -> DatasetStats:
@@ -56,4 +60,5 @@ def dataset_stats(dataset: Dataset) -> DatasetStats:
         n_reference_properties=len(set(dataset.alignment.values())),
         min_entities_per_source=min(per_source_entities, default=0),
         max_entities_per_source=max(per_source_entities, default=0),
+        n_rows_dropped=len(dataset.validation),
     )

@@ -47,3 +47,17 @@ class TrainingDivergedError(NumericError):
 
 class JournalError(ReproError):
     """A run journal file is unreadable or from an unsupported version."""
+
+
+class GridInterrupted(ReproError):
+    """A grid run was stopped by SIGINT/SIGTERM and shut down cleanly.
+
+    Raised *after* the completed prefix has been drained into the run
+    journal, so a rerun with ``resume=True`` continues from exactly the
+    work that was durably recorded.  ``signum`` carries the delivering
+    signal when known (``None`` for programmatic stops).
+    """
+
+    def __init__(self, message: str, signum: int | None = None) -> None:
+        super().__init__(message)
+        self.signum = signum

@@ -6,7 +6,14 @@ baseline comparison and the transfer-learning extension.
 """
 
 from repro.evaluation.active import ActiveLearningCurve, run_active_learning
-from repro.evaluation.checkpoint import JournalEntry, RunJournal, run_key
+from repro.evaluation.checkpoint import (
+    QUARANTINE_REASONS,
+    REASON_TIMEOUT,
+    REASON_WORKER_CRASH,
+    JournalEntry,
+    RunJournal,
+    run_key,
+)
 from repro.evaluation.curves import (
     PrecisionRecallCurve,
     precision_recall_curve,
@@ -27,6 +34,11 @@ from repro.evaluation.runner import (
     RetryPolicy,
     RunSettings,
     evaluate_matcher,
+)
+from repro.evaluation.supervisor import (
+    PoolSupervisor,
+    QuarantineRecord,
+    SupervisorPolicy,
 )
 from repro.evaluation.significance import (
     ComparisonResult,
@@ -54,6 +66,12 @@ __all__ = [
     "RunJournal",
     "JournalEntry",
     "run_key",
+    "QUARANTINE_REASONS",
+    "REASON_TIMEOUT",
+    "REASON_WORKER_CRASH",
+    "PoolSupervisor",
+    "QuarantineRecord",
+    "SupervisorPolicy",
     "evaluate_matcher",
     "render_results_table",
     "render_robustness_report",

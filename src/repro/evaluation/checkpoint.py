@@ -49,6 +49,15 @@ STATUS_OK = "ok"
 STATUS_SKIPPED = "skipped"
 STATUS_FAILED = "failed"
 
+#: ``error_type`` values of ``failed`` records written by the pool
+#: supervisor rather than by in-process failure isolation: the
+#: repetition was quarantined after repeatedly crashing or timing out
+#: the worker pool.  Like any other ``failed`` record, a resumed run
+#: re-attempts it.
+REASON_WORKER_CRASH = "worker_crash"
+REASON_TIMEOUT = "timeout"
+QUARANTINE_REASONS = frozenset({REASON_WORKER_CRASH, REASON_TIMEOUT})
+
 
 def run_key(matcher_name: str, dataset: Dataset, settings) -> str:
     """Stable identifier for one (matcher, dataset, settings) run cell.
@@ -256,23 +265,53 @@ class RunJournal:
         return list(seen)
 
     def describe(self) -> str:
-        """One line per run cell: completed / skipped / failed counts."""
+        """Post-mortem summary: per-status counts and the last failure.
+
+        One line per run cell with ok / skipped / failed / quarantined /
+        degraded counts (quarantined = ``failed`` records written by the
+        pool supervisor, a subset of failed), followed by the most
+        recently journaled failure reason of that cell -- enough to
+        diagnose a dead grid from ``repro describe --journal X`` alone.
+        """
+        last_failure: dict[str, JournalEntry] = {}
+        for record in self._raw_records():
+            if (
+                record.get("type") == "repetition"
+                and record.get("status") == STATUS_FAILED
+                and "key" in record
+            ):
+                last_failure[record["key"]] = JournalEntry.from_record(record)
         lines = [f"journal {self.path}:"]
         for key in self.keys():
             per_status: dict[str, int] = {}
             degraded = 0
+            quarantined = 0
             for entry in self.entries(key).values():
                 per_status[entry.status] = per_status.get(entry.status, 0) + 1
                 if entry.degradation is not None:
                     degraded += 1
+                if (
+                    entry.status == STATUS_FAILED
+                    and entry.error_type in QUARANTINE_REASONS
+                ):
+                    quarantined += 1
             parts = [f"{per_status.get(STATUS_OK, 0)} ok"]
             if per_status.get(STATUS_SKIPPED):
                 parts.append(f"{per_status[STATUS_SKIPPED]} skipped")
             if per_status.get(STATUS_FAILED):
                 parts.append(f"{per_status[STATUS_FAILED]} failed")
+            if quarantined:
+                parts.append(f"{quarantined} quarantined")
             if degraded:
                 parts.append(f"{degraded} degraded")
             lines.append(f"  {key}: " + ", ".join(parts))
+            failure = last_failure.get(key)
+            if failure is not None:
+                lines.append(
+                    f"    last failure: repetition {failure.repetition}: "
+                    f"{failure.error_type}: {failure.error} "
+                    f"(after {failure.attempts} attempt(s))"
+                )
         if len(lines) == 1:
             lines.append("  (empty)")
         return "\n".join(lines)

@@ -35,11 +35,24 @@ creating the pool; children inherit the read-only matrices through
 copy-on-write pages, so the construction cost is paid exactly once per
 grid.  Under ``spawn`` each worker builds its own, at most once per
 dataset.
+
+Failure model: the pool is run by
+:class:`~repro.evaluation.supervisor.PoolSupervisor` -- a dead worker
+respawns the pool and re-dispatches its items, a hung repetition is
+killed at the ``cell_timeout`` deadline, poison items are quarantined as
+structured ``failed`` journal records, and SIGINT/SIGTERM drain the
+completed serial-order prefix into the journal before raising
+:class:`~repro.errors.GridInterrupted`.  Completed outcomes are
+journaled *progressively* (still in exact serial order, still only by
+the parent), so even a hard parent kill leaves the longest durable
+prefix rather than nothing.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -48,7 +61,7 @@ import numpy as np
 
 from repro.data.model import Dataset
 from repro.data.splits import split_sources
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GridInterrupted
 from repro.evaluation.checkpoint import STATUS_FAILED, RunJournal, run_key
 from repro.evaluation.runner import (
     ExperimentResult,
@@ -57,8 +70,10 @@ from repro.evaluation.runner import (
     _apply_journal_entry,
     _apply_outcome,
     _journal_outcome,
+    _Outcome,
     _run_repetition,
 )
+from repro.evaluation.supervisor import PoolSupervisor, SupervisorPolicy
 
 
 @dataclass(frozen=True)
@@ -82,6 +97,22 @@ _STATE: dict = {}
 # the construction cost again.  Empty under spawn, where children build
 # their own.
 _PREBUILT: dict = {}
+
+
+def _init_worker_process(factories, datasets, retry_policy, share_features) -> None:
+    """Pool initializer run *in the worker*: signals, then shared state.
+
+    Workers ignore SIGINT (the parent's handler owns the Ctrl-C
+    shutdown; workers are reaped by the supervisor) and reset SIGTERM to
+    the default, since fork children would otherwise inherit the
+    parent's drain-and-exit handler.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    _init_worker(factories, datasets, retry_policy, share_features)
 
 
 def _init_worker(factories, datasets, retry_policy, share_features) -> None:
@@ -205,6 +236,19 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _quarantine_outcome(item: tuple[int, int], reason: str, faults: int) -> _Outcome:
+    """The structured failure recorded for a quarantined (cell, rep) item."""
+    return _Outcome(
+        status=STATUS_FAILED,
+        error_type=reason,
+        error_message=(
+            f"quarantined by the pool supervisor after {faults} "
+            f"{reason} fault(s)"
+        ),
+        attempts=faults,
+    )
+
+
 def run_grid_parallel(
     factories: dict[str, "callable"],
     datasets: list[Dataset],
@@ -218,15 +262,20 @@ def run_grid_parallel(
     retry_policy: RetryPolicy | None,
     workers: int,
     share_features: bool,
+    supervisor: SupervisorPolicy | None = None,
 ) -> list[ExperimentResult]:
-    """Run the experiment grid on ``workers`` processes.
+    """Run the experiment grid on ``workers`` supervised processes.
 
     Returns the same ``ExperimentResult`` list, with the same journal
     side effects, as the serial ``ExperimentRunner.run`` -- only faster.
+    ``supervisor`` tunes the failure model (worker-death respawns,
+    per-item deadlines, poison quarantine); the defaults match PR 2's
+    behaviour on healthy grids byte for byte.
     """
     if workers < 2:
         raise ConfigurationError("run_grid_parallel needs workers >= 2")
     retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+    policy = supervisor if supervisor is not None else SupervisorPolicy()
 
     cells: list[GridCell] = []
     results: list[ExperimentResult] = []
@@ -278,7 +327,16 @@ def run_grid_parallel(
         )
     ]
 
+    drain = _SerialDrain(cells, results, keys, restored, journal)
     outcomes: dict[tuple[int, int], object] = {}
+
+    def on_complete(item: tuple[int, int], outcome) -> None:
+        # Progressive drain: each completion extends the journaled
+        # serial-order prefix as far as it now reaches, so the journal
+        # grows during the run exactly as a serial run's would.
+        outcomes[item] = outcome
+        drain.advance(outcomes)
+
     if pending:
         context = _pool_context()
         if share_features and context.get_start_method() == "fork":
@@ -287,62 +345,117 @@ def run_grid_parallel(
                 datasets,
                 {cells[index].dataset_index for index, _ in pending},
             )
-        try:
-            with ProcessPoolExecutor(
+        stop = threading.Event()
+        received: list[int] = []
+
+        def _on_signal(signum, frame) -> None:
+            received.append(signum)
+            stop.set()
+
+        installed: dict[int, object] = {}
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    installed[signum] = signal.signal(signum, _on_signal)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)),
                 mp_context=context,
-                initializer=_init_worker,
+                initializer=_init_worker_process,
                 initargs=(factories, datasets, retry_policy, share_features),
-            ) as pool:
-                futures = {
-                    item: pool.submit(_execute_item, cells[item[0]], item[1])
-                    for item in pending
-                }
-                try:
-                    for item in pending:
-                        outcomes[item] = futures[item].result()
-                except BaseException:
-                    # A worker died mid-grid (or the parent was
-                    # interrupted): journal exactly the serial-order
-                    # prefix completed so far, then propagate -- resume
-                    # will pick up the rest.
-                    _drain(cells, results, keys, restored, outcomes, journal)
-                    for future in futures.values():
-                        future.cancel()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
+            )
+
+        serial_fallback_ready = False
+
+        def run_serial(item: tuple[int, int]):
+            # Degraded path: execute in the parent, reusing the worker
+            # entry point against parent-local (or prebuilt) state.
+            nonlocal serial_fallback_ready
+            if not serial_fallback_ready:
+                _init_worker(factories, datasets, retry_policy, share_features)
+                serial_fallback_ready = True
+            return _execute_item(cells[item[0]], item[1])
+
+        pool_supervisor = PoolSupervisor(
+            pending,
+            make_pool=make_pool,
+            submit=lambda pool, item: pool.submit(
+                _execute_item, cells[item[0]], item[1]
+            ),
+            on_complete=on_complete,
+            quarantine_outcome=_quarantine_outcome,
+            run_serial=run_serial,
+            window=min(workers, len(pending)),
+            policy=policy,
+            stop=stop,
+        )
+        try:
+            try:
+                pool_supervisor.run()
+            except GridInterrupted as interrupted:
+                # Outcomes harvested during shutdown are already
+                # journaled by the progressive drain; attach the signal
+                # for the caller's exit code.
+                interrupted.signum = received[-1] if received else None
+                raise
         finally:
             _PREBUILT.clear()
+            if serial_fallback_ready:
+                _STATE.clear()
+            for signum, previous in installed.items():
+                signal.signal(signum, previous)
 
-    _drain(cells, results, keys, restored, outcomes, journal)
+    drain.advance(outcomes)
     return results
 
 
-def _drain(
-    cells: list[GridCell],
-    results: list[ExperimentResult],
-    keys: list[str | None],
-    restored: list[dict],
-    outcomes: dict[tuple[int, int], object],
-    journal: RunJournal | None,
-) -> None:
-    """Fold restored entries and completed outcomes, in serial order.
+class _SerialDrain:
+    """Incremental serial-order fold of restored entries and outcomes.
 
-    Journal writes happen here, in the parent only, in exactly the
-    order the serial runner would emit them.  Stops at the first item
-    that is neither restored nor completed (after a kill, that is the
-    item that raised).
+    Maintains a cursor over the flattened (cell, repetition) grid.  Each
+    :meth:`advance` applies journal-restored entries and any available
+    outcomes from the cursor forward, journaling executed outcomes in
+    the parent in exactly the order the serial runner would emit them,
+    and stops at the first item that is neither restored nor completed.
+    Progressive calls therefore never double-apply anything.
     """
-    for cell in cells:
-        result = results[cell.index]
-        for repetition in range(cell.settings.repetitions):
-            entry = restored[cell.index].get(repetition)
+
+    def __init__(
+        self,
+        cells: list[GridCell],
+        results: list[ExperimentResult],
+        keys: list[str | None],
+        restored: list[dict],
+        journal: RunJournal | None,
+    ) -> None:
+        self._results = results
+        self._keys = keys
+        self._restored = restored
+        self._journal = journal
+        self._slots: list[tuple[int, int]] = [
+            (cell.index, repetition)
+            for cell in cells
+            for repetition in range(cell.settings.repetitions)
+        ]
+        self._position = 0
+
+    def advance(self, outcomes: dict[tuple[int, int], object]) -> None:
+        while self._position < len(self._slots):
+            cell_index, repetition = self._slots[self._position]
+            entry = self._restored[cell_index].get(repetition)
             if entry is not None and entry.status != STATUS_FAILED:
-                _apply_journal_entry(result, entry)
+                _apply_journal_entry(self._results[cell_index], entry)
+                self._position += 1
                 continue
-            outcome = outcomes.pop((cell.index, repetition), None)
+            outcome = outcomes.pop((cell_index, repetition), None)
             if outcome is None:
                 return
-            _apply_outcome(result, repetition, outcome)
-            if journal is not None:
-                _journal_outcome(journal, keys[cell.index], repetition, outcome)
+            _apply_outcome(self._results[cell_index], repetition, outcome)
+            if self._journal is not None:
+                _journal_outcome(
+                    self._journal, self._keys[cell_index], repetition, outcome
+                )
+            self._position += 1

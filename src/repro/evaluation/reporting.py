@@ -22,7 +22,8 @@ def render_results_table(results: list[ExperimentResult]) -> str:
     """
     header = (
         f"{'system':<32} {'dataset':<12} {'train%':>6}  "
-        f"{'P':>5} {'R':>5} {'F1':>5} {'±F1':>5}  {'skip':>4} {'fail':>4}"
+        f"{'P':>5} {'R':>5} {'F1':>5} {'±F1':>5}  "
+        f"{'skip':>4} {'fail':>4} {'quar':>4}"
     )
     lines = [header, "-" * len(header)]
     for result in results:
@@ -31,7 +32,8 @@ def render_results_table(results: list[ExperimentResult]) -> str:
             f"{row['system']:<32} {row['dataset']:<12} "
             f"{row['train_fraction']:>6.0%}  "
             f"{row['precision']:>5.2f} {row['recall']:>5.2f} {row['f1']:>5.2f} "
-            f"{row['f1_std']:>5.2f}  {row['skipped']:>4d} {row['failed']:>4d}"
+            f"{row['f1_std']:>5.2f}  {row['skipped']:>4d} {row['failed']:>4d} "
+            f"{row['quarantined']:>4d}"
         )
     return "\n".join(lines)
 
@@ -47,6 +49,11 @@ def render_robustness_report(results: list[ExperimentResult]) -> str:
         flags: list[str] = []
         if result.skipped_repetitions:
             flags.append(f"{result.skipped_repetitions} skipped")
+        if result.quarantined_repetitions:
+            flags.append(
+                f"{result.quarantined_repetitions} quarantined "
+                f"(crash/timeout poison)"
+            )
         if result.degraded_repetitions:
             flags.append(f"{result.degraded_repetitions} degraded")
         if result.resumed_repetitions:

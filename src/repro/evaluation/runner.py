@@ -52,6 +52,7 @@ The grid is cache-aware and parallelisable:
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -64,6 +65,7 @@ from repro.data.pairs import build_pairs, sample_training_pairs
 from repro.data.splits import repeated_source_splits
 from repro.errors import ConfigurationError
 from repro.evaluation.checkpoint import (
+    QUARANTINE_REASONS,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_SKIPPED,
@@ -106,26 +108,48 @@ class RetryPolicy:
     seconds (doubling per attempt) are slept between attempts when
     positive -- the hook for rate-limited or I/O-bound matchers; the
     default of zero keeps tests and CPU-bound grids fast.
+
+    ``jitter`` spreads concurrent retries apart: the delay before an
+    attempt is stretched by up to ``jitter * 100`` percent, with the
+    stretch a *pure function* of ``(seed, repetition, attempt)`` -- no
+    global RNG is consulted -- so serial and parallel grids sleep
+    identical amounts and parity with the serial path is preserved.
     """
 
     max_retries: int = 1
     backoff_base: float = 0.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
         if self.backoff_base < 0:
             raise ConfigurationError("backoff_base must be >= 0")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
 
     @property
     def max_attempts(self) -> int:
         return self.max_retries + 1
 
-    def delay(self, attempt: int) -> float:
-        """Seconds to wait before ``attempt`` (exponential, attempt >= 1)."""
+    def delay(self, attempt: int, *, seed: int = 0, repetition: int = 0) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based).
+
+        Exponential in ``attempt``; with ``jitter`` > 0 the result is
+        ``base * (1 + jitter * u)`` where ``u`` in [0, 1) is derived by
+        hashing ``(seed, repetition, attempt)``, making the delay
+        deterministic and bounded by ``base * (1 + jitter)``.
+        """
         if self.backoff_base <= 0:
             return 0.0
-        return self.backoff_base * (2.0 ** (attempt - 1))
+        base = self.backoff_base * (2.0 ** (attempt - 1))
+        if self.jitter <= 0:
+            return base
+        digest = hashlib.sha256(
+            f"{seed}:{repetition}:{attempt}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2.0**64
+        return base * (1.0 + self.jitter * fraction)
 
 
 @dataclass
@@ -220,6 +244,21 @@ class ExperimentResult:
             return 0.0
         return float(np.std([quality.f1 for quality in self.qualities]))
 
+    @property
+    def quarantined_repetitions(self) -> int:
+        """Failures written by the pool supervisor (crash/timeout poison).
+
+        A subset of ``failures``: repetitions that repeatedly killed or
+        hung a worker process and were quarantined rather than retried
+        forever.  Like all ``failed`` records they are re-attempted on a
+        resumed run.
+        """
+        return sum(
+            1
+            for failure in self.failures
+            if failure.error_type in QUARANTINE_REASONS
+        )
+
     def as_row(self) -> dict:
         """Flat dict for table rendering."""
         return {
@@ -232,6 +271,7 @@ class ExperimentResult:
             "f1_std": self.f1_std,
             "skipped": self.skipped_repetitions,
             "failed": len(self.failures),
+            "quarantined": self.quarantined_repetitions,
         }
 
     def describe(self) -> str:
@@ -245,6 +285,8 @@ class ExperimentResult:
         health = []
         if self.skipped_repetitions:
             health.append(f"{self.skipped_repetitions} skipped")
+        if self.quarantined_repetitions:
+            health.append(f"{self.quarantined_repetitions} quarantined")
         if self.degraded_repetitions:
             health.append(f"{self.degraded_repetitions} degraded")
         if self.resumed_repetitions:
@@ -314,7 +356,9 @@ def _run_repetition(
     for attempt in range(1, retry_policy.max_attempts + 1):
         attempts_made = attempt
         if attempt > 1:
-            delay = retry_policy.delay(attempt - 1)
+            delay = retry_policy.delay(
+                attempt - 1, seed=settings.seed, repetition=repetition
+            )
             if delay > 0:
                 sleep(delay)
         try:
@@ -561,6 +605,7 @@ class ExperimentRunner:
         retry_policy: RetryPolicy | None = None,
         workers: int = 1,
         share_features: bool = True,
+        supervisor=None,
     ) -> list[ExperimentResult]:
         """Run the full grid; returns one result per cell.
 
@@ -569,11 +614,14 @@ class ExperimentRunner:
         a killed grid rerun with ``resume=True`` recomputes only the
         missing repetitions of the missing cells.
 
-        ``workers > 1`` fans (cell, repetition) items out to a process
-        pool; results and journals are byte-identical to ``workers=1``
-        because the parent applies outcomes in serial order and every
-        repetition's randomness derives from ``(seed, repetition)``
-        alone.
+        ``workers > 1`` fans (cell, repetition) items out to a
+        supervised process pool; results and journals are byte-identical
+        to ``workers=1`` because the parent applies outcomes in serial
+        order and every repetition's randomness derives from ``(seed,
+        repetition)`` alone.  ``supervisor`` (a
+        :class:`~repro.evaluation.supervisor.SupervisorPolicy`) tunes
+        the pool's failure model: per-item deadlines, respawn budget,
+        poison quarantine.
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -592,6 +640,7 @@ class ExperimentRunner:
                 retry_policy=retry_policy,
                 workers=workers,
                 share_features=share_features,
+                supervisor=supervisor,
             )
         results: list[ExperimentResult] = []
         for dataset in datasets:

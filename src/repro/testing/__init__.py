@@ -7,6 +7,7 @@ integration tests can assert that checkpoints resume and fallbacks fire.
 """
 
 from repro.testing.faults import (
+    WORKER_EXIT_CODE,
     AlwaysDivergingClassifier,
     FaultInjected,
     FaultPlan,
@@ -16,6 +17,7 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "WORKER_EXIT_CODE",
     "AlwaysDivergingClassifier",
     "FaultInjected",
     "FaultPlan",

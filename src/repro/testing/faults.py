@@ -2,7 +2,7 @@
 
 The runner's failure isolation, retry policy and checkpoint/resume are
 only trustworthy if they can be exercised against *controlled* faults.
-This module injects four failure modes at exact (repetition, attempt)
+This module injects failure modes at exact (repetition, attempt)
 coordinates:
 
 * transient or persistent exceptions during training
@@ -15,7 +15,15 @@ coordinates:
 * simulated process kills (:class:`SimulatedKill`), a ``BaseException``
   that -- like a real ``SIGKILL`` -- must *not* be absorbed by the
   per-repetition isolation, leaving the journal with the completed
-  prefix only.
+  prefix only;
+* **process-level faults** for the pool supervisor: a hard worker death
+  (``os._exit``, no Python unwinding at all), a configurable hang (to
+  trip the cell-timeout watchdog), and a SIGTERM delivered to the
+  parent mid-grid (to exercise signal-safe shutdown).  These faults are
+  *budgeted* -- "kill the first N executions of repetition k" -- with
+  the budget counted in small files under ``FaultPlan.state_dir``, so
+  the count survives the very process deaths it causes and re-dispatch
+  behaves deterministically.
 
 Determinism is the point: a plan says exactly where each fault fires, so
 a test that kills a run "after repetition k" does so on every machine.
@@ -23,15 +31,22 @@ a test that kills a run "after repetition k" does so on every machine.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.api import Matcher
 from repro.data.model import Dataset
 from repro.data.pairs import LabeledPair, PairSet
-from repro.errors import ReproError, TrainingDivergedError
+from repro.errors import ConfigurationError, ReproError, TrainingDivergedError
+
+#: Exit status used by injected hard worker deaths, distinctive in logs.
+WORKER_EXIT_CODE = 23
 
 
 class FaultInjected(ReproError):
@@ -106,12 +121,46 @@ class FaultPlan:
     nan_scores_on:
         Repetitions whose similarity scores come back NaN-corrupted,
         which the runner's numeric guard must turn into a failure.
+    exit_process_on:
+        ``{repetition: n}`` -- the first ``n`` *executions* of that
+        repetition hard-kill their process with ``os._exit`` (no
+        exception, no cleanup: what the OOM reaper does).  Requires
+        ``state_dir``.
+    hang_process_on:
+        ``{repetition: n}`` -- the first ``n`` executions sleep for
+        ``hang_seconds`` before proceeding, so a cell-timeout watchdog
+        can be exercised deterministically.  Requires ``state_dir``.
+    signal_parent_on:
+        ``{repetition: n}`` -- the first ``n`` executions send SIGTERM
+        to the parent process as the repetition starts (the worker
+        itself continues).  Requires ``state_dir``.
+    hang_seconds:
+        Sleep duration for ``hang_process_on`` executions.
+    state_dir:
+        Directory for cross-process fault budgets.  Process-level
+        faults must count their firings somewhere that survives the
+        process death they cause; a file per (kind, repetition) does.
     """
 
     fail_attempts: Mapping[int, int] = field(default_factory=dict)
     kill_before: frozenset[int] = frozenset()
     diverge_on: frozenset[int] = frozenset()
     nan_scores_on: frozenset[int] = frozenset()
+    exit_process_on: Mapping[int, int] = field(default_factory=dict)
+    hang_process_on: Mapping[int, int] = field(default_factory=dict)
+    signal_parent_on: Mapping[int, int] = field(default_factory=dict)
+    hang_seconds: float = 3600.0
+    state_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        needs_state = (
+            self.exit_process_on or self.hang_process_on or self.signal_parent_on
+        )
+        if needs_state and self.state_dir is None:
+            raise ConfigurationError(
+                "process-level faults (exit/hang/signal) need "
+                "FaultPlan.state_dir to count their budget across processes"
+            )
 
     @classmethod
     def failing(cls, *repetitions: int, attempts: int = 10**9) -> "FaultPlan":
@@ -122,6 +171,55 @@ class FaultPlan:
     def kill_at(cls, repetition: int) -> "FaultPlan":
         """A plan that simulates a process kill as ``repetition`` starts."""
         return cls(kill_before=frozenset({repetition}))
+
+    @classmethod
+    def worker_exit(
+        cls, repetition: int, *, state_dir: str, times: int = 1
+    ) -> "FaultPlan":
+        """Hard-kill the worker the first ``times`` runs of ``repetition``."""
+        return cls(exit_process_on={repetition: times}, state_dir=state_dir)
+
+    @classmethod
+    def worker_hang(
+        cls,
+        repetition: int,
+        *,
+        state_dir: str,
+        times: int = 1,
+        seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """Hang the first ``times`` runs of ``repetition`` for ``seconds``."""
+        return cls(
+            hang_process_on={repetition: times},
+            hang_seconds=seconds,
+            state_dir=state_dir,
+        )
+
+    @classmethod
+    def sigterm_parent(
+        cls, repetition: int, *, state_dir: str, times: int = 1
+    ) -> "FaultPlan":
+        """SIGTERM the parent as ``repetition`` starts, ``times`` times."""
+        return cls(signal_parent_on={repetition: times}, state_dir=state_dir)
+
+    def consume_budget(self, kind: str, repetition: int, budget: int) -> bool:
+        """Atomically claim one firing of a budgeted process fault.
+
+        Returns True while fewer than ``budget`` firings of
+        ``(kind, repetition)`` have been claimed, incrementing the
+        on-disk counter.  Only one process executes a given repetition
+        at a time (the supervisor re-dispatches only after a death), so
+        a plain read-increment-write file is race-free here.
+        """
+        if budget <= 0:
+            return False
+        counter = Path(self.state_dir) / f"{kind}-{repetition}.count"
+        fired = int(counter.read_text()) if counter.exists() else 0
+        if fired >= budget:
+            return False
+        counter.parent.mkdir(parents=True, exist_ok=True)
+        counter.write_text(str(fired + 1))
+        return True
 
 
 class FaultyMatcher(Matcher):
@@ -153,9 +251,28 @@ class FaultyMatcher(Matcher):
         if repetition in self.plan.kill_before:
             self.injected.append((repetition, attempt, "kill"))
             raise SimulatedKill(f"simulated kill before repetition {repetition}")
+        self._maybe_process_fault(repetition)
         inner_notify = getattr(self.inner, "notify_repetition", None)
         if inner_notify is not None:
             inner_notify(repetition, attempt)
+
+    def _maybe_process_fault(self, repetition: int) -> None:
+        """Fire budgeted process-level faults (exit / hang / parent signal)."""
+        plan = self.plan
+        if plan.consume_budget(
+            "exit", repetition, plan.exit_process_on.get(repetition, 0)
+        ):
+            # A hard death: no exception, no unwinding, no result sent
+            # back -- exactly what the supervisor must contain.
+            os._exit(WORKER_EXIT_CODE)
+        if plan.consume_budget(
+            "hang", repetition, plan.hang_process_on.get(repetition, 0)
+        ):
+            time.sleep(plan.hang_seconds)
+        if plan.consume_budget(
+            "sigterm", repetition, plan.signal_parent_on.get(repetition, 0)
+        ):
+            os.kill(os.getppid(), signal.SIGTERM)
 
     def _maybe_fail(self, stage: str) -> None:
         budget = self.plan.fail_attempts.get(self._repetition, 0)

@@ -1,11 +1,50 @@
-"""Shared fixtures: tiny datasets and embeddings, cached per session."""
+"""Shared fixtures and a global per-test timeout.
+
+Fixtures build tiny datasets and embeddings, cached per session.  The
+timeout hook guards the whole suite against hangs: the chaos tests
+deliberately wedge worker processes, and a supervision bug must fail
+the test, not freeze CI.  Implemented with ``SIGALRM`` (no third-party
+timeout plugin is available in this environment); override the budget
+with ``REPRO_TEST_TIMEOUT`` seconds, ``0`` disables it.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.datasets import build_domain_embeddings, load_dataset
+
+TEST_TIMEOUT_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    no_alarm = (
+        TEST_TIMEOUT_SECONDS <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    )
+    if no_alarm:
+        return (yield)
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the global {TEST_TIMEOUT_SECONDS:.0f}s timeout "
+            f"(REPRO_TEST_TIMEOUT): {item.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

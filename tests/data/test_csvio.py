@@ -59,11 +59,66 @@ class TestCsvValidation:
         with pytest.raises(DataError, match="missing required columns"):
             load_dataset_csv(path)
 
-    def test_empty_cell_reported_with_line(self, tmp_path):
+    def test_empty_cell_quarantined_with_line(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("source,property,entity,value\nA,p,e,v\nA,,e,v\n")
-        with pytest.raises(DataError, match=":3"):
-            load_dataset_csv(path)
+        loaded = load_dataset_csv(path)
+        assert len(loaded.instances) == 1
+        assert len(loaded.validation) == 1
+        record = loaded.validation[0]
+        assert record.line == 3
+        assert record.source == "A"
+        assert "property" in record.reason
+        assert ":3" in record.describe()
+
+    def test_short_row_quarantined(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("source,property,entity,value\nA,p,e,v\nB,p2\nA,p,e2,v2\n")
+        loaded = load_dataset_csv(path)
+        assert len(loaded.instances) == 2
+        assert len(loaded.validation) == 1
+        record = loaded.validation[0]
+        assert record.line == 3
+        assert record.source == "B"
+        assert "short row" in record.reason
+
+    def test_rows_dropped_counted_per_source(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "source,property,entity,value\n"
+            "A,p,e,v\n"
+            "A,,e,v\n"
+            "B,p\n"
+            "B,p,e,\n"
+        )
+        loaded = load_dataset_csv(path)
+        assert loaded.rows_dropped() == {"A": 1, "B": 2}
+
+    def test_clean_load_has_no_validation_records(self, dataset, tmp_path):
+        path = tmp_path / "instances.csv"
+        save_dataset_csv(dataset, path)
+        loaded = load_dataset_csv(path)
+        assert loaded.validation == ()
+        assert loaded.rows_dropped() == {}
+
+    def test_quarantine_reported_in_stats(self, tmp_path):
+        from repro.data.stats import dataset_stats
+
+        path = tmp_path / "bad.csv"
+        path.write_text("source,property,entity,value\nA,p,e,v\nA,,e,v\n")
+        stats = dataset_stats(load_dataset_csv(path))
+        assert stats.n_rows_dropped == 1
+        assert "quarantined" in stats.describe()
+
+    def test_bad_alignment_rows_quarantined(self, tmp_path):
+        instances = tmp_path / "instances.csv"
+        instances.write_text("source,property,entity,value\nA,p,e,v\n")
+        alignment = tmp_path / "alignment.csv"
+        alignment.write_text("source,property,reference\nA,p,r\nA,p,\n")
+        loaded = load_dataset_csv(instances, alignment)
+        assert loaded.alignment == {PropertyRef("A", "p"): "r"}
+        assert len(loaded.validation) == 1
+        assert loaded.validation[0].path.endswith("alignment.csv")
 
     def test_alignment_for_unknown_property_rejected(self, tmp_path):
         instances = tmp_path / "instances.csv"

@@ -100,6 +100,49 @@ class TestJournalRoundTrip:
         text = journal.describe()
         assert "1 ok" in text and "1 failed" in text
 
+    def test_describe_reports_last_failure_reason(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_failure("k", 1, RuntimeError("first"), attempts=1)
+        journal.record_failure("k", 3, ValueError("most recent"), attempts=2)
+        text = journal.describe()
+        assert "last failure: repetition 3" in text
+        assert "ValueError: most recent" in text
+        assert "after 2 attempt(s)" in text
+
+    def test_describe_counts_quarantined_separately(self, tmp_path):
+        from repro.evaluation.checkpoint import REASON_TIMEOUT, REASON_WORKER_CRASH
+
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_quality("k", 0, MatchQuality(1, 0, 0))
+        journal.record_failure("k", 1, RuntimeError("plain failure"), attempts=1)
+        journal.append(
+            JournalEntry(
+                key="k",
+                repetition=2,
+                status=STATUS_FAILED,
+                attempts=2,
+                error_type=REASON_WORKER_CRASH,
+                error="quarantined by the pool supervisor",
+            )
+        )
+        journal.append(
+            JournalEntry(
+                key="k",
+                repetition=3,
+                status=STATUS_FAILED,
+                attempts=2,
+                error_type=REASON_TIMEOUT,
+                error="quarantined by the pool supervisor",
+            )
+        )
+        text = journal.describe()
+        assert "3 failed" in text
+        assert "2 quarantined" in text
+
+    def test_describe_empty_journal(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert "(empty)" in journal.describe()
+
 
 class TestJournalDurability:
     def test_torn_final_line_is_ignored(self, tmp_path):

@@ -107,6 +107,36 @@ class TestFailureIsolation:
         )
         assert slept == [0.5, 1.0]  # exponential doubling
 
+    def test_jittered_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_retries=3, backoff_base=0.5, jitter=0.5)
+        for attempt in (1, 2, 3):
+            base = 0.5 * (2.0 ** (attempt - 1))
+            delays = {
+                policy.delay(attempt, seed=7, repetition=2) for _ in range(5)
+            }
+            assert len(delays) == 1  # pure function of (seed, repetition, attempt)
+            delay = delays.pop()
+            assert base <= delay < base * 1.5
+
+    def test_jitter_varies_across_repetitions_and_seeds(self):
+        policy = RetryPolicy(backoff_base=0.5, jitter=1.0)
+        delays = {
+            policy.delay(1, seed=seed, repetition=repetition)
+            for seed in range(3)
+            for repetition in range(3)
+        }
+        assert len(delays) == 9  # hash spreads concurrent retries apart
+
+    def test_zero_jitter_keeps_exact_exponential_schedule(self):
+        policy = RetryPolicy(backoff_base=0.5, jitter=0.0)
+        assert [policy.delay(a, seed=3, repetition=1) for a in (1, 2)] == [0.5, 1.0]
+
+    def test_negative_jitter_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
     def test_nan_scores_tripped_by_numeric_guard(self, tiny_headphones):
         faulty = FaultyMatcher(NameEqMatcher(), FaultPlan(nan_scores_on=frozenset({0})))
         result = evaluate_matcher(

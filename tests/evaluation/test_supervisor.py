@@ -1,0 +1,268 @@
+"""Unit tests for the pool supervisor's failure model.
+
+These exercise :class:`PoolSupervisor` against *real* worker processes
+dying in real ways -- ``os._exit`` mid-task, hangs past the deadline --
+with plain integers as items and file flags as one-shot fault budgets
+(a flag survives the worker's death, unlike in-process state).  Worker
+functions live at module level so the executor can pickle them.
+"""
+
+import functools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, GridInterrupted
+from repro.evaluation.checkpoint import REASON_TIMEOUT, REASON_WORKER_CRASH
+from repro.evaluation.supervisor import PoolSupervisor, SupervisorPolicy
+
+
+def _ok(item):
+    return f"ok-{item}"
+
+
+def _crash_if_flagged(item, flag_dir):
+    """Die hard (``os._exit``) once per ``crash-<item>`` flag file."""
+    flag = Path(flag_dir) / f"crash-{item}"
+    if flag.exists():
+        flag.unlink()
+        os._exit(23)
+    return f"ok-{item}"
+
+
+def _hang_if_flagged(item, flag_dir):
+    """Hang far past any test deadline, once per ``hang-<item>`` flag."""
+    flag = Path(flag_dir) / f"hang-{item}"
+    if flag.exists():
+        flag.unlink()
+        time.sleep(600)
+    return f"ok-{item}"
+
+
+def _poison(item, victim):
+    """``victim`` kills its worker every single time it runs."""
+    if item == victim:
+        os._exit(23)
+    return f"ok-{item}"
+
+
+def _always_hang(item, victim):
+    if item == victim:
+        time.sleep(600)
+    return f"ok-{item}"
+
+
+def _always_crash(item):
+    os._exit(23)
+
+
+def _raise_value_error(item, victim):
+    if item == victim:
+        raise ValueError(f"work function failed on {item}")
+    return f"ok-{item}"
+
+
+FAST = dict(backoff_base=0.01, backoff_cap=0.05, watchdog_interval=0.02)
+
+
+def _supervise(items, worker, *, window=2, policy=None, stop=None):
+    completed = {}
+    supervisor = PoolSupervisor(
+        items,
+        make_pool=lambda: ProcessPoolExecutor(
+            max_workers=window, mp_context=multiprocessing.get_context("fork")
+        ),
+        submit=lambda pool, item: pool.submit(worker, item),
+        on_complete=completed.__setitem__,
+        quarantine_outcome=lambda item, reason, faults: (
+            "quarantined",
+            reason,
+            faults,
+        ),
+        run_serial=lambda item: f"serial-{item}",
+        window=window,
+        policy=policy if policy is not None else SupervisorPolicy(**FAST),
+        stop=stop,
+    )
+    supervisor.run()
+    return supervisor, completed
+
+
+class TestHealthyPool:
+    def test_all_items_complete_once(self):
+        supervisor, completed = _supervise(list(range(6)), _ok)
+        assert completed == {i: f"ok-{i}" for i in range(6)}
+        assert supervisor.respawns == 0
+        assert supervisor.crashes == 0
+        assert supervisor.quarantined == []
+        assert not supervisor.degraded_to_serial
+
+    def test_empty_item_list_is_a_noop(self):
+        supervisor, completed = _supervise([], _ok)
+        assert completed == {}
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            _supervise([1, 1], _ok)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            _supervise([1], _ok, window=0)
+
+
+class TestCrashRecovery:
+    def test_single_worker_death_is_absorbed(self, tmp_path):
+        (tmp_path / "crash-2").touch()
+        worker = functools.partial(_crash_if_flagged, flag_dir=str(tmp_path))
+        supervisor, completed = _supervise(list(range(5)), worker)
+        assert completed == {i: f"ok-{i}" for i in range(5)}
+        assert supervisor.crashes >= 1
+        assert supervisor.respawns >= 1
+        assert supervisor.quarantined == []
+
+    def test_poison_item_is_quarantined_not_retried_forever(self):
+        worker = functools.partial(_poison, victim=1)
+        supervisor, completed = _supervise(list(range(4)), worker)
+        assert completed[1] == ("quarantined", REASON_WORKER_CRASH, 2)
+        for item in (0, 2, 3):
+            assert completed[item] == f"ok-{item}"
+        (record,) = supervisor.quarantined
+        assert record.item == 1
+        assert record.reason == REASON_WORKER_CRASH
+        assert record.faults == 2
+
+    def test_innocent_covictims_accumulate_no_strikes(self, tmp_path):
+        # Items co-flighted with the crash are re-dispatched via solo
+        # probes; every innocent item must still complete normally.
+        (tmp_path / "crash-0").touch()
+        worker = functools.partial(_crash_if_flagged, flag_dir=str(tmp_path))
+        supervisor, completed = _supervise(list(range(4)), worker, window=4)
+        assert completed == {i: f"ok-{i}" for i in range(4)}
+        assert supervisor.quarantined == []
+
+
+class TestDeadlines:
+    def test_hung_item_is_killed_and_retried(self, tmp_path):
+        (tmp_path / "hang-1").touch()
+        worker = functools.partial(_hang_if_flagged, flag_dir=str(tmp_path))
+        policy = SupervisorPolicy(cell_timeout=0.5, **FAST)
+        supervisor, completed = _supervise(
+            list(range(4)), worker, policy=policy
+        )
+        assert completed == {i: f"ok-{i}" for i in range(4)}
+        assert supervisor.timeouts >= 1
+        assert supervisor.quarantined == []
+
+    def test_always_hanging_item_quarantined_as_timeout(self):
+        worker = functools.partial(_always_hang, victim=0)
+        policy = SupervisorPolicy(cell_timeout=0.3, max_item_faults=1, **FAST)
+        supervisor, completed = _supervise(
+            list(range(3)), worker, policy=policy
+        )
+        assert completed[0] == ("quarantined", REASON_TIMEOUT, 1)
+        assert completed[1] == "ok-1"
+        assert completed[2] == "ok-2"
+        (record,) = supervisor.quarantined
+        assert record.reason == REASON_TIMEOUT
+
+
+class TestSerialDegradation:
+    def test_exhausted_respawns_fall_back_to_serial(self):
+        policy = SupervisorPolicy(max_pool_respawns=0, **FAST)
+        supervisor, completed = _supervise(
+            list(range(4)), _always_crash, policy=policy
+        )
+        assert supervisor.degraded_to_serial
+        assert completed == {i: f"serial-{i}" for i in range(4)}
+        assert supervisor.respawns == 0
+
+
+class TestShutdown:
+    def test_preset_stop_raises_grid_interrupted(self):
+        stop = threading.Event()
+        stop.set()
+        with pytest.raises(GridInterrupted):
+            _supervise(list(range(4)), _ok, stop=stop)
+
+    def test_stop_during_serial_degradation_interrupts(self):
+        stop = threading.Event()
+        completed = {}
+
+        def serial(item):
+            stop.set()  # first serial item pulls the plug
+            return f"serial-{item}"
+
+        supervisor = PoolSupervisor(
+            list(range(4)),
+            make_pool=lambda: ProcessPoolExecutor(
+                max_workers=2, mp_context=multiprocessing.get_context("fork")
+            ),
+            submit=lambda pool, item: pool.submit(_always_crash, item),
+            on_complete=completed.__setitem__,
+            quarantine_outcome=lambda item, reason, faults: None,
+            run_serial=serial,
+            window=2,
+            policy=SupervisorPolicy(max_pool_respawns=0, **FAST),
+            stop=stop,
+        )
+        with pytest.raises(GridInterrupted):
+            supervisor.run()
+        assert len(completed) < 4
+
+
+class TestWorkFunctionErrors:
+    def test_work_exception_propagates_after_settling(self):
+        worker = functools.partial(_raise_value_error, victim=2)
+        with pytest.raises(ValueError, match="failed on 2"):
+            _supervise(list(range(5)), worker)
+
+
+class TestPolicy:
+    def test_respawn_delay_is_capped_exponential(self):
+        policy = SupervisorPolicy(backoff_base=0.05, backoff_cap=0.4)
+        assert policy.respawn_delay(1) == pytest.approx(0.05)
+        assert policy.respawn_delay(2) == pytest.approx(0.1)
+        assert policy.respawn_delay(3) == pytest.approx(0.2)
+        assert policy.respawn_delay(4) == pytest.approx(0.4)
+        assert policy.respawn_delay(10) == pytest.approx(0.4)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(cell_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(max_pool_respawns=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(max_item_faults=0)
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(watchdog_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(shutdown_grace=-0.1)
+
+    def test_backoff_sleeps_use_injected_clock(self, tmp_path):
+        # One real crash, with a measurable backoff routed through the
+        # injected sleep -- the run must not actually wait.
+        (tmp_path / "crash-0").touch()
+        worker = functools.partial(_crash_if_flagged, flag_dir=str(tmp_path))
+        slept = []
+        supervisor = PoolSupervisor(
+            [0],
+            make_pool=lambda: ProcessPoolExecutor(
+                max_workers=1, mp_context=multiprocessing.get_context("fork")
+            ),
+            submit=lambda pool, item: pool.submit(worker, item),
+            on_complete=lambda item, outcome: None,
+            quarantine_outcome=lambda item, reason, faults: None,
+            run_serial=lambda item: None,
+            window=1,
+            policy=SupervisorPolicy(
+                backoff_base=0.5, backoff_cap=8.0, watchdog_interval=0.02
+            ),
+            sleep=slept.append,
+        )
+        supervisor.run()
+        assert slept[0] == pytest.approx(0.5)

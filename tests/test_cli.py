@@ -42,6 +42,20 @@ class TestStats:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_quarantined_rows_surfaced(self, tmp_path, capsys):
+        instances = tmp_path / "instances.csv"
+        instances.write_text(
+            "source,property,entity,value\n"
+            "A,resolution,e1,20 mp\n"
+            "A,,e1,oops\n"
+            "B,megapixels,e2,24 mp\n"
+        )
+        code = main(["stats", "--instances", str(instances)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows quarantined on load: 1 (A=1)" in out
+        assert ":3" in out  # the offending line is pointed at
+
 
 class TestEvaluate:
     @pytest.mark.parametrize("system", ["leapme", "aml", "lsh"])
@@ -92,6 +106,48 @@ class TestEvaluate:
         )
         assert code == 2
         assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_parallel_evaluate_with_failure_model_flags(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset", "headphones",
+                "--scale", "tiny",
+                "--system", "lsh",
+                "--train-fraction", "0.6",
+                "--repetitions", "2",
+                "--workers", "2",
+                "--cell-timeout", "120",
+                "--max-pool-respawns", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P=" in out and "F1=" in out
+
+
+class TestDescribe:
+    def test_summarises_journal(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        argv = [
+            "evaluate",
+            "--dataset", "headphones",
+            "--scale", "tiny",
+            "--system", "lsh",
+            "--train-fraction", "0.6",
+            "--repetitions", "2",
+            "--journal", str(journal),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["describe", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "2 ok" in out
+
+    def test_missing_journal_is_an_error(self, tmp_path, capsys):
+        code = main(["describe", "--journal", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "journal not found" in capsys.readouterr().err
 
 
 class TestMatch:
