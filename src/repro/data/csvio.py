@@ -16,7 +16,10 @@ instead of raising: a bad line in a million-row export must not crash
 an experiment grid hours in.  The surviving dataset carries the records
 (``Dataset.validation``) and per-source drop counts
 (``Dataset.rows_dropped()``), and the stats layer reports them, so the
-loss is visible rather than silent.  Structural problems -- a missing
+loss is visible rather than silent.  Dropped *alignment* rows
+additionally log a warning at load time: they define the ground truth,
+so losing one shifts recall/F1 of every evaluation on the dataset
+rather than merely shrinking the input.  Structural problems -- a missing
 file, no header, missing required *columns* -- still raise
 :class:`~repro.errors.DataError`: those mean the file as a whole is not
 what the caller thinks it is.
@@ -25,6 +28,7 @@ what the caller thinks it is.
 from __future__ import annotations
 
 import csv
+import logging
 from pathlib import Path
 
 from repro.data.model import (
@@ -34,6 +38,8 @@ from repro.data.model import (
     PropertyRef,
 )
 from repro.errors import DataError
+
+logger = logging.getLogger(__name__)
 
 INSTANCE_COLUMNS = ("source", "property", "entity", "value")
 ALIGNMENT_COLUMNS = ("source", "property", "reference")
@@ -116,9 +122,24 @@ def load_dataset_csv(
     ]
     alignment: dict[PropertyRef, str] = {}
     if alignment_path is not None:
-        for row in _read_rows(Path(alignment_path), ALIGNMENT_COLUMNS, quarantined):
+        alignment_path = Path(alignment_path)
+        dropped_before_alignment = len(quarantined)
+        for row in _read_rows(alignment_path, ALIGNMENT_COLUMNS, quarantined):
             ref = PropertyRef(row["source"].strip(), row["property"].strip())
             alignment[ref] = row["reference"].strip()
+        alignment_dropped = len(quarantined) - dropped_before_alignment
+        if alignment_dropped:
+            # Alignment rows are ground truth: dropping one silently
+            # shifts recall/F1 of every evaluation on this dataset, so
+            # the quarantine is loud even though it does not raise.
+            logger.warning(
+                "%d malformed alignment row(s) quarantined from %s; "
+                "ground-truth coverage is reduced and recall/F1 will "
+                "shift -- inspect Dataset.validation (or `repro stats`) "
+                "and repair the file",
+                alignment_dropped,
+                alignment_path,
+            )
     return Dataset(
         name=name or instances_path.stem,
         instances=instances,

@@ -270,31 +270,34 @@ class RunJournal:
         One line per run cell with ok / skipped / failed / quarantined /
         degraded counts (quarantined = ``failed`` records written by the
         pool supervisor, a subset of failed), followed by the most
-        recently journaled failure reason of that cell -- enough to
-        diagnose a dead grid from ``repro describe --journal X`` alone.
+        recently journaled failure among repetitions whose *latest*
+        entry is still failed -- a failure that a resumed run later
+        re-attempted successfully is history, not a finding, and is not
+        reported.  Enough to diagnose a dead grid from
+        ``repro describe --journal X`` alone.
         """
-        last_failure: dict[str, JournalEntry] = {}
-        for record in self._raw_records():
-            if (
-                record.get("type") == "repetition"
-                and record.get("status") == STATUS_FAILED
-                and "key" in record
-            ):
-                last_failure[record["key"]] = JournalEntry.from_record(record)
+        # Latest entry per (key, repetition), with its journal position
+        # so "last failure" means last *written* among still-failed ones.
+        latest: dict[str, dict[int, tuple[int, JournalEntry]]] = {}
+        for position, record in enumerate(self._raw_records()):
+            if record.get("type") != "repetition" or "key" not in record:
+                continue
+            entry = JournalEntry.from_record(record)
+            latest.setdefault(entry.key, {})[entry.repetition] = (position, entry)
         lines = [f"journal {self.path}:"]
-        for key in self.keys():
+        for key, repetitions in latest.items():
             per_status: dict[str, int] = {}
             degraded = 0
             quarantined = 0
-            for entry in self.entries(key).values():
+            failures: list[tuple[int, JournalEntry]] = []
+            for position, entry in repetitions.values():
                 per_status[entry.status] = per_status.get(entry.status, 0) + 1
                 if entry.degradation is not None:
                     degraded += 1
-                if (
-                    entry.status == STATUS_FAILED
-                    and entry.error_type in QUARANTINE_REASONS
-                ):
-                    quarantined += 1
+                if entry.status == STATUS_FAILED:
+                    failures.append((position, entry))
+                    if entry.error_type in QUARANTINE_REASONS:
+                        quarantined += 1
             parts = [f"{per_status.get(STATUS_OK, 0)} ok"]
             if per_status.get(STATUS_SKIPPED):
                 parts.append(f"{per_status[STATUS_SKIPPED]} skipped")
@@ -305,8 +308,8 @@ class RunJournal:
             if degraded:
                 parts.append(f"{degraded} degraded")
             lines.append(f"  {key}: " + ", ".join(parts))
-            failure = last_failure.get(key)
-            if failure is not None:
+            if failures:
+                _, failure = max(failures, key=lambda pair: pair[0])
                 lines.append(
                     f"    last failure: repetition {failure.repetition}: "
                     f"{failure.error_type}: {failure.error} "

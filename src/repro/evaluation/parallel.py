@@ -56,6 +56,7 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from queue import Empty
 
 import numpy as np
 
@@ -99,7 +100,9 @@ _STATE: dict = {}
 _PREBUILT: dict = {}
 
 
-def _init_worker_process(factories, datasets, retry_policy, share_features) -> None:
+def _init_worker_process(
+    factories, datasets, retry_policy, share_features, start_queue=None
+) -> None:
     """Pool initializer run *in the worker*: signals, then shared state.
 
     Workers ignore SIGINT (the parent's handler owns the Ctrl-C
@@ -112,16 +115,19 @@ def _init_worker_process(factories, datasets, retry_policy, share_features) -> N
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
-    _init_worker(factories, datasets, retry_policy, share_features)
+    _init_worker(factories, datasets, retry_policy, share_features, start_queue)
 
 
-def _init_worker(factories, datasets, retry_policy, share_features) -> None:
+def _init_worker(
+    factories, datasets, retry_policy, share_features, start_queue=None
+) -> None:
     _STATE.clear()
     _STATE.update(
         factories=factories,
         datasets=datasets,
         retry_policy=retry_policy,
         share_features=share_features,
+        start_queue=start_queue,
         matchers={},
         universes=dict(_PREBUILT.get("universes", ())),
         stores=dict(_PREBUILT.get("stores", ())),
@@ -207,8 +213,17 @@ def _execute_item(cell: GridCell, repetition: int):
     """Worker entry point: run one repetition, return its ``_Outcome``.
 
     The split is recomputed locally from ``(seed, repetition)`` --
-    identical to the serial loop's stream by construction.
+    identical to the serial loop's stream by construction.  The first
+    act is reporting the start to the supervisor's channel, so the
+    ``--cell-timeout`` clock measures this repetition's own run time,
+    never queueing or pool start-up.
     """
+    start_queue = _STATE.get("start_queue")
+    if start_queue is not None:
+        try:
+            start_queue.put((cell.index, repetition))
+        except Exception:  # pragma: no cover - reporting is best-effort
+            pass
     dataset: Dataset = _STATE["datasets"][cell.dataset_index]
     rng = np.random.default_rng((cell.settings.seed, repetition))
     split = split_sources(dataset, cell.settings.train_fraction, rng)
@@ -360,13 +375,37 @@ def run_grid_parallel(
                 except (ValueError, OSError):  # pragma: no cover
                     pass
 
+        # Workers report the (cell, repetition) they are *about to run*
+        # on this queue; the supervisor's deadline clock starts at that
+        # report, not at submission.  One fresh queue per pool
+        # generation, so a dead generation's reports can never start
+        # the clock on a re-dispatched item.
+        start_queue_box: list = [None]
+
         def make_pool() -> ProcessPoolExecutor:
+            start_queue_box[0] = context.Queue()
             return ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)),
                 mp_context=context,
                 initializer=_init_worker_process,
-                initargs=(factories, datasets, retry_policy, share_features),
+                initargs=(
+                    factories,
+                    datasets,
+                    retry_policy,
+                    share_features,
+                    start_queue_box[0],
+                ),
             )
+
+        def poll_started() -> list[tuple[int, int]]:
+            started: list[tuple[int, int]] = []
+            start_queue = start_queue_box[0]
+            while start_queue is not None:
+                try:
+                    started.append(start_queue.get_nowait())
+                except Empty:
+                    break
+            return started
 
         serial_fallback_ready = False
 
@@ -391,6 +430,7 @@ def run_grid_parallel(
             window=min(workers, len(pending)),
             policy=policy,
             stop=stop,
+            poll_started=poll_started,
         )
         try:
             try:

@@ -16,9 +16,11 @@ grid runner and the executor and supplies the missing model:
   a solo probe is certain attribution: that item gets a fault strike.
   Innocent co-flight items therefore never accumulate strikes.
 * **Deadlines** -- with a ``cell_timeout``, a watchdog tracks when each
-  item was first observed running and, past the deadline, kills and
-  reaps the workers and re-dispatches the victims.  The timed-out item
-  itself is attributed a strike directly (its deadline, its fault).
+  item started (workers report actual starts over a ``poll_started``
+  channel; without one, the executor's RUNNING transition is the
+  fallback) and, past the deadline, kills and reaps the workers and
+  re-dispatches the victims.  The timed-out item itself is attributed
+  a strike directly (its deadline, its fault).
 * **Poison quarantine** -- an item whose strikes reach
   ``max_item_faults`` is not retried forever: it is completed with a
   caller-built quarantine outcome (the grid journals it as ``failed``
@@ -68,7 +70,14 @@ class SupervisorPolicy:
     ----------
     cell_timeout:
         Wall-clock seconds one item may run before the watchdog kills
-        the pool and re-dispatches; ``None`` disables deadlines.
+        the pool and re-dispatches; ``None`` disables deadlines.  The
+        clock starts when the worker *reports* starting the item (see
+        ``PoolSupervisor(poll_started=...)``); without such a channel
+        it falls back to the executor marking the future running, which
+        can predate actual execution by the whole pool start-up
+        (imports, initializer work) -- in that mode the timeout must
+        comfortably exceed pool start-up or innocent items may be
+        struck.
     max_pool_respawns:
         Pool deaths tolerated before degrading to serial execution.
     max_item_faults:
@@ -155,6 +164,16 @@ class PoolSupervisor:
     stop:
         Optional ``threading.Event``; once set, the supervisor shuts
         down cleanly and raises :class:`GridInterrupted`.
+    poll_started:
+        Optional zero-argument callable returning the items whose
+        execution a worker has *actually begun* since the last call
+        (e.g. drained from a queue the workers report to).  When
+        provided, the ``cell_timeout`` clock starts at the reported
+        start instead of the executor's RUNNING transition, so pool
+        start-up time is never charged against an item's deadline.
+        Reports for items no longer in flight are discarded, and the
+        channel is drained on every pool death so a dead generation's
+        reports cannot leak into the next one.
     """
 
     def __init__(
@@ -169,6 +188,7 @@ class PoolSupervisor:
         window: int,
         policy: SupervisorPolicy | None = None,
         stop=None,
+        poll_started=None,
         sleep=time.sleep,
     ) -> None:
         if window < 1:
@@ -181,6 +201,7 @@ class PoolSupervisor:
         self._run_serial = run_serial
         self._window = window
         self._stop = stop
+        self._poll_started = poll_started
         self._sleep = sleep
         self._order = {item: index for index, item in enumerate(items)}
         if len(self._order) != len(items):
@@ -229,20 +250,36 @@ class PoolSupervisor:
 
     # -- dispatch --------------------------------------------------------
     def _dispatch(self, pool) -> _Death | None:
-        try:
-            if self._probe is not None:
-                return None  # a probe owns the pool exclusively
-            if self._suspects:
-                if not self._inflight:
-                    item = self._suspects.popleft()
-                    self._probe = item
-                    self._inflight[self._submit(pool, item)] = item
-                return None
-            while self._pending and len(self._inflight) < self._window:
-                item = self._pending.popleft()
-                self._inflight[self._submit(pool, item)] = item
-        except BrokenProcessPool:
-            return _Death()
+        """Fill the window.
+
+        Submission is peek-then-pop: an item leaves its queue (and a
+        probe is declared) only *after* ``submit`` returned a future.
+        A pool that breaks at submit time therefore loses nothing --
+        the item stays exactly where it was -- and a broken probe
+        submission is never mis-attributed as a strike against an item
+        that never ran.
+        """
+        if self._probe is not None:
+            return None  # a probe owns the pool exclusively
+        if self._suspects:
+            if not self._inflight:
+                item = self._suspects[0]
+                try:
+                    future = self._submit(pool, item)
+                except BrokenProcessPool:
+                    return _Death()
+                self._suspects.popleft()
+                self._probe = item
+                self._inflight[future] = item
+            return None
+        while self._pending and len(self._inflight) < self._window:
+            item = self._pending[0]
+            try:
+                future = self._submit(pool, item)
+            except BrokenProcessPool:
+                return _Death()
+            self._pending.popleft()
+            self._inflight[future] = item
         return None
 
     # -- watch -----------------------------------------------------------
@@ -253,9 +290,13 @@ class PoolSupervisor:
             return_when=FIRST_COMPLETED,
         )
         now = time.monotonic()
-        for future, item in self._inflight.items():
-            if item not in self._started and future.running():
-                self._started[item] = now
+        if self._poll_started is None:
+            # Fallback deadline clock: RUNNING means "queued to a
+            # worker", which can predate actual execution by the whole
+            # pool start-up.  See SupervisorPolicy.cell_timeout.
+            for future, item in self._inflight.items():
+                if item not in self._started and future.running():
+                    self._started[item] = now
         for future in sorted(
             done, key=lambda f: self._order[self._inflight[f]]
         ):
@@ -271,10 +312,17 @@ class PoolSupervisor:
                 # serial path would have died here.  Settle the rest of
                 # the flight so the caller can journal the completed
                 # prefix, then propagate.
-                self._settle_and_raise(error)
+                self._settle_and_raise(pool, error)
             if item == self._probe:
                 self._probe = None
             self._on_complete(item, outcome)
+        if self._poll_started is not None:
+            inflight_items = set(self._inflight.values())
+            for item in self._poll_started():
+                # Stale reports -- items already completed, or struck
+                # from a previous generation -- are discarded.
+                if item in inflight_items:
+                    self._started.setdefault(item, now)
         if self._policy.cell_timeout is not None:
             for item, since in self._started.items():
                 if now - since >= self._policy.cell_timeout:
@@ -299,6 +347,9 @@ class PoolSupervisor:
         survivors = sorted(self._inflight.values(), key=self._order.__getitem__)
         self._inflight.clear()
         self._started.clear()
+        if self._poll_started is not None:
+            for _ in self._poll_started():
+                pass  # discard the dead generation's start reports
         probe = self._probe
         self._probe = None
         if death.reason == REASON_TIMEOUT:
@@ -382,17 +433,30 @@ class PoolSupervisor:
                 )
             self._on_complete(item, self._run_serial(item))
 
-    def _settle_and_raise(self, error: BaseException) -> None:
+    def _settle_and_raise(self, pool, error: BaseException) -> None:
+        """A work-function exception is fatal: settle briefly, then raise.
+
+        Waits only ``shutdown_grace`` for the sibling futures -- never
+        ``cell_timeout`` (``None`` would block forever), so a hung
+        sibling cannot deadlock the parent while it is trying to die.
+        Whatever finished inside the grace window is reported (the
+        caller journals the completed prefix); the pool is then reaped,
+        because a hung worker would survive a plain executor shutdown.
+        """
+        if self._inflight:
+            wait(tuple(self._inflight), timeout=self._policy.shutdown_grace)
         for future in sorted(
-            self._inflight, key=lambda f: self._order[self._inflight[f]]
+            [f for f in self._inflight if f.done()],
+            key=lambda f: self._order[self._inflight[f]],
         ):
             item = self._inflight[future]
             try:
-                outcome = future.result(timeout=self._policy.cell_timeout)
+                outcome = future.result()
             except BaseException:  # noqa: BLE001 - best-effort settle
                 continue
             self._on_complete(item, outcome)
         self._inflight.clear()
+        self._reap(pool)
         raise error
 
     def _halt(self, pool) -> None:

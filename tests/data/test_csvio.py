@@ -120,6 +120,35 @@ class TestCsvValidation:
         assert len(loaded.validation) == 1
         assert loaded.validation[0].path.endswith("alignment.csv")
 
+    def test_alignment_quarantine_warns_loudly(self, tmp_path, caplog):
+        # Alignment rows are ground truth: dropping one shifts
+        # recall/F1, so the quarantine must log a warning, not just sit
+        # in Dataset.validation.
+        instances = tmp_path / "instances.csv"
+        instances.write_text("source,property,entity,value\nA,p,e,v\n")
+        alignment = tmp_path / "alignment.csv"
+        alignment.write_text("source,property,reference\nA,p,r\nA,p,\n")
+        with caplog.at_level("WARNING", logger="repro.data.csvio"):
+            load_dataset_csv(instances, alignment)
+        (warning,) = [
+            r for r in caplog.records if "alignment" in r.getMessage()
+        ]
+        assert "1 malformed alignment row(s)" in warning.getMessage()
+        assert "recall/F1" in warning.getMessage()
+
+    def test_instance_quarantine_does_not_warn_about_alignment(
+        self, tmp_path, caplog
+    ):
+        instances = tmp_path / "instances.csv"
+        instances.write_text("source,property,entity,value\nA,p,e,v\nA,,e,v\n")
+        alignment = tmp_path / "alignment.csv"
+        alignment.write_text("source,property,reference\nA,p,r\n")
+        with caplog.at_level("WARNING", logger="repro.data.csvio"):
+            load_dataset_csv(instances, alignment)
+        assert not [
+            r for r in caplog.records if "alignment" in r.getMessage()
+        ]
+
     def test_alignment_for_unknown_property_rejected(self, tmp_path):
         instances = tmp_path / "instances.csv"
         instances.write_text("source,property,entity,value\nA,p,e,v\n")

@@ -109,6 +109,33 @@ class TestJournalRoundTrip:
         assert "ValueError: most recent" in text
         assert "after 2 attempt(s)" in text
 
+    def test_describe_omits_failures_superseded_by_resume(self, tmp_path):
+        # A failure later re-attempted successfully is history: the
+        # latest entry for the repetition is ok, so a healthy journal
+        # must not advertise a "last failure" post-mortem line.
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_failure("k", 0, RuntimeError("transient"), attempts=1)
+        journal.record_quality("k", 0, MatchQuality(1, 0, 0))
+        text = journal.describe()
+        assert "1 ok" in text
+        assert "failed" not in text
+        assert "last failure" not in text
+
+    def test_describe_last_failure_respects_latest_entry_semantics(
+        self, tmp_path
+    ):
+        # Repetition 0's failure is journaled *after* repetition 1's,
+        # but a resumed run then fixed repetition 0 -- so the reported
+        # last failure must be repetition 1's, the only one still live.
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.record_failure("k", 1, RuntimeError("still broken"), attempts=1)
+        journal.record_failure("k", 0, RuntimeError("later fixed"), attempts=1)
+        journal.record_quality("k", 0, MatchQuality(1, 0, 0))
+        text = journal.describe()
+        assert "last failure: repetition 1" in text
+        assert "still broken" in text
+        assert "later fixed" not in text
+
     def test_describe_counts_quarantined_separately(self, tmp_path):
         from repro.evaluation.checkpoint import REASON_TIMEOUT, REASON_WORKER_CRASH
 

@@ -12,8 +12,10 @@ import multiprocessing
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
+from queue import Empty
 
 import pytest
 
@@ -65,6 +67,38 @@ def _raise_value_error(item, victim):
     if item == victim:
         raise ValueError(f"work function failed on {item}")
     return f"ok-{item}"
+
+
+def _hang_or_raise(item):
+    """Item 0 hangs forever; everything else raises a work error."""
+    if item == 0:
+        time.sleep(600)
+    raise ValueError(f"work function failed on {item}")
+
+
+# Start-report channel for the reported-starts deadline test: the queue
+# reaches workers through the pool initializer (multiprocessing queues
+# cannot travel through submit() arguments).
+_START_CHANNEL = None
+
+
+def _init_start_channel(channel):
+    global _START_CHANNEL
+    _START_CHANNEL = channel
+
+
+def _report_then_maybe_hang(item, victim):
+    _START_CHANNEL.put(item)
+    if item == victim:
+        time.sleep(600)
+    return f"ok-{item}"
+
+
+class _FakePool:
+    """Pool stand-in for submit-time failure tests (no real processes)."""
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
 
 
 FAST = dict(backoff_base=0.01, backoff_cap=0.05, watchdog_interval=0.02)
@@ -146,6 +180,76 @@ class TestCrashRecovery:
         assert supervisor.quarantined == []
 
 
+class TestSubmitTimeBreaks:
+    """The pool breaking *inside submit()* must lose and blame nothing."""
+
+    def test_submit_time_pool_break_loses_no_items(self):
+        completed = {}
+        submits = []
+
+        def submit(pool, item):
+            submits.append(item)
+            if len(submits) == 1:
+                raise BrokenProcessPool("pool broke at submit time")
+            future = Future()
+            future.set_result(f"ok-{item}")
+            return future
+
+        supervisor = PoolSupervisor(
+            [0, 1, 2],
+            make_pool=_FakePool,
+            submit=submit,
+            on_complete=completed.__setitem__,
+            quarantine_outcome=lambda item, reason, faults: None,
+            run_serial=lambda item: f"serial-{item}",
+            window=2,
+            policy=SupervisorPolicy(**FAST),
+        )
+        supervisor.run()
+        # The item whose submission broke the pool is still dispatched
+        # on the next generation -- nothing silently disappears.
+        assert completed == {i: f"ok-{i}" for i in range(3)}
+        assert supervisor.quarantined == []
+
+    def test_probe_submit_break_is_not_a_strike(self):
+        # Crash both co-flight items (futures resolve to
+        # BrokenProcessPool), then break the pool again at the *probe
+        # submission*.  The probed item never ran, so with a one-strike
+        # quarantine policy it must still complete, unblamed, on the
+        # next generation.
+        completed = {}
+        submits = []
+
+        def submit(pool, item):
+            submits.append(item)
+            future = Future()
+            if len(submits) <= 2:
+                future.set_exception(BrokenProcessPool("worker died"))
+            elif len(submits) == 3:
+                raise BrokenProcessPool("pool broke at probe submit")
+            else:
+                future.set_result(f"ok-{item}")
+            return future
+
+        supervisor = PoolSupervisor(
+            [0, 1],
+            make_pool=_FakePool,
+            submit=submit,
+            on_complete=completed.__setitem__,
+            quarantine_outcome=lambda item, reason, faults: (
+                "quarantined",
+                reason,
+                faults,
+            ),
+            run_serial=lambda item: f"serial-{item}",
+            window=2,
+            policy=SupervisorPolicy(max_item_faults=1, **FAST),
+        )
+        supervisor.run()
+        assert completed == {0: "ok-0", 1: "ok-1"}
+        assert supervisor.quarantined == []
+
+
 class TestDeadlines:
     def test_hung_item_is_killed_and_retried(self, tmp_path):
         (tmp_path / "hang-1").touch()
@@ -169,6 +273,53 @@ class TestDeadlines:
         assert completed[2] == "ok-2"
         (record,) = supervisor.quarantined
         assert record.reason == REASON_TIMEOUT
+
+    def test_deadline_uses_worker_reported_starts(self):
+        # With a poll_started channel, the deadline clock starts at the
+        # worker's own report, not the executor's RUNNING transition --
+        # the hanging item still trips the watchdog, and only it.
+        context = multiprocessing.get_context("fork")
+        channel = context.Queue()
+
+        def poll_started():
+            started = []
+            while True:
+                try:
+                    started.append(channel.get_nowait())
+                except Empty:
+                    break
+            return started
+
+        completed = {}
+        supervisor = PoolSupervisor(
+            [0, 1, 2],
+            make_pool=lambda: ProcessPoolExecutor(
+                max_workers=2,
+                mp_context=context,
+                initializer=_init_start_channel,
+                initargs=(channel,),
+            ),
+            submit=lambda pool, item: pool.submit(
+                _report_then_maybe_hang, item, 0
+            ),
+            on_complete=completed.__setitem__,
+            quarantine_outcome=lambda item, reason, faults: (
+                "quarantined",
+                reason,
+                faults,
+            ),
+            run_serial=lambda item: f"serial-{item}",
+            window=2,
+            policy=SupervisorPolicy(
+                cell_timeout=0.4, max_item_faults=1, **FAST
+            ),
+            poll_started=poll_started,
+        )
+        supervisor.run()
+        assert completed[0] == ("quarantined", REASON_TIMEOUT, 1)
+        assert completed[1] == "ok-1"
+        assert completed[2] == "ok-2"
+        assert supervisor.timeouts >= 1
 
 
 class TestSerialDegradation:
@@ -220,6 +371,15 @@ class TestWorkFunctionErrors:
         worker = functools.partial(_raise_value_error, victim=2)
         with pytest.raises(ValueError, match="failed on 2"):
             _supervise(list(range(5)), worker)
+
+    def test_work_exception_with_hung_sibling_does_not_deadlock(self):
+        # Settling must never wait on cell_timeout (None = forever):
+        # with item 0 hung and item 1 raising, the error has to surface
+        # within the shutdown grace, not block behind the hang.
+        started = time.monotonic()
+        with pytest.raises(ValueError, match="failed on 1"):
+            _supervise([0, 1], _hang_or_raise)
+        assert time.monotonic() - started < 30.0
 
 
 class TestPolicy:
