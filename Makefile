@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test check chaos bench bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test lint check chaos bench bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,10 +8,18 @@ install:
 test:
 	pytest tests/
 
-# Tier-1 tests plus a fast fault-injection smoke: an evaluation run with
-# an injected failure must complete, report the skip, and a killed run
-# must resume from its journal with identical aggregates.
-check:
+# Invariant-enforcing static analysis (repro.analysis): unseeded RNG,
+# non-atomic writes, wall-clock deadlines, float equality, swallowed
+# exceptions, worker-side journal writes, mutable defaults, fork-unsafe
+# module state.  Exit 1 on any fresh finding or stale baseline entry.
+lint:
+	PYTHONPATH=src python -m repro lint src tests scripts
+
+# Tier-1 tests plus the static pass plus a fast fault-injection smoke:
+# an evaluation run with an injected failure must complete, report the
+# skip, and a killed run must resume from its journal with identical
+# aggregates.
+check: lint
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python scripts/fault_smoke.py
 

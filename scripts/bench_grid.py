@@ -57,6 +57,7 @@ from repro.core.feature_cache import PairUniverse
 from repro.core.pair_features import name_distance_block
 from repro.datasets import build_domain_embeddings, load_dataset
 from repro.evaluation import ExperimentRunner, PhaseTimings
+from repro.ioutils import atomic_write_text
 from repro.nn.schedule import TrainingSchedule
 
 
@@ -205,7 +206,7 @@ def main(argv=None) -> int:
         "aggregates_identical": identical,
     }
     out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
     print(f"written: {out}")
     return 0
 

@@ -1,0 +1,70 @@
+"""Invariant-enforcing static analysis for the LEAPME reproduction.
+
+PRs 1-3 made the library's correctness story rest on repo-wide
+invariants -- byte-identical resumed aggregates, atomic on-disk writes,
+parent-only journal writes, per-repetition seeded RNG -- that nothing
+used to check: they lived in DESIGN.md prose and could silently regress
+in any PR.  This package turns them into executable rules.
+
+The engine is a small AST-visitor framework (:mod:`.visitor`) with a
+pluggable rule registry (:mod:`.registry`).  The repo-specific rules
+live in :mod:`.rules`:
+
+========  =============================================================
+REP001    unseeded / global RNG (``np.random.*`` module functions,
+          bare ``random.*``) in result-affecting code
+REP002    non-atomic file writes (``open(..., "w")`` / ``Path.write_*``)
+          outside :mod:`repro.ioutils`
+REP003    wall-clock ``time.time()`` where ``time.monotonic()`` /
+          ``perf_counter`` is required for deadlines and durations
+REP004    float ``==`` / ``!=`` comparisons outside exact-zero guard
+          idioms
+REP005    broad ``except`` that swallows the error without re-raise,
+          structured record, or logging
+REP006    journal / side-effect writes reachable from worker-pool code
+          paths (parent-only journal discipline)
+REP007    mutable default arguments
+REP008    fork-unsafe module-level mutable state mutated post-import in
+          worker modules
+========  =============================================================
+
+Findings can be silenced two ways: an inline ``# repro: noqa[REPxxx]``
+comment on the offending line (:mod:`.suppress`) for exceptions that
+are best explained at the code site, or an entry in the checked-in
+baseline file (:mod:`.baseline`) for legacy findings grandfathered
+until fixed.  The engine analyses files in parallel (:mod:`.engine`),
+renders human and ``--json`` output (:mod:`.report`), and is exposed as
+the ``repro lint`` CLI subcommand (:mod:`.cli`) with stable exit codes:
+0 clean, 1 violations, 2 usage/internal error.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import (
+    AnalysisReport,
+    FileReport,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    discover_files,
+)
+from repro.analysis.registry import Rule, Violation, all_rules, get_rule, rule_codes
+from repro.analysis.report import render_human, render_json
+from repro.analysis.suppress import suppressions_for_source
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "FileReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "discover_files",
+    "get_rule",
+    "render_human",
+    "render_json",
+    "rule_codes",
+    "suppressions_for_source",
+]

@@ -1,0 +1,116 @@
+"""The checked-in baseline of grandfathered findings.
+
+The baseline file (``.repro-lint-baseline.json`` at the repo root)
+records *intentional exceptions*: findings a human reviewed and chose
+to keep, typically legacy code scheduled for a later PR.  Lint treats
+a baselined finding as non-fatal but still reports its count, and
+complains about *stale* entries (baselined findings that no longer
+occur) so the file shrinks monotonically instead of rotting.
+
+Entries match on ``(path, rule, normalized source line text)`` rather
+than line numbers, so unrelated edits that shift a file do not
+invalidate the baseline; duplicate identical lines are matched as a
+multiset.  Policy: REP001 and REP002 findings must be *fixed*, never
+baselined -- unseeded RNG and torn writes corrupt results silently, so
+there is no acceptable legacy state (enforced by
+``tests/analysis/test_self_clean.py``).
+
+Writing the baseline goes through :func:`repro.ioutils.atomic_write_text`
+-- the analyzer practices the invariant it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.registry import Violation
+from repro.errors import ReproError
+from repro.ioutils import atomic_write_text
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def _entry_key(path: str, rule: str, snippet: str) -> tuple[str, str, str]:
+    return (Path(path).as_posix(), rule, " ".join(snippet.split()))
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of filtering violations against a baseline."""
+
+    fresh: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    stale_entries: list[dict] = field(default_factory=list)
+
+
+class Baseline:
+    """Multiset of grandfathered findings keyed on content, not line."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries = list(entries or ())
+        self._counts: Counter = Counter(
+            _entry_key(entry["path"], entry["rule"], entry.get("snippet", ""))
+            for entry in self.entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(f"unreadable baseline {path}: {error}") from error
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ReproError(f"baseline {path} has no 'entries' list")
+        return cls(entries)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        return cls(
+            [
+                {
+                    "path": Path(violation.path).as_posix(),
+                    "rule": violation.rule,
+                    "line": violation.line,
+                    "snippet": violation.snippet,
+                }
+                for violation in sorted(violations)
+            ]
+        )
+
+    def save(self, path: str | Path) -> None:
+        payload = {"version": BASELINE_VERSION, "entries": self.entries}
+        atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def apply(self, violations: list[Violation]) -> BaselineMatch:
+        """Split violations into fresh vs baselined; surface stale entries."""
+        remaining = Counter(self._counts)
+        match = BaselineMatch()
+        for violation in violations:
+            key = _entry_key(violation.path, violation.rule, violation.snippet)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                match.baselined.append(violation)
+            else:
+                match.fresh.append(violation)
+        for entry in self.entries:
+            key = _entry_key(entry["path"], entry["rule"], entry.get("snippet", ""))
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                match.stale_entries.append(entry)
+        return match
+
+    def rules_present(self) -> set[str]:
+        """The rule codes with at least one baseline entry."""
+        return {entry["rule"] for entry in self.entries}

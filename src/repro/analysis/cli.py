@@ -1,0 +1,120 @@
+"""The ``repro lint`` subcommand.
+
+Orchestrates discovery -> parallel analysis -> noqa filtering ->
+baseline matching -> rendering, and returns the stable exit code
+(0 clean, 1 violations/stale baseline, 2 usage error).  Argument
+registration lives here so :mod:`repro.cli` only wires the subparser.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineMatch
+from repro.analysis.engine import analyze_paths
+from repro.analysis.registry import rule_codes
+from repro.analysis.report import exit_code, render_human, render_json
+from repro.errors import ReproError
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register ``repro lint``'s arguments on ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for per-file analysis (default: machine size)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="emit the machine-readable JSON document instead of text",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="REPxxx[,REPxxx...]",
+        help="run only these rule codes",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_NAME, metavar="PATH",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file: every finding is fresh",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to grandfather every current finding, "
+             "then exit 0 (atomic write)",
+    )
+    parser.add_argument(
+        "--no-noqa", action="store_true",
+        help="ignore inline '# repro: noqa[...]' suppressions",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace, *, printer=print) -> int:
+    """Execute the lint run described by parsed ``args``."""
+    if args.list_rules:
+        from repro.analysis.registry import all_rules
+
+        for code, rule_class in sorted(all_rules().items()):
+            printer(f"{code}  {rule_class.name}: {rule_class.summary}")
+        return 0
+    select = None
+    if args.select:
+        select = tuple(code.strip().upper() for code in args.select.split(","))
+        known = set(rule_codes())
+        unknown = [code for code in select if code not in known]
+        if unknown:
+            raise ReproError(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+    report = analyze_paths(
+        args.paths,
+        jobs=args.jobs,
+        select=select,
+        respect_noqa=not args.no_noqa,
+    )
+    violations = report.violations
+    if args.write_baseline:
+        baseline = Baseline.from_violations(violations)
+        baseline.save(args.baseline)
+        printer(
+            f"baseline written to {args.baseline}: "
+            f"{len(baseline)} grandfathered finding(s)"
+        )
+        return 0
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    match = baseline.apply(violations)
+    if args.json_output:
+        printer(render_json(report, match), end="")
+    else:
+        printer(render_human(report, match))
+    return exit_code(match, report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``repro-lint`` console script)."""
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="invariant-enforcing static analysis for the LEAPME repo",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["add_lint_arguments", "run_lint", "main", "BaselineMatch"]

@@ -1,0 +1,197 @@
+"""File discovery and (parallel) per-file analysis.
+
+The unit of work is one file: parse, run every applicable rule, filter
+inline suppressions.  Files are independent, so the engine fans them
+out over a process pool (``fork`` where available, mirroring the
+evaluation engine's choice) and reassembles results in deterministic
+path order; ``jobs=1`` or small inputs stay serial.  A file the parser
+rejects is reported as a ``REP000`` finding rather than crashing the
+run -- a syntax error in one module must not hide findings in the
+other hundred.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.registry import SYNTAX_ERROR_CODE, Violation, all_rules
+from repro.analysis.suppress import is_suppressed, suppressions_for_source
+from repro.analysis.visitor import Analyzer, ModuleContext
+from repro.errors import ReproError
+
+#: Directory names never descended into during discovery.
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
+
+#: Below this many files, process-pool start-up costs more than it saves.
+_PARALLEL_THRESHOLD = 8
+
+
+@dataclass
+class FileReport:
+    """Per-file analysis outcome (picklable across the worker pool)."""
+
+    path: str
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    error: str | None = None
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregate over every analysed file, in deterministic path order."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        found = [violation for report in self.files for violation in report.violations]
+        found.sort()
+        return found
+
+    @property
+    def suppressed(self) -> int:
+        return sum(report.suppressed for report in self.files)
+
+    @property
+    def errors(self) -> list[FileReport]:
+        return [report for report in self.files if report.error is not None]
+
+
+def discover_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+            continue
+        if not path.is_dir():
+            raise ReproError(f"lint path does not exist: {path}")
+        for candidate in path.rglob("*.py"):
+            parts = candidate.relative_to(path).parts
+            if any(
+                part in _SKIP_DIR_NAMES or part.startswith(".")
+                for part in parts[:-1]
+            ):
+                continue
+            found.add(candidate)
+    return sorted(found)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    role: str | None = None,
+    select: tuple[str, ...] | None = None,
+    respect_noqa: bool = True,
+) -> FileReport:
+    """Analyse one module given as text (the test-fixture entry point)."""
+    registry = all_rules()
+    codes = sorted(select) if select else sorted(registry)
+    unknown = [code for code in codes if code not in registry]
+    if unknown:
+        raise ReproError(f"unknown rule code(s): {', '.join(unknown)}")
+    try:
+        ctx = ModuleContext(path, source, role=role)
+    except SyntaxError as error:
+        return FileReport(
+            path=path,
+            violations=[
+                Violation(
+                    path=path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) or 1,
+                    rule=SYNTAX_ERROR_CODE,
+                    message=f"file does not parse: {error.msg}",
+                    snippet=(error.text or "").strip(),
+                )
+            ],
+            error=f"syntax error: {error.msg}",
+        )
+    rules = [registry[code]() for code in codes]
+    violations = Analyzer(rules).run(ctx)
+    if not respect_noqa:
+        return FileReport(path=path, violations=violations)
+    suppressions = suppressions_for_source(source)
+    kept = [
+        violation
+        for violation in violations
+        if not is_suppressed(suppressions, violation.line, violation.rule)
+    ]
+    return FileReport(
+        path=path, violations=kept, suppressed=len(violations) - len(kept)
+    )
+
+
+def analyze_file(
+    path: str | Path,
+    *,
+    select: tuple[str, ...] | None = None,
+    respect_noqa: bool = True,
+) -> FileReport:
+    """Analyse one file on disk; unreadable files become error reports."""
+    display = _display_path(path)
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return FileReport(path=display, error=str(error))
+    return analyze_source(
+        source, display, select=select, respect_noqa=respect_noqa
+    )
+
+
+def _display_path(path: str | Path) -> str:
+    """Repo-relative posix path when possible (stable across machines)."""
+    path = Path(path)
+    try:
+        relative = path.resolve().relative_to(Path.cwd().resolve())
+        return relative.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _analyze_for_pool(item: tuple[str, tuple[str, ...] | None, bool]) -> FileReport:
+    path, select, respect_noqa = item
+    return analyze_file(path, select=select, respect_noqa=respect_noqa)
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    *,
+    jobs: int | None = None,
+    select: tuple[str, ...] | None = None,
+    respect_noqa: bool = True,
+) -> AnalysisReport:
+    """Analyse every ``.py`` file under ``paths``, in parallel when it pays.
+
+    ``jobs=None`` sizes the pool to the machine; results are identical
+    to serial analysis regardless of ``jobs`` (asserted by the test
+    suite) because files are independent and output order is by path.
+    """
+    files = discover_files(paths)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(files) or 1))
+    items = [(str(path), select, respect_noqa) for path in files]
+    if jobs == 1 or len(files) < _PARALLEL_THRESHOLD:
+        reports = [_analyze_for_pool(item) for item in items]
+    else:
+        context = _pool_context()
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            chunk = max(1, len(items) // (jobs * 4))
+            reports = list(pool.map(_analyze_for_pool, items, chunksize=chunk))
+    return AnalysisReport(files=reports)
+
+
+def _pool_context():
+    """Prefer ``fork``: cheap start-up, matching the evaluation engine."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()

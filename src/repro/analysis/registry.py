@@ -1,0 +1,131 @@
+"""Rule registry and the :class:`Violation` record.
+
+A rule is a class with a unique ``code`` (``REPxxx``), a one-line
+``summary``, and a set of ``scopes`` naming the file roles it applies
+to (``library`` for ``src/repro`` package code, ``scripts`` for
+runnable entry points, ``tests`` for the test suite).  Rules register
+themselves with the :func:`register` decorator; the engine instantiates
+one rule object per analysed module, so rules may keep per-module
+state.
+
+Rules participate in analysis two ways:
+
+* per-node hooks named ``visit_<NodeType>`` (e.g. ``visit_Call``),
+  called during a single walk of the module AST;
+* ``begin_module`` / ``end_module`` hooks for whole-module analyses
+  (call-graph reachability, module-level state tracking).
+
+All hooks receive the shared :class:`~repro.analysis.visitor.ModuleContext`
+and report findings through ``ctx.report(self, node, message)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: File roles a rule can opt into.
+ROLE_LIBRARY = "library"
+ROLE_SCRIPTS = "scripts"
+ROLE_TESTS = "tests"
+ALL_ROLES = frozenset({ROLE_LIBRARY, ROLE_SCRIPTS, ROLE_TESTS})
+
+#: Pseudo-code reported for files the engine cannot parse at all.
+SYNTAX_ERROR_CODE = "REP000"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule fired at a source location.
+
+    Ordering is (path, line, col, rule) so reports are deterministic
+    regardless of analysis parallelism.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (the ``--json`` schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Violation":
+        return cls(
+            path=str(record["path"]),
+            line=int(record["line"]),
+            col=int(record["col"]),
+            rule=str(record["rule"]),
+            message=str(record["message"]),
+            snippet=str(record.get("snippet", "")),
+        )
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for analysis rules; subclass and :func:`register`."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    scopes: frozenset = ALL_ROLES
+    #: Module names (``repro.ioutils`` style) the rule never applies to.
+    exempt_modules: tuple = ()
+
+    def applies(self, role: str, module: str | None) -> bool:
+        """Whether the rule runs at all for a file of ``role``."""
+        if role not in self.scopes:
+            return False
+        if module is not None and module in self.exempt_modules:
+            return False
+        return True
+
+    def begin_module(self, ctx) -> None:  # pragma: no cover - default hook
+        """Called before the AST walk; override for setup."""
+
+    def end_module(self, ctx) -> None:  # pragma: no cover - default hook
+        """Called after the AST walk; override for whole-module checks."""
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"rule {rule_class.__name__} has no code")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> dict[str, type]:
+    """``{code: rule class}`` for every registered rule (import side effect)."""
+    # Importing the rules module populates the registry exactly once.
+    from repro.analysis import rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def get_rule(code: str) -> type:
+    """The rule class registered under ``code``; raises ``KeyError``."""
+    return all_rules()[code]
+
+
+def rule_codes() -> list[str]:
+    """Sorted codes of every registered rule."""
+    return sorted(all_rules())

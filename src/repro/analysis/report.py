@@ -1,0 +1,114 @@
+"""Rendering: human output for terminals, ``--json`` for machines.
+
+The JSON document is a stable schema (``version`` bumps on breaking
+changes) so CI and editors can consume it:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "files_analyzed": 103,
+      "violations": [{"path", "line", "col", "rule", "message", "snippet"}],
+      "counts": {"fresh": 2, "suppressed": 1, "baselined": 4, "stale_baseline": 0},
+      "by_rule": {"REP002": 2},
+      "rules": [{"code", "name", "summary"}]
+    }
+
+Exit codes are decided here too: 0 clean, 1 any fresh violation or
+stale baseline entry, 2 usage/internal error (raised as
+:class:`~repro.errors.ReproError` and mapped by the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.baseline import BaselineMatch
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.registry import all_rules
+
+JSON_SCHEMA_VERSION = 1
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def exit_code(match: BaselineMatch, report: AnalysisReport) -> int:
+    """The stable exit code for a finished run."""
+    if match.fresh or match.stale_entries or report.errors:
+        return EXIT_VIOLATIONS
+    return EXIT_CLEAN
+
+
+def render_human(report: AnalysisReport, match: BaselineMatch) -> str:
+    """One finding per line, then a one-line summary."""
+    lines: list[str] = []
+    for violation in match.fresh:
+        lines.append(violation.describe())
+        if violation.snippet:
+            lines.append(f"    {violation.snippet}")
+    for file_report in report.errors:
+        if not any(v.rule == "REP000" for v in file_report.violations):
+            lines.append(f"{file_report.path}: error: {file_report.error}")
+    for entry in match.stale_entries:
+        lines.append(
+            f"{entry['path']}: stale baseline entry for {entry['rule']} "
+            f"({entry.get('snippet', '')!r} no longer found) -- "
+            "regenerate with --write-baseline"
+        )
+    by_rule = Counter(violation.rule for violation in match.fresh)
+    summary = (
+        f"{len(match.fresh)} violation(s) in {len(report.files)} file(s)"
+        if match.fresh
+        else f"clean: {len(report.files)} file(s) analysed"
+    )
+    details = []
+    if by_rule:
+        details.append(
+            ", ".join(f"{code}={count}" for code, count in sorted(by_rule.items()))
+        )
+    if report.suppressed:
+        details.append(f"{report.suppressed} suppressed by noqa")
+    if match.baselined:
+        details.append(f"{len(match.baselined)} baselined")
+    if match.stale_entries:
+        details.append(f"{len(match.stale_entries)} stale baseline entr(y/ies)")
+    if details:
+        summary += f" [{'; '.join(details)}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, match: BaselineMatch) -> str:
+    """The machine-readable document (sorted keys, trailing newline)."""
+    by_rule = Counter(violation.rule for violation in match.fresh)
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_analyzed": len(report.files),
+        "violations": [violation.to_dict() for violation in match.fresh],
+        "baselined": [violation.to_dict() for violation in match.baselined],
+        "stale_baseline": match.stale_entries,
+        "errors": [
+            {"path": file_report.path, "error": file_report.error}
+            for file_report in report.errors
+        ],
+        "counts": {
+            "fresh": len(match.fresh),
+            "suppressed": report.suppressed,
+            "baselined": len(match.baselined),
+            "stale_baseline": len(match.stale_entries),
+        },
+        "by_rule": dict(sorted(by_rule.items())),
+        "rules": [
+            {
+                "code": code,
+                "name": rule_class.name,
+                "summary": rule_class.summary,
+            }
+            for code, rule_class in sorted(all_rules().items())
+        ],
+        "exit_code": exit_code(match, report),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

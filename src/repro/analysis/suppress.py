@@ -1,0 +1,55 @@
+"""Inline ``# repro: noqa[REPxxx]`` suppressions.
+
+A suppression silences specific rules on the physical line it sits on:
+
+    _PREBUILT.update(...)  # repro: noqa[REP008] pre-fork by construction
+
+Several codes may be listed (``# repro: noqa[REP005,REP008]``).  A bare
+``# repro: noqa`` (no codes) silences every rule on the line; prefer
+the coded form -- it keeps the justification attached to one invariant
+and lets new rules still fire on the line.  Etiquette: always follow
+the bracket with a short reason, as above; the suppression is a claim
+that a human checked the invariant holds for a reason the analyzer
+cannot see.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Matches the suppression comment anywhere in a physical line.
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel meaning "every rule" for a bare ``# repro: noqa``.
+ALL_CODES = "*"
+
+
+def suppressions_for_source(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule codes suppressed there."""
+    table: dict[int, frozenset[str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA_PATTERN.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[line_number] = frozenset({ALL_CODES})
+        else:
+            table[line_number] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return table
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is silenced on ``line``."""
+    codes = suppressions.get(line)
+    if codes is None:
+        return False
+    return ALL_CODES in codes or rule.upper() in codes

@@ -8,6 +8,7 @@ Commands
 ``evaluate``   run the paper's evaluation protocol for one system.
 ``match``      train on chosen sources and emit scored matches as CSV.
 ``describe``   post-mortem summary of a run journal (per-status counts).
+``lint``       invariant-enforcing static analysis (see repro.analysis).
 
 The CLI works on the built-in domains (``--dataset cameras`` ...) or on
 user data (``--instances file.csv [--alignment file.csv]``).
@@ -22,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.baselines import (
     AmlMatcher,
     FcaMapMatcher,
@@ -48,6 +50,7 @@ from repro.evaluation import (
     evaluate_matcher,
     render_robustness_report,
 )
+from repro.ioutils import atomic_open_text
 from repro.text.tokenize import words
 
 SYSTEMS = ("leapme", "leapme-emb", "leapme-noemb", "aml", "fcamap", "nezhadi", "semprop", "lsh")
@@ -193,6 +196,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return run_lint(args)
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     journal = RunJournal(args.journal)
     if not journal.path.exists():
@@ -228,7 +235,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
         test = build_pairs(dataset)
     scores = matcher.score_pairs(dataset, test.pairs)
     kept = 0
-    with Path(args.out).open("w", newline="", encoding="utf-8") as handle:
+    # Atomic: a crash mid-write must not leave a truncated matches file
+    # that looks complete (REP002).
+    with atomic_open_text(args.out, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ["left_source", "left_property", "right_source", "right_property", "score"]
@@ -307,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("--journal", required=True, metavar="PATH",
                           help="JSONL run journal to summarise")
     describe.set_defaults(handler=_cmd_describe)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis enforcing the repo's determinism/atomicity/"
+             "fork-safety invariants",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     match = commands.add_parser("match", help="score pairs and emit matches as CSV")
     _add_dataset_arguments(match)

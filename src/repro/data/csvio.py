@@ -38,6 +38,7 @@ from repro.data.model import (
     PropertyRef,
 )
 from repro.errors import DataError
+from repro.ioutils import atomic_open_text
 
 logger = logging.getLogger(__name__)
 
@@ -153,8 +154,13 @@ def save_dataset_csv(
     instances_path: str | Path,
     alignment_path: str | Path | None = None,
 ) -> None:
-    """Write a dataset as CSV (inverse of :func:`load_dataset_csv`)."""
-    with Path(instances_path).open("w", newline="", encoding="utf-8") as handle:
+    """Write a dataset as CSV (inverse of :func:`load_dataset_csv`).
+
+    Both files are written atomically (temp sibling + rename): datasets
+    are experiment inputs, and a half-written instances file silently
+    changes every result computed from it (REP002).
+    """
+    with atomic_open_text(instances_path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(INSTANCE_COLUMNS)
         for instance in dataset.instances:
@@ -162,7 +168,7 @@ def save_dataset_csv(
                 [instance.source, instance.property_name, instance.entity_id, instance.value]
             )
     if alignment_path is not None:
-        with Path(alignment_path).open("w", newline="", encoding="utf-8") as handle:
+        with atomic_open_text(alignment_path, newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(ALIGNMENT_COLUMNS)
             for ref, reference in sorted(dataset.alignment.items()):

@@ -25,6 +25,7 @@ from collections.abc import Iterable, Mapping
 from pathlib import Path
 
 from repro.errors import DataError
+from repro.ioutils import atomic_write_text
 
 
 class SynonymLexicon:
@@ -123,8 +124,8 @@ class SynonymLexicon:
         return cls(groups)  # type: ignore[arg-type]
 
     def save(self, path: str | Path) -> None:
-        """Write the lexicon as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        """Write the lexicon as JSON (atomically; REP002)."""
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load(cls, path: str | Path) -> "SynonymLexicon":

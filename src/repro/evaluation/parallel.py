@@ -167,8 +167,8 @@ def _prebuild_shared(factories, datasets, dataset_indices) -> None:
             if universe is None:
                 universe = universes[dataset_index] = PairUniverse(dataset)
             stores[key] = build(dataset, universe)
-    _PREBUILT.clear()
-    _PREBUILT.update(universes=universes, stores=stores)
+    _PREBUILT.clear()  # repro: noqa[REP008] parent-side by construction: runs strictly before the pool forks
+    _PREBUILT.update(universes=universes, stores=stores)  # repro: noqa[REP008] pre-fork COW prebuild (see docstring)
 
 
 def _worker_universe(dataset_index: int):
@@ -222,7 +222,7 @@ def _execute_item(cell: GridCell, repetition: int):
     if start_queue is not None:
         try:
             start_queue.put((cell.index, repetition))
-        except Exception:  # pragma: no cover - reporting is best-effort
+        except Exception:  # pragma: no cover # repro: noqa[REP005] start-report is best-effort; a worker must never die for telemetry
             pass
     dataset: Dataset = _STATE["datasets"][cell.dataset_index]
     rng = np.random.default_rng((cell.settings.seed, repetition))
@@ -442,9 +442,9 @@ def run_grid_parallel(
                 interrupted.signum = received[-1] if received else None
                 raise
         finally:
-            _PREBUILT.clear()
+            _PREBUILT.clear()  # repro: noqa[REP008] post-run cleanup: the pool is gone, no child can observe this
             if serial_fallback_ready:
-                _STATE.clear()
+                _STATE.clear()  # repro: noqa[REP008] degraded-serial state lives in the parent by design
             for signum, previous in installed.items():
                 signal.signal(signum, previous)
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.data.model import Dataset, PropertyRef
 from repro.errors import ConfigurationError
 from repro.text.normalize import name_tokens
-from repro.text.tokenize import parse_numeric
+from repro.text.tokenize import try_parse_numeric
 
 
 @dataclass(frozen=True)
@@ -73,14 +73,16 @@ def _numeric_median(values: list[str]) -> str:
     """
     numbers = []
     for value in values:
-        direct = parse_numeric(value)
-        if direct != -1.0:
+        # try_parse_numeric distinguishes "not a number" from a genuine
+        # -1 (the feature-vector sentinel would conflate them, REP004).
+        direct = try_parse_numeric(value)
+        if direct is not None:
             numbers.append(direct)
             continue
         match = _NUMBER_RE.search(value)
         if match is not None:
-            parsed = parse_numeric(match.group(0))
-            if parsed != -1.0:
+            parsed = try_parse_numeric(match.group(0))
+            if parsed is not None:
                 numbers.append(parsed)
     if not numbers:
         return _majority(values)

@@ -77,6 +77,25 @@ def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> N
             os.fsync(handle.fileno())
 
 
+@contextlib.contextmanager
+def atomic_open_text(
+    path: str | Path, encoding: str = "utf-8", newline: str | None = None
+) -> Iterator:
+    """Yield a text handle whose contents atomically replace ``path``.
+
+    For streaming writers (``csv.writer`` and friends) that want a file
+    object rather than a final string.  The handle is flushed and
+    fsynced before the swap; if the body raises, the destination is
+    untouched.  ``newline`` is forwarded to :meth:`Path.open` (pass
+    ``""`` for csv, per the stdlib docs).
+    """
+    with atomic_path(path) as temp:
+        with temp.open("w", encoding=encoding, newline=newline) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
 def atomic_write_bytes(path: str | Path, data: bytes) -> None:
     """Atomically replace ``path`` with ``data`` (fsynced before the swap)."""
     with atomic_path(path) as temp:

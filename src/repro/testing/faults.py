@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core.api import Matcher
 from repro.data.model import Dataset
+from repro.ioutils import atomic_write_text
 from repro.data.pairs import LabeledPair, PairSet
 from repro.errors import ConfigurationError, ReproError, TrainingDivergedError
 
@@ -218,7 +219,9 @@ class FaultPlan:
         if fired >= budget:
             return False
         counter.parent.mkdir(parents=True, exist_ok=True)
-        counter.write_text(str(fired + 1))
+        # Atomic even for a test counter: a fault that fires *while* the
+        # counter is being written must not corrupt the budget (REP002).
+        atomic_write_text(counter, str(fired + 1))
         return True
 
 

@@ -125,6 +125,33 @@ def count_token_types(text: str) -> TokenTypeCounts:
 NUM_TOKEN_FEATURES = len(TOKEN_CLASSES) * 2
 
 
+def try_parse_numeric(text: str) -> float | None:
+    """The finite numeric value of ``text``, or ``None`` if not a number.
+
+    Unlike :func:`parse_numeric`, the "not a number" outcome is
+    unambiguous: a genuine value of ``"-1"`` parses to ``-1.0`` rather
+    than colliding with the paper's sentinel.  Callers that *branch* on
+    parseability (e.g. numeric-median fusion) must use this; the
+    sentinel encoding is only for the feature vector.
+
+    >>> try_parse_numeric("-1")
+    -1.0
+    >>> try_parse_numeric("f/2.8") is None
+    True
+    """
+    stripped = text.strip()
+    if not stripped:
+        return None
+    candidate = stripped.replace(",", ".")
+    try:
+        value = float(candidate)
+    except ValueError:
+        return None
+    if value in (float("inf"), float("-inf")) or value != value:
+        return None
+    return value
+
+
 def parse_numeric(text: str) -> float:
     """Return the numeric value of ``text`` or ``-1.0`` (Table I row 3).
 
@@ -139,14 +166,5 @@ def parse_numeric(text: str) -> float:
     >>> parse_numeric("f/2.8")
     -1.0
     """
-    stripped = text.strip()
-    if not stripped:
-        return -1.0
-    candidate = stripped.replace(",", ".")
-    try:
-        value = float(candidate)
-    except ValueError:
-        return -1.0
-    if value in (float("inf"), float("-inf")) or value != value:
-        return -1.0
-    return value
+    value = try_parse_numeric(text)
+    return -1.0 if value is None else value

@@ -1,0 +1,294 @@
+"""Paired good/bad snippets for every REP rule.
+
+Each rule has at least one BAD snippet the rule must fire on (with the
+expected line) and a GOOD twin encoding the sanctioned idiom the rule
+must stay silent on.  Snippets live as strings (not importable files)
+so ``repro lint tests`` never trips over its own fixtures.
+"""
+
+# ---------------------------------------------------------------- REP001
+
+REP001_BAD_NUMPY = """\
+import numpy as np
+
+def shuffled_split(items):
+    np.random.shuffle(items)
+    return items
+"""
+REP001_BAD_NUMPY_LINE = 4
+
+REP001_BAD_NUMPY_SEED = """\
+import numpy
+
+def reseed():
+    numpy.random.seed(0)
+"""
+
+REP001_BAD_STDLIB = """\
+import random
+
+def jitter():
+    return random.random() * 0.5
+"""
+
+REP001_BAD_FROM_IMPORT = """\
+from random import shuffle
+
+def mix(items):
+    shuffle(items)
+"""
+
+REP001_GOOD = """\
+import random
+
+import numpy as np
+
+def shuffled_split(items, seed, repetition):
+    rng = np.random.default_rng((seed, repetition))
+    rng.shuffle(items)
+    local = random.Random(seed)
+    return items, local.random()
+"""
+
+# ---------------------------------------------------------------- REP002
+
+REP002_BAD_OPEN = """\
+def dump(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+"""
+REP002_BAD_OPEN_LINE = 2
+
+REP002_BAD_PATH_OPEN = """\
+from pathlib import Path
+
+def dump(path, rows):
+    with Path(path).open("w", newline="") as handle:
+        handle.write(rows)
+"""
+
+REP002_BAD_WRITE_TEXT = """\
+from pathlib import Path
+
+def dump(path, text):
+    Path(path).write_text(text)
+"""
+
+REP002_BAD_APPEND_MODE = """\
+def log(path, line):
+    with open(path, mode="a") as handle:
+        handle.write(line)
+"""
+
+REP002_GOOD = """\
+from repro.ioutils import atomic_open_text, atomic_write_text
+
+def load(path):
+    with open(path) as handle:
+        return handle.read()
+
+def dump(path, text):
+    atomic_write_text(path, text)
+
+def dump_rows(path, rows):
+    with atomic_open_text(path, newline="") as handle:
+        handle.write(rows)
+"""
+
+# ---------------------------------------------------------------- REP003
+
+REP003_BAD = """\
+import time
+
+def expired(started, budget):
+    return time.time() - started > budget
+"""
+REP003_BAD_LINE = 4
+
+REP003_GOOD = """\
+import time
+
+def expired(started, budget):
+    return time.monotonic() - started > budget
+"""
+
+# ---------------------------------------------------------------- REP004
+
+REP004_BAD = """\
+def at_threshold(score):
+    return score == 0.5
+"""
+REP004_BAD_LINE = 2
+
+REP004_BAD_NEGATIVE = """\
+def is_sentinel(value):
+    return value != -1.0
+"""
+
+REP004_GOOD = """\
+import math
+
+def safe_ratio(num, denom):
+    if denom == 0.0:
+        return 0.0
+    return num / denom
+
+def at_threshold(score):
+    return math.isclose(score, 0.5)
+"""
+
+# ---------------------------------------------------------------- REP005
+
+REP005_BAD_PASS = """\
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        pass
+"""
+REP005_BAD_PASS_LINE = 4
+
+REP005_BAD_BARE = """\
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+"""
+
+REP005_GOOD = """\
+import logging
+
+logger = logging.getLogger(__name__)
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        logger.exception("load failed")
+        raise
+
+def load_or_none(path):
+    try:
+        return open(path).read()
+    except Exception as error:
+        logger.warning("load failed: %s", error)
+        return None
+
+def isolate(run):
+    last_error = None
+    try:
+        return run()
+    except Exception as error:
+        last_error = error
+    return last_error
+"""
+
+# ---------------------------------------------------------------- REP006
+
+REP006_BAD = """\
+def _execute(item, journal):
+    outcome = item * 2
+    journal.append(outcome)
+    return outcome
+
+def run(pool, items, journal):
+    return [pool.submit(_execute, item, journal) for item in items]
+"""
+REP006_BAD_LINE = 3
+
+REP006_BAD_HELPER = """\
+from repro.ioutils import fsync_append_line
+
+def _worker_record(path, line):
+    fsync_append_line(path, line)
+"""
+
+REP006_GOOD = """\
+def _execute(item):
+    return item * 2
+
+def run(pool, items, journal):
+    futures = [pool.submit(_execute, item) for item in items]
+    for future in futures:
+        journal.append(future.result())
+"""
+
+# ---------------------------------------------------------------- REP007
+
+REP007_BAD = """\
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+"""
+REP007_BAD_LINE = 1
+
+REP007_BAD_DICT_CALL = """\
+def tally(item, counts=dict()):
+    counts[item] = counts.get(item, 0) + 1
+    return counts
+"""
+
+REP007_GOOD = """\
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+def label(item, suffix=""):
+    return item + suffix
+"""
+
+# ---------------------------------------------------------------- REP008
+
+REP008_BAD = """\
+_CACHE: dict = {}
+
+def _execute(item):
+    return _CACHE.get(item)
+
+def run(pool, items):
+    for item in items:
+        _CACHE[item] = prepare(item)
+        pool.submit(_execute, item)
+"""
+REP008_BAD_LINE = 8
+
+REP008_GOOD = """\
+_CACHE: dict = {}
+
+def _init_worker(payload):
+    _CACHE.clear()
+    _CACHE.update(payload)
+
+def _execute(item):
+    return _CACHE.get(item)
+
+def run(pool_factory, items, payload):
+    pool = pool_factory(initializer=_init_worker, initargs=(payload,))
+    return [pool.submit(_execute, item) for item in items]
+"""
+
+# A module with no worker entry points may manage module state freely.
+REP008_GOOD_NOT_WORKER = """\
+_REGISTRY: dict = {}
+
+def register(name, value):
+    _REGISTRY[name] = value
+"""
+
+
+#: ``rule -> (bad snippet, expected line, good snippet)`` for the
+#: one-per-rule parametrised test; extra variants are exercised
+#: individually in test_rules.py.
+PAIRS = {
+    "REP001": (REP001_BAD_NUMPY, REP001_BAD_NUMPY_LINE, REP001_GOOD),
+    "REP002": (REP002_BAD_OPEN, REP002_BAD_OPEN_LINE, REP002_GOOD),
+    "REP003": (REP003_BAD, REP003_BAD_LINE, REP003_GOOD),
+    "REP004": (REP004_BAD, REP004_BAD_LINE, REP004_GOOD),
+    "REP005": (REP005_BAD_PASS, REP005_BAD_PASS_LINE, REP005_GOOD),
+    "REP006": (REP006_BAD, REP006_BAD_LINE, REP006_GOOD),
+    "REP007": (REP007_BAD, REP007_BAD_LINE, REP007_GOOD),
+    "REP008": (REP008_BAD, REP008_BAD_LINE, REP008_GOOD),
+}

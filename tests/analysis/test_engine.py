@@ -1,0 +1,196 @@
+"""Engine behaviour: discovery, parallel determinism, JSON, exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source, discover_files
+from repro.analysis.baseline import Baseline
+from repro.analysis.report import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_VIOLATIONS,
+    render_human,
+    render_json,
+)
+from repro.cli import main as cli_main
+from repro.errors import ReproError
+
+from tests.analysis import fixtures
+
+GOOD = "def add(a, b):\n    return a + b\n"
+
+
+def make_tree(root):
+    """A small mixed tree: bad files, good files, and noise to skip."""
+    package = root / "pkg"
+    package.mkdir()
+    (package / "bad_write.py").write_text(fixtures.REP002_BAD_OPEN)
+    (package / "bad_random.py").write_text(fixtures.REP001_BAD_NUMPY)
+    for index in range(10):
+        (package / f"good_{index}.py").write_text(GOOD)
+    (package / "notes.txt").write_text("not python")
+    cache = package / "__pycache__"
+    cache.mkdir()
+    (cache / "bad_write.py").write_text(fixtures.REP002_BAD_OPEN)
+    return package
+
+
+class TestDiscovery:
+    def test_discovers_py_files_only_and_skips_cache_dirs(self, tmp_path):
+        package = make_tree(tmp_path)
+        files = discover_files([package])
+        names = {path.name for path in files}
+        assert "bad_write.py" in names and "good_0.py" in names
+        assert "notes.txt" not in names
+        assert all("__pycache__" not in path.parts for path in files)
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            discover_files([tmp_path / "absent"])
+
+    def test_single_file_path(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text(GOOD)
+        assert discover_files([target]) == [target]
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_serial(self, tmp_path, monkeypatch):
+        package = make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        serial = analyze_paths([package], jobs=1)
+        parallel = analyze_paths([package], jobs=4)
+        # The engine's own invariant: jobs only changes wall-clock.
+        assert serial.violations == parallel.violations
+        assert [f.path for f in serial.files] == [f.path for f in parallel.files]
+        assert serial.suppressed == parallel.suppressed
+
+    def test_unknown_rule_code_raises(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text(GOOD)
+        with pytest.raises(ReproError):
+            analyze_paths([target], select=("REP999",))
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_reports_rep000(self):
+        report = analyze_source("def broken(:\n", path="pkg/broken.py")
+        assert report.error is not None
+        assert [v.rule for v in report.violations] == ["REP000"]
+
+    def test_syntax_error_does_not_hide_other_files(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        (tmp_path / "bad.py").write_text(fixtures.REP002_BAD_OPEN)
+        report = analyze_paths([tmp_path], jobs=1)
+        rules = {v.rule for v in report.violations}
+        assert {"REP000", "REP002"} <= rules
+
+
+class TestJsonSchema:
+    def payload(self, tmp_path, monkeypatch):
+        package = make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = analyze_paths([package], jobs=1)
+        match = Baseline().apply(report.violations)
+        return json.loads(render_json(report, match))
+
+    def test_document_fields(self, tmp_path, monkeypatch):
+        document = self.payload(tmp_path, monkeypatch)
+        assert document["version"] == 1
+        assert document["files_analyzed"] == 12
+        assert document["exit_code"] == EXIT_VIOLATIONS
+        assert set(document["counts"]) == {
+            "fresh", "suppressed", "baselined", "stale_baseline"
+        }
+        assert document["by_rule"]["REP002"] >= 1
+        codes = {rule["code"] for rule in document["rules"]}
+        assert {"REP001", "REP008"} <= codes
+
+    def test_violation_fields(self, tmp_path, monkeypatch):
+        document = self.payload(tmp_path, monkeypatch)
+        violation = document["violations"][0]
+        assert set(violation) == {
+            "path", "line", "col", "rule", "message", "snippet"
+        }
+        # Paths are cwd-relative and posix so CI output is stable.
+        assert not violation["path"].startswith("/")
+
+
+class TestCliExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "one.py"
+        target.write_text(GOOD)
+        assert cli_main(["lint", str(target), "--no-baseline"]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(fixtures.REP002_BAD_OPEN)
+        assert cli_main(["lint", str(target), "--no-baseline"]) == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "REP002" in out
+
+    def test_usage_error_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "one.py"
+        target.write_text(GOOD)
+        code = cli_main(
+            ["lint", str(target), "--select", "REP999", "--no-baseline"]
+        )
+        assert code == EXIT_ERROR
+
+    def test_json_flag_emits_document(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(fixtures.REP002_BAD_OPEN)
+        code = cli_main(["lint", str(target), "--no-baseline", "--json"])
+        assert code == EXIT_VIOLATIONS
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts"]["fresh"] >= 1
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "bad.py"
+        target.write_text(fixtures.REP002_BAD_OPEN)
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(
+            ["lint", str(target), "--baseline", str(baseline), "--write-baseline"]
+        ) == EXIT_CLEAN
+        capsys.readouterr()
+        assert cli_main(
+            ["lint", str(target), "--baseline", str(baseline)]
+        ) == EXIT_CLEAN
+        assert "baselined" in capsys.readouterr().out
+
+    def test_stale_baseline_entry_fails(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "bad.py"
+        target.write_text(fixtures.REP002_BAD_OPEN)
+        baseline = tmp_path / "baseline.json"
+        cli_main(
+            ["lint", str(target), "--baseline", str(baseline), "--write-baseline"]
+        )
+        target.write_text(GOOD)  # the grandfathered finding is fixed
+        capsys.readouterr()
+        code = cli_main(["lint", str(target), "--baseline", str(baseline)])
+        assert code == EXIT_VIOLATIONS
+        assert "stale" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP008" in out
+
+
+class TestHumanRendering:
+    def test_human_output_lists_finding_and_summary(self):
+        report_file = analyze_source(
+            fixtures.REP002_BAD_OPEN, path="pkg/bad.py"
+        )
+        from repro.analysis.engine import AnalysisReport
+
+        report = AnalysisReport(files=[report_file])
+        match = Baseline().apply(report.violations)
+        text = render_human(report, match)
+        assert "pkg/bad.py:2" in text
+        assert "REP002" in text
+        assert "1 violation(s)" in text

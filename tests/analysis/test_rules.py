@@ -1,0 +1,147 @@
+"""Every REP rule: the bad fixture fires, the good twin stays silent."""
+
+import pytest
+
+from repro.analysis import analyze_source, rule_codes
+from repro.analysis.registry import ROLE_TESTS
+
+from tests.analysis import fixtures
+
+
+def violations_of(source, rule, **kwargs):
+    report = analyze_source(source, select=(rule,), **kwargs)
+    assert report.error is None
+    return report.violations
+
+
+class TestPairedFixtures:
+    @pytest.mark.parametrize("rule", sorted(fixtures.PAIRS))
+    def test_bad_fixture_fires_at_expected_line(self, rule):
+        bad, line, _good = fixtures.PAIRS[rule]
+        found = violations_of(bad, rule)
+        assert found, f"{rule} did not fire on its bad fixture"
+        assert all(violation.rule == rule for violation in found)
+        assert line in {violation.line for violation in found}
+
+    @pytest.mark.parametrize("rule", sorted(fixtures.PAIRS))
+    def test_good_fixture_is_silent(self, rule):
+        _bad, _line, good = fixtures.PAIRS[rule]
+        assert violations_of(good, rule) == []
+
+    def test_every_registered_rule_has_a_fixture_pair(self):
+        assert set(fixtures.PAIRS) == set(rule_codes())
+
+
+class TestRep001Variants:
+    def test_numpy_module_seed(self):
+        assert violations_of(fixtures.REP001_BAD_NUMPY_SEED, "REP001")
+
+    def test_stdlib_module_function(self):
+        assert violations_of(fixtures.REP001_BAD_STDLIB, "REP001")
+
+    def test_from_import_of_global_function(self):
+        assert violations_of(fixtures.REP001_BAD_FROM_IMPORT, "REP001")
+
+    def test_local_generator_method_is_not_confused_with_module(self):
+        source = (
+            "def mix(rng, items):\n"
+            "    rng.shuffle(items)\n"
+            "    return rng.random()\n"
+        )
+        assert violations_of(source, "REP001") == []
+
+
+class TestRep002Variants:
+    def test_path_open_write(self):
+        assert violations_of(fixtures.REP002_BAD_PATH_OPEN, "REP002")
+
+    def test_write_text(self):
+        assert violations_of(fixtures.REP002_BAD_WRITE_TEXT, "REP002")
+
+    def test_append_mode_keyword(self):
+        assert violations_of(fixtures.REP002_BAD_APPEND_MODE, "REP002")
+
+    def test_ioutils_itself_is_exempt(self):
+        report = analyze_source(
+            fixtures.REP002_BAD_OPEN,
+            path="src/repro/ioutils.py",
+            select=("REP002",),
+        )
+        assert report.violations == []
+
+    def test_tests_are_exempt(self):
+        report = analyze_source(
+            fixtures.REP002_BAD_OPEN, role=ROLE_TESTS, select=("REP002",)
+        )
+        assert report.violations == []
+
+
+class TestRep004Variants:
+    def test_negative_sentinel_comparison(self):
+        assert violations_of(fixtures.REP004_BAD_NEGATIVE, "REP004")
+
+    def test_zero_guard_idiom_allowed(self):
+        source = "def guard(x):\n    return x == 0.0 or x != 0.0\n"
+        assert violations_of(source, "REP004") == []
+
+    def test_exact_assertions_allowed_in_tests(self):
+        report = analyze_source(
+            fixtures.REP004_BAD, role=ROLE_TESTS, select=("REP004",)
+        )
+        assert report.violations == []
+
+
+class TestRep005Variants:
+    def test_bare_except(self):
+        assert violations_of(fixtures.REP005_BAD_BARE, "REP005")
+
+    def test_narrow_handler_allowed(self):
+        source = (
+            "def load(path):\n"
+            "    try:\n"
+            "        return open(path).read()\n"
+            "    except FileNotFoundError:\n"
+            "        return None\n"
+        )
+        assert violations_of(source, "REP005") == []
+
+
+class TestRep006Variants:
+    def test_worker_named_helper_calling_journal_api(self):
+        assert violations_of(fixtures.REP006_BAD_HELPER, "REP006")
+
+    def test_plain_list_append_in_worker_is_fine(self):
+        source = (
+            "def _execute(item, results):\n"
+            "    results.append(item)\n"
+            "def run(pool, items, results):\n"
+            "    return [pool.submit(_execute, i, results) for i in items]\n"
+        )
+        assert violations_of(source, "REP006") == []
+
+
+class TestRep007Variants:
+    def test_dict_call_default(self):
+        assert violations_of(fixtures.REP007_BAD_DICT_CALL, "REP007")
+
+    def test_fires_in_tests_too(self):
+        found = analyze_source(
+            fixtures.REP007_BAD, role=ROLE_TESTS, select=("REP007",)
+        ).violations
+        assert found
+
+
+class TestRep008Variants:
+    def test_non_worker_module_registry_is_fine(self):
+        assert violations_of(fixtures.REP008_GOOD_NOT_WORKER, "REP008") == []
+
+    def test_import_time_initialisation_is_fine(self):
+        source = (
+            "_TABLE: dict = {}\n"
+            "_TABLE.update(a=1)\n"
+            "def _execute(item):\n"
+            "    return _TABLE[item]\n"
+            "def run(pool, item):\n"
+            "    return pool.submit(_execute, item)\n"
+        )
+        assert violations_of(source, "REP008") == []

@@ -1,0 +1,67 @@
+"""The analyzer must pass on this repository itself.
+
+This is the PR's acceptance contract: ``repro lint src`` exits 0, the
+baseline holds no REP001/REP002 entries (unseeded RNG and torn writes
+must be *fixed*, never grandfathered), and every suppression carries a
+justification after the bracket.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, analyze_paths
+from repro.analysis.report import EXIT_CLEAN, exit_code
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def repo_cwd(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+
+
+class TestSelfClean:
+    def test_repro_lint_src_exits_zero(self, repo_cwd, capsys):
+        assert cli_main(["lint", "src"]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_full_lint_scope_is_clean(self, repo_cwd):
+        report = analyze_paths(["src", "tests", "scripts"])
+        baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+        match = baseline.apply(report.violations)
+        assert match.fresh == [], "\n".join(
+            violation.describe() for violation in match.fresh
+        )
+        assert match.stale_entries == []
+        assert report.errors == []
+        assert exit_code(match, report) == EXIT_CLEAN
+
+    def test_baseline_never_grandfathers_rep001_or_rep002(self):
+        baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+        assert baseline.rules_present().isdisjoint({"REP001", "REP002"})
+
+    def test_every_active_suppression_has_a_justification(self, repo_cwd):
+        # Only lines whose noqa actually silences a finding are held to
+        # the etiquette; prose that merely *mentions* the syntax is not.
+        justified = re.compile(r"#\s*repro:\s*noqa(?:\[[^\]]*\])?\s+(\S.*)$")
+        raw = analyze_paths(["src"], respect_noqa=False)
+        filtered = analyze_paths(["src"])
+        silenced = set()
+        for before, after in zip(raw.files, filtered.files):
+            kept = {(v.line, v.rule) for v in after.violations}
+            silenced.update(
+                (before.path, v.line)
+                for v in before.violations
+                if (v.line, v.rule) not in kept
+            )
+        offenders = []
+        for path, line_number in sorted(silenced):
+            line = (
+                Path(path).read_text(encoding="utf-8").splitlines()[line_number - 1]
+            )
+            if justified.search(line) is None:
+                offenders.append(f"{path}:{line_number}: {line.strip()}")
+        assert offenders == [], "suppressions need a reason: " + "; ".join(offenders)

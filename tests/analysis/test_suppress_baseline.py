@@ -1,0 +1,137 @@
+"""Inline noqa suppressions and the checked-in baseline."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, analyze_source
+from repro.analysis.registry import Violation
+from repro.errors import ReproError
+
+from tests.analysis import fixtures
+
+BAD_WITH_NOQA = """\
+def dump(path, text):
+    with open(path, "w") as handle:  # repro: noqa[REP002] torn output acceptable here
+        handle.write(text)
+"""
+
+BAD_WITH_WRONG_CODE = """\
+def dump(path, text):
+    with open(path, "w") as handle:  # repro: noqa[REP003] wrong rule cited
+        handle.write(text)
+"""
+
+BAD_WITH_BLANKET = """\
+def dump(path, text):
+    with open(path, "w") as handle:  # repro: noqa
+        handle.write(text)
+"""
+
+
+class TestNoqa:
+    def test_coded_noqa_suppresses_that_rule(self):
+        report = analyze_source(BAD_WITH_NOQA, select=("REP002",))
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_noqa_for_a_different_rule_does_not_suppress(self):
+        report = analyze_source(BAD_WITH_WRONG_CODE, select=("REP002",))
+        assert [v.rule for v in report.violations] == ["REP002"]
+        assert report.suppressed == 0
+
+    def test_blanket_noqa_suppresses_everything_on_the_line(self):
+        report = analyze_source(BAD_WITH_BLANKET, select=("REP002",))
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_no_noqa_mode_reports_suppressed_findings(self):
+        report = analyze_source(
+            BAD_WITH_NOQA, select=("REP002",), respect_noqa=False
+        )
+        assert [v.rule for v in report.violations] == ["REP002"]
+
+    def test_comma_separated_codes(self):
+        source = (
+            "def f(path):\n"
+            "    return open(path, 'w')  # repro: noqa[REP001, REP002] both cited\n"
+        )
+        report = analyze_source(source, select=("REP002",))
+        assert report.violations == []
+
+
+class TestBaseline:
+    def violations(self):
+        return analyze_source(fixtures.REP002_BAD_OPEN, path="pkg/mod.py").violations
+
+    def test_baselined_finding_is_not_fresh(self):
+        found = self.violations()
+        baseline = Baseline.from_violations(found)
+        match = baseline.apply(found)
+        assert match.fresh == []
+        assert len(match.baselined) == len(found)
+        assert match.stale_entries == []
+
+    def test_matching_survives_line_drift(self):
+        found = self.violations()
+        baseline = Baseline.from_violations(found)
+        drifted = [
+            Violation(
+                path=v.path,
+                line=v.line + 40,
+                col=v.col,
+                rule=v.rule,
+                message=v.message,
+                snippet=v.snippet,
+            )
+            for v in found
+        ]
+        match = baseline.apply(drifted)
+        assert match.fresh == []
+        assert len(match.baselined) == len(found)
+
+    def test_stale_entries_are_surfaced(self):
+        found = self.violations()
+        baseline = Baseline.from_violations(found)
+        match = baseline.apply([])
+        assert match.fresh == []
+        assert len(match.stale_entries) == len(found)
+
+    def test_new_finding_is_fresh(self):
+        found = self.violations()
+        baseline = Baseline.from_violations(found)
+        extra = Violation(
+            path="pkg/other.py", line=3, col=1, rule="REP002",
+            message="m", snippet="open(path, 'w')",
+        )
+        match = baseline.apply(found + [extra])
+        assert match.fresh == [extra]
+
+    def test_duplicate_lines_match_as_multiset(self):
+        twin = Violation(
+            path="pkg/mod.py", line=9, col=1, rule="REP002",
+            message="m", snippet="open(path, 'w')",
+        )
+        baseline = Baseline.from_violations([twin])
+        match = baseline.apply([twin, twin])
+        assert len(match.baselined) == 1
+        assert len(match.fresh) == 1
+
+    def test_round_trip_via_disk(self, tmp_path):
+        found = self.violations()
+        path = tmp_path / "baseline.json"
+        Baseline.from_violations(found).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.apply(found).fresh == []
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_corrupt_file_raises_repro_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            Baseline.load(path)
