@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test lint check chaos bench bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test lint check chaos bench bench-features bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,12 @@ chaos:
 # store + process-pool executor.  Writes BENCH_grid.json.
 bench:
 	PYTHONPATH=src python scripts/bench_grid.py
+
+# Featurization micro-benchmark: staged float32 pipeline vs the legacy
+# monolithic float64 path, each in its own forked child (stage-level
+# timings + peak RSS).  Merges a "features" section into BENCH_grid.json.
+bench-features:
+	PYTHONPATH=src python scripts/bench_grid.py --features
 
 bench-suite:
 	pytest benchmarks/ --benchmark-only -s

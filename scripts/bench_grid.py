@@ -37,10 +37,18 @@ Writes ``BENCH_grid.json``::
      "engine":  {"wall_clock": ..., "phases": {...}, "workers": N},
      "speedup": ..., "aggregates_identical": true}
 
+``--features`` switches to the featurization micro-benchmark instead:
+the staged float32 pipeline (PR 5) vs an inline re-creation of the
+legacy monolithic float64 featurizer, each measured in its own forked
+child so wall-clock, stage-level timings and peak RSS are isolated per
+variant.  Results merge into the same ``BENCH_grid.json`` under a
+``"features"`` key.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_grid.py [--scale small]
         [--repetitions 10] [--workers 2] [--out BENCH_grid.json]
+    PYTHONPATH=src python scripts/bench_grid.py --features [--scale small]
 """
 
 from __future__ import annotations
@@ -49,11 +57,14 @@ import argparse
 import json
 import os
 import platform
+import resource
 from pathlib import Path
 from time import perf_counter
 
+import numpy as np
+
 from repro.core import FeatureConfig, LeapmeConfig, LeapmeMatcher
-from repro.core.feature_cache import PairUniverse
+from repro.core.feature_cache import PairFeatureStore, PairUniverse
 from repro.core.pair_features import name_distance_block
 from repro.datasets import build_domain_embeddings, load_dataset
 from repro.evaluation import ExperimentRunner, PhaseTimings
@@ -103,6 +114,175 @@ def _aggregates(results) -> list:
     ]
 
 
+# ---------------------------------------------------------------------------
+# Featurization micro-benchmark (--features)
+# ---------------------------------------------------------------------------
+
+
+def _legacy_featurize(dataset, embeddings) -> dict:
+    """The seed-era monolithic float64 featurizer, inlined for comparison.
+
+    Recreates exactly what ``PropertyFeatureTable`` + the old
+    ``pair_feature_matrix`` did before PR 5: dense float64 property
+    tables, then one float64 full-width pair matrix.
+    """
+    from repro.core.instance_features import NUM_META_FEATURES, instance_meta_matrix
+
+    started = perf_counter()
+    refs = dataset.properties()
+    dimension = embeddings.dimension
+    meta = np.zeros((len(refs), NUM_META_FEATURES))
+    value_emb = np.zeros((len(refs), dimension))
+    name_emb = np.zeros((len(refs), dimension))
+    for i, ref in enumerate(refs):
+        values = dataset.values_of(ref)
+        if values:
+            meta[i] = instance_meta_matrix(values).mean(axis=0)
+            total = np.zeros(dimension)
+            for value in values:
+                total += embeddings.embed_text(value)
+            value_emb[i] = total / len(values)
+        name_emb[i] = embeddings.embed_text(ref.name)
+    property_seconds = perf_counter() - started
+
+    started = perf_counter()
+    universe = PairUniverse(dataset)
+    pairs = list(universe.pairs)
+    row_of = {ref: i for i, ref in enumerate(refs)}
+    left = np.array([row_of[pair.left] for pair in pairs])
+    right = np.array([row_of[pair.right] for pair in pairs])
+    matrix = np.hstack(
+        [
+            np.abs(meta[left] - meta[right]),
+            np.abs(value_emb[left] - value_emb[right]),
+            np.abs(name_emb[left] - name_emb[right]),
+            name_distance_block(
+                [(pair.left.name, pair.right.name) for pair in pairs]
+            ),
+        ]
+    )
+    pair_seconds = perf_counter() - started
+    return {
+        "seconds": round(property_seconds + pair_seconds, 4),
+        "stage_seconds": {
+            "property_tables": round(property_seconds, 4),
+            "pair_assembly": round(pair_seconds, 4),
+        },
+        "matrix_mb": round(matrix.nbytes / 2**20, 2),
+        "dtype": str(matrix.dtype),
+        "pairs": len(pairs),
+        "properties": len(refs),
+    }
+
+
+def _pipeline_featurize(dataset, embeddings) -> dict:
+    """The staged float32 pipeline: build the full-universe store."""
+    started = perf_counter()
+    store = PairFeatureStore.build(dataset, embeddings)
+    seconds = perf_counter() - started
+    pipeline = store.pipeline
+    return {
+        "seconds": round(seconds, 4),
+        "stage_seconds": {
+            name: round(value, 4)
+            for name, value in sorted(pipeline.stage_seconds.items())
+        },
+        "stage_calls": dict(pipeline.stage_calls),
+        "matrix_mb": round(store.matrix.nbytes / 2**20, 2),
+        "dtype": str(store.matrix.dtype),
+        "pairs": store.matrix.shape[0],
+        "properties": len(store.table),
+    }
+
+
+def _measure_in_child(work, dataset, embeddings) -> dict:
+    """Run ``work(dataset, embeddings)`` in a forked child.
+
+    Fork isolation gives each variant its own peak-RSS accounting and an
+    identical starting heap (the parent's, via copy-on-write), so the
+    reported ``peak_rss_kb`` deltas are attributable to featurization
+    allocations alone.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        status = 1
+        try:
+            os.close(read_fd)
+            result = work(dataset, embeddings)
+            result["peak_rss_kb"] = resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss
+            with os.fdopen(write_fd, "w") as sink:
+                sink.write(json.dumps(result))
+            status = 0
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    with os.fdopen(read_fd) as source:
+        payload = source.read()
+    _, status = os.waitpid(pid, 0)
+    if status != 0 or not payload:
+        raise SystemExit(f"featurization child failed (status {status})")
+    return json.loads(payload)
+
+
+def run_features_benchmark(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    embeddings = build_domain_embeddings(args.dataset, scale=args.scale)
+    print(
+        f"featurization: {args.dataset}/{args.scale}, "
+        f"{len(dataset.properties())} properties"
+    )
+
+    legacy = _measure_in_child(_legacy_featurize, dataset, embeddings)
+    pipeline = _measure_in_child(_pipeline_featurize, dataset, embeddings)
+    assert legacy["pairs"] == pipeline["pairs"]
+
+    speedup = (
+        legacy["seconds"] / pipeline["seconds"] if pipeline["seconds"] else 0.0
+    )
+    memory_ratio = (
+        legacy["peak_rss_kb"] / pipeline["peak_rss_kb"]
+        if pipeline["peak_rss_kb"]
+        else 0.0
+    )
+    print(
+        f"legacy float64:   {legacy['seconds']:8.2f}s  "
+        f"peak {legacy['peak_rss_kb'] / 1024:7.1f} MiB  "
+        f"matrix {legacy['matrix_mb']:7.2f} MiB"
+    )
+    print(
+        f"pipeline float32: {pipeline['seconds']:8.2f}s  "
+        f"peak {pipeline['peak_rss_kb'] / 1024:7.1f} MiB  "
+        f"matrix {pipeline['matrix_mb']:7.2f} MiB"
+    )
+    print(f"speedup: {speedup:.2f}x  peak-memory ratio: {memory_ratio:.2f}x")
+
+    section = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "seed": args.seed,
+        "pairs": pipeline["pairs"],
+        "properties": pipeline["properties"],
+        "legacy": legacy,
+        "pipeline": pipeline,
+        "speedup": round(speedup, 3),
+        "peak_memory_ratio": round(memory_ratio, 3),
+    }
+    out = Path(args.out)
+    payload = {}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except (OSError, ValueError):
+            payload = {}
+    payload["features"] = section
+    atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+    print(f"written: {out} (features section)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="headphones")
@@ -122,7 +302,14 @@ def main(argv=None) -> int:
              "'paper' uses the full Section IV-D network",
     )
     parser.add_argument("--out", default="BENCH_grid.json")
+    parser.add_argument(
+        "--features", action="store_true",
+        help="run the featurization micro-benchmark (staged float32 "
+             "pipeline vs legacy float64 path) instead of the grid",
+    )
     args = parser.parse_args(argv)
+    if args.features:
+        return run_features_benchmark(args)
 
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     embeddings = build_domain_embeddings(args.dataset, scale=args.scale)

@@ -26,6 +26,9 @@ REP006    journal / side-effect writes reachable from worker-pool code
 REP007    mutable default arguments
 REP008    fork-unsafe module-level mutable state mutated post-import in
           worker modules
+REP009    impure feature stages: a module defining ``FeatureStage``
+          subclasses importing ``repro.evaluation``, or file writes
+          inside a stage class body
 ========  =============================================================
 
 Findings can be silenced two ways: an inline ``# repro: noqa[REPxxx]``

@@ -1,4 +1,4 @@
-"""The repo-specific rules (REP001-REP008).
+"""The repo-specific rules (REP001-REP009).
 
 Each rule encodes one invariant the reproduction's correctness story
 depends on, with a pointer to where the invariant came from; DESIGN.md
@@ -570,3 +570,104 @@ class ForkUnsafeStateRule(Rule):
             ):
                 return target.value.id
         return None
+
+
+# ----------------------------------------------------------------------
+# REP009 -- impure feature stages
+
+
+def _stage_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes deriving (directly, by name) from ``FeatureStage``."""
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else None
+            )
+            if name is not None and name.endswith("FeatureStage"):
+                found.append(node)
+                break
+    return found
+
+
+@register
+class ImpureFeatureStageRule(Rule):
+    """REP009: feature stages must be pure column producers.
+
+    The pipeline's correctness contracts -- fingerprint-keyed row reuse,
+    bit-identical ``add_source`` deltas, and fork-COW prebuilds shipping
+    stage outputs to workers -- all assume a stage is a deterministic
+    function of ``(dataset, embeddings)``.  A stage that imports
+    ``repro.evaluation`` inverts the layering (evaluation orchestrates
+    featurization, never the reverse) and drags the process-pool
+    machinery into every featurizing process; a stage that writes files
+    smuggles side effects into code the cache may silently *skip* on a
+    fingerprint hit, so reruns stop being reproducible.
+    """
+
+    code = "REP009"
+    name = "impure-feature-stage"
+    summary = "feature-stage module imports evaluation or stage writes files"
+    scopes = frozenset({ROLE_LIBRARY, ROLE_SCRIPTS})
+
+    def end_module(self, ctx) -> None:
+        stages = _stage_classes(ctx.tree)
+        if not stages:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._is_evaluation_module(alias.name):
+                        self._report_import(node, alias.name, ctx)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if self._is_evaluation_module(module) or (
+                    node.level > 0
+                    and (module == "evaluation" or module.startswith("evaluation."))
+                ):
+                    self._report_import(node, module, ctx)
+                elif module in {"repro", ""}:
+                    for alias in node.names:
+                        if alias.name == "evaluation":
+                            self._report_import(node, "evaluation", ctx)
+        for stage in stages:
+            for node in ast.walk(stage):
+                if isinstance(node, ast.Call):
+                    self._check_write(stage, node, ctx)
+
+    @staticmethod
+    def _is_evaluation_module(name: str) -> bool:
+        return name == "repro.evaluation" or name.startswith("repro.evaluation.")
+
+    def _report_import(self, node: ast.AST, module: str, ctx) -> None:
+        ctx.report(
+            self,
+            node,
+            f"feature-stage module imports '{module}' -- stages are pure "
+            "column producers; evaluation orchestrates them, never the "
+            "reverse",
+        )
+
+    def _check_write(self, stage: ast.ClassDef, node: ast.Call, ctx) -> None:
+        func = node.func
+        writes = False
+        if isinstance(func, ast.Name) and func.id == "open":
+            writes = _is_writing_mode(_mode_argument(node, position=1))
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open":
+                writes = _is_writing_mode(_mode_argument(node, position=0))
+            elif func.attr in _WRITE_METHOD_NAMES | {
+                "save", "savez", "savez_compressed", "savetxt", "to_csv",
+                "atomic_write_text", "atomic_write_bytes", "atomic_save",
+            }:
+                writes = True
+        if writes:
+            ctx.report(
+                self,
+                node,
+                f"file write inside feature stage '{stage.name}' -- stage "
+                "output may be served from the fingerprint cache without "
+                "running, so side effects are unreproducible",
+            )

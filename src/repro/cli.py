@@ -6,7 +6,11 @@ Commands
 ``generate``   write one of the built-in datasets to CSV/JSON files.
 ``stats``      print structural statistics of a dataset.
 ``evaluate``   run the paper's evaluation protocol for one system.
-``match``      train on chosen sources and emit scored matches as CSV.
+``match``      train on chosen sources and emit scored matches as CSV;
+               ``--add-source`` ingests an extra source incrementally
+               through the feature store's delta path.
+``features``   ``features describe`` prints the stage graph and the
+               resolved column schema per feature configuration.
 ``describe``   post-mortem summary of a run journal (per-status counts).
 ``lint``       invariant-enforcing static analysis (see repro.analysis).
 
@@ -208,10 +212,28 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_features_describe(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import FeatureSchema, describe_stages
+
+    if args.config == "all":
+        configs = FeatureConfig.grid()
+    else:
+        configs = [FeatureConfig.from_label(args.config)]
+    print(describe_stages(args.dimension))
+    schema = FeatureSchema(args.dimension)
+    print(f"\nfull matrix: {schema.total_width} columns at d={args.dimension}")
+    for config in configs:
+        print()
+        print(schema.describe(config))
+    return 0
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     dataset = _load_cli_dataset(args)
     embeddings = _embeddings_for(dataset, args)
     matcher = _build_matcher(args.system, embeddings)
+    if args.add_source is not None:
+        return _match_with_added_source(args, dataset, matcher)
     rng = np.random.default_rng(args.seed)
     matcher.prepare(dataset)
     if matcher.is_supervised:
@@ -234,22 +256,77 @@ def _cmd_match(args: argparse.Namespace) -> int:
     else:
         test = build_pairs(dataset)
     scores = matcher.score_pairs(dataset, test.pairs)
+    kept = _write_matches(args.out, test.pairs, scores, args.threshold)
+    print(f"{kept} matches (of {len(test.pairs)} candidate pairs) written to {args.out}")
+    return 0
+
+
+def _write_matches(out: str, pairs, scores, threshold: float) -> int:
+    """Write scored pairs above ``threshold`` as a matches CSV; count kept."""
     kept = 0
     # Atomic: a crash mid-write must not leave a truncated matches file
     # that looks complete (REP002).
-    with atomic_open_text(args.out, newline="") as handle:
+    with atomic_open_text(out, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ["left_source", "left_property", "right_source", "right_property", "score"]
         )
-        for pair, score in zip(test.pairs, scores):
-            if score >= args.threshold:
+        for pair, score in zip(pairs, scores):
+            if score >= threshold:
                 writer.writerow(
                     [pair.left.source, pair.left.name,
                      pair.right.source, pair.right.name, f"{score:.4f}"]
                 )
                 kept += 1
-    print(f"{kept} matches (of {len(test)} candidate pairs) written to {args.out}")
+    return kept
+
+
+def _match_with_added_source(
+    args: argparse.Namespace, dataset: Dataset, matcher: Matcher
+) -> int:
+    """Incremental ingestion: train on the base dataset, delta-featurize
+    one new source, and emit matches for the *new* cross-source pairs only.
+
+    The attached feature store's ``add_source`` path recomputes only the
+    new source's property rows and the new pairs; everything already
+    featurized is served from the pipeline's fingerprint-keyed cache.
+    """
+    if not isinstance(matcher, LeapmeMatcher):
+        raise ReproError(
+            "--add-source needs an incremental feature store, which only "
+            "the LEAPME systems provide"
+        )
+    addition = load_dataset_csv(args.add_source, args.add_alignment)
+    rng = np.random.default_rng(args.seed)
+    store = matcher.build_feature_store(dataset)
+    matcher.attach_store(store)
+    matcher.prepare(dataset)
+    candidates = build_pairs(dataset)
+    training = sample_training_pairs(candidates, rng=rng)
+    if not training.positives():
+        raise ReproError(
+            "no positive training pairs in the base dataset; "
+            "provide an alignment file"
+        )
+    matcher.fit(dataset, training)
+    calls_before = dict(matcher.pipeline.stage_calls)
+    new_pairs = matcher.add_source(addition)
+    combined = store.universe.dataset
+    delta = {
+        stage: count - calls_before.get(stage, 0)
+        for stage, count in matcher.pipeline.stage_calls.items()
+        if count - calls_before.get(stage, 0)
+    }
+    scores = matcher.score_pairs(combined, new_pairs.pairs)
+    kept = _write_matches(args.out, new_pairs.pairs, scores, args.threshold)
+    print(
+        f"added {len(addition.sources())} source(s): "
+        f"{len(addition.properties())} new properties, "
+        f"{len(new_pairs.pairs)} new candidate pairs"
+    )
+    print("stage calls for the increment: "
+          + ", ".join(f"{stage}={count}" for stage, count in sorted(delta.items())))
+    print(f"{kept} matches (of {len(new_pairs.pairs)} new pairs) written to {args.out}")
     return 0
 
 
@@ -332,7 +409,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated sources to train on (default: all)")
     match.add_argument("--threshold", type=float, default=0.5)
     match.add_argument("--out", required=True, help="output matches CSV")
+    match.add_argument("--add-source", default=None, metavar="CSV",
+                       help="instances CSV of one or more NEW sources to "
+                            "ingest incrementally: train on the base "
+                            "dataset, delta-featurize only the new "
+                            "properties/pairs, and emit matches for the "
+                            "new pairs")
+    match.add_argument("--add-alignment", default=None, metavar="CSV",
+                       help="alignment CSV for --add-source (optional)")
     match.set_defaults(handler=_cmd_match)
+
+    features = commands.add_parser(
+        "features", help="inspect the staged feature pipeline"
+    )
+    features_commands = features.add_subparsers(
+        dest="features_command", required=True
+    )
+    features_describe = features_commands.add_parser(
+        "describe",
+        help="print the stage graph and the resolved column schema",
+    )
+    features_describe.add_argument(
+        "--config", default="all",
+        help="a scope/kinds label (e.g. both/embedding) or 'all' (default)")
+    features_describe.add_argument(
+        "--dimension", type=int, default=300,
+        help="embedding dimensionality the schema is resolved at "
+             "(default 300, the paper's GloVe)")
+    features_describe.set_defaults(handler=_cmd_features_describe)
     return parser
 
 

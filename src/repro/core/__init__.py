@@ -9,6 +9,10 @@ Algorithm 1 as follows:
 * :mod:`repro.core.property_features` -- ``pFeatures`` (rows 5-6): the
   per-property average of instance features and the name embedding,
   assembled into a :class:`PropertyFeatureTable`.
+* :mod:`repro.core.pipeline` -- the staged featurization DAG: a
+  registry of :class:`FeatureStage` nodes, the :class:`FeatureSchema`
+  column geometry and the columnar float32 :class:`FeaturePipeline`
+  with fingerprint-keyed per-property row caching.
 * :mod:`repro.core.pair_features` -- ``ppFeatures`` (rows 7-15): the
   difference of property feature vectors plus eight name string
   distances, filtered by the active :class:`FeatureConfig`.
@@ -47,11 +51,18 @@ from repro.core.instance_features import (
 from repro.core.feature_cache import PairFeatureStore, PairUniverse
 from repro.core.matcher import LeapmeMatcher
 from repro.core.pair_features import (
-    FeatureBlock,
-    FeatureLayout,
+    feature_block_names,
     pair_feature_matrix,
 )
 from repro.core.persistence import load_matcher, save_matcher
+from repro.core.pipeline import (
+    FEATURE_DTYPE,
+    FeaturePipeline,
+    FeatureSchema,
+    FeatureStage,
+    ResolvedSchema,
+    SchemaBlock,
+)
 from repro.core.property_features import PropertyFeatureTable
 
 __all__ = [
@@ -64,10 +75,15 @@ __all__ = [
     "instance_meta_features",
     "instance_meta_matrix",
     "PropertyFeatureTable",
-    "FeatureBlock",
-    "FeatureLayout",
+    "FEATURE_DTYPE",
+    "FeaturePipeline",
+    "FeatureSchema",
+    "FeatureStage",
+    "ResolvedSchema",
+    "SchemaBlock",
     "PairFeatureStore",
     "PairUniverse",
+    "feature_block_names",
     "pair_feature_matrix",
     "LeapmeClassifier",
     "ResilientClassifier",

@@ -66,6 +66,24 @@ class FeatureConfig:
         return f"{self.scope.value}/{self.kinds.value}"
 
     @classmethod
+    def from_label(cls, label: str) -> "FeatureConfig":
+        """Parse a ``scope/kinds`` label back into a config (CLI input)."""
+        scope_value, separator, kinds_value = label.partition("/")
+        if not separator:
+            raise ConfigurationError(
+                f"feature config label must look like 'scope/kinds', got {label!r}"
+            )
+        try:
+            return cls(
+                scope=FeatureScope(scope_value), kinds=FeatureKinds(kinds_value)
+            )
+        except ValueError:
+            valid = ", ".join(config.label() for config in cls.grid())
+            raise ConfigurationError(
+                f"unknown feature config {label!r}; valid labels: {valid}"
+            ) from None
+
+    @classmethod
     def grid(cls) -> list["FeatureConfig"]:
         """All nine configurations, scopes outermost (the paper's layout)."""
         return [

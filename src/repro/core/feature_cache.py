@@ -8,21 +8,25 @@ repetitions.  The seed implementation recomputed, per grid cell:
   property count), once per repetition per cell;
 * the pair feature matrix, even though every config's matrix is a
   column subset of one full matrix (see
-  :class:`repro.core.pair_features.FeatureLayout`).
+  :class:`repro.core.pipeline.FeatureSchema`).
 
 This module hoists both.  :class:`PairUniverse` enumerates all
 cross-source pairs of a dataset exactly once and serves every
 ``(sources, within)`` subset by filtering that enumeration -- the
 result is element-identical to ``build_pairs``.  :class:`PairFeatureStore`
-computes the full-width feature matrix over the universe once (name
-distances through the batched kernel in :mod:`repro.text.batch`), then
-serves any (pair set, config) request as a row gather plus a column
-slice; the gathered full-width submatrix is cached per pair set, so the
-nine configs of a grid cell share one gather and eight of them are
-zero-copy column views of it.
+is a thin gather over the staged pipeline's outputs: the full-width
+float32 matrix over the universe is assembled once from the cached
+per-property stage columns, then any (pair set, config) request is a
+row gather plus a column slice; the gathered full-width submatrix is
+cached per pair set, so the nine configs of a grid cell share one
+gather and eight of them are zero-copy column views of it.
 
 Stores are keyed by the dataset's content fingerprint: a store never
-answers for a dataset it was not built from.
+answers for a dataset it was not built from.  :meth:`PairFeatureStore.add_source`
+is the incremental-ingestion path: merging a new source featurizes only
+the new properties (the pipeline's fingerprint-keyed row cache serves
+every old one) and only the new cross-source pairs, while old pair rows
+are copied from the existing matrix.
 """
 
 from __future__ import annotations
@@ -33,10 +37,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.core.config import FeatureConfig
-from repro.core.pair_features import (
-    FeatureLayout,
-    name_distance_block,
-)
+from repro.core.pipeline import FEATURE_DTYPE
 from repro.core.property_features import PropertyFeatureTable
 from repro.data.model import Dataset, PropertyRef
 from repro.data.pairs import LabeledPair, PairSet, sample_training_pairs
@@ -52,6 +53,7 @@ class PairUniverse:
     """
 
     def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
         self.dataset_fingerprint = dataset.fingerprint()
         self._all_sources = set(dataset.sources())
         properties = dataset.properties()
@@ -170,7 +172,8 @@ class PairUniverse:
 class PairFeatureStore:
     """Full-width pair features over a :class:`PairUniverse`, shared.
 
-    The matrix is computed once at construction; every
+    The matrix is assembled once at construction (a thin gather over
+    the pipeline's columnar stage outputs); every
     ``features(pairs, config)`` call afterwards is a cached row gather
     plus a column slice.  The store is read-only: the full matrix and
     the cached gathers have their write flags cleared, so the views
@@ -189,40 +192,12 @@ class PairFeatureStore:
             raise ConfigurationError(
                 "feature table and pair universe come from different datasets"
             )
+        self.table = table
         self.universe = universe
         self.dataset_fingerprint = universe.dataset_fingerprint
-        self.layout = FeatureLayout(table.embedding_dimension)
+        self.schema = table.pipeline.schema
         self.timings: dict[str, float] = {}
-        started = perf_counter()
-        lefts = [pair.left for pair in universe.pairs]
-        rights = [pair.right for pair in universe.pairs]
-        left_rows = table.rows_of(lefts)
-        right_rows = table.rows_of(rights)
-        matrix = np.empty((len(universe), self.layout.total_width))
-        for block in self.layout.blocks:
-            if block.key == "instance_meta":
-                matrix[:, block.columns] = np.abs(
-                    table.meta[left_rows] - table.meta[right_rows]
-                )
-            elif block.key == "instance_embedding":
-                matrix[:, block.columns] = np.abs(
-                    table.value_embedding[left_rows]
-                    - table.value_embedding[right_rows]
-                )
-            elif block.key == "name_embedding":
-                matrix[:, block.columns] = np.abs(
-                    table.name_embedding[left_rows]
-                    - table.name_embedding[right_rows]
-                )
-            else:  # name_distances
-                distance_started = perf_counter()
-                matrix[:, block.columns] = name_distance_block(
-                    [(left.name, right.name) for left, right in zip(lefts, rights)]
-                )
-                self.timings["name_distances"] = perf_counter() - distance_started
-        matrix.setflags(write=False)
-        self.matrix = matrix
-        self.timings["build"] = perf_counter() - started
+        self.matrix = self._assemble(table, list(universe.pairs))
         # Gathers are the memory-heavy cache (full-width row submatrices).
         # A grid touches repetitions+1 of them per train fraction, so the
         # count cap sits above realistic repetition counts; the byte
@@ -231,6 +206,28 @@ class PairFeatureStore:
         self._gather_cache_size = gather_cache_size
         self._gather_cache_bytes = gather_cache_bytes
         self._gather_bytes = 0
+
+    def _assemble(
+        self, table: PropertyFeatureTable, pairs: list[LabeledPair]
+    ) -> np.ndarray:
+        """Full-width float32 rows for ``pairs``, via the pipeline."""
+        pipeline = table.pipeline
+        started = perf_counter()
+        distance_before = pipeline.stage_seconds.get("name_distance", 0.0)
+        matrix = pipeline.pair_matrix(table, pairs, FeatureConfig())
+        matrix.setflags(write=False)
+        self.timings["name_distances"] = self.timings.get(
+            "name_distances", 0.0
+        ) + (pipeline.stage_seconds.get("name_distance", 0.0) - distance_before)
+        self.timings["build"] = self.timings.get("build", 0.0) + (
+            perf_counter() - started
+        )
+        return matrix
+
+    @property
+    def pipeline(self):
+        """The :class:`~repro.core.pipeline.FeaturePipeline` rows come from."""
+        return self.table.pipeline
 
     @classmethod
     def build(
@@ -245,6 +242,56 @@ class PairFeatureStore:
     def serves(self, dataset: Dataset) -> bool:
         """Whether this store was built from ``dataset``'s content."""
         return self.dataset_fingerprint == dataset.fingerprint()
+
+    def add_source(self, addition: Dataset) -> PairSet:
+        """Ingest a new source incrementally; returns the new pairs.
+
+        ``addition`` must contain only sources the store's dataset does
+        not already have.  The store's dataset, universe, table and
+        matrix are replaced by merged equivalents, but only the new
+        properties are featurized (the pipeline's fingerprint-keyed row
+        cache serves every existing one) and only the new cross-source
+        pairs are assembled -- existing pair rows are copied from the
+        current matrix.  The result is bit-identical to rebuilding the
+        store from scratch on the merged dataset.
+        """
+        base = self.universe.dataset
+        combined = base.merged_with(addition)
+        table = PropertyFeatureTable(
+            combined, self.table.pipeline.embeddings, pipeline=self.table.pipeline
+        )
+        universe = PairUniverse(combined)
+        old_row_of = self.universe._row_of
+        width = self.schema.total_width
+        matrix = np.empty((len(universe), width), dtype=FEATURE_DTYPE)
+        kept_dst: list[int] = []
+        kept_src: list[int] = []
+        new_rows: list[int] = []
+        new_pairs: list[LabeledPair] = []
+        for row, pair in enumerate(universe.pairs):
+            old_row = old_row_of.get(pair.key)
+            if old_row is None:
+                new_rows.append(row)
+                new_pairs.append(pair)
+            else:
+                kept_dst.append(row)
+                kept_src.append(old_row)
+        if kept_dst:
+            matrix[np.array(kept_dst, dtype=np.intp)] = self.matrix[
+                np.array(kept_src, dtype=np.intp)
+            ]
+        if new_pairs:
+            matrix[np.array(new_rows, dtype=np.intp)] = self._assemble(
+                table, new_pairs
+            )
+        matrix.setflags(write=False)
+        self.table = table
+        self.matrix = matrix
+        self.universe = universe
+        self.dataset_fingerprint = universe.dataset_fingerprint
+        self._gather_cache.clear()
+        self._gather_bytes = 0
+        return PairSet(new_pairs)
 
     def _gathered(self, rows: np.ndarray) -> np.ndarray:
         key = rows.tobytes()
@@ -272,13 +319,13 @@ class PairFeatureStore:
         """Feature matrix for ``pairs`` under ``config``.
 
         Zero-copy whenever the config's blocks are adjacent in the full
-        layout (eight of the nine grid cells): the result is a column
+        schema (eight of the nine grid cells): the result is a column
         view of the cached row gather.
         """
         if isinstance(pairs, PairSet):
             pairs = pairs.pairs
         if not pairs:
-            return np.zeros((0, self.layout.width(config)))
+            return np.zeros((0, self.schema.width(config)), dtype=FEATURE_DTYPE)
         rows = self.universe.rows_of(pairs)
-        columns = self.layout.active_columns(config)
+        columns = self.schema.active_columns(config)
         return self._gathered(rows)[:, columns]

@@ -14,9 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import FeatureConfig
 from repro.core.matcher import LeapmeMatcher
-from repro.core.pair_features import FeatureLayout, pair_feature_matrix
+from repro.core.pair_features import pair_feature_matrix
 from repro.data.model import Dataset
 from repro.data.pairs import PairSet
 from repro.metrics import evaluate_scores
@@ -34,11 +33,6 @@ class BlockImportance:
     def importance(self) -> float:
         """F1 drop caused by permuting the block (higher = more relied on)."""
         return self.baseline_f1 - self.permuted_f1
-
-
-def _block_slices(config: FeatureConfig, dimension: int) -> dict[str, slice]:
-    """Column ranges of the active feature blocks, in matrix order."""
-    return FeatureLayout(dimension).active_slices(config)
 
 
 def permutation_importance(
@@ -65,7 +59,10 @@ def permutation_importance(
         classifier.match_scores(features), labels, matcher.threshold
     ).f1
     results = []
-    slices = _block_slices(matcher.feature_config, table.embedding_dimension)
+    # The matcher's FeatureSchema is the single source of truth for block
+    # geometry -- the same object that assembled ``features`` above, so
+    # the slices cannot desync from the matrix.
+    slices = matcher.schema.resolve(matcher.feature_config).slices()
     for block, columns in slices.items():
         drops = []
         for _ in range(repeats):

@@ -15,11 +15,12 @@ from repro.core.api import Matcher
 from repro.core.classifier import LeapmeClassifier, ResilientClassifier
 from repro.core.config import FeatureConfig, LeapmeConfig
 from repro.core.pair_features import pair_feature_matrix
+from repro.core.pipeline import FeaturePipeline, FeatureSchema
 from repro.core.property_features import PropertyFeatureTable
 from repro.data.model import Dataset
 from repro.data.pairs import LabeledPair, PairSet
 from repro.embeddings.base import WordEmbeddings
-from repro.errors import NotFittedError
+from repro.errors import ConfigurationError, NotFittedError
 
 
 class LeapmeMatcher(Matcher):
@@ -69,6 +70,9 @@ class LeapmeMatcher(Matcher):
             self._classifier_factory = lambda: ResilientClassifier(self.config)
         else:
             self._classifier_factory = lambda: LeapmeClassifier(self.config)
+        #: The staged featurization pipeline; its per-property row cache
+        #: is shared by every table/store this matcher builds.
+        self.pipeline = FeaturePipeline(embeddings)
         self._table: PropertyFeatureTable | None = None
         self._table_key: str | None = None
         self._store = None
@@ -88,8 +92,15 @@ class LeapmeMatcher(Matcher):
         """
         if self._store is not None and self._store.serves(dataset):
             return
-        self._table = PropertyFeatureTable(dataset, self.embeddings)
+        self._table = PropertyFeatureTable(
+            dataset, self.embeddings, pipeline=self.pipeline
+        )
         self._table_key = self._table.dataset_fingerprint
+
+    @property
+    def schema(self) -> FeatureSchema:
+        """The feature-column geometry this matcher scores with."""
+        return self.pipeline.schema
 
     def attach_store(self, store) -> None:
         """Share a precomputed :class:`PairFeatureStore`.
@@ -114,7 +125,9 @@ class LeapmeMatcher(Matcher):
         # different datasets that happen to share a name must not reuse
         # each other's cached feature table.
         if self._table is None or self._table_key != dataset.fingerprint():
-            self._table = PropertyFeatureTable(dataset, self.embeddings)
+            self._table = PropertyFeatureTable(
+                dataset, self.embeddings, pipeline=self.pipeline
+            )
             self._table_key = self._table.dataset_fingerprint
         return self._table
 
@@ -142,6 +155,27 @@ class LeapmeMatcher(Matcher):
             raise NotFittedError("LeapmeMatcher must be fitted before scoring")
         features = self._features(dataset, pairs)
         return self._classifier.match_scores(features)
+
+    def predict(
+        self, dataset: Dataset, pairs: list[LabeledPair]
+    ) -> np.ndarray:
+        """Boolean match decisions at the configured decision threshold."""
+        return self.score_pairs(dataset, pairs) >= self.threshold
+
+    def add_source(self, addition: Dataset) -> PairSet:
+        """Incrementally ingest a new source through the attached store.
+
+        Delegates to :meth:`PairFeatureStore.add_source` (only the new
+        properties and new cross-source pairs are featurized) and
+        returns the new pairs, ready for :meth:`predict` against the
+        store's merged dataset.
+        """
+        if self._store is None:
+            raise ConfigurationError(
+                "attach a feature store (build_feature_store + attach_store) "
+                "before adding sources incrementally"
+            )
+        return self._store.add_source(addition)
 
     @property
     def classifier(self) -> LeapmeClassifier:

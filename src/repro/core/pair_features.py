@@ -15,239 +15,44 @@ vector depend on pair orientation, which the unordered matching task
 cannot justify (the original implementation trains on randomly oriented
 pairs, which asks the network to learn the same symmetry from data).
 
-The full feature matrix has a fixed column order -- instance meta,
-instance embedding, name embedding, name distances -- described by
-:class:`FeatureLayout`.  Because every :class:`FeatureConfig` selects a
-subset of whole blocks in that order, a config's feature matrix is a
-column range of the full matrix (contiguous for eight of the nine grid
-cells), which is what lets :class:`repro.core.feature_cache.PairFeatureStore`
-serve configs as views of one shared matrix.
-
-Name distances are memoised on the (unordered, lowercased) name pair:
-benchmark sweeps re-score the same pairs under many feature
-configurations and splits, and the edit distances dominate the runtime
-otherwise.  Cache misses are computed through the batched kernel in
-:mod:`repro.text.batch` rather than one pair at a time.
+Assembly is delegated to the staged pipeline in
+:mod:`repro.core.pipeline`: the column geometry lives in
+:class:`~repro.core.pipeline.FeatureSchema` (the single source of
+truth, shared with the feature store, permutation importance and
+persisted bundles) and matrices come out as float32.  The memoised
+name-distance kernel (:func:`name_distances`,
+:func:`name_distance_block`) also lives there and is re-exported here
+for its historical callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.config import FeatureConfig
-from repro.core.instance_features import NUM_META_FEATURES
+from repro.core.pipeline import (
+    NUM_NAME_DISTANCES,
+    FeatureSchema,
+    name_distance_block,
+    name_distances,
+)
 from repro.core.property_features import PropertyFeatureTable
 from repro.data.model import PropertyRef
 from repro.data.pairs import LabeledPair
-from repro.errors import ConfigurationError
-from repro.text.batch import name_distance_matrix
-from repro.text.similarity import PAIR_DISTANCE_NAMES, name_distance_vector
 
-#: Number of name string-distance features (Table I rows 8-15).
-NUM_NAME_DISTANCES = len(PAIR_DISTANCE_NAMES)
-
-#: Memoised distance vectors keyed on the (lowercased, sorted) name pair.
-#: A plain dict rather than ``lru_cache`` so the batched kernel can probe
-#: for misses and insert whole batches of results.
-_DISTANCE_CACHE: dict[tuple[str, str], np.ndarray] = {}
-
-
-def _canonical_name_pair(a: str, b: str) -> tuple[str, str]:
-    a = a.lower()
-    b = b.lower()
-    return (b, a) if a > b else (a, b)
-
-
-def name_distances(a: str, b: str) -> np.ndarray:
-    """Memoised, order-independent name distance vector."""
-    key = _canonical_name_pair(a, b)
-    cached = _DISTANCE_CACHE.get(key)
-    if cached is None:
-        cached = _DISTANCE_CACHE[key] = np.array(name_distance_vector(*key))
-        cached.setflags(write=False)
-    return cached
-
-
-def name_distance_block(name_pairs: list[tuple[str, str]]) -> np.ndarray:
-    """Distance vectors for many name pairs, ``(n_pairs, 8)``.
-
-    Cache-aware: pairs already memoised are served from the cache and
-    only the missing unique pairs go through the batched kernel.
-    """
-    n = len(name_pairs)
-    block = np.empty((n, NUM_NAME_DISTANCES))
-    missing: list[tuple[str, str]] = []
-    missing_rows: list[int] = []
-    seen_missing: dict[tuple[str, str], int] = {}
-    gather: list[tuple[int, int]] = []  # (output row, missing index)
-    for i, (a, b) in enumerate(name_pairs):
-        key = _canonical_name_pair(a, b)
-        cached = _DISTANCE_CACHE.get(key)
-        if cached is not None:
-            block[i] = cached
-            continue
-        slot = seen_missing.get(key)
-        if slot is None:
-            slot = seen_missing[key] = len(missing)
-            missing.append(key)
-            missing_rows.append(i)
-        gather.append((i, slot))
-    if missing:
-        computed = name_distance_matrix(missing)
-        for key, row in zip(missing, computed):
-            entry = row.copy()
-            entry.setflags(write=False)
-            _DISTANCE_CACHE[key] = entry
-        for out_row, slot in gather:
-            block[out_row] = computed[slot]
-    return block
-
-
-@dataclass(frozen=True)
-class FeatureBlock:
-    """One column block of the full pair-feature matrix."""
-
-    key: str
-    start: int
-    stop: int
-    column_names: tuple[str, ...]
-
-    @property
-    def width(self) -> int:
-        return self.stop - self.start
-
-    @property
-    def columns(self) -> slice:
-        return slice(self.start, self.stop)
-
-
-def _block_active(key: str, config: FeatureConfig) -> bool:
-    if key == "instance_meta":
-        return config.scope.uses_instances and config.kinds.uses_non_embeddings
-    if key == "instance_embedding":
-        return config.scope.uses_instances and config.kinds.uses_embeddings
-    if key == "name_embedding":
-        return config.scope.uses_names and config.kinds.uses_embeddings
-    if key == "name_distances":
-        return config.scope.uses_names and config.kinds.uses_non_embeddings
-    raise ConfigurationError(f"unknown feature block {key!r}")
-
-
-class FeatureLayout:
-    """Column-block index of the full Table I pair-feature matrix.
-
-    The single source of truth for column order and block widths; the
-    previously hardcoded widths in ``feature_block_names`` and
-    ``repro.core.importance`` both derive from it now.  Every
-    :class:`FeatureConfig` selects whole blocks, so a config's matrix is
-    ``full_matrix[:, layout.active_columns(config)]`` -- a zero-copy
-    view whenever the active blocks are adjacent (all grid cells except
-    ``both/non_embedding``, which skips the middle embedding blocks).
-    """
-
-    def __init__(self, dimension: int) -> None:
-        self.dimension = dimension
-        specs = [
-            (
-                "instance_meta",
-                tuple(f"inst_meta_diff_{i}" for i in range(NUM_META_FEATURES)),
-            ),
-            (
-                "instance_embedding",
-                tuple(f"inst_emb_diff_{i}" for i in range(dimension)),
-            ),
-            (
-                "name_embedding",
-                tuple(f"name_emb_diff_{i}" for i in range(dimension)),
-            ),
-            (
-                "name_distances",
-                tuple(f"name_dist_{name}" for name in PAIR_DISTANCE_NAMES),
-            ),
-        ]
-        blocks = []
-        offset = 0
-        for key, names in specs:
-            blocks.append(FeatureBlock(key, offset, offset + len(names), names))
-            offset += len(names)
-        self.blocks: tuple[FeatureBlock, ...] = tuple(blocks)
-        self.total_width = offset
-        self._by_key = {block.key: block for block in self.blocks}
-
-    def block(self, key: str) -> FeatureBlock:
-        try:
-            return self._by_key[key]
-        except KeyError:
-            raise ConfigurationError(f"unknown feature block {key!r}") from None
-
-    def active_blocks(self, config: FeatureConfig) -> tuple[FeatureBlock, ...]:
-        """The blocks a config enables, in matrix order."""
-        active = tuple(
-            block for block in self.blocks if _block_active(block.key, config)
-        )
-        if not active:
-            raise ConfigurationError(
-                f"feature config {config.label()} selects no features"
-            )
-        return active
-
-    def active_columns(self, config: FeatureConfig) -> slice | np.ndarray:
-        """Columns of the full matrix a config selects.
-
-        Returns a :class:`slice` (so indexing yields a zero-copy view)
-        when the active blocks are adjacent, otherwise an index array.
-        """
-        active = self.active_blocks(config)
-        contiguous = all(
-            nxt.start == prev.stop for prev, nxt in zip(active, active[1:])
-        )
-        if contiguous:
-            return slice(active[0].start, active[-1].stop)
-        return np.concatenate(
-            [np.arange(block.start, block.stop) for block in active]
-        )
-
-    def active_slices(self, config: FeatureConfig) -> dict[str, slice]:
-        """Per-block column ranges *within the config's own matrix*."""
-        slices: dict[str, slice] = {}
-        offset = 0
-        for block in self.active_blocks(config):
-            slices[block.key] = slice(offset, offset + block.width)
-            offset += block.width
-        return slices
-
-    def column_names(self, config: FeatureConfig) -> list[str]:
-        """Human-readable names of the active columns, in order."""
-        names: list[str] = []
-        for block in self.active_blocks(config):
-            names.extend(block.column_names)
-        return names
-
-    def width(self, config: FeatureConfig) -> int:
-        return sum(block.width for block in self.active_blocks(config))
+__all__ = [
+    "NUM_NAME_DISTANCES",
+    "FeatureSchema",
+    "name_distances",
+    "name_distance_block",
+    "feature_block_names",
+    "pair_feature_matrix",
+]
 
 
 def feature_block_names(config: FeatureConfig, dimension: int) -> list[str]:
     """Human-readable names of the active feature columns, in order."""
-    return FeatureLayout(dimension).column_names(config)
-
-
-def _split_pairs(
-    pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]],
-) -> tuple[list[PropertyRef], list[PropertyRef]]:
-    lefts: list[PropertyRef] = []
-    rights: list[PropertyRef] = []
-    for pair in pairs:
-        if isinstance(pair, LabeledPair):
-            lefts.append(pair.left)
-            rights.append(pair.right)
-        else:
-            left, right = pair
-            lefts.append(left)
-            rights.append(right)
-    return lefts, rights
+    return FeatureSchema(dimension).column_names(config)
 
 
 def pair_feature_matrix(
@@ -258,41 +63,8 @@ def pair_feature_matrix(
     """Assemble the pair feature matrix ``(n_pairs, n_features)``.
 
     ``pairs`` may be :class:`LabeledPair` objects or plain
-    ``(left, right)`` tuples.
+    ``(left, right)`` tuples.  The matrix is float32
+    (:data:`~repro.core.pipeline.FEATURE_DTYPE`), assembled from the
+    table's cached columnar stage outputs.
     """
-    layout = FeatureLayout(table.embedding_dimension)
-    active = layout.active_blocks(config)
-    lefts, rights = _split_pairs(pairs)
-    n = len(lefts)
-    if n == 0:
-        return np.zeros((0, layout.width(config)))
-    left_rows = table.rows_of(lefts)
-    right_rows = table.rows_of(rights)
-    blocks: list[np.ndarray] = []
-    for block in active:
-        if block.key == "instance_meta":
-            blocks.append(np.abs(table.meta[left_rows] - table.meta[right_rows]))
-        elif block.key == "instance_embedding":
-            blocks.append(
-                np.abs(
-                    table.value_embedding[left_rows]
-                    - table.value_embedding[right_rows]
-                )
-            )
-        elif block.key == "name_embedding":
-            blocks.append(
-                np.abs(
-                    table.name_embedding[left_rows]
-                    - table.name_embedding[right_rows]
-                )
-            )
-        else:  # name_distances
-            blocks.append(
-                name_distance_block(
-                    [
-                        (left.name, right.name)
-                        for left, right in zip(lefts, rights)
-                    ]
-                )
-            )
-    return np.hstack(blocks)
+    return table.pipeline.pair_matrix(table, pairs, config)

@@ -6,7 +6,9 @@ new property pairs without retraining:
 * ``embeddings.npz`` -- the word-embedding space;
 * ``network.npz``    -- the trained classifier network;
 * ``scaler.npz``     -- the feature scaler (when enabled);
-* ``config.json``    -- feature configuration + hyper-parameters.
+* ``config.json``    -- feature configuration + hyper-parameters + the
+  resolved feature schema (bundle format 2; format-1 bundles without a
+  schema still load and have it rederived).
 
 Every file is written atomically (temp file + ``os.replace``), and
 ``config.json`` -- the file :func:`load_matcher` requires first -- is
@@ -24,6 +26,7 @@ import numpy as np
 from repro.core.classifier import FittedState, LeapmeClassifier
 from repro.core.config import FeatureConfig, FeatureKinds, FeatureScope, LeapmeConfig
 from repro.core.matcher import LeapmeMatcher
+from repro.core.pipeline import ResolvedSchema
 from repro.embeddings.store import load_embeddings, save_embeddings
 from repro.errors import DataError
 from repro.ioutils import atomic_save, atomic_write_text
@@ -31,7 +34,11 @@ from repro.ml.scaling import StandardScaler
 from repro.nn.schedule import TrainingSchedule
 from repro.nn.serialize import load_network, save_network
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Bundle format versions :func:`load_matcher` understands.  Format 1
+#: predates the staged pipeline and carries no ``schema`` entry.
+_SUPPORTED_VERSIONS = frozenset({1, _FORMAT_VERSION})
 
 
 def save_matcher(matcher: LeapmeMatcher, directory: str | Path) -> None:
@@ -54,6 +61,7 @@ def save_matcher(matcher: LeapmeMatcher, directory: str | Path) -> None:
         "version": _FORMAT_VERSION,
         "feature_scope": matcher.feature_config.scope.value,
         "feature_kinds": matcher.feature_config.kinds.value,
+        "schema": matcher.schema.resolve(matcher.feature_config).to_dict(),
         "hidden_sizes": list(matcher.config.hidden_sizes),
         "batch_size": matcher.config.batch_size,
         "schedule": [
@@ -80,7 +88,7 @@ def load_matcher(directory: str | Path) -> LeapmeMatcher:
     if not config_path.exists():
         raise DataError(f"not a matcher bundle (missing config.json): {directory}")
     payload = json.loads(config_path.read_text())
-    if payload.get("version") != _FORMAT_VERSION:
+    if payload.get("version") not in _SUPPORTED_VERSIONS:
         raise DataError(f"unsupported bundle version: {payload.get('version')!r}")
     feature_config = FeatureConfig(
         scope=FeatureScope(payload["feature_scope"]),
@@ -99,6 +107,16 @@ def load_matcher(directory: str | Path) -> LeapmeMatcher:
     )
     embeddings = load_embeddings(directory / "embeddings.npz")
     matcher = LeapmeMatcher(embeddings, feature_config, leapme_config)
+    if "schema" in payload:
+        saved = ResolvedSchema.from_dict(payload["schema"])
+        rederived = matcher.schema.resolve(feature_config)
+        if saved != rederived:
+            raise DataError(
+                "bundle schema does not match this pipeline's geometry "
+                f"(saved {saved.dimension} columns for "
+                f"{saved.scope}/{saved.kinds} at d={saved.embedding_dimension}, "
+                f"rederived {rederived.dimension})"
+            )
     network = load_network(directory / "network.npz")
     scaler = None
     scaler_path = directory / "scaler.npz"

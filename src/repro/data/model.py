@@ -226,6 +226,31 @@ class Dataset:
                         pairs.add(frozenset((first, second)))
         return pairs
 
+    def merged_with(self, other: "Dataset") -> "Dataset":
+        """A new dataset with ``other``'s sources added to this one.
+
+        The incremental-ingestion primitive behind
+        ``PairFeatureStore.add_source``: source sets must be disjoint
+        (the matching task is defined per source, so re-ingesting an
+        existing source would silently duplicate its instances).  The
+        merged dataset keeps this dataset's name; instances are
+        concatenated base-first so per-property value order -- and with
+        it every content-fingerprinted feature row -- is preserved.
+        """
+        overlap = set(self.sources()) & set(other.sources())
+        if overlap:
+            raise DataError(
+                f"sources already present in dataset: {sorted(overlap)}"
+            )
+        alignment = dict(self.alignment)
+        alignment.update(other.alignment)
+        return Dataset(
+            name=self.name,
+            instances=self.instances + other.instances,
+            alignment=alignment,
+            validation=self.validation + other.validation,
+        )
+
     def restrict_to_sources(self, sources: set[str] | list[str]) -> "Dataset":
         """A new dataset containing only the given sources."""
         wanted = set(sources)

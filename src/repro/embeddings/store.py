@@ -37,4 +37,8 @@ def load_embeddings(path: str | Path) -> WordEmbeddings:
             raise DataError(f"not an embedding file (missing arrays): {path}")
         tokens = [str(token) for token in payload["tokens"]]
         vectors = payload["vectors"]
+    # Loaded vectors feed fork-COW prebuilds (schema + columns shipped to
+    # worker processes) and fingerprint-keyed feature caches; freezing
+    # them guarantees no consumer can silently desync those copies.
+    vectors.setflags(write=False)
     return WordEmbeddings(Vocabulary(tokens), vectors)

@@ -31,10 +31,13 @@ would have left.
 Workers keep per-process caches (matcher per cell, pair universe and
 feature store per dataset).  With ``share_features=True`` under the
 ``fork`` start method the parent prebuilds universes and stores before
-creating the pool; children inherit the read-only matrices through
-copy-on-write pages, so the construction cost is paid exactly once per
-grid.  Under ``spawn`` each worker builds its own, at most once per
-dataset.
+creating the pool; a prebuilt store is the staged pipeline's full
+package -- the :class:`~repro.core.pipeline.FeatureSchema`, the
+columnar float32 per-property stage outputs and the assembled
+full-width matrix, all read-only -- so children inherit schema +
+columns through copy-on-write pages rather than re-deriving ad-hoc
+matrices, and the construction cost is paid exactly once per grid.
+Under ``spawn`` each worker builds its own, at most once per dataset.
 
 Failure model: the pool is run by
 :class:`~repro.evaluation.supervisor.PoolSupervisor` -- a dead worker

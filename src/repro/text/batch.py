@@ -273,17 +273,27 @@ def unique_lowered_pairs(
     return list(unique), inverse
 
 
-def name_distance_matrix(pairs: Sequence[tuple[str, str]]) -> np.ndarray:
+def name_distance_matrix(
+    pairs: Sequence[tuple[str, str]],
+    *,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
     """The eight Table I name distances for every pair, ``(n_pairs, 8)``.
 
     Row ``i`` equals ``name_distance_vector(*pairs[i])`` exactly; columns
-    follow :data:`~repro.text.similarity.PAIR_DISTANCE_NAMES`.
+    follow :data:`~repro.text.similarity.PAIR_DISTANCE_NAMES`.  The
+    kernel always computes in float64 (the bit-equivalence contract with
+    the scalar path); ``dtype`` only casts the returned matrix, for
+    callers storing columns at reduced precision.
     """
     if not pairs:
-        return np.zeros((0, len(COLUMNS)))
+        return np.zeros((0, len(COLUMNS)), dtype=dtype)
     uniq, inverse = unique_lowered_pairs(pairs)
     matrix = np.zeros((len(uniq), len(COLUMNS)))
     _fill_dp_columns(uniq, matrix)
     _fill_ngram_columns(uniq, matrix)
     matrix[:, _COL_JARO] = [jaro_winkler_distance(a, b) for a, b in uniq]
-    return matrix[inverse]
+    gathered = matrix[inverse]
+    if np.dtype(dtype) == gathered.dtype:
+        return gathered
+    return gathered.astype(dtype)

@@ -279,6 +279,69 @@ def register(name, value):
 """
 
 
+# ---------------------------------------------------------------- REP009
+
+REP009_BAD = """\
+from pathlib import Path
+
+from repro.core.pipeline import FeatureStage
+
+class LoggingStage(FeatureStage):
+    name = "logging"
+    level = "property"
+
+    def compute(self, ctx, ref, values):
+        row = self._row(values)
+        Path("stage.log").write_text(str(ref))
+        return row
+"""
+REP009_BAD_LINE = 11
+
+REP009_BAD_IMPORT = """\
+from repro.core.pipeline import FeatureStage
+from repro.evaluation.parallel import run_grid
+
+class GridAwareStage(FeatureStage):
+    name = "grid_aware"
+    level = "pair"
+"""
+REP009_BAD_IMPORT_LINE = 2
+
+REP009_BAD_FROM_REPRO = """\
+from repro import evaluation
+from repro.core.pipeline import FeatureStage
+
+class PeekingStage(FeatureStage):
+    name = "peeking"
+    level = "pair"
+"""
+
+REP009_GOOD = """\
+import numpy as np
+
+from repro.core.pipeline import FeatureStage
+
+class TokenCountStage(FeatureStage):
+    name = "token_count"
+    level = "property"
+
+    def width(self, dimension):
+        return 1
+
+    def compute(self, ctx, ref, values):
+        return np.array([float(sum(len(v.split()) for v in values))])
+"""
+
+# Evaluation code may freely use the pipeline -- the ban is one-way.
+REP009_GOOD_NO_STAGE = """\
+from repro.evaluation import evaluate_matcher
+from repro.core.pipeline import FeaturePipeline
+
+def run(matcher, dataset):
+    return evaluate_matcher(matcher, dataset)
+"""
+
+
 #: ``rule -> (bad snippet, expected line, good snippet)`` for the
 #: one-per-rule parametrised test; extra variants are exercised
 #: individually in test_rules.py.
@@ -291,4 +354,5 @@ PAIRS = {
     "REP006": (REP006_BAD, REP006_BAD_LINE, REP006_GOOD),
     "REP007": (REP007_BAD, REP007_BAD_LINE, REP007_GOOD),
     "REP008": (REP008_BAD, REP008_BAD_LINE, REP008_GOOD),
+    "REP009": (REP009_BAD, REP009_BAD_LINE, REP009_GOOD),
 }

@@ -131,6 +131,31 @@ class TestRep007Variants:
         assert found
 
 
+class TestRep009Variants:
+    def test_evaluation_import_in_stage_module(self):
+        found = violations_of(fixtures.REP009_BAD_IMPORT, "REP009")
+        assert found
+        assert fixtures.REP009_BAD_IMPORT_LINE in {v.line for v in found}
+
+    def test_from_repro_import_evaluation(self):
+        assert violations_of(fixtures.REP009_BAD_FROM_REPRO, "REP009")
+
+    def test_module_without_stages_may_import_evaluation(self):
+        assert violations_of(fixtures.REP009_GOOD_NO_STAGE, "REP009") == []
+
+    def test_read_only_open_in_stage_is_fine(self):
+        source = (
+            "from repro.core.pipeline import FeatureStage\n"
+            "class ReaderStage(FeatureStage):\n"
+            "    name = 'reader'\n"
+            "    level = 'property'\n"
+            "    def compute(self, ctx, ref, values):\n"
+            "        with open('lexicon.txt') as handle:\n"
+            "            return handle.read()\n"
+        )
+        assert violations_of(source, "REP009") == []
+
+
 class TestRep008Variants:
     def test_non_worker_module_registry_is_fine(self):
         assert violations_of(fixtures.REP008_GOOD_NOT_WORKER, "REP008") == []

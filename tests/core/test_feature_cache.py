@@ -19,7 +19,7 @@ from repro.core import (
     pair_feature_matrix,
 )
 from repro.core.config import FeatureKinds, FeatureScope
-from repro.core.pair_features import FeatureLayout
+from repro.core.pipeline import FeatureSchema
 from repro.data.pairs import build_pairs, sample_training_pairs
 from repro.errors import ConfigurationError
 
@@ -93,7 +93,7 @@ class TestPairFeatureStore:
         for config in FeatureConfig.grid():
             served = store.features(pairs, config)
             contiguous = isinstance(
-                store.layout.active_columns(config), slice
+                store.schema.active_columns(config), slice
             )
             assert np.shares_memory(served, gathered) == contiguous
 
@@ -102,7 +102,7 @@ class TestPairFeatureStore:
         copying = [
             config.label()
             for config in FeatureConfig.grid()
-            if not isinstance(store.layout.active_columns(config), slice)
+            if not isinstance(store.schema.active_columns(config), slice)
         ]
         assert copying == ["both/non_embedding"]
 
@@ -138,7 +138,7 @@ class TestPairFeatureStore:
         _, _, store = store_fixture
         config = FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING)
         empty = store.features([], config)
-        assert empty.shape == (0, store.layout.width(config))
+        assert empty.shape == (0, store.schema.width(config))
 
 
 class TestMatcherIntegration:
@@ -177,8 +177,8 @@ class TestMatcherIntegration:
         scores = matcher.score_pairs(tiny_headphones, pairs.pairs)
         assert scores.shape == (len(pairs),)
 
-    def test_layout_total_width_covers_all_blocks(self, store_fixture):
+    def test_schema_total_width_covers_all_blocks(self, store_fixture):
         table, _, store = store_fixture
-        layout = FeatureLayout(table.embedding_dimension)
-        assert store.matrix.shape[1] == layout.total_width
-        assert layout.total_width == 29 + 2 * table.embedding_dimension + 8
+        schema = FeatureSchema(table.embedding_dimension)
+        assert store.matrix.shape[1] == schema.total_width
+        assert schema.total_width == 29 + 2 * table.embedding_dimension + 8

@@ -148,3 +148,43 @@ class TestPersistence:
         (bundle / "config.json").write_text(json.dumps(config))
         with pytest.raises(DataError, match="version"):
             load_matcher(bundle)
+
+    def test_bundle_persists_resolved_schema(self, fitted, tmp_path):
+        import json
+
+        _, matcher, _ = fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        payload = json.loads((bundle / "config.json").read_text())
+        saved = payload["schema"]
+        assert saved == matcher.schema.resolve(matcher.feature_config).to_dict()
+
+    def test_load_rejects_mismatched_schema(self, fitted, tmp_path):
+        import json
+
+        _, matcher, _ = fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        config = json.loads((bundle / "config.json").read_text())
+        config["schema"]["dimension"] += 1
+        (bundle / "config.json").write_text(json.dumps(config))
+        with pytest.raises(DataError, match="schema"):
+            load_matcher(bundle)
+
+    def test_format_one_bundle_without_schema_still_loads(
+        self, fitted, tmp_path
+    ):
+        import json
+
+        dataset, matcher, pairs = fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        config = json.loads((bundle / "config.json").read_text())
+        config["version"] = 1
+        del config["schema"]
+        (bundle / "config.json").write_text(json.dumps(config))
+        loaded = load_matcher(bundle)
+        assert np.allclose(
+            matcher.score_pairs(dataset, pairs.pairs[:10]),
+            loaded.score_pairs(dataset, pairs.pairs[:10]),
+        )
