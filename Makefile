@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test lint check chaos bench bench-features bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test lint check chaos serve-smoke bench bench-features bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,13 +24,21 @@ check: lint
 	PYTHONPATH=src python scripts/fault_smoke.py
 
 # Chaos suite: real worker deaths (os._exit), hangs past the cell
-# deadline, SIGTERM mid-grid -- asserting the journal stays valid and
-# resumed aggregates match a clean serial run byte for byte.
+# deadline, SIGTERM mid-grid, plus follow-daemon kills at every
+# journaled ingestion stage -- asserting the journals stay valid and
+# resumed outputs match a clean run byte for byte.
 chaos:
 	PYTHONPATH=src python -m pytest -q \
 		tests/evaluation/test_supervisor.py \
 		tests/evaluation/test_chaos.py \
-		tests/evaluation/test_fault_tolerance.py
+		tests/evaluation/test_fault_tolerance.py \
+		tests/ingest/test_chaos_ingest.py
+
+# Follow-mode smoke: a forked `repro serve` daemon is hard-killed after
+# its first fused batch, resumed, and must land byte-identical to a
+# cold rebuild; a poison source must quarantine with a reason.
+serve-smoke:
+	PYTHONPATH=src python scripts/serve_smoke.py
 
 # Evaluation-engine benchmark: serial legacy grid vs shared feature
 # store + process-pool executor.  Writes BENCH_grid.json.

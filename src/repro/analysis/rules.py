@@ -1,4 +1,4 @@
-"""The repo-specific rules (REP001-REP009).
+"""The repo-specific rules (REP001-REP010).
 
 Each rule encodes one invariant the reproduction's correctness story
 depends on, with a pointer to where the invariant came from; DESIGN.md
@@ -671,3 +671,72 @@ class ImpureFeatureStageRule(Rule):
                 "output may be served from the fingerprint cache without "
                 "running, so side effects are unreproducible",
             )
+
+
+# ----------------------------------------------------------------------
+# REP010 -- watch/ingest loop discipline
+
+
+@register
+class UnstoppableWatchLoopRule(Rule):
+    """REP010: watch/ingest loops must be stop-aware and signal-friendly.
+
+    A follow daemon lives inside an infinite loop, and two shapes turn
+    that loop into a process you can only ``kill -9``: sleeping with
+    ``time.sleep`` (uninterruptible by the stop event, so SIGTERM waits
+    out the whole poll interval and shutdown drains nothing) and
+    spinning ``while True`` without ever consulting a stop event (no
+    clean shutdown path at all, so every stop is a crash and every
+    restart a resume-from-kill).  The sanctioned idiom is the one
+    :class:`repro.ingest.daemon.FollowDaemon` uses: pause with
+    ``stop_event.wait(poll_interval)`` and gate iterations on
+    ``stop_event.is_set()``.  The rule binds modules whose dotted name
+    mentions ``ingest`` or ``watch`` -- loop discipline elsewhere (e.g.
+    the pool supervisor) has its own shapes and its own tests.
+    """
+
+    code = "REP010"
+    name = "unstoppable-watch-loop"
+    summary = "watch/ingest loop sleeps uninterruptibly or spins without a stop check"
+    scopes = frozenset({ROLE_LIBRARY})
+
+    _MODULE_TAGS = ("ingest", "watch")
+    _STOP_ATTRS = frozenset({"is_set", "wait"})
+
+    def applies(self, role: str, module: str | None) -> bool:
+        if not super().applies(role, module):
+            return False
+        # None covers inline snippets (fixtures); real library modules
+        # under src/repro always resolve to a dotted name.
+        return module is None or any(tag in module for tag in self._MODULE_TAGS)
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        if ctx.resolve_call_target(node.func) == "time.sleep":
+            ctx.report(
+                self,
+                node,
+                "time.sleep in watch/ingest code -- pause with "
+                "stop_event.wait(interval) so SIGINT/SIGTERM can cut the "
+                "wait short",
+            )
+
+    def visit_While(self, node: ast.While, ctx) -> None:
+        if not (
+            isinstance(node.test, ast.Constant) and bool(node.test.value)
+        ):
+            return
+        for inner in node.body:
+            for descendant in ast.walk(inner):
+                if (
+                    isinstance(descendant, ast.Call)
+                    and isinstance(descendant.func, ast.Attribute)
+                    and descendant.func.attr in self._STOP_ATTRS
+                ):
+                    return
+        ctx.report(
+            self,
+            node,
+            "unbounded 'while True' in watch/ingest code -- consult a "
+            "stop event (stop_event.is_set() / stop_event.wait(...)) "
+            "every iteration so the loop can shut down cleanly",
+        )

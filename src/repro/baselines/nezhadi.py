@@ -76,6 +76,11 @@ class NezhadiMatcher(Matcher):
             rows[i] = cached
         return rows
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the pair classifier has been trained."""
+        return self._model is not None
+
     def fit(self, dataset: Dataset, training_pairs: PairSet) -> None:
         features = self._features(training_pairs.pairs)
         self._model = _CLASSIFIERS[self.classifier_kind]()

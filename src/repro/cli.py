@@ -11,7 +11,10 @@ Commands
                through the feature store's delta path.
 ``features``   ``features describe`` prints the stage graph and the
                resolved column schema per feature configuration.
-``describe``   post-mortem summary of a run journal (per-status counts).
+``describe``   post-mortem summary of a journal (run or ingestion; the
+               flavour is sniffed from the header line).
+``serve``      follow a directory: fuse new source CSVs into matches and
+               clusters as they arrive, crash-safely (see repro.ingest).
 ``lint``       invariant-enforcing static analysis (see repro.analysis).
 
 The CLI works on the built-in domains (``--dataset cameras`` ...) or on
@@ -54,6 +57,9 @@ from repro.evaluation import (
     evaluate_matcher,
     render_robustness_report,
 )
+from repro.evaluation.checkpoint import peek_journal_type
+from repro.ingest import FollowDaemon, IngestJournal, IngestPipeline
+from repro.ingest.journal import INGEST_JOURNAL_TYPE
 from repro.ioutils import atomic_open_text
 from repro.text.tokenize import words
 
@@ -205,10 +211,67 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
-    journal = RunJournal(args.journal)
-    if not journal.path.exists():
-        raise ReproError(f"journal not found: {journal.path}")
-    print(journal.describe())
+    path = Path(args.journal)
+    if not path.exists():
+        raise ReproError(f"journal not found: {path}")
+    # The header line names the journal flavour; dispatch on it so one
+    # describe command serves run journals and ingestion journals alike.
+    if peek_journal_type(path) == INGEST_JOURNAL_TYPE:
+        print(IngestJournal(path).describe())
+    else:
+        print(RunJournal(path).describe())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    follow = Path(args.follow)
+    follow.mkdir(parents=True, exist_ok=True)
+    base = None
+    if args.dataset is not None or args.instances is not None:
+        base = _load_cli_dataset(args)
+    if base is not None:
+        embeddings = _embeddings_for(base, args)
+    else:
+        # No bootstrap data yet: hashing embeddings need no corpus, and
+        # unknown streamed tokens embed as zero vectors either way.
+        embeddings = hash_embeddings([], dimension=64)
+    matcher = _build_matcher(args.system, embeddings)
+    out = Path(args.out) if args.out else follow / "matches.csv"
+    clusters = Path(args.clusters) if args.clusters else follow / "clusters.json"
+    journal_path = Path(args.journal) if args.journal else follow / "ingest.journal"
+    args.journal = str(journal_path)  # the interrupt handler's resume hint
+    pipeline = IngestPipeline(
+        matcher,
+        matches_path=out,
+        clusters_path=clusters,
+        threshold=args.threshold,
+        seed=args.seed,
+    )
+    pipeline.bootstrap(base)
+    daemon = FollowDaemon(
+        follow,
+        pipeline,
+        IngestJournal(journal_path),
+        poll_interval=args.poll_interval,
+        settle_polls=args.settle_polls,
+        retry_policy=RetryPolicy(
+            max_retries=args.max_retries, backoff_base=args.backoff, jitter=0.5
+        ),
+        seed=args.seed,
+    )
+    print(f"following {follow} (journal {journal_path})", file=sys.stderr)
+    summary = daemon.run(
+        resume=args.resume,
+        max_batches=args.max_batches,
+        max_idle_polls=args.max_idle_polls,
+    )
+    print(
+        f"served {summary['fused']} batch(es) "
+        f"({summary['replayed']} replayed on resume, "
+        f"{summary['quarantined']} quarantined) over {summary['polls']} polls"
+    )
+    print(f"matches: {out}")
+    print(f"clusters: {clusters}")
     return 0
 
 
@@ -388,11 +451,64 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     describe = commands.add_parser(
-        "describe", help="summarise a run journal (post-mortem)"
+        "describe", help="summarise a run or ingestion journal (post-mortem)"
     )
     describe.add_argument("--journal", required=True, metavar="PATH",
-                          help="JSONL run journal to summarise")
+                          help="JSONL journal to summarise (run journals and "
+                               "ingestion journals are both understood)")
     describe.set_defaults(handler=_cmd_describe)
+
+    serve = commands.add_parser(
+        "serve",
+        help="follow a directory, fusing new source CSVs into matches "
+             "and clusters crash-safely",
+    )
+    _add_dataset_arguments(serve)
+    serve.add_argument("--follow", required=True, metavar="DIR",
+                       help="directory to watch; drop source CSVs (and "
+                            "optional X.alignment.csv sidecars) here")
+    serve.add_argument("--system", choices=SYSTEMS, default="leapme",
+                       help="matching system; supervised systems need a "
+                            "bootstrap dataset (--dataset/--instances) to "
+                            "train on")
+    serve.add_argument("--threshold", type=float, default=0.5)
+    serve.add_argument("--out", default=None, metavar="CSV",
+                       help="matches CSV, atomically rewritten after every "
+                            "fused batch (default: <follow>/matches.csv)")
+    serve.add_argument("--clusters", default=None, metavar="JSON",
+                       help="property-cluster JSON, atomically rewritten "
+                            "after every fused batch "
+                            "(default: <follow>/clusters.json)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="ingestion journal recording every source "
+                            "lifecycle transition "
+                            "(default: <follow>/ingest.journal)")
+    serve.add_argument("--resume", action="store_true",
+                       help="replay the journal's fused sources before "
+                            "following again; outputs are bit-identical to "
+                            "a cold rebuild over the same sources")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="directory poll cadence (default 0.5); SIGTERM "
+                            "cuts the wait short")
+    serve.add_argument("--settle-polls", type=int, default=2,
+                       help="polls a file's size+fingerprint must hold "
+                            "still before it is admitted (default 2); "
+                            "partially-written CSVs are never read")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retries per failing source before it is "
+                            "quarantined (default 2)")
+    serve.add_argument("--backoff", type=float, default=0.1,
+                       metavar="SECONDS",
+                       help="base backoff between retries, doubling per "
+                            "attempt with deterministic jitter (default 0.1)")
+    serve.add_argument("--max-batches", type=int, default=None, metavar="N",
+                       help="exit after fusing N new batches (default: run "
+                            "until signalled)")
+    serve.add_argument("--max-idle-polls", type=int, default=None, metavar="N",
+                       help="exit after N consecutive polls with nothing to "
+                            "do (default: run until signalled)")
+    serve.set_defaults(handler=_cmd_serve)
 
     lint = commands.add_parser(
         "lint",

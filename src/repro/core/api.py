@@ -31,6 +31,18 @@ class Matcher(ABC):
     #: Score at or above which a pair counts as a match.
     threshold: float = 0.5
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`score_pairs` may be called right away.
+
+        Unsupervised matchers are always ready; supervised ones
+        override this to report whether :meth:`fit` has run.  Streaming
+        callers (:mod:`repro.ingest`) check it up front so a
+        mis-bootstrapped daemon fails before its first batch, not
+        inside it.
+        """
+        return not self.is_supervised
+
     def prepare(self, dataset: Dataset) -> None:
         """Precompute per-dataset state (features, signatures, ...)."""
 

@@ -102,6 +102,16 @@ class LeapmeMatcher(Matcher):
         """The feature-column geometry this matcher scores with."""
         return self.pipeline.schema
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the pair classifier has been trained."""
+        return self._classifier is not None
+
+    @property
+    def store(self) -> object | None:
+        """The attached :class:`PairFeatureStore`, if any."""
+        return self._store
+
     def attach_store(self, store) -> None:
         """Share a precomputed :class:`PairFeatureStore`.
 

@@ -19,10 +19,17 @@ an experiment grid hours in.  The surviving dataset carries the records
 loss is visible rather than silent.  Dropped *alignment* rows
 additionally log a warning at load time: they define the ground truth,
 so losing one shifts recall/F1 of every evaluation on the dataset
-rather than merely shrinking the input.  Structural problems -- a missing
-file, no header, missing required *columns* -- still raise
-:class:`~repro.errors.DataError`: those mean the file as a whole is not
-what the caller thinks it is.
+rather than merely shrinking the input.
+
+Structural problems split two ways.  States a file legitimately passes
+through while an external writer is still producing it -- a zero-byte
+file, a file whose header row has not landed yet -- raise
+:class:`~repro.errors.TransientDataError`, so a follow-mode ingester
+(:mod:`repro.ingest`) retries instead of quarantining a source
+mid-write.  Problems that cannot heal by re-reading the same bytes -- a
+missing file, a header that lacks required *columns* -- raise the
+permanent :class:`~repro.errors.DataError`: those mean the file as a
+whole is not what the caller thinks it is.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.data.model import (
     PropertyInstance,
     PropertyRef,
 )
-from repro.errors import DataError
+from repro.errors import DataError, TransientDataError
 from repro.ioutils import atomic_open_text
 
 logger = logging.getLogger(__name__)
@@ -55,14 +62,27 @@ def _read_rows(
 
     Rows failing validation are appended to ``quarantined`` (with path,
     line number, best-effort source attribution and a reason) and
-    dropped.  File-level problems raise :class:`DataError`.
+    dropped.  File-level problems raise :class:`DataError`; the states
+    a half-written file passes through (zero bytes, no header row yet)
+    raise the retryable :class:`TransientDataError` subclass instead,
+    so followers can wait the writer out.
     """
     if not path.exists():
         raise DataError(f"CSV file not found: {path}")
+    if path.stat().st_size == 0:
+        raise TransientDataError(
+            f"CSV file is empty (writer may still be producing it): {path}"
+        )
     with path.open(newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
-        if reader.fieldnames is None:
-            raise DataError(f"CSV file has no header row: {path}")
+        # ``fieldnames`` is None for a file the reader finds empty and
+        # ``[]`` when only blank lines have landed so far -- both are
+        # states a half-written file passes through.
+        if not reader.fieldnames:
+            raise TransientDataError(
+                f"CSV file has no header row yet "
+                f"(writer may still be producing it): {path}"
+            )
         missing = [column for column in required if column not in reader.fieldnames]
         if missing:
             raise DataError(

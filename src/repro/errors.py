@@ -20,6 +20,19 @@ class DataError(ReproError):
     """Input data is malformed or violates a documented invariant."""
 
 
+class TransientDataError(DataError):
+    """Input data is unreadable *right now* but may become readable.
+
+    Raised for states that a file legitimately passes through while an
+    external writer is still producing it -- a zero-byte file, a CSV
+    whose header row has not landed yet.  Callers that follow live
+    feeds (:mod:`repro.ingest`) retry these with bounded backoff
+    instead of quarantining the source; a plain :class:`DataError`
+    means the file as a whole is not what the caller thinks it is and
+    retrying the same bytes cannot help.
+    """
+
+
 class NotFittedError(ReproError):
     """A model was asked to predict before :meth:`fit` was called."""
 
@@ -61,3 +74,14 @@ class GridInterrupted(ReproError):
     def __init__(self, message: str, signum: int | None = None) -> None:
         super().__init__(message)
         self.signum = signum
+
+
+class IngestInterrupted(GridInterrupted):
+    """A follow-mode ingestion loop was stopped by SIGINT/SIGTERM.
+
+    Raised *after* the in-flight batch has been drained and journaled,
+    so ``repro serve --follow ... --resume`` continues from exactly the
+    sources that were durably fused.  Subclasses
+    :class:`GridInterrupted` so the CLI's signal exit-code path
+    (128 + signum) covers both loops.
+    """

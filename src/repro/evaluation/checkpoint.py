@@ -45,6 +45,9 @@ from repro.ioutils import fsync_append_line
 
 _JOURNAL_VERSION = 1
 
+#: ``type`` value of the header line every run journal starts with.
+JOURNAL_HEADER_TYPE = "journal"
+
 STATUS_OK = "ok"
 STATUS_SKIPPED = "skipped"
 STATUS_FAILED = "failed"
@@ -57,6 +60,72 @@ STATUS_FAILED = "failed"
 REASON_WORKER_CRASH = "worker_crash"
 REASON_TIMEOUT = "timeout"
 QUARANTINE_REASONS = frozenset({REASON_WORKER_CRASH, REASON_TIMEOUT})
+
+
+def peek_journal_type(path: str | Path) -> str | None:
+    """The ``type`` of a journal file's header line, or ``None``.
+
+    Reads only the first line; used to dispatch a path to the journal
+    class that owns it (run journals vs. ingestion journals) without
+    parsing -- or validating -- the whole file.  Returns ``None`` for a
+    missing, empty, or torn-headed file.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(header, dict):
+        return None
+    kind = header.get("type")
+    return kind if isinstance(kind, str) else None
+
+
+def read_journal_records(
+    path: str | Path, *, header_type: str, version: int, kind: str
+) -> list[dict]:
+    """Body records of a JSONL journal, torn-tail tolerant.
+
+    The shared read side of the ``fsync_append_line`` machinery: a
+    process killed mid-append leaves at most one torn *final* line,
+    which is dropped; torn lines anywhere else mean real corruption and
+    raise :class:`~repro.errors.JournalError`, as do a wrong header
+    ``type`` or an unsupported ``version``.  A missing file reads as an
+    empty journal.  ``kind`` names the journal flavour in error
+    messages (``"a run journal"``, ``"an ingestion journal"``).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_text(encoding="utf-8").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records: list[dict] = []
+    for number, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines) - 1:
+                # Torn final line from a kill mid-append: recoverable.
+                continue
+            raise JournalError(
+                f"corrupt journal line {number + 1} in {path}"
+            ) from None
+        records.append(record)
+    if records:
+        header = records[0]
+        if header.get("type") != header_type:
+            raise JournalError(f"not {kind} (missing header): {path}")
+        if header.get("version") != version:
+            raise JournalError(
+                f"unsupported journal version {header.get('version')!r} "
+                f"in {path}"
+            )
+    return records[1:]
 
 
 def run_key(matcher_name: str, dataset: Dataset, settings) -> str:
@@ -161,7 +230,9 @@ class RunJournal:
         if not self.path.exists() or self.path.stat().st_size == 0:
             fsync_append_line(
                 self.path,
-                json.dumps({"type": "journal", "version": _JOURNAL_VERSION}),
+                json.dumps(
+                    {"type": JOURNAL_HEADER_TYPE, "version": _JOURNAL_VERSION}
+                ),
             )
 
     def append(self, entry: JournalEntry) -> None:
@@ -218,33 +289,12 @@ class RunJournal:
 
     # -- reading -------------------------------------------------------------
     def _raw_records(self) -> list[dict]:
-        if not self.path.exists():
-            return []
-        lines = self.path.read_text(encoding="utf-8").split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
-        records: list[dict] = []
-        for number, line in enumerate(lines):
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if number == len(lines) - 1:
-                    # Torn final line from a kill mid-append: recoverable.
-                    continue
-                raise JournalError(
-                    f"corrupt journal line {number + 1} in {self.path}"
-                ) from None
-            records.append(record)
-        if records:
-            header = records[0]
-            if header.get("type") != "journal":
-                raise JournalError(f"not a run journal (missing header): {self.path}")
-            if header.get("version") != _JOURNAL_VERSION:
-                raise JournalError(
-                    f"unsupported journal version {header.get('version')!r} "
-                    f"in {self.path}"
-                )
-        return records[1:]
+        return read_journal_records(
+            self.path,
+            header_type=JOURNAL_HEADER_TYPE,
+            version=_JOURNAL_VERSION,
+            kind="a run journal",
+        )
 
     def entries(self, key: str) -> dict[int, JournalEntry]:
         """Latest entry per repetition for one run cell (empty if none)."""

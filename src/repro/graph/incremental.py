@@ -140,6 +140,38 @@ class IncrementalClusterer:
         self._integrated_sources.append(source)
         return {"joined": joined, "founded": founded}
 
+    def add_dataset(
+        self, addition: Dataset, merged: Dataset | None = None
+    ) -> dict[str, int]:
+        """Grow the clusterer's dataset with ``addition``, then integrate it.
+
+        The streaming counterpart of :meth:`add_source`: the clusterer
+        was built over yesterday's dataset and a new source file just
+        arrived.  ``merged`` may be passed when the caller has already
+        merged (e.g. via ``PairFeatureStore.add_source``) to avoid
+        re-concatenating; it must equal
+        ``self.dataset.merged_with(addition)``, which is what is
+        computed when it is omitted.  Returns aggregate
+        ``{"joined": n, "founded": m}`` counts over the addition's
+        sources, integrated in ``addition.sources()`` order.
+        """
+        if merged is None:
+            merged = self.dataset.merged_with(addition)
+        else:
+            overlap = set(self._integrated_sources) & set(addition.sources())
+            if overlap:
+                raise DataError(
+                    f"source already integrated: {sorted(overlap)}"
+                )
+        self.dataset = merged
+        self.matcher.prepare(merged)
+        totals = {"joined": 0, "founded": 0}
+        for source in addition.sources():
+            changes = self.add_source(source)
+            totals["joined"] += changes["joined"]
+            totals["founded"] += changes["founded"]
+        return totals
+
     def add_all(self, order: list[str] | None = None) -> dict[str, int]:
         """Integrate every (remaining) source; returns aggregate counts."""
         sources = order if order is not None else self.dataset.sources()

@@ -1,0 +1,48 @@
+"""Crash-safe streaming source ingestion (``repro serve --follow``).
+
+New source CSVs dropped into a followed directory are admitted once
+their content settles, fused incrementally into matches and property
+clusters, and journaled at every lifecycle transition so a killed
+daemon resumes bit-identically.  See :mod:`repro.ingest.daemon` for the
+failure model.
+"""
+
+from repro.ingest.daemon import FollowDaemon, cold_rebuild
+from repro.ingest.journal import (
+    QUARANTINE_REASONS,
+    REASON_DUPLICATE,
+    REASON_POISON,
+    REASON_RETRIES_EXHAUSTED,
+    STATUS_ADMITTED,
+    STATUS_DISCOVERED,
+    STATUS_FEATURIZED,
+    STATUS_FUSED,
+    STATUS_QUARANTINED,
+    STATUS_RETRYING,
+    IngestJournal,
+    SourceEvent,
+)
+from repro.ingest.pipeline import IngestPipeline, PreparedBatch
+from repro.ingest.watcher import PollResult, SourceWatcher, source_fingerprint
+
+__all__ = [
+    "QUARANTINE_REASONS",
+    "REASON_DUPLICATE",
+    "REASON_POISON",
+    "REASON_RETRIES_EXHAUSTED",
+    "STATUS_ADMITTED",
+    "STATUS_DISCOVERED",
+    "STATUS_FEATURIZED",
+    "STATUS_FUSED",
+    "STATUS_QUARANTINED",
+    "STATUS_RETRYING",
+    "FollowDaemon",
+    "IngestJournal",
+    "IngestPipeline",
+    "PollResult",
+    "PreparedBatch",
+    "SourceEvent",
+    "SourceWatcher",
+    "cold_rebuild",
+    "source_fingerprint",
+]

@@ -1,0 +1,366 @@
+"""Ingestion journal: the crash-safe record of a follow-mode run.
+
+Every source file a :class:`~repro.ingest.daemon.FollowDaemon` touches
+moves through a small state machine::
+
+    discovered -> admitted -> featurized -> fused
+                     |                        ^
+                     +--> retrying -----------+
+                     |       |
+                     +--> quarantined
+
+Each transition is one fsynced JSONL append
+(:func:`repro.ioutils.fsync_append_line`), so a process killed at any
+point leaves a journal whose *latest* record per (file, fingerprint)
+names exactly how far that source got.  ``--resume`` replays the
+``fused`` records in fusion order -- re-ingesting the same bytes through
+the same deterministic pipeline -- and lands on matches and clusters
+bit-identical to a cold rebuild over the same source set; everything
+not yet fused is simply re-discovered by the watcher.
+
+Format
+------
+The first line is a header record::
+
+    {"type": "ingest-journal", "version": 1}
+
+Every subsequent line describes one transition of one source file::
+
+    {"type": "source", "file": "cameras_b.csv", "fingerprint": "9f2c...",
+     "status": "fused", "order": 1, "properties": 7, "pairs": 21,
+     "matches": 5}
+
+``retrying`` records carry ``attempt``/``error_type``/``error``;
+``quarantined`` records carry a structured ``reason`` plus the final
+error and attempt count.  Sources are keyed by *(file name,
+content fingerprint)*: a file whose bytes change after quarantine is a
+new source with a fresh lifecycle, while re-appends for the same
+fingerprint supersede each other (latest wins), exactly as in
+:class:`repro.evaluation.checkpoint.RunJournal`, whose torn-tail
+reading machinery this module reuses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import JournalError
+from repro.evaluation.checkpoint import read_journal_records
+from repro.ioutils import fsync_append_line
+
+INGEST_JOURNAL_TYPE = "ingest-journal"
+_INGEST_JOURNAL_VERSION = 1
+
+STATUS_DISCOVERED = "discovered"
+STATUS_ADMITTED = "admitted"
+STATUS_RETRYING = "retrying"
+STATUS_FEATURIZED = "featurized"
+STATUS_FUSED = "fused"
+STATUS_QUARANTINED = "quarantined"
+
+#: Lifecycle order, used to render describe() lines deterministically.
+STATUS_ORDER = (
+    STATUS_DISCOVERED,
+    STATUS_ADMITTED,
+    STATUS_RETRYING,
+    STATUS_FEATURIZED,
+    STATUS_FUSED,
+    STATUS_QUARANTINED,
+)
+
+#: Structured ``reason`` values of ``quarantined`` records.
+REASON_POISON = "poison-source"
+REASON_RETRIES_EXHAUSTED = "retry-budget-exhausted"
+REASON_DUPLICATE = "duplicate-source"
+QUARANTINE_REASONS = frozenset(
+    {REASON_POISON, REASON_RETRIES_EXHAUSTED, REASON_DUPLICATE}
+)
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """One source file's transition as recorded in (or read from) a journal."""
+
+    file: str
+    fingerprint: str
+    status: str
+    attempt: int | None = None
+    error_type: str | None = None
+    error: str | None = None
+    reason: str | None = None
+    order: int | None = None
+    properties: int | None = None
+    pairs: int | None = None
+    matches: int | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The (file, fingerprint) identity of the source this describes."""
+        return (self.file, self.fingerprint)
+
+    def to_record(self) -> dict:
+        """JSON-serialisable journal line."""
+        record: dict = {
+            "type": "source",
+            "file": self.file,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+        }
+        for name in (
+            "attempt", "error_type", "error", "reason",
+            "order", "properties", "pairs", "matches",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = value
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SourceEvent":
+        """Inverse of :meth:`to_record`."""
+        try:
+            return cls(
+                file=record["file"],
+                fingerprint=record["fingerprint"],
+                status=record["status"],
+                attempt=_opt_int(record.get("attempt")),
+                error_type=record.get("error_type"),
+                error=record.get("error"),
+                reason=record.get("reason"),
+                order=_opt_int(record.get("order")),
+                properties=_opt_int(record.get("properties")),
+                pairs=_opt_int(record.get("pairs")),
+                matches=_opt_int(record.get("matches")),
+            )
+        except (KeyError, TypeError, ValueError) as problem:
+            raise JournalError(
+                f"malformed ingestion-journal record: {problem}"
+            ) from None
+
+
+def _opt_int(value) -> int | None:
+    return None if value is None else int(value)
+
+
+class IngestJournal:
+    """Append-only JSONL journal of source-ingestion transitions.
+
+    One instance wraps one file path; the file is created (with its
+    header line) on the first append.  Reading never requires the file
+    to exist -- a missing journal is an empty one, so fresh and resumed
+    follow runs construct it identically.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # -- writing -------------------------------------------------------------
+    def _ensure_header(self) -> None:
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            fsync_append_line(
+                self.path,
+                json.dumps(
+                    {
+                        "type": INGEST_JOURNAL_TYPE,
+                        "version": _INGEST_JOURNAL_VERSION,
+                    }
+                ),
+            )
+
+    def append(self, event: SourceEvent) -> None:
+        """Durably record one transition (a single fsynced line)."""
+        self._ensure_header()
+        fsync_append_line(self.path, json.dumps(event.to_record(), sort_keys=True))
+
+    def record_discovered(self, file: str, fingerprint: str) -> None:
+        """A candidate file was seen for the first time (maybe unstable)."""
+        self.append(SourceEvent(file, fingerprint, STATUS_DISCOVERED))
+
+    def record_admitted(self, file: str, fingerprint: str) -> None:
+        """The file's size + fingerprint settled; it may now be read."""
+        self.append(SourceEvent(file, fingerprint, STATUS_ADMITTED))
+
+    def record_retry(
+        self, file: str, fingerprint: str, attempt: int, error: BaseException
+    ) -> None:
+        """An ingestion attempt failed; a bounded-backoff retry is due."""
+        self.append(
+            SourceEvent(
+                file,
+                fingerprint,
+                STATUS_RETRYING,
+                attempt=attempt,
+                error_type=type(error).__name__,
+                error=str(error),
+            )
+        )
+
+    def record_featurized(
+        self, file: str, fingerprint: str, properties: int, pairs: int
+    ) -> None:
+        """The batch's features and scores are computed (not yet fused)."""
+        self.append(
+            SourceEvent(
+                file,
+                fingerprint,
+                STATUS_FEATURIZED,
+                properties=properties,
+                pairs=pairs,
+            )
+        )
+
+    def record_fused(
+        self,
+        file: str,
+        fingerprint: str,
+        order: int,
+        properties: int,
+        pairs: int,
+        matches: int,
+    ) -> None:
+        """The batch is folded into matches + clusters and outputs written."""
+        self.append(
+            SourceEvent(
+                file,
+                fingerprint,
+                STATUS_FUSED,
+                order=order,
+                properties=properties,
+                pairs=pairs,
+                matches=matches,
+            )
+        )
+
+    def record_quarantined(
+        self,
+        file: str,
+        fingerprint: str,
+        reason: str,
+        error: BaseException,
+        attempts: int,
+    ) -> None:
+        """The source is set aside; healthy sources continue without it."""
+        self.append(
+            SourceEvent(
+                file,
+                fingerprint,
+                STATUS_QUARANTINED,
+                reason=reason,
+                attempt=attempts,
+                error_type=type(error).__name__,
+                error=str(error),
+            )
+        )
+
+    # -- reading -------------------------------------------------------------
+    def events(self) -> list[SourceEvent]:
+        """Every source transition, in append order (torn tail dropped)."""
+        records = read_journal_records(
+            self.path,
+            header_type=INGEST_JOURNAL_TYPE,
+            version=_INGEST_JOURNAL_VERSION,
+            kind="an ingestion journal",
+        )
+        return [
+            SourceEvent.from_record(record)
+            for record in records
+            if record.get("type") == "source"
+        ]
+
+    def latest(self) -> dict[tuple[str, str], SourceEvent]:
+        """Latest event per (file, fingerprint), in first-seen order."""
+        latest: dict[tuple[str, str], SourceEvent] = {}
+        for event in self.events():
+            latest[event.key] = event
+        return latest
+
+    def fused_in_order(self) -> list[SourceEvent]:
+        """Sources whose latest status is ``fused``, by fusion order.
+
+        The replay plan for ``--resume``: feeding these files through
+        the pipeline again, in this order, reproduces the pre-crash
+        state bit for bit.
+        """
+        fused = [
+            event
+            for event in self.latest().values()
+            if event.status == STATUS_FUSED
+        ]
+        return sorted(fused, key=lambda event: event.order or 0)
+
+    def quarantined(self) -> dict[tuple[str, str], SourceEvent]:
+        """Sources whose latest status is ``quarantined``."""
+        return {
+            key: event
+            for key, event in self.latest().items()
+            if event.status == STATUS_QUARANTINED
+        }
+
+    def describe(self) -> str:
+        """Post-mortem summary: per-source status, last failure, reasons.
+
+        One line per (file, fingerprint) with its latest status and the
+        counts that status carries, then aggregate per-status counts,
+        the most recently journaled failure among sources that are
+        still failing (retrying or quarantined -- a failure a later
+        attempt recovered from is history, not a finding), and one line
+        per quarantined source naming its structured reason.  Enough to
+        diagnose a dead follow loop from ``repro describe --journal X``
+        alone.
+        """
+        events = self.events()
+        latest: dict[tuple[str, str], tuple[int, SourceEvent]] = {}
+        for position, event in enumerate(events):
+            latest[event.key] = (position, event)
+        lines = [f"ingestion journal {self.path}:"]
+        counts: dict[str, int] = {}
+        failures: list[tuple[int, SourceEvent]] = []
+        for position, event in latest.values():
+            counts[event.status] = counts.get(event.status, 0) + 1
+            if event.status in (STATUS_RETRYING, STATUS_QUARANTINED):
+                failures.append((position, event))
+            detail = [f"status={event.status}"]
+            if event.order is not None:
+                detail.append(f"order={event.order}")
+            if event.properties is not None:
+                detail.append(f"properties={event.properties}")
+            if event.pairs is not None:
+                detail.append(f"pairs={event.pairs}")
+            if event.matches is not None:
+                detail.append(f"matches={event.matches}")
+            if event.reason is not None:
+                detail.append(f"reason={event.reason}")
+            lines.append(
+                f"  {event.file} ({event.fingerprint}): " + ", ".join(detail)
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+            return "\n".join(lines)
+        summary = [
+            f"{counts[status]} {status}"
+            for status in STATUS_ORDER
+            if counts.get(status)
+        ]
+        lines.append("  totals: " + ", ".join(summary))
+        if failures:
+            _, failure = max(failures, key=lambda pair: pair[0])
+            lines.append(
+                f"  last failure: {failure.file}: "
+                f"{failure.error_type}: {failure.error}"
+                + (
+                    f" (after {failure.attempt} attempt(s))"
+                    if failure.attempt is not None
+                    else ""
+                )
+            )
+        for _, event in sorted(
+            (pair for pair in latest.values() if pair[1].status == STATUS_QUARANTINED),
+            key=lambda pair: pair[1].file,
+        ):
+            lines.append(
+                f"  quarantined: {event.file}: {event.reason} "
+                f"({event.error_type}: {event.error})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Directory watcher with a write-stability admission gate.
+
+Source feeds land as CSV files in a followed directory, and nothing
+guarantees the writer is done when the file first appears: market-feed
+style producers append for seconds, network copies stall, editors write
+through temp files only sometimes.  Reading too early yields a torn
+dataset whose missing rows silently shift every match downstream.
+
+:class:`SourceWatcher` therefore *admits* a candidate file only after
+its size **and** content fingerprint have held still for
+``settle_polls`` consecutive polls.  A file that grows, shrinks, or
+mutates between polls restarts its settle counter, so a
+partially-written CSV is never admitted -- the acceptance invariant the
+chaos suite pins with a deliberately slow writer.  Admission is
+re-armed when an already-admitted file's bytes change, so a corrected
+source re-enters the pipeline under a fresh fingerprint.
+
+The watcher is deliberately passive: :meth:`poll` performs one
+observation pass and returns what changed; the
+:class:`~repro.ingest.daemon.FollowDaemon` owns the loop, the clock,
+and the stop event (REP010: watch loops must be stop-aware and
+bounded).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Suffix of alignment sidecars: ``x.alignment.csv`` rides along with
+#: ``x.csv`` and is never a source file of its own.
+ALIGNMENT_SUFFIX = ".alignment.csv"
+
+#: Fingerprints are content hashes truncated like run-journal keys:
+#: long enough to never collide in one directory, short enough to grep.
+_FINGERPRINT_HEX = 16
+
+
+def source_fingerprint(path: Path) -> str:
+    """Content fingerprint of a source file plus its alignment sidecar.
+
+    The sidecar is folded in because the pair labels it contributes are
+    part of what gets fused: an instances file whose alignment is still
+    being written is just as unadmittable as a torn instances file.
+    Raises ``OSError`` when either file vanishes mid-read (the caller
+    treats that as instability).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(path.read_bytes())
+    sidecar = alignment_sidecar(path)
+    if sidecar is not None:
+        hasher.update(b"\x1f")
+        hasher.update(sidecar.read_bytes())
+    return hasher.hexdigest()[:_FINGERPRINT_HEX]
+
+
+def alignment_sidecar(path: Path) -> Path | None:
+    """``x.alignment.csv`` next to ``x.csv``, if present."""
+    sidecar = path.with_name(path.stem + ALIGNMENT_SUFFIX)
+    return sidecar if sidecar.exists() else None
+
+
+@dataclass
+class _Observation:
+    """What the watcher last saw of one candidate file."""
+
+    size: int
+    fingerprint: str
+    stable_polls: int = 0
+    admitted_fingerprint: str | None = None
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """Outcome of one observation pass.
+
+    ``discovered`` lists (file name, fingerprint) pairs seen for the
+    first time this poll (possibly still unstable -- journaled so a
+    post-mortem shows the file arrived); ``admitted`` lists pairs whose
+    content settled this poll, in sorted file-name order so two runs
+    that see the same directory state admit in the same order
+    (determinism of the fused sequence depends on it).
+    """
+
+    discovered: tuple[tuple[str, str], ...] = ()
+    admitted: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class SourceWatcher:
+    """Polls a directory and admits sources whose content has settled.
+
+    Parameters
+    ----------
+    directory:
+        The followed directory.
+    settle_polls:
+        Consecutive polls a file's (size, fingerprint) must hold still
+        before admission.  The default of 2 means: seen identical at
+        least twice after the observation that first recorded it.
+    ignore:
+        File names (not paths) never treated as sources -- the daemon
+        passes its own outputs (matches CSV, clusters JSON, journal)
+        so the loop does not eat what it writes.
+    """
+
+    directory: Path
+    settle_polls: int = 2
+    ignore: frozenset[str] = frozenset()
+    _observations: dict[str, _Observation] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.settle_polls < 1:
+            self.settle_polls = 1
+
+    def _candidates(self) -> list[Path]:
+        if not self.directory.exists():
+            return []
+        found = [
+            path
+            for path in sorted(self.directory.glob("*.csv"))
+            if not path.name.endswith(ALIGNMENT_SUFFIX)
+            and path.name not in self.ignore
+        ]
+        return found
+
+    def poll(self) -> PollResult:
+        """One observation pass: discover, settle-check, admit.
+
+        Never raises for concurrent file mutation: a file that vanishes
+        or errors mid-read simply loses its observation and starts over
+        next poll.
+        """
+        discovered: list[tuple[str, str]] = []
+        admitted: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        for path in self._candidates():
+            try:
+                size = path.stat().st_size
+                fingerprint = source_fingerprint(path)
+            except OSError:
+                self._observations.pop(path.name, None)
+                continue
+            seen.add(path.name)
+            observation = self._observations.get(path.name)
+            if observation is None:
+                self._observations[path.name] = _Observation(size, fingerprint)
+                discovered.append((path.name, fingerprint))
+                continue
+            if (
+                observation.size != size
+                or observation.fingerprint != fingerprint
+            ):
+                # The writer is still at work: restart the settle count
+                # and forget any earlier admission of different bytes.
+                changed_after_admission = (
+                    observation.admitted_fingerprint is not None
+                )
+                self._observations[path.name] = _Observation(size, fingerprint)
+                if changed_after_admission:
+                    discovered.append((path.name, fingerprint))
+                continue
+            if observation.admitted_fingerprint == fingerprint:
+                continue
+            observation.stable_polls += 1
+            if observation.stable_polls >= self.settle_polls:
+                observation.admitted_fingerprint = fingerprint
+                admitted.append((path.name, fingerprint))
+        for name in set(self._observations) - seen:
+            del self._observations[name]
+        return PollResult(tuple(discovered), tuple(admitted))

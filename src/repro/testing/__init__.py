@@ -12,8 +12,12 @@ from repro.testing.faults import (
     FaultInjected,
     FaultPlan,
     FaultyMatcher,
+    IngestFaultPlan,
     SimulatedKill,
+    SlowSourceWriter,
     corrupt_with_nan,
+    write_poison_csv,
+    write_torn_csv,
 )
 
 __all__ = [
@@ -22,6 +26,10 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "FaultyMatcher",
+    "IngestFaultPlan",
     "SimulatedKill",
+    "SlowSourceWriter",
     "corrupt_with_nan",
+    "write_poison_csv",
+    "write_torn_csv",
 ]

@@ -212,17 +212,122 @@ class FaultPlan:
         at a time (the supervisor re-dispatches only after a death), so
         a plain read-increment-write file is race-free here.
         """
-        if budget <= 0:
+        return _consume_file_budget(self.state_dir, f"{kind}-{repetition}", budget)
+
+
+def _consume_file_budget(state_dir: str | None, key: str, budget: int) -> bool:
+    """Claim one firing of an on-disk fault budget (see ``consume_budget``)."""
+    if budget <= 0 or state_dir is None:
+        return False
+    counter = Path(state_dir) / f"{key}.count"
+    fired = int(counter.read_text()) if counter.exists() else 0
+    if fired >= budget:
+        return False
+    counter.parent.mkdir(parents=True, exist_ok=True)
+    # Atomic even for a test counter: a fault that fires *while* the
+    # counter is being written must not corrupt the budget (REP002).
+    atomic_write_text(counter, str(fired + 1))
+    return True
+
+
+@dataclass(frozen=True)
+class IngestFaultPlan:
+    """Process kills at exact journaled stages of the follow daemon.
+
+    The daemon calls :meth:`maybe_exit` right after appending each
+    lifecycle record; ``exit_after={"fused": 1}`` therefore means "hard-
+    kill the process immediately after the *first* ``fused`` record
+    lands in the journal" -- the worst possible instant for that stage,
+    since everything after the append is lost.  Budgets are counted in
+    ``state_dir`` files (the process about to die cannot count in
+    memory), so a resumed daemon given the same plan does not die again.
+    """
+
+    exit_after: Mapping[str, int] = field(default_factory=dict)
+    state_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.exit_after and self.state_dir is None:
+            raise ConfigurationError(
+                "IngestFaultPlan.state_dir is required: the kill budget "
+                "must survive the process deaths it causes"
+            )
+
+    def maybe_exit(self, stage: str) -> None:
+        """Hard-kill the process if ``stage`` still has kill budget."""
+        if _consume_file_budget(
+            self.state_dir, f"ingest-{stage}", self.exit_after.get(stage, 0)
+        ):
+            os._exit(WORKER_EXIT_CODE)
+
+
+def write_torn_csv(path: str | Path, rows: list[list[str]], keep: float = 0.5) -> None:
+    """Write a CSV whose final line is cut mid-row, as a dying writer would.
+
+    ``rows`` includes the header.  The file contains the first ``keep``
+    fraction of the full byte stream, cut without regard for line
+    boundaries -- exactly what a crashed (non-atomic) producer leaves
+    behind.  Note a torn file whose writer is *gone* is stable, so the
+    watcher will admit it; the loader then quarantines the torn row.
+    The never-admit guarantee is about files still being written, which
+    :class:`SlowSourceWriter` simulates.
+    """
+    text = "\n".join(",".join(row) for row in rows) + "\n"
+    cut = max(1, int(len(text) * keep))
+    Path(path).write_text(text[:cut], encoding="utf-8")  # repro: noqa[REP002] simulating a crashed non-atomic producer is the point
+
+
+def write_poison_csv(path: str | Path) -> None:
+    """Write a structurally broken source file (wrong header columns).
+
+    Loading raises a permanent :class:`~repro.errors.DataError` on
+    every attempt: the canonical poison source that must end up
+    quarantined after its bounded retry budget while healthy sources
+    keep fusing.
+    """
+    Path(path).write_text(  # repro: noqa[REP002] a broken source file is the desired artifact
+        "wrong,header,columns\nso,this,fails\n", encoding="utf-8"
+    )
+
+
+class SlowSourceWriter:
+    """Writes a file in small chunks with pauses, like a slow producer.
+
+    Drives the watcher's never-admit-mid-write guarantee: while the
+    writer is between chunks the file is readable but incomplete, and
+    only after :meth:`finish` (or the last chunk) may an admission
+    happen.  Chunks are written with plain appends -- deliberately
+    non-atomic, this simulates the producers the stability gate exists
+    for.  ``step`` is manual (no thread, no clock): tests interleave
+    ``step()`` with watcher polls deterministically.
+    """
+
+    def __init__(self, path: str | Path, text: str, chunks: int = 4) -> None:
+        if chunks < 1:
+            raise ConfigurationError("chunks must be >= 1")
+        self.path = Path(path)
+        size = max(1, (len(text) + chunks - 1) // chunks)
+        self._chunks = [text[i : i + size] for i in range(0, len(text), size)]
+        self._written = 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether every chunk has been written."""
+        return self._written >= len(self._chunks)
+
+    def step(self) -> bool:
+        """Append one more chunk; returns True while unfinished."""
+        if self.finished:
             return False
-        counter = Path(self.state_dir) / f"{kind}-{repetition}.count"
-        fired = int(counter.read_text()) if counter.exists() else 0
-        if fired >= budget:
-            return False
-        counter.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic even for a test counter: a fault that fires *while* the
-        # counter is being written must not corrupt the budget (REP002).
-        atomic_write_text(counter, str(fired + 1))
-        return True
+        with self.path.open("a", encoding="utf-8") as handle:  # repro: noqa[REP002] the slow, torn-visible append is what the watcher must survive
+            handle.write(self._chunks[self._written])
+        self._written += 1
+        return not self.finished
+
+    def finish(self) -> None:
+        """Write all remaining chunks."""
+        while self.step():
+            pass
 
 
 class FaultyMatcher(Matcher):

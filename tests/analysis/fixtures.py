@@ -342,6 +342,44 @@ def run(matcher, dataset):
 """
 
 
+# ---------------------------------------------------------------- REP010
+
+REP010_BAD_SLEEP = """\
+import time
+
+def follow(watcher):
+    while True:
+        watcher.poll()
+        time.sleep(0.5)
+"""
+REP010_BAD_SLEEP_LINE = 6
+
+REP010_BAD_SPIN = """\
+def follow(watcher):
+    while True:
+        watcher.poll()
+"""
+REP010_BAD_SPIN_LINE = 2
+
+REP010_GOOD = """\
+def follow(watcher, stop_event, poll_interval):
+    while True:
+        if stop_event.is_set():
+            break
+        watcher.poll()
+        stop_event.wait(poll_interval)
+"""
+
+# A conditioned loop needs no body-level stop check: the condition IS
+# the stop check.
+REP010_GOOD_CONDITIONED = """\
+def follow(watcher, stop_event, poll_interval):
+    while not stop_event.is_set():
+        watcher.poll()
+        stop_event.wait(poll_interval)
+"""
+
+
 #: ``rule -> (bad snippet, expected line, good snippet)`` for the
 #: one-per-rule parametrised test; extra variants are exercised
 #: individually in test_rules.py.
@@ -355,4 +393,5 @@ PAIRS = {
     "REP007": (REP007_BAD, REP007_BAD_LINE, REP007_GOOD),
     "REP008": (REP008_BAD, REP008_BAD_LINE, REP008_GOOD),
     "REP009": (REP009_BAD, REP009_BAD_LINE, REP009_GOOD),
+    "REP010": (REP010_BAD_SLEEP, REP010_BAD_SLEEP_LINE, REP010_GOOD),
 }

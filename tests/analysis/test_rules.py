@@ -170,3 +170,35 @@ class TestRep008Variants:
             "    return pool.submit(_execute, item)\n"
         )
         assert violations_of(source, "REP008") == []
+
+
+class TestRep010Variants:
+    def test_spin_without_stop_check(self):
+        found = violations_of(fixtures.REP010_BAD_SPIN, "REP010")
+        assert found
+        assert fixtures.REP010_BAD_SPIN_LINE in {v.line for v in found}
+
+    def test_conditioned_loop_is_fine(self):
+        assert violations_of(fixtures.REP010_GOOD_CONDITIONED, "REP010") == []
+
+    def test_only_binds_watch_and_ingest_modules(self):
+        report = analyze_source(
+            fixtures.REP010_BAD_SLEEP,
+            path="src/repro/evaluation/runner.py",
+            select=("REP010",),
+        )
+        assert report.violations == []
+
+    def test_binds_real_ingest_module_paths(self):
+        found = analyze_source(
+            fixtures.REP010_BAD_SLEEP,
+            path="src/repro/ingest/daemon.py",
+            select=("REP010",),
+        ).violations
+        assert found
+
+    def test_tests_are_exempt(self):
+        report = analyze_source(
+            fixtures.REP010_BAD_SLEEP, role=ROLE_TESTS, select=("REP010",)
+        )
+        assert report.violations == []

@@ -4,7 +4,7 @@ import pytest
 
 from repro.data.csvio import load_dataset_csv, save_dataset_csv
 from repro.data.model import Dataset, PropertyInstance, PropertyRef
-from repro.errors import DataError
+from repro.errors import DataError, TransientDataError
 
 
 @pytest.fixture()
@@ -157,8 +157,37 @@ class TestCsvValidation:
         with pytest.raises(DataError, match="no instances"):
             load_dataset_csv(instances, alignment)
 
-    def test_empty_header(self, tmp_path):
+    def test_empty_file_is_transient(self, tmp_path):
+        # A zero-byte file is a state every file passes through while an
+        # external writer produces it: retryable, not a verdict.
         path = tmp_path / "empty.csv"
         path.write_text("")
-        with pytest.raises(DataError, match="no header"):
+        with pytest.raises(TransientDataError, match="empty"):
+            load_dataset_csv(path)
+
+
+class TestTransientVsPermanent:
+    """Follow-mode retry vs. quarantine hinges on this split."""
+
+    def test_transient_is_a_data_error(self):
+        # Callers that do not care about the split keep catching
+        # DataError; followers catch the subclass first.
+        assert issubclass(TransientDataError, DataError)
+
+    def test_missing_file_is_permanent(self, tmp_path):
+        with pytest.raises(DataError) as excinfo:
+            load_dataset_csv(tmp_path / "nope.csv")
+        assert not isinstance(excinfo.value, TransientDataError)
+
+    def test_missing_columns_is_permanent(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header\nso,what\n")
+        with pytest.raises(DataError) as excinfo:
+            load_dataset_csv(path)
+        assert not isinstance(excinfo.value, TransientDataError)
+
+    def test_headerless_whitespace_file_is_transient(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("\n\n")
+        with pytest.raises(TransientDataError):
             load_dataset_csv(path)

@@ -1,0 +1,116 @@
+"""SourceWatcher: a partially-written CSV is never admitted."""
+
+from repro.ingest import SourceWatcher, source_fingerprint
+from repro.testing import SlowSourceWriter
+
+from tests.ingest.conftest import PROPS_A, source_csv_text, write_source
+
+
+def poll_until_admitted(watcher, limit=20):
+    """Poll until something is admitted; returns (admitted, polls used)."""
+    for polls in range(1, limit + 1):
+        result = watcher.poll()
+        if result.admitted:
+            return result.admitted, polls
+    raise AssertionError(f"nothing admitted within {limit} polls")
+
+
+class TestStabilityGate:
+    def test_stable_file_admitted_after_settle_polls(self, feed):
+        write_source(feed, "a.csv", "srcA", PROPS_A)
+        watcher = SourceWatcher(feed, settle_polls=2)
+        first = watcher.poll()
+        assert [name for name, _ in first.discovered] == ["a.csv"]
+        assert first.admitted == ()
+        assert watcher.poll().admitted == ()
+        admitted, _ = poll_until_admitted(watcher)
+        assert [name for name, _ in admitted] == ["a.csv"]
+        # and only once for the same bytes
+        assert watcher.poll().admitted == ()
+
+    def test_growing_file_is_never_admitted(self, feed):
+        writer = SlowSourceWriter(
+            feed / "slow.csv", source_csv_text("srcS", PROPS_A), chunks=5
+        )
+        watcher = SourceWatcher(feed, settle_polls=2)
+        while writer.step():
+            # One poll between every chunk: the fingerprint changes each
+            # time, so the settle counter keeps resetting.
+            assert watcher.poll().admitted == ()
+        admitted, _ = poll_until_admitted(watcher)
+        assert [name for name, _ in admitted] == ["slow.csv"]
+        assert admitted[0][1] == source_fingerprint(feed / "slow.csv")
+
+    def test_writer_stalling_mid_write_is_not_admitted_early(self, feed):
+        writer = SlowSourceWriter(
+            feed / "stall.csv", source_csv_text("srcS", PROPS_A), chunks=3
+        )
+        writer.step()
+        watcher = SourceWatcher(feed, settle_polls=2)
+        # The writer stalls: the half-file IS stable, so it eventually
+        # admits -- but under a *different* fingerprint than the full
+        # file, so the half-read can never be mistaken for the whole.
+        half_admitted, _ = poll_until_admitted(watcher)
+        half_fingerprint = half_admitted[0][1]
+        writer.finish()
+        full_admitted, _ = poll_until_admitted(watcher)
+        assert full_admitted[0][1] == source_fingerprint(feed / "stall.csv")
+        assert full_admitted[0][1] != half_fingerprint
+
+    def test_rewritten_file_is_rediscovered_and_readmitted(self, feed):
+        write_source(feed, "a.csv", "srcA", PROPS_A)
+        watcher = SourceWatcher(feed, settle_polls=2)
+        first, _ = poll_until_admitted(watcher)
+        write_source(feed, "a.csv", "srcA2", PROPS_A)
+        result = watcher.poll()
+        assert [name for name, _ in result.discovered] == ["a.csv"]
+        second, _ = poll_until_admitted(watcher)
+        assert second[0][1] != first[0][1]
+
+
+class TestSidecarsAndFiltering:
+    def test_alignment_sidecar_is_not_a_candidate(self, feed):
+        (feed / "a.alignment.csv").write_text("source,property,reference\n")
+        watcher = SourceWatcher(feed, settle_polls=1)
+        assert watcher.poll() == watcher.poll()  # both empty
+        assert watcher.poll().discovered == ()
+
+    def test_sidecar_change_resets_stability(self, feed):
+        write_source(feed, "a.csv", "srcA", PROPS_A)
+        (feed / "a.alignment.csv").write_text("source,property,reference\n")
+        watcher = SourceWatcher(feed, settle_polls=3)
+        watcher.poll()
+        watcher.poll()
+        # Sidecar grows: the pair (instances, alignment) is not settled.
+        (feed / "a.alignment.csv").write_text(
+            "source,property,reference\nsrcA,weight,w\n"
+        )
+        assert watcher.poll().admitted == ()
+        admitted, polls = poll_until_admitted(watcher)
+        assert polls >= 3
+
+    def test_ignored_names_are_invisible(self, feed):
+        write_source(feed, "matches.csv", "srcA", PROPS_A)
+        watcher = SourceWatcher(
+            feed, settle_polls=1, ignore=frozenset({"matches.csv"})
+        )
+        assert watcher.poll().discovered == ()
+
+    def test_non_csv_files_are_invisible(self, feed):
+        (feed / "ingest.journal").write_text("{}\n")
+        watcher = SourceWatcher(feed, settle_polls=1)
+        assert watcher.poll().discovered == ()
+
+    def test_vanished_file_is_forgotten(self, feed):
+        path = write_source(feed, "a.csv", "srcA", PROPS_A)
+        watcher = SourceWatcher(feed, settle_polls=2)
+        watcher.poll()
+        path.unlink()
+        assert watcher.poll().admitted == ()
+        # Reappearing starts a fresh settle cycle (discovered again).
+        write_source(feed, "a.csv", "srcA", PROPS_A)
+        assert [name for name, _ in watcher.poll().discovered] == ["a.csv"]
+
+    def test_missing_directory_polls_empty(self, tmp_path):
+        watcher = SourceWatcher(tmp_path / "nowhere")
+        assert watcher.poll().discovered == ()
