@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test lint check chaos serve-smoke bench bench-features bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test lint check chaos serve-smoke bench bench-features bench-kernel bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -50,6 +50,13 @@ bench:
 # timings + peak RSS).  Merges a "features" section into BENCH_grid.json.
 bench-features:
 	PYTHONPATH=src python scripts/bench_grid.py --features
+
+# Name-distance kernel micro-benchmark: scalar per-pair reference vs
+# the batched kernel vs the warm memo vs a persistent-cache reload,
+# with batched rows asserted bit-identical to the reference.  Merges a
+# "kernel" section into BENCH_grid.json.
+bench-kernel:
+	PYTHONPATH=src python scripts/bench_grid.py --kernel
 
 bench-suite:
 	pytest benchmarks/ --benchmark-only -s

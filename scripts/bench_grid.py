@@ -44,11 +44,19 @@ child so wall-clock, stage-level timings and peak RSS are isolated per
 variant.  Results merge into the same ``BENCH_grid.json`` under a
 ``"features"`` key.
 
+``--kernel`` runs the name-distance kernel micro-benchmark (PR 7):
+the scalar per-pair reference vs the batched kernel vs the warm
+in-process memo vs a persistent-cache reload, over the dataset's real
+unique cross-source pairs.  Batched rows are asserted bit-identical to
+the scalar reference before any ratio is reported.  Results merge into
+``BENCH_grid.json`` under a ``"kernel"`` key.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_grid.py [--scale small]
         [--repetitions 10] [--workers 2] [--out BENCH_grid.json]
     PYTHONPATH=src python scripts/bench_grid.py --features [--scale small]
+    PYTHONPATH=src python scripts/bench_grid.py --kernel [--scale small]
 """
 
 from __future__ import annotations
@@ -227,6 +235,18 @@ def _measure_in_child(work, dataset, embeddings) -> dict:
     return json.loads(payload)
 
 
+def _merge_section(out: Path, key: str, section: dict) -> None:
+    """Merge ``section`` under ``key`` into the JSON file at ``out``."""
+    payload = {}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except (OSError, ValueError):
+            payload = {}
+    payload[key] = section
+    atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+
+
 def run_features_benchmark(args) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     embeddings = build_domain_embeddings(args.dataset, scale=args.scale)
@@ -271,15 +291,109 @@ def run_features_benchmark(args) -> int:
         "peak_memory_ratio": round(memory_ratio, 3),
     }
     out = Path(args.out)
-    payload = {}
-    if out.exists():
-        try:
-            payload = json.loads(out.read_text())
-        except (OSError, ValueError):
-            payload = {}
-    payload["features"] = section
-    atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+    _merge_section(out, "features", section)
     print(f"written: {out} (features section)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Name-distance kernel micro-benchmark (--kernel)
+# ---------------------------------------------------------------------------
+
+
+def run_kernel_benchmark(args) -> int:
+    """Scalar reference vs batched kernel vs memo vs persistent reload."""
+    import tempfile
+
+    from repro.core.pipeline import (
+        clear_distance_memo,
+        disable_persistent_distances,
+        enable_persistent_distances,
+        flush_persistent_distances,
+    )
+    from repro.text.batch import name_distance_matrix, unique_lowered_pairs
+    from repro.text.distance_cache import KERNEL_FINGERPRINT
+    from repro.text.similarity import name_distance_vector
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    universe = PairUniverse(dataset)
+    raw = [(pair.left.name, pair.right.name) for pair in universe.pairs]
+    uniq, _ = unique_lowered_pairs(raw)
+    print(
+        f"kernel: {args.dataset}/{args.scale}, {len(raw)} pair rows, "
+        f"{len(uniq)} unique canonical pairs"
+    )
+
+    repeats = max(1, args.kernel_repeats)
+
+    def best_of(work) -> float:
+        return min(_timed(work) for _ in range(repeats))
+
+    def _timed(work) -> float:
+        started = perf_counter()
+        work()
+        return perf_counter() - started
+
+    scalar_seconds = best_of(
+        lambda: [name_distance_vector(a, b) for a, b in uniq]
+    )
+    batched_seconds = best_of(lambda: name_distance_matrix(raw))
+    batched = name_distance_matrix(raw)
+    reference = np.array([name_distance_vector(a, b) for a, b in raw])
+    np.testing.assert_array_equal(batched, reference)
+
+    # Warm in-process memo: every requested row is a dict hit + gather.
+    clear_distance_memo()
+    name_distance_block(raw)
+    counters: dict[str, int] = {}
+    memo_seconds = best_of(lambda: name_distance_block(raw, counters=counters))
+    assert counters.get("computed", 0) == 0
+
+    # Persistent reload: a fresh process (memo cleared) serving every
+    # row from the on-disk cache instead of recomputing.
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = Path(scratch) / "distance_cache.npz"
+        enable_persistent_distances(cache_path)
+        clear_distance_memo()
+        name_distance_block(raw)
+        flush_persistent_distances()
+        disable_persistent_distances()
+        clear_distance_memo()
+
+        started = perf_counter()
+        cache = enable_persistent_distances(cache_path)
+        reload_counters: dict[str, int] = {}
+        name_distance_block(raw, counters=reload_counters)
+        persistent_seconds = perf_counter() - started
+        disable_persistent_distances()
+        clear_distance_memo()
+    assert cache.loaded_entries == len(uniq)
+    assert reload_counters.get("computed", 0) == 0
+
+    batched_speedup = scalar_seconds / batched_seconds if batched_seconds else 0.0
+    print(f"scalar reference:   {scalar_seconds * 1000:9.2f} ms")
+    print(f"batched kernel:     {batched_seconds * 1000:9.2f} ms  ({batched_speedup:.2f}x)")
+    print(f"warm memo:          {memo_seconds * 1000:9.2f} ms")
+    print(f"persistent reload:  {persistent_seconds * 1000:9.2f} ms  (load + serve)")
+
+    section = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "seed": args.seed,
+        "pair_rows": len(raw),
+        "unique_pairs": len(uniq),
+        "repeats": repeats,
+        "fingerprint": KERNEL_FINGERPRINT,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "memo_seconds": round(memo_seconds, 4),
+        "persistent_reload_seconds": round(persistent_seconds, 4),
+        "batched_speedup": round(batched_speedup, 3),
+        "bit_identical": True,
+    }
+    out = Path(args.out)
+    _merge_section(out, "kernel", section)
+    print(f"written: {out} (kernel section)")
     return 0
 
 
@@ -307,9 +421,23 @@ def main(argv=None) -> int:
         help="run the featurization micro-benchmark (staged float32 "
              "pipeline vs legacy float64 path) instead of the grid",
     )
+    parser.add_argument(
+        "--kernel", action="store_true",
+        help="run the name-distance kernel micro-benchmark (scalar "
+             "reference vs batched kernel vs memo vs persistent "
+             "reload) instead of the grid",
+    )
+    parser.add_argument(
+        "--kernel-repeats", type=int, default=3,
+        help="best-of-N repeats for each --kernel measurement",
+    )
     args = parser.parse_args(argv)
+    if args.features and args.kernel:
+        parser.error("--features and --kernel are mutually exclusive")
     if args.features:
         return run_features_benchmark(args)
+    if args.kernel:
+        return run_kernel_benchmark(args)
 
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     embeddings = build_domain_embeddings(args.dataset, scale=args.scale)

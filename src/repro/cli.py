@@ -40,6 +40,11 @@ from repro.baselines import (
 )
 from repro.core import FeatureConfig, FeatureKinds, LeapmeMatcher
 from repro.core.api import Matcher
+from repro.core.pipeline import (
+    disable_persistent_distances,
+    enable_persistent_distances,
+    flush_persistent_distances,
+)
 from repro.data.csvio import load_dataset_csv, save_dataset_csv
 from repro.data.io import save_dataset_json
 from repro.data.model import Dataset
@@ -223,6 +228,16 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _distance_cache_path(args: argparse.Namespace, default: Path) -> Path | None:
+    """Resolve --distance-cache: ``off`` disables, unset means ``default``."""
+    raw = getattr(args, "distance_cache", None)
+    if raw is None:
+        return default
+    if raw == "off":
+        return None
+    return Path(raw)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     follow = Path(args.follow)
     follow.mkdir(parents=True, exist_ok=True)
@@ -240,6 +255,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     clusters = Path(args.clusters) if args.clusters else follow / "clusters.json"
     journal_path = Path(args.journal) if args.journal else follow / "ingest.journal"
     args.journal = str(journal_path)  # the interrupt handler's resume hint
+    cache_path = _distance_cache_path(args, follow / "distance_cache.npz")
+    if cache_path is not None:
+        cache = enable_persistent_distances(cache_path)
+        if cache.loaded_entries:
+            print(
+                f"distance cache: {cache.loaded_entries} pair(s) "
+                f"loaded from {cache_path}",
+                file=sys.stderr,
+            )
     pipeline = IngestPipeline(
         matcher,
         matches_path=out,
@@ -247,24 +271,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         seed=args.seed,
     )
-    pipeline.bootstrap(base)
-    daemon = FollowDaemon(
-        follow,
-        pipeline,
-        IngestJournal(journal_path),
-        poll_interval=args.poll_interval,
-        settle_polls=args.settle_polls,
-        retry_policy=RetryPolicy(
-            max_retries=args.max_retries, backoff_base=args.backoff, jitter=0.5
-        ),
-        seed=args.seed,
-    )
-    print(f"following {follow} (journal {journal_path})", file=sys.stderr)
-    summary = daemon.run(
-        resume=args.resume,
-        max_batches=args.max_batches,
-        max_idle_polls=args.max_idle_polls,
-    )
+    try:
+        pipeline.bootstrap(base)
+        daemon = FollowDaemon(
+            follow,
+            pipeline,
+            IngestJournal(journal_path),
+            poll_interval=args.poll_interval,
+            settle_polls=args.settle_polls,
+            retry_policy=RetryPolicy(
+                max_retries=args.max_retries, backoff_base=args.backoff, jitter=0.5
+            ),
+            seed=args.seed,
+        )
+        print(f"following {follow} (journal {journal_path})", file=sys.stderr)
+        summary = daemon.run(
+            resume=args.resume,
+            max_batches=args.max_batches,
+            max_idle_polls=args.max_idle_polls,
+        )
+    finally:
+        # Whatever got the daemon out of its loop -- clean exit, signal,
+        # error -- rows computed so far are worth keeping for the next
+        # process.  A no-op when nothing is dirty or no cache is wired.
+        flush_persistent_distances()
+        disable_persistent_distances()
     print(
         f"served {summary['fused']} batch(es) "
         f"({summary['replayed']} replayed on resume, "
@@ -360,27 +391,42 @@ def _match_with_added_source(
             "the LEAPME systems provide"
         )
     addition = load_dataset_csv(args.add_source, args.add_alignment)
-    rng = np.random.default_rng(args.seed)
-    store = matcher.build_feature_store(dataset)
-    matcher.attach_store(store)
-    matcher.prepare(dataset)
-    candidates = build_pairs(dataset)
-    training = sample_training_pairs(candidates, rng=rng)
-    if not training.positives():
-        raise ReproError(
-            "no positive training pairs in the base dataset; "
-            "provide an alignment file"
-        )
-    matcher.fit(dataset, training)
-    calls_before = dict(matcher.pipeline.stage_calls)
-    new_pairs = matcher.add_source(addition)
-    combined = store.universe.dataset
-    delta = {
-        stage: count - calls_before.get(stage, 0)
-        for stage, count in matcher.pipeline.stage_calls.items()
-        if count - calls_before.get(stage, 0)
-    }
-    scores = matcher.score_pairs(combined, new_pairs.pairs)
+    cache_path = _distance_cache_path(
+        args, Path(args.out).with_name("distance_cache.npz")
+    )
+    if cache_path is not None:
+        cache = enable_persistent_distances(cache_path)
+        if cache.loaded_entries:
+            print(
+                f"distance cache: {cache.loaded_entries} pair(s) "
+                f"loaded from {cache_path}",
+                file=sys.stderr,
+            )
+    try:
+        rng = np.random.default_rng(args.seed)
+        store = matcher.build_feature_store(dataset)
+        matcher.attach_store(store)
+        matcher.prepare(dataset)
+        candidates = build_pairs(dataset)
+        training = sample_training_pairs(candidates, rng=rng)
+        if not training.positives():
+            raise ReproError(
+                "no positive training pairs in the base dataset; "
+                "provide an alignment file"
+            )
+        matcher.fit(dataset, training)
+        calls_before = dict(matcher.pipeline.stage_calls)
+        new_pairs = matcher.add_source(addition)
+        combined = store.universe.dataset
+        delta = {
+            stage: count - calls_before.get(stage, 0)
+            for stage, count in matcher.pipeline.stage_calls.items()
+            if count - calls_before.get(stage, 0)
+        }
+        scores = matcher.score_pairs(combined, new_pairs.pairs)
+    finally:
+        flush_persistent_distances()
+        disable_persistent_distances()
     kept = _write_matches(args.out, new_pairs.pairs, scores, args.threshold)
     print(
         f"added {len(addition.sources())} source(s): "
@@ -508,6 +554,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-idle-polls", type=int, default=None, metavar="N",
                        help="exit after N consecutive polls with nothing to "
                             "do (default: run until signalled)")
+    serve.add_argument("--distance-cache", default=None, metavar="NPZ",
+                       help="persistent name-distance kernel cache, flushed "
+                            "atomically after every fused batch so warm "
+                            "restarts never recompute a seen pair "
+                            "(default: <follow>/distance_cache.npz; "
+                            "'off' disables)")
     serve.set_defaults(handler=_cmd_serve)
 
     lint = commands.add_parser(
@@ -533,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "new pairs")
     match.add_argument("--add-alignment", default=None, metavar="CSV",
                        help="alignment CSV for --add-source (optional)")
+    match.add_argument("--distance-cache", default=None, metavar="NPZ",
+                       help="persistent name-distance kernel cache for "
+                            "--add-source: repeated ingestions against the "
+                            "same base skip every already-seen pair "
+                            "(default: distance_cache.npz next to --out; "
+                            "'off' disables)")
     match.set_defaults(handler=_cmd_match)
 
     features = commands.add_parser(

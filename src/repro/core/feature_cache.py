@@ -206,6 +206,10 @@ class PairFeatureStore:
         self._gather_cache_size = gather_cache_size
         self._gather_cache_bytes = gather_cache_bytes
         self._gather_bytes = 0
+        # Float64 shadow for the score phase (see scoring_features).
+        self._matrix64: np.ndarray | None = None
+        self._gather64_cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._gather64_cache_size = 8
 
     def _assemble(
         self, table: PropertyFeatureTable, pairs: list[LabeledPair]
@@ -291,6 +295,8 @@ class PairFeatureStore:
         self.dataset_fingerprint = universe.dataset_fingerprint
         self._gather_cache.clear()
         self._gather_bytes = 0
+        self._matrix64 = None
+        self._gather64_cache.clear()
         return PairSet(new_pairs)
 
     def _gathered(self, rows: np.ndarray) -> np.ndarray:
@@ -329,3 +335,39 @@ class PairFeatureStore:
         rows = self.universe.rows_of(pairs)
         columns = self.schema.active_columns(config)
         return self._gathered(rows)[:, columns]
+
+    def scoring_features(
+        self,
+        pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]] | PairSet,
+        config: FeatureConfig,
+    ) -> np.ndarray:
+        """Float64 feature matrix for ``pairs``, ready for the classifier.
+
+        Bit-identical to the classifier's own upcast of
+        :meth:`features` (float32 to float64 is exact), but served from
+        a lazily built read-only float64 shadow of the full matrix, so
+        repeated score phases -- the grid scores the same test subset
+        under nine configs per repetition -- skip the per-call upcast
+        copy.  The shadow and its small gather cache are score-phase
+        state only; training keeps reading the float32 matrix.
+        """
+        if isinstance(pairs, PairSet):
+            pairs = pairs.pairs
+        if not pairs:
+            return np.zeros((0, self.schema.width(config)), dtype=np.float64)
+        if self._matrix64 is None:
+            matrix64 = np.asarray(self.matrix, dtype=np.float64)
+            matrix64.setflags(write=False)
+            self._matrix64 = matrix64
+        rows = self.universe.rows_of(pairs)
+        key = rows.tobytes()
+        gathered = self._gather64_cache.get(key)
+        if gathered is None:
+            gathered = self._matrix64[rows]
+            gathered.setflags(write=False)
+            self._gather64_cache[key] = gathered
+            while len(self._gather64_cache) > self._gather64_cache_size:
+                self._gather64_cache.popitem(last=False)
+        else:
+            self._gather64_cache.move_to_end(key)
+        return gathered[:, self.schema.active_columns(config)]

@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 from collections import Counter
 from dataclasses import dataclass
+from itertools import islice
 from time import perf_counter
 
 import numpy as np
@@ -57,7 +58,7 @@ from repro.data.model import Dataset, PropertyRef
 from repro.data.pairs import LabeledPair
 from repro.embeddings.base import WordEmbeddings
 from repro.errors import ConfigurationError, DataError
-from repro.text.batch import name_distance_matrix
+from repro.text.batch import name_distance_rows
 from repro.text.similarity import PAIR_DISTANCE_NAMES, name_distance_vector
 
 #: Storage dtype of all stage outputs and assembled pair matrices.
@@ -78,6 +79,62 @@ NUM_NAME_DISTANCES = len(PAIR_DISTANCE_NAMES)
 #: (the kernel's reference precision); casts happen at assembly.
 _DISTANCE_CACHE: dict[tuple[str, str], np.ndarray] = {}
 
+#: Upper bound on memoised pairs.  Rows are ~64 bytes plus key and dict
+#: overhead, so the cap bounds the memo near 100 MiB -- small enough for
+#: the long-lived follow daemon, large enough that no benchmark grid in
+#: the repo ever evicts.  Eviction is insertion-order (FIFO): the memo
+#: serves whole featurization passes, not point lookups, so recency
+#: tracking per probe would cost more than the occasional recompute.
+_DISTANCE_MEMO_CAP = 262_144
+
+#: Optional write-through overflow of the memo, persisted across
+#: processes (:class:`repro.text.distance_cache.DistanceCache`); wired
+#: by the serve/match CLI paths via :func:`enable_persistent_distances`.
+_PERSISTENT_DISTANCES = None
+
+
+def clear_distance_memo() -> None:
+    """Drop every memoised distance row (the in-process memo only)."""
+    _DISTANCE_CACHE.clear()
+
+
+def _evict_distance_overflow() -> None:
+    overflow = len(_DISTANCE_CACHE) - _DISTANCE_MEMO_CAP
+    if overflow > 0:
+        for key in list(islice(iter(_DISTANCE_CACHE), overflow)):
+            del _DISTANCE_CACHE[key]
+
+
+def enable_persistent_distances(path):
+    """Attach (and load) a persistent distance cache at ``path``.
+
+    Previously persisted rows are folded into the in-process memo
+    immediately; rows computed afterwards are recorded to the cache and
+    written out by :func:`flush_persistent_distances`.  Returns the
+    :class:`~repro.text.distance_cache.DistanceCache` for inspection.
+    """
+    global _PERSISTENT_DISTANCES
+    from repro.text.distance_cache import DistanceCache
+
+    cache = DistanceCache(path)
+    _PERSISTENT_DISTANCES = cache
+    _DISTANCE_CACHE.update(cache.items())
+    _evict_distance_overflow()
+    return cache
+
+
+def disable_persistent_distances() -> None:
+    """Detach the persistent cache (unsaved rows are discarded)."""
+    global _PERSISTENT_DISTANCES
+    _PERSISTENT_DISTANCES = None
+
+
+def flush_persistent_distances() -> bool:
+    """Atomically save the attached cache; False when detached or clean."""
+    if _PERSISTENT_DISTANCES is None:
+        return False
+    return _PERSISTENT_DISTANCES.save()
+
 
 def _canonical_name_pair(a: str, b: str) -> tuple[str, str]:
     a = a.lower()
@@ -92,6 +149,9 @@ def name_distances(a: str, b: str) -> np.ndarray:
     if cached is None:
         cached = _DISTANCE_CACHE[key] = np.array(name_distance_vector(*key))
         cached.setflags(write=False)
+        if _PERSISTENT_DISTANCES is not None:
+            _PERSISTENT_DISTANCES.record([key], [cached])
+        _evict_distance_overflow()
     return cached
 
 
@@ -100,12 +160,17 @@ def name_distance_block(
     *,
     dtype: np.dtype | type = np.float64,
     out: np.ndarray | None = None,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Distance vectors for many name pairs, ``(n_pairs, 8)``.
 
     Cache-aware: pairs already memoised are served from the cache and
     only the missing unique pairs go through the batched kernel.  Pass
     ``out`` to fill a preallocated block (its dtype wins over ``dtype``).
+    ``counters``, when given, has ``"cache_hit"`` incremented by the
+    number of rows served from the memo and ``"computed"`` by the rows
+    that needed the kernel -- the split the pipeline surfaces as
+    ``stage_calls`` so incremental work avoidance is assertable.
     """
     n = len(name_pairs)
     block = out if out is not None else np.empty((n, NUM_NAME_DISTANCES), dtype=dtype)
@@ -123,14 +188,23 @@ def name_distance_block(
             slot = seen_missing[key] = len(missing)
             missing.append(key)
         gather.append((i, slot))
+    if counters is not None:
+        counters["cache_hit"] = counters.get("cache_hit", 0) + (n - len(gather))
+        counters["computed"] = counters.get("computed", 0) + len(gather)
     if missing:
-        computed = name_distance_matrix(missing)
+        # Keys are already canonical, so the dedup pass inside
+        # name_distance_matrix would be a no-op: call the row kernel.
+        computed = name_distance_rows(missing)
+        computed.setflags(write=False)
+        # Cached entries are row views sharing the kernel's base array:
+        # no per-row copies, and the read-only base protects them all.
         for key, row in zip(missing, computed):
-            entry = row.copy()
-            entry.setflags(write=False)
-            _DISTANCE_CACHE[key] = entry
-        for out_row, slot in gather:
-            block[out_row] = computed[slot]
+            _DISTANCE_CACHE[key] = row
+        if _PERSISTENT_DISTANCES is not None:
+            _PERSISTENT_DISTANCES.record(missing, computed)
+        _evict_distance_overflow()
+        index = np.array(gather, dtype=np.int64)
+        block[index[:, 0]] = computed[index[:, 1]]
     return block
 
 
@@ -655,6 +729,10 @@ class FeaturePipeline:
         self.schema = FeatureSchema(embeddings.dimension)
         self.stage_calls: Counter = Counter()
         self.stage_seconds: dict[str, float] = {}
+        #: Scratch hit/miss split filled by ``name_distance_block`` and
+        #: folded into ``stage_calls`` as ``name_distance.computed`` /
+        #: ``name_distance.cache_hit``.
+        self._distance_counters: dict[str, int] = {}
         self._rows: dict[str, dict[str, np.ndarray]] = {
             stage.name: {} for stage in stages_at("property")
         }
@@ -736,9 +814,18 @@ class FeaturePipeline:
                         for left, right in zip(lefts, rights)
                     ],
                     out=target,
+                    counters=self._distance_counters,
                 )
             self._record_seconds(block.stage, perf_counter() - started)
             if block.stage not in counted:
                 counted.add(block.stage)
-                self.stage_calls[block.stage] += n
+                if block.source is not None:
+                    self.stage_calls[block.stage] += n
+                else:
+                    # The name-distance stage splits its row count by
+                    # memo state so incremental work avoidance (warm
+                    # add_source, persistent cache) is assertable.
+                    for kind, count in self._distance_counters.items():
+                        self.stage_calls[f"{block.stage}.{kind}"] += count
+                    self._distance_counters.clear()
         return matrix

@@ -39,6 +39,17 @@ columns through copy-on-write pages rather than re-deriving ad-hoc
 matrices, and the construction cost is paid exactly once per grid.
 Under ``spawn`` each worker builds its own, at most once per dataset.
 
+Prebuilt stores also enable **two-stage scoring**: a worker whose store
+the parent holds runs pair build + fit only and ships back a
+:class:`~repro.evaluation.runner._PendingScore` (the fitted classifier,
+pre-pickled) instead of scoring.  The parent resolves pendings in
+serial order after the pool drains (:class:`_ScoreResolver`), replaying
+the deterministic test split against its own store's float64 scoring
+shadow -- bit-identical features, so identical scores and journals.
+Scoring in the parent runs uncontended: workers scoring concurrently
+time-slice against each other and re-fault fresh feature upcasts per
+process, which is exactly the score-phase regression this removes.
+
 Failure model: the pool is run by
 :class:`~repro.evaluation.supervisor.PoolSupervisor` -- a dead worker
 respawns the pool and re-dispatches its items, a hung repetition is
@@ -54,30 +65,41 @@ prefix rather than nothing.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from queue import Empty
+from time import perf_counter
 
 import numpy as np
 
 from repro.data.model import Dataset
 from repro.data.splits import split_sources
 from repro.errors import ConfigurationError, GridInterrupted
-from repro.evaluation.checkpoint import STATUS_FAILED, RunJournal, run_key
+from repro.evaluation.checkpoint import (
+    STATUS_FAILED,
+    STATUS_OK,
+    RunJournal,
+    run_key,
+)
+from repro.evaluation.metrics import evaluate_scores
 from repro.evaluation.runner import (
     ExperimentResult,
+    PhaseTimings,
     RetryPolicy,
     RunSettings,
     _apply_journal_entry,
     _apply_outcome,
     _journal_outcome,
     _Outcome,
+    _PendingScore,
     _run_repetition,
 )
 from repro.evaluation.supervisor import PoolSupervisor, SupervisorPolicy
+from repro.nn.guards import assert_finite
 
 
 @dataclass(frozen=True)
@@ -104,7 +126,12 @@ _PREBUILT: dict = {}
 
 
 def _init_worker_process(
-    factories, datasets, retry_policy, share_features, start_queue=None
+    factories,
+    datasets,
+    retry_policy,
+    share_features,
+    start_queue=None,
+    defer_scores=False,
 ) -> None:
     """Pool initializer run *in the worker*: signals, then shared state.
 
@@ -118,12 +145,20 @@ def _init_worker_process(
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
-    _init_worker(factories, datasets, retry_policy, share_features, start_queue)
+    _init_worker(
+        factories, datasets, retry_policy, share_features, start_queue, defer_scores
+    )
 
 
 def _init_worker(
-    factories, datasets, retry_policy, share_features, start_queue=None
+    factories,
+    datasets,
+    retry_policy,
+    share_features,
+    start_queue=None,
+    defer_scores=False,
 ) -> None:
+    prebuilt_stores = dict(_PREBUILT.get("stores", ()))
     _STATE.clear()
     _STATE.update(
         factories=factories,
@@ -131,9 +166,14 @@ def _init_worker(
         retry_policy=retry_policy,
         share_features=share_features,
         start_queue=start_queue,
+        defer_scores=defer_scores,
+        # Keys whose store the *parent* also holds: only repetitions on
+        # one of these may defer their score phase (the parent must be
+        # able to gather the very same features).
+        prebuilt_stores=frozenset(prebuilt_stores),
         matchers={},
         universes=dict(_PREBUILT.get("universes", ())),
-        stores=dict(_PREBUILT.get("stores", ())),
+        stores=prebuilt_stores,
     )
 
 
@@ -234,6 +274,16 @@ def _execute_item(cell: GridCell, repetition: int):
         _worker_universe(cell.dataset_index) if _STATE["share_features"] else None
     )
     matcher = _worker_matcher(cell)
+    defer_key = None
+    if _STATE.get("defer_scores"):
+        embeddings = getattr(matcher, "embeddings", None)
+        store = getattr(matcher, "store", None)
+        if embeddings is not None and store is not None:
+            key = (cell.dataset_index, id(embeddings))
+            # ids survive fork, so "same key + same object" proves the
+            # parent holds this very store and can score against it.
+            if key in _STATE["prebuilt_stores"] and store is _STATE["stores"].get(key):
+                defer_key = key
     return _run_repetition(
         matcher,
         dataset,
@@ -243,6 +293,7 @@ def _execute_item(cell: GridCell, repetition: int):
         _STATE["retry_policy"],
         time.sleep,
         universe=universe,
+        defer_key=defer_key,
     )
 
 
@@ -355,6 +406,7 @@ def run_grid_parallel(
         outcomes[item] = outcome
         drain.advance(outcomes)
 
+    defer_scores = False
     if pending:
         context = _pool_context()
         if share_features and context.get_start_method() == "fork":
@@ -363,6 +415,17 @@ def run_grid_parallel(
                 datasets,
                 {cells[index].dataset_index for index, _ in pending},
             )
+            # Two-stage execution: workers fit, the parent scores after
+            # the drain.  Only meaningful when there is a prebuilt store
+            # the parent can gather the same features from.
+            defer_scores = bool(_PREBUILT["stores"])
+            if defer_scores:
+                drain.resolver = _ScoreResolver(
+                    cells,
+                    datasets,
+                    _PREBUILT["universes"],
+                    _PREBUILT["stores"],
+                )
         stop = threading.Event()
         received: list[int] = []
 
@@ -397,6 +460,7 @@ def run_grid_parallel(
                     retry_policy,
                     share_features,
                     start_queue_box[0],
+                    defer_scores,
                 ),
             )
 
@@ -440,8 +504,12 @@ def run_grid_parallel(
                 pool_supervisor.run()
             except GridInterrupted as interrupted:
                 # Outcomes harvested during shutdown are already
-                # journaled by the progressive drain; attach the signal
-                # for the caller's exit code.
+                # journaled by the progressive drain -- except deferred
+                # scores, whose training effort is preserved by scoring
+                # them now, before the prefix is sealed.  Attach the
+                # signal for the caller's exit code.
+                drain.enable_resolution()
+                drain.advance(outcomes)
                 interrupted.signum = received[-1] if received else None
                 raise
         finally:
@@ -451,8 +519,76 @@ def run_grid_parallel(
             for signum, previous in installed.items():
                 signal.signal(signum, previous)
 
+    drain.enable_resolution()
     drain.advance(outcomes)
     return results
+
+
+class _ScoreResolver:
+    """Parent-side completion of deferred score phases.
+
+    Workers whose feature store was prebuilt by the parent ship back a
+    :class:`_PendingScore` -- training done, scoring not -- and the
+    parent finishes each one here, after the pool has drained, so the
+    score phase runs uncontended instead of time-slicing against
+    sibling workers.  The test split is replayed deterministically from
+    ``(seed, repetition)``, features come from the store's float64
+    scoring shadow (bit-identical to the worker's own upcast), so
+    scores, qualities and journals match the serial grid byte for byte.
+
+    The resolver keeps direct references to the prebuilt universes and
+    stores: resolution happens after ``_PREBUILT`` has been cleared.
+    """
+
+    def __init__(self, cells, datasets, universes, stores) -> None:
+        self._cells = cells
+        self._datasets = datasets
+        self._universes = dict(universes)
+        self._stores = dict(stores)
+
+    def resolve(
+        self, cell_index: int, repetition: int, pending: _PendingScore
+    ) -> _Outcome:
+        from repro.core.config import FeatureConfig
+
+        cell = self._cells[cell_index]
+        timings = (
+            pending.timings if pending.timings is not None else PhaseTimings()
+        )
+        try:
+            dataset = self._datasets[cell.dataset_index]
+            rng = np.random.default_rng((cell.settings.seed, repetition))
+            split = split_sources(dataset, cell.settings.train_fraction, rng)
+            universe = self._universes[cell.dataset_index]
+            store = self._stores[pending.store_key]
+            config = FeatureConfig.from_label(pending.config_label)
+            classifier = pickle.loads(pending.classifier)
+            started = perf_counter()
+            test = universe.subset(list(split.train_sources), within=False)
+            timings.pair_build += perf_counter() - started
+            started = perf_counter()
+            features = store.scoring_features(test.pairs, config)
+            timings.feature_assembly += perf_counter() - started
+            started = perf_counter()
+            scores = classifier.match_scores(features)
+            timings.score += perf_counter() - started
+            assert_finite(scores, "similarity scores")
+            quality = evaluate_scores(scores, test.labels(), pending.threshold)
+            return _Outcome(
+                status=STATUS_OK,
+                quality=quality,
+                degradation=pending.degradation,
+                attempts=pending.attempts,
+                timings=timings,
+            )
+        except Exception as error:  # noqa: BLE001 -- isolation boundary
+            return _Outcome(
+                status=STATUS_FAILED,
+                error_type=type(error).__name__,
+                error_message=str(error),
+                attempts=pending.attempts,
+                timings=timings,
+            )
 
 
 class _SerialDrain:
@@ -464,6 +600,12 @@ class _SerialDrain:
     the parent in exactly the order the serial runner would emit them,
     and stops at the first item that is neither restored nor completed.
     Progressive calls therefore never double-apply anything.
+
+    A :class:`_PendingScore` at the cursor stalls the drain while the
+    pool is still running (its scoring must wait for an idle parent);
+    once :meth:`enable_resolution` is called -- after the pool drains,
+    or while journaling the prefix of an interrupted run -- pendings
+    are resolved in serial order through the attached resolver.
     """
 
     def __init__(
@@ -484,6 +626,12 @@ class _SerialDrain:
             for repetition in range(cell.settings.repetitions)
         ]
         self._position = 0
+        self.resolver: _ScoreResolver | None = None
+        self._resolve = False
+
+    def enable_resolution(self) -> None:
+        """Allow pendings at the cursor to be scored (pool is drained)."""
+        self._resolve = True
 
     def advance(self, outcomes: dict[tuple[int, int], object]) -> None:
         while self._position < len(self._slots):
@@ -493,9 +641,14 @@ class _SerialDrain:
                 _apply_journal_entry(self._results[cell_index], entry)
                 self._position += 1
                 continue
-            outcome = outcomes.pop((cell_index, repetition), None)
+            outcome = outcomes.get((cell_index, repetition))
             if outcome is None:
                 return
+            if isinstance(outcome, _PendingScore):
+                if not self._resolve or self.resolver is None:
+                    return
+                outcome = self.resolver.resolve(cell_index, repetition, outcome)
+            del outcomes[(cell_index, repetition)]
             _apply_outcome(self._results[cell_index], repetition, outcome)
             if self._journal is not None:
                 _journal_outcome(

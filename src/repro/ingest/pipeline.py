@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.matcher import LeapmeMatcher
+from repro.core.pipeline import flush_persistent_distances
 from repro.data.csvio import load_dataset_csv
 from repro.data.model import Dataset
 from repro.data.pairs import LabeledPair, build_pairs, sample_training_pairs
@@ -259,6 +260,10 @@ class IngestPipeline:
             writer.writerow(MATCH_COLUMNS)
             writer.writerows(self._match_rows)
         atomic_write_text(self.clusters_path, self._clusters_json())
+        # Same durability boundary for the name-distance kernel cache:
+        # rows computed for this batch survive a kill right after the
+        # batch's outputs do.  No-op unless serve wired a cache.
+        flush_persistent_distances()
 
     def _clusters_json(self) -> str:
         assert self.clusterer is not None

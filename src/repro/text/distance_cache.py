@@ -1,0 +1,159 @@
+"""Persistent, fingerprint-keyed store of name-distance rows.
+
+The batched kernel (:mod:`repro.text.batch`) makes cold featurization
+cheap; this cache makes *warm* runs free.  Long-lived ``repro serve
+--follow`` daemons and repeated ``repro match --add-source`` invocations
+see the same property names across process restarts, so the eight-column
+distance rows of every canonical (lowercased, sorted) unique pair are
+persisted once and reloaded instead of recomputed.
+
+File format: one ``.npz`` bundle (written atomically through
+:func:`repro.ioutils.atomic_save`, so a crash mid-save never corrupts a
+previously good cache) holding
+
+``fingerprint``
+    the kernel fingerprint the rows were computed with,
+``first`` / ``second``
+    the canonical pair halves as unicode arrays, and
+``matrix``
+    the ``(n_pairs, 8)`` float64 distance rows.
+
+Loading is tolerant by construction: a missing file, an unreadable or
+truncated archive, mismatched array shapes or a stale fingerprint all
+load as an empty cache -- the cache is a pure accelerator, never a
+source of truth, so the only correct reaction to damage is to recompute.
+
+The fingerprint pins the numeric contract, not the implementation: rows
+must equal the scalar :func:`repro.text.similarity.name_distance_vector`
+bit for bit (the kernel's test-pinned invariant), so
+:data:`KERNEL_VERSION` only changes when that scalar contract itself
+changes, invalidating persisted rows everywhere at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.ioutils import atomic_save
+from repro.text.batch import COLUMNS, KERNEL_VERSION
+
+#: Identifies the numeric contract of persisted rows.  Derived from the
+#: kernel version and the column order, so adding, removing or
+#: reordering distance columns -- or changing their semantics -- makes
+#: old cache files load as empty instead of serving wrong rows.
+KERNEL_FINGERPRINT: str = hashlib.sha256(
+    f"{KERNEL_VERSION}:{','.join(COLUMNS)}".encode()
+).hexdigest()[:16]
+
+
+class DistanceCache:
+    """Crash-safe on-disk memo of canonical name-pair distance rows.
+
+    ``get``/``record`` mirror a dict keyed by canonical (lowercased,
+    sorted) name pairs; :meth:`save` persists atomically and is cheap to
+    call often (a no-op unless new rows were recorded).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._rows: dict[tuple[str, str], np.ndarray] = {}
+        self._dirty = 0
+        #: Entries served from disk at construction (0 for cold starts,
+        #: also after a corrupt or fingerprint-stale file was ignored).
+        self.loaded_entries = 0
+        self._load()
+
+    # -- read side ---------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with np.load(self.path, allow_pickle=False) as data:
+                if str(data["fingerprint"]) != KERNEL_FINGERPRINT:
+                    return
+                first = data["first"]
+                second = data["second"]
+                matrix = np.asarray(data["matrix"], dtype=np.float64)
+            if matrix.shape != (len(first), len(COLUMNS)):
+                return
+            if len(first) != len(second):
+                return
+        except FileNotFoundError:
+            return
+        except Exception:  # repro: noqa[REP005] damage tolerance by contract: any unreadable cache loads as empty and is recomputed
+            # Truncated archive, not a zip, bad dtypes, missing keys...
+            # every flavour of damage means the same thing: recompute.
+            return
+        matrix.setflags(write=False)
+        for i in range(len(first)):
+            self._rows[(str(first[i]), str(second[i]))] = matrix[i]
+        self.loaded_entries = len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._rows
+
+    def get(self, key: tuple[str, str]) -> np.ndarray | None:
+        """The persisted row for a canonical pair, or ``None``."""
+        return self._rows.get(key)
+
+    def items(self) -> Iterator[tuple[tuple[str, str], np.ndarray]]:
+        return iter(self._rows.items())
+
+    # -- write side --------------------------------------------------------
+
+    def record(
+        self,
+        keys: Iterable[tuple[str, str]],
+        rows: Sequence[np.ndarray] | np.ndarray,
+    ) -> int:
+        """Insert newly computed rows; returns how many were new.
+
+        Existing keys are kept (first write wins -- rows are pinned to
+        the scalar reference, so recomputation cannot disagree).
+        """
+        added = 0
+        for key, row in zip(keys, rows):
+            if key not in self._rows:
+                self._rows[key] = row
+                added += 1
+        self._dirty += added
+        return added
+
+    @property
+    def dirty(self) -> bool:
+        """Whether there are recorded rows not yet saved."""
+        return self._dirty > 0
+
+    def save(self) -> bool:
+        """Atomically persist all rows; returns whether a write happened.
+
+        A no-op when nothing changed since the last save, so callers may
+        flush after every ingestion batch without rewrite churn.
+        """
+        if not self._dirty:
+            return False
+        first = np.array([key[0] for key in self._rows], dtype=str)
+        second = np.array([key[1] for key in self._rows], dtype=str)
+        if len(self._rows):
+            matrix = np.stack(list(self._rows.values()))
+        else:
+            matrix = np.zeros((0, len(COLUMNS)))
+
+        def writer(temp: Path) -> None:
+            np.savez(
+                temp,
+                fingerprint=np.array(KERNEL_FINGERPRINT),
+                first=first,
+                second=second,
+                matrix=matrix,
+            )
+
+        atomic_save(self.path, writer, suffix=".npz")
+        self._dirty = 0
+        return True

@@ -25,7 +25,7 @@ from repro.core import (
     pair_feature_matrix,
 )
 from repro.core.instance_features import NUM_META_FEATURES, instance_meta_matrix
-from repro.core.pipeline import FeaturePipeline, FeatureSchema
+from repro.core.pipeline import FeaturePipeline, FeatureSchema, name_distance_block
 from repro.datasets import build_domain_embeddings, load_dataset
 from repro.text.similarity import name_distance_vector
 
@@ -170,7 +170,20 @@ class TestAddSourceDelta:
     def test_only_new_pairs_assembled(self, delta):
         base, _, store, new_pairs, calls, _ = delta
         assert calls["pair_diff"] == len(new_pairs.pairs)
-        assert calls["name_distance"] == len(new_pairs.pairs)
+        distance_rows = calls.get("name_distance.computed", 0) + calls.get(
+            "name_distance.cache_hit", 0
+        )
+        assert distance_rows == len(new_pairs.pairs)
+        # Work avoidance is directly assertable: every pair the delta
+        # just touched is memoized, so re-requesting the same block
+        # computes nothing.
+        repeat: dict[str, int] = {}
+        name_distance_block(
+            [(p.left.name, p.right.name) for p in new_pairs.pairs],
+            counters=repeat,
+        )
+        assert repeat["computed"] == 0
+        assert repeat["cache_hit"] == len(new_pairs.pairs)
         # Every new pair crosses into the added source; none are
         # base-internal re-dos.
         base_sources = set(base.sources())

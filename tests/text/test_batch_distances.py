@@ -96,3 +96,83 @@ class TestBatchedEquivalence:
     def test_identical_names_are_all_zero(self):
         matrix = name_distance_matrix([("focal length", "Focal Length")])
         np.testing.assert_array_equal(matrix, np.zeros((1, 8)))
+
+
+class TestDegenerateBuckets:
+    def test_single_character_pairs(self):
+        pairs = [("a", "a"), ("a", "b"), ("x", ""), ("", "y"), ("ß", "s")]
+        batched = name_distance_matrix(pairs)
+        reference = np.array([name_distance_vector(a, b) for a, b in pairs])
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_all_identical_pairs_batch(self):
+        pairs = [("impedance", "impedance")] * 25
+        matrix = name_distance_matrix(pairs)
+        np.testing.assert_array_equal(matrix, np.zeros((25, 8)))
+
+    def test_all_empty_pairs_batch(self):
+        pairs = [("", "")] * 5
+        reference = np.array([name_distance_vector("", "")] * 5)
+        np.testing.assert_array_equal(name_distance_matrix(pairs), reference)
+
+
+class TestBitParallelWordBoundary:
+    """The 64-bit word guard: at and past it, results stay bit-exact.
+
+    Short sides up to 64 characters ride the single-word bit-parallel
+    Levenshtein/OSA kernels; anything longer falls back to the banded
+    DP.  Both regimes -- and a mixed batch straddling the boundary --
+    must equal the scalar reference exactly.
+    """
+
+    @staticmethod
+    def _boundary_pairs():
+        rng = random.Random(1234)
+        alphabet = "abcdefghij "
+        pairs = []
+        for length in (1, 31, 32, 33, 63, 64, 65, 66, 80, 100):
+            a = "".join(rng.choice(alphabet) for _ in range(length))
+            chars = list(a)
+            for _ in range(4):
+                i = rng.randrange(len(chars))
+                chars[i] = rng.choice(alphabet)
+            pairs.append((a, "".join(chars)))
+            pairs.append((a, a[: length // 2]))
+        return pairs
+
+    def test_lengths_around_word_size_match_reference(self):
+        pairs = self._boundary_pairs()
+        batched = name_distance_matrix(pairs)
+        reference = np.array([name_distance_vector(a, b) for a, b in pairs])
+        np.testing.assert_array_equal(batched, reference)
+
+    def test_mixed_batch_with_long_outlier_uses_fallback_everywhere(self):
+        # One >64 short side drops the whole batch onto the banded DP
+        # path; the short pairs must still be exact there.
+        long_name = "very long property name " * 5  # 120 chars
+        pairs = [
+            ("width", "height"),
+            ("martha", "marhta"),
+            (long_name, long_name[:70]),
+            (long_name, "width"),
+        ]
+        batched = name_distance_matrix(pairs)
+        reference = np.array([name_distance_vector(a, b) for a, b in pairs])
+        np.testing.assert_array_equal(batched, reference)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_long_pairs_match_reference_exactly(self, seed):
+        rng = random.Random(9000 + seed)
+        alphabet = "abcdefghijklmnopqrstuvwxyz 0123456789"
+        pairs = []
+        for _ in range(40):
+            a = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(55, 90))
+            )
+            b = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(0, 90))
+            )
+            pairs.append((a, b))
+        batched = name_distance_matrix(pairs)
+        reference = np.array([name_distance_vector(a, b) for a, b in pairs])
+        np.testing.assert_array_equal(batched, reference)

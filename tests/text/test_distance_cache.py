@@ -1,0 +1,132 @@
+"""Persistent distance cache: round-trip fidelity, damage tolerance.
+
+The cache is a pure accelerator: a warm load must serve rows
+bit-identical to what was recorded, and *any* flavour of on-disk damage
+-- truncation, garbage, a stale kernel fingerprint -- must load as an
+empty cache (recompute) rather than raise or serve wrong rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.text.batch import COLUMNS, name_distance_rows
+from repro.text.distance_cache import KERNEL_FINGERPRINT, DistanceCache
+
+
+def _rows_for(keys):
+    return name_distance_rows(list(keys))
+
+
+@pytest.fixture
+def keys():
+    return [("height", "width"), ("impedance", "impedance ohms"), ("", "a")]
+
+
+class TestRoundTrip:
+    def test_records_persist_and_reload_bit_identically(self, tmp_path, keys):
+        path = tmp_path / "cache.npz"
+        rows = _rows_for(keys)
+        cache = DistanceCache(path)
+        assert len(cache) == 0
+        assert cache.loaded_entries == 0
+        assert cache.record(keys, rows) == len(keys)
+        assert cache.dirty
+        assert cache.save()
+        assert not cache.dirty
+
+        warm = DistanceCache(path)
+        assert warm.loaded_entries == len(keys)
+        for key, row in zip(keys, rows):
+            assert key in warm
+            np.testing.assert_array_equal(warm.get(key), row)
+
+    def test_save_is_noop_when_clean(self, tmp_path, keys):
+        path = tmp_path / "cache.npz"
+        cache = DistanceCache(path)
+        cache.record(keys, _rows_for(keys))
+        assert cache.save()
+        stamp = path.stat().st_mtime_ns
+        assert not cache.save()  # nothing new recorded
+        assert path.stat().st_mtime_ns == stamp
+
+    def test_record_is_first_write_wins(self, tmp_path, keys):
+        cache = DistanceCache(tmp_path / "cache.npz")
+        rows = _rows_for(keys)
+        assert cache.record(keys, rows) == len(keys)
+        # Recording the same keys again adds nothing and keeps the
+        # original rows (recomputation cannot disagree by contract).
+        assert cache.record(keys, rows) == 0
+        assert len(cache) == len(keys)
+
+    def test_missing_key_returns_none(self, tmp_path):
+        cache = DistanceCache(tmp_path / "cache.npz")
+        assert cache.get(("nope", "nada")) is None
+        assert ("nope", "nada") not in cache
+
+    def test_unicode_keys_survive_the_round_trip(self, tmp_path):
+        keys = [("größe", "größe mm"), ("日本語", "カメラ"), ("😀", "grin")]
+        path = tmp_path / "cache.npz"
+        cache = DistanceCache(path)
+        rows = _rows_for(keys)
+        cache.record(keys, rows)
+        cache.save()
+        warm = DistanceCache(path)
+        for key, row in zip(keys, rows):
+            np.testing.assert_array_equal(warm.get(key), row)
+
+
+class TestDamageTolerance:
+    def _saved(self, path, keys):
+        cache = DistanceCache(path)
+        cache.record(keys, _rows_for(keys))
+        cache.save()
+        return path
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        cache = DistanceCache(tmp_path / "never_written.npz")
+        assert len(cache) == 0
+        assert cache.loaded_entries == 0
+
+    def test_truncated_archive_loads_empty(self, tmp_path, keys):
+        path = self._saved(tmp_path / "cache.npz", keys)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        assert len(DistanceCache(path)) == 0
+
+    def test_garbage_bytes_load_empty(self, tmp_path):
+        path = tmp_path / "cache.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        assert len(DistanceCache(path)) == 0
+
+    def test_stale_fingerprint_loads_empty(self, tmp_path, keys):
+        path = tmp_path / "cache.npz"
+        rows = np.stack(_rows_for(keys))
+        np.savez(
+            path,
+            fingerprint=np.array("0123456789abcdef"),
+            first=np.array([k[0] for k in keys], dtype=str),
+            second=np.array([k[1] for k in keys], dtype=str),
+            matrix=rows,
+        )
+        assert KERNEL_FINGERPRINT != "0123456789abcdef"
+        assert len(DistanceCache(path)) == 0
+
+    def test_shape_mismatch_loads_empty(self, tmp_path, keys):
+        path = tmp_path / "cache.npz"
+        np.savez(
+            path,
+            fingerprint=np.array(KERNEL_FINGERPRINT),
+            first=np.array([k[0] for k in keys], dtype=str),
+            second=np.array([k[1] for k in keys], dtype=str),
+            matrix=np.zeros((len(keys), len(COLUMNS) - 1)),
+        )
+        assert len(DistanceCache(path)) == 0
+
+    def test_damaged_cache_recovers_by_resaving(self, tmp_path, keys):
+        path = self._saved(tmp_path / "cache.npz", keys)
+        path.write_bytes(b"corrupted")
+        cache = DistanceCache(path)
+        assert len(cache) == 0
+        cache.record(keys, _rows_for(keys))
+        assert cache.save()
+        assert DistanceCache(path).loaded_entries == len(keys)
