@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test lint check chaos serve-smoke bench bench-features bench-kernel bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test lint check chaos serve-smoke serve-http-smoke bench bench-features bench-kernel bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,21 +24,30 @@ check: lint
 	PYTHONPATH=src python scripts/fault_smoke.py
 
 # Chaos suite: real worker deaths (os._exit), hangs past the cell
-# deadline, SIGTERM mid-grid, plus follow-daemon kills at every
-# journaled ingestion stage -- asserting the journals stay valid and
-# resumed outputs match a clean run byte for byte.
+# deadline, SIGTERM mid-grid, follow-daemon kills at every journaled
+# ingestion stage, and tenant-registry kills at every journaled serve
+# stage (including mid copy-on-swap reload) -- asserting the journals
+# stay valid and resumed outputs match a clean run byte for byte.
 chaos:
 	PYTHONPATH=src python -m pytest -q \
 		tests/evaluation/test_supervisor.py \
 		tests/evaluation/test_chaos.py \
 		tests/evaluation/test_fault_tolerance.py \
-		tests/ingest/test_chaos_ingest.py
+		tests/ingest/test_chaos_ingest.py \
+		tests/serve/test_chaos_serve.py
 
 # Follow-mode smoke: a forked `repro serve` daemon is hard-killed after
 # its first fused batch, resumed, and must land byte-identical to a
 # cold rebuild; a poison source must quarantine with a reason.
 serve-smoke:
 	PYTHONPATH=src python scripts/serve_smoke.py
+
+# HTTP service smoke: a real `repro serve --http` subprocess on a real
+# socket -- probes go ready, a tenant is created and matched over HTTP,
+# SIGTERM drains to exit 143, and a warm restart from the registry
+# journal serves byte-identical match bodies.
+serve-http-smoke:
+	PYTHONPATH=src python scripts/serve_http_smoke.py
 
 # Evaluation-engine benchmark: serial legacy grid vs shared feature
 # store + process-pool executor.  Writes BENCH_grid.json.

@@ -1,4 +1,4 @@
-"""The repo-specific rules (REP001-REP010).
+"""The repo-specific rules (REP001-REP011).
 
 Each rule encodes one invariant the reproduction's correctness story
 depends on, with a pointer to where the invariant came from; DESIGN.md
@@ -739,4 +739,162 @@ class UnstoppableWatchLoopRule(Rule):
             "unbounded 'while True' in watch/ingest code -- consult a "
             "stop event (stop_event.is_set() / stop_event.wait(...)) "
             "every iteration so the loop can shut down cleanly",
+        )
+
+
+# ----------------------------------------------------------------------
+# REP011 -- serve/handler discipline: bounded queues, bounded blocking
+
+
+@register
+class UnboundedServeBlockingRule(Rule):
+    """REP011: serve/handler code must bound every queue and every wait.
+
+    The long-lived matching service (PR 8) extends REP010's loop
+    discipline to the request-serving layer, where the failure modes
+    are subtler: a handler that *queues without bound* turns overload
+    into an OOM kill instead of deterministic 429 shedding, and a
+    handler that *blocks without a deadline* pins a thread a stop event
+    can never reclaim, so drain-then-exit hangs until ``kill -9``.
+    Four shapes are flagged in modules whose dotted name mentions
+    ``serve`` or ``handler``:
+
+    * ``time.sleep`` -- pause with ``stop_event.wait(interval)``
+      (inherited from REP010);
+    * constant-truthy ``while`` loops that never consult a stop event
+      (inherited from REP010);
+    * unbounded queue construction: ``queue.Queue()`` /
+      ``LifoQueue`` / ``PriorityQueue`` without a positive ``maxsize``,
+      ``queue.SimpleQueue()`` (never bounded), and
+      ``collections.deque()`` without ``maxlen`` -- admission depth
+      must be a constructor-time bound, not a hope;
+    * zero-argument blocking calls -- ``.accept()``, ``.get()``,
+      ``.acquire()``, ``.wait()``, ``.join()`` with neither a timeout
+      argument nor a keyword -- each blocks forever by default; pass a
+      timeout/deadline (``cond.wait(remaining)``,
+      ``thread.join(grace)``) or use a shape that polls
+      (``serve_forever(poll_interval=...)``).
+
+    The sanctioned idioms are the ones :mod:`repro.serve.admission` and
+    :mod:`repro.serve.server` use: a ``Condition`` with
+    deadline-sliced waits, counters bounded at admission, and
+    ``stop_event.wait(slice)`` as the only pause.
+    """
+
+    code = "REP011"
+    name = "unbounded-serve-blocking"
+    summary = (
+        "serve/handler code grows a queue without bound or blocks "
+        "without a stop event or deadline"
+    )
+    scopes = frozenset({ROLE_LIBRARY})
+
+    _MODULE_TAGS = ("serve", "handler")
+    _STOP_ATTRS = frozenset({"is_set", "wait"})
+    #: Queue constructors that accept (but may omit) a size bound.
+    _SIZED_QUEUES = frozenset(
+        {"queue.Queue", "queue.LifoQueue", "queue.PriorityQueue"}
+    )
+    #: Blocking-by-default methods; zero arguments means no deadline.
+    _BLOCKING_ATTRS = frozenset({"accept", "get", "acquire", "wait", "join"})
+
+    def applies(self, role: str, module: str | None) -> bool:
+        if not super().applies(role, module):
+            return False
+        # None covers inline snippets (fixtures); real library modules
+        # under src/repro always resolve to a dotted name.
+        return module is None or any(tag in module for tag in self._MODULE_TAGS)
+
+    def _check_queue_construction(self, node: ast.Call, ctx) -> bool:
+        target = ctx.resolve_call_target(node.func)
+        if target is None:
+            return False
+        if target == "queue.SimpleQueue":
+            ctx.report(
+                self,
+                node,
+                "queue.SimpleQueue in serve/handler code is unbounded by "
+                "construction -- use queue.Queue(maxsize=N) or an "
+                "admission counter so overload sheds instead of growing",
+            )
+            return True
+        if target in self._SIZED_QUEUES:
+            maxsize = None
+            if node.args:
+                maxsize = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "maxsize":
+                    maxsize = keyword.value
+            bounded = maxsize is not None and not (
+                isinstance(maxsize, ast.Constant)
+                and isinstance(maxsize.value, int)
+                and maxsize.value <= 0
+            )
+            if not bounded:
+                ctx.report(
+                    self,
+                    node,
+                    f"{target} without a positive maxsize in serve/handler "
+                    "code -- bound the queue so overload sheds (429) "
+                    "instead of growing without limit",
+                )
+            return True
+        if target == "collections.deque":
+            has_maxlen = len(node.args) >= 2 or any(
+                keyword.arg == "maxlen" for keyword in node.keywords
+            )
+            if not has_maxlen:
+                ctx.report(
+                    self,
+                    node,
+                    "collections.deque without maxlen in serve/handler "
+                    "code -- give buffers an explicit bound",
+                )
+            return True
+        return False
+
+    def visit_Call(self, node: ast.Call, ctx) -> None:
+        if ctx.resolve_call_target(node.func) == "time.sleep":
+            ctx.report(
+                self,
+                node,
+                "time.sleep in serve/handler code -- pause with "
+                "stop_event.wait(interval) so drain can cut the wait short",
+            )
+            return
+        if self._check_queue_construction(node, ctx):
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._BLOCKING_ATTRS
+            and not node.args
+            and not node.keywords
+        ):
+            ctx.report(
+                self,
+                node,
+                f".{node.func.attr}() with no timeout in serve/handler "
+                "code blocks forever by default -- pass a deadline "
+                "(e.g. cond.wait(remaining), thread.join(grace)) so a "
+                "draining server can reclaim the thread",
+            )
+
+    def visit_While(self, node: ast.While, ctx) -> None:
+        if not (
+            isinstance(node.test, ast.Constant) and bool(node.test.value)
+        ):
+            return
+        for inner in node.body:
+            for descendant in ast.walk(inner):
+                if (
+                    isinstance(descendant, ast.Call)
+                    and isinstance(descendant.func, ast.Attribute)
+                    and descendant.func.attr in self._STOP_ATTRS
+                ):
+                    return
+        ctx.report(
+            self,
+            node,
+            "unbounded 'while True' in serve/handler code -- consult a "
+            "stop event every iteration so drain-then-exit can finish",
         )

@@ -11,10 +11,13 @@ Commands
                through the feature store's delta path.
 ``features``   ``features describe`` prints the stage graph and the
                resolved column schema per feature configuration.
-``describe``   post-mortem summary of a journal (run or ingestion; the
-               flavour is sniffed from the header line).
-``serve``      follow a directory: fuse new source CSVs into matches and
-               clusters as they arrive, crash-safely (see repro.ingest).
+``describe``   post-mortem summary of a journal (run, ingestion or
+               registry; the flavour is sniffed from the header line).
+``serve``      ``--follow DIR`` fuses new source CSVs into matches and
+               clusters as they arrive, crash-safely (see repro.ingest);
+               ``--http`` runs the long-lived multi-tenant matching
+               service (see repro.serve); both together share one
+               process and one drain signal.
 ``lint``       invariant-enforcing static analysis (see repro.analysis).
 
 The CLI works on the built-in domains (``--dataset cameras`` ...) or on
@@ -26,19 +29,13 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
 
 from repro.analysis.cli import add_lint_arguments, run_lint
-from repro.baselines import (
-    AmlMatcher,
-    FcaMapMatcher,
-    LshMatcher,
-    NezhadiMatcher,
-    SemPropMatcher,
-)
-from repro.core import FeatureConfig, FeatureKinds, LeapmeMatcher
+from repro.core import FeatureConfig, LeapmeMatcher
 from repro.core.api import Matcher
 from repro.core.pipeline import (
     disable_persistent_distances,
@@ -66,9 +63,19 @@ from repro.evaluation.checkpoint import peek_journal_type
 from repro.ingest import FollowDaemon, IngestJournal, IngestPipeline
 from repro.ingest.journal import INGEST_JOURNAL_TYPE
 from repro.ioutils import atomic_open_text
-from repro.text.tokenize import words
-
-SYSTEMS = ("leapme", "leapme-emb", "leapme-noemb", "aml", "fcamap", "nezhadi", "semprop", "lsh")
+from repro.serve import (
+    REGISTRY_JOURNAL_TYPE,
+    AdmissionQueue,
+    MatchingService,
+    RegistryJournal,
+    TenantRegistry,
+)
+from repro.systems import (
+    HASH_DIMENSION,
+    SYSTEMS,
+    build_system_matcher,
+    fallback_embeddings,
+)
 
 
 def _load_cli_dataset(args: argparse.Namespace) -> Dataset:
@@ -89,36 +96,17 @@ def _embeddings_for(dataset: Dataset, args: argparse.Namespace):
     """
     if args.dataset is not None:
         return build_domain_embeddings(args.dataset, scale=args.scale)
-    vocabulary: set[str] = set()
-    for instance in dataset.instances:
-        vocabulary.update(words(instance.property_name))
-        vocabulary.update(words(instance.value))
     print(
         "note: using semantics-free hash embeddings for user data; "
         "see repro.embeddings to train real ones",
         file=sys.stderr,
     )
-    return hash_embeddings(sorted(vocabulary), dimension=64)
+    return fallback_embeddings(dataset)
 
 
 def _build_matcher(system: str, embeddings) -> Matcher:
-    if system == "leapme":
-        return LeapmeMatcher(embeddings)
-    if system == "leapme-emb":
-        return LeapmeMatcher(embeddings, FeatureConfig(kinds=FeatureKinds.EMBEDDING))
-    if system == "leapme-noemb":
-        return LeapmeMatcher(embeddings, FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING))
-    if system == "aml":
-        return AmlMatcher()
-    if system == "fcamap":
-        return FcaMapMatcher()
-    if system == "nezhadi":
-        return NezhadiMatcher()
-    if system == "semprop":
-        return SemPropMatcher(embeddings)
-    if system == "lsh":
-        return LshMatcher()
-    raise ReproError(f"unknown system {system!r}; known: {', '.join(SYSTEMS)}")
+    """Construct the matcher for ``system`` (shared with repro.serve)."""
+    return build_system_matcher(system, embeddings)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -220,9 +208,12 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     if not path.exists():
         raise ReproError(f"journal not found: {path}")
     # The header line names the journal flavour; dispatch on it so one
-    # describe command serves run journals and ingestion journals alike.
-    if peek_journal_type(path) == INGEST_JOURNAL_TYPE:
+    # describe command serves run, ingestion and registry journals alike.
+    journal_type = peek_journal_type(path)
+    if journal_type == INGEST_JOURNAL_TYPE:
         print(IngestJournal(path).describe())
+    elif journal_type == REGISTRY_JOURNAL_TYPE:
+        print(RegistryJournal(path).describe())
     else:
         print(RunJournal(path).describe())
     return 0
@@ -238,7 +229,10 @@ def _distance_cache_path(args: argparse.Namespace, default: Path) -> Path | None
     return Path(raw)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _build_follow_daemon(
+    args: argparse.Namespace, stop_event: threading.Event | None = None
+) -> tuple[FollowDaemon, Path, Path]:
+    """The follow-mode pipeline + daemon; shared by both serve modes."""
     follow = Path(args.follow)
     follow.mkdir(parents=True, exist_ok=True)
     base = None
@@ -249,21 +243,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         # No bootstrap data yet: hashing embeddings need no corpus, and
         # unknown streamed tokens embed as zero vectors either way.
-        embeddings = hash_embeddings([], dimension=64)
+        embeddings = hash_embeddings([], dimension=HASH_DIMENSION)
     matcher = _build_matcher(args.system, embeddings)
     out = Path(args.out) if args.out else follow / "matches.csv"
     clusters = Path(args.clusters) if args.clusters else follow / "clusters.json"
     journal_path = Path(args.journal) if args.journal else follow / "ingest.journal"
     args.journal = str(journal_path)  # the interrupt handler's resume hint
-    cache_path = _distance_cache_path(args, follow / "distance_cache.npz")
-    if cache_path is not None:
-        cache = enable_persistent_distances(cache_path)
-        if cache.loaded_entries:
-            print(
-                f"distance cache: {cache.loaded_entries} pair(s) "
-                f"loaded from {cache_path}",
-                file=sys.stderr,
-            )
     pipeline = IngestPipeline(
         matcher,
         matches_path=out,
@@ -271,20 +256,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         seed=args.seed,
     )
-    try:
-        pipeline.bootstrap(base)
-        daemon = FollowDaemon(
-            follow,
-            pipeline,
-            IngestJournal(journal_path),
-            poll_interval=args.poll_interval,
-            settle_polls=args.settle_polls,
-            retry_policy=RetryPolicy(
-                max_retries=args.max_retries, backoff_base=args.backoff, jitter=0.5
-            ),
-            seed=args.seed,
+    pipeline.bootstrap(base)
+    daemon = FollowDaemon(
+        follow,
+        pipeline,
+        IngestJournal(journal_path),
+        poll_interval=args.poll_interval,
+        settle_polls=args.settle_polls,
+        retry_policy=RetryPolicy(
+            max_retries=args.max_retries, backoff_base=args.backoff, jitter=0.5
+        ),
+        seed=args.seed,
+        stop_event=stop_event,
+    )
+    return daemon, out, clusters
+
+
+def _enable_distance_cache(args: argparse.Namespace, default: Path) -> None:
+    cache_path = _distance_cache_path(args, default)
+    if cache_path is None:
+        return
+    cache = enable_persistent_distances(cache_path)
+    if cache.loaded_entries:
+        print(
+            f"distance cache: {cache.loaded_entries} pair(s) "
+            f"loaded from {cache_path}",
+            file=sys.stderr,
         )
-        print(f"following {follow} (journal {journal_path})", file=sys.stderr)
+
+
+def _serve_follow(args: argparse.Namespace) -> int:
+    _enable_distance_cache(args, Path(args.follow) / "distance_cache.npz")
+    try:
+        daemon, out, clusters = _build_follow_daemon(args)
+        print(
+            f"following {args.follow} (journal {args.journal})", file=sys.stderr
+        )
         summary = daemon.run(
             resume=args.resume,
             max_batches=args.max_batches,
@@ -304,6 +311,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"matches: {out}")
     print(f"clusters: {clusters}")
     return 0
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    """The long-lived matching service, optionally composing --follow.
+
+    The registry always replays its journal first, so the same command
+    line warm-restarts a SIGKILLed server into its previous tenant set.
+    With ``--follow`` the ingestion daemon runs on a background thread
+    sharing the service's stop event: one SIGTERM drains both loops.
+    """
+    registry_journal = (
+        Path(args.registry_journal) if args.registry_journal
+        else Path("registry.journal")
+    )
+    _enable_distance_cache(
+        args, registry_journal.with_name("distance_cache.npz")
+    )
+    try:
+        registry = TenantRegistry(
+            RegistryJournal(registry_journal),
+            breaker_threshold=args.breaker_threshold,
+        )
+        replay = registry.load()
+        if replay["tenants"]:
+            print(
+                f"warm restart: {replay['tenants']} tenant(s) rebuilt, "
+                f"{replay['sources']} reload(s) replayed, "
+                f"{replay['quarantined']} quarantined",
+                file=sys.stderr,
+            )
+        admission = AdmissionQueue(
+            max_active=args.max_active,
+            max_waiting=args.max_waiting,
+            request_deadline=args.request_deadline,
+            seed=args.seed,
+        )
+        service = MatchingService(
+            registry,
+            admission,
+            host=args.host,
+            port=args.port,
+            drain_grace=args.drain_grace,
+        )
+        follow_thread = None
+        if args.follow:
+            daemon, _, _ = _build_follow_daemon(
+                args, stop_event=service.stop_event
+            )
+
+            def _run_follow() -> None:
+                try:
+                    daemon.run(
+                        resume=args.resume,
+                        max_batches=args.max_batches,
+                        max_idle_polls=args.max_idle_polls,
+                    )
+                except GridInterrupted:
+                    pass  # the shared stop event drained it; normal exit
+                except ReproError as error:
+                    print(f"follow loop error: {error}", file=sys.stderr)
+
+            follow_thread = threading.Thread(
+                target=_run_follow, name="repro-serve-follow", daemon=True
+            )
+            follow_thread.start()
+            print(f"following {args.follow} alongside HTTP", file=sys.stderr)
+        print(
+            f"serving on {service.address} "
+            f"(registry journal {registry_journal})",
+            file=sys.stderr,
+        )
+        try:
+            service.serve_until_signalled()
+        finally:
+            if follow_thread is not None:
+                follow_thread.join(args.drain_grace)
+    finally:
+        flush_persistent_distances()
+        disable_persistent_distances()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http:
+        return _serve_http(args)
+    if not args.follow:
+        raise ReproError("pass --follow <dir>, --http, or both")
+    return _serve_follow(args)
 
 
 def _cmd_features_describe(args: argparse.Namespace) -> int:
@@ -506,13 +601,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="follow a directory, fusing new source CSVs into matches "
-             "and clusters crash-safely",
+        help="follow a directory (--follow), run the long-lived HTTP "
+             "matching service (--http), or both in one process",
     )
     _add_dataset_arguments(serve)
-    serve.add_argument("--follow", required=True, metavar="DIR",
+    serve.add_argument("--follow", default=None, metavar="DIR",
                        help="directory to watch; drop source CSVs (and "
                             "optional X.alignment.csv sidecars) here")
+    serve.add_argument("--http", action="store_true",
+                       help="run the multi-tenant HTTP matching service; "
+                            "warm-restarts from --registry-journal into "
+                            "the previous tenant set")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8571,
+                       help="HTTP port; 0 binds an ephemeral port "
+                            "(default 8571)")
+    serve.add_argument("--registry-journal", default=None, metavar="PATH",
+                       help="crash-safe tenant lifecycle journal "
+                            "(default: ./registry.journal); reuse the same "
+                            "path across restarts to warm-restart")
+    serve.add_argument("--max-active", type=int, default=4,
+                       help="concurrent requests executing (default 4)")
+    serve.add_argument("--max-waiting", type=int, default=8,
+                       help="requests queued beyond --max-active before "
+                            "load shedding with 429 + Retry-After "
+                            "(default 8; memory use is bounded by this)")
+    serve.add_argument("--request-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="admission deadline per request; a request "
+                            "that cannot start in time gets 503 "
+                            "(default 30)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="seconds in-flight requests get to finish "
+                            "after SIGINT/SIGTERM (default 10)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive request failures before a tenant "
+                            "is quarantined (default 3)")
     serve.add_argument("--system", choices=SYSTEMS, default="leapme",
                        help="matching system; supervised systems need a "
                             "bootstrap dataset (--dataset/--instances) to "

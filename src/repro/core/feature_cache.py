@@ -31,6 +31,7 @@ are copied from the existing matrix.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from time import perf_counter
 
@@ -81,6 +82,12 @@ class PairUniverse:
         self._rows_cache_size = 256
         self._sample_cache: OrderedDict[tuple, tuple[object, PairSet]] = OrderedDict()
         self._sample_cache_size = 256
+        # The memo dicts above are mutated on lookup (LRU move_to_end /
+        # eviction), so concurrent read-only *requests* -- the serve
+        # layer's thread-per-connection handlers all gathering from one
+        # warm store -- must serialise cache access.  The lock guards
+        # only the bookkeeping; the enumeration itself is immutable.
+        self._cache_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -99,16 +106,18 @@ class PairUniverse:
         # The same split recurs across the nine configs of a grid cell;
         # memoise so the filter runs once per (sources, within).
         cache_key = (frozenset(selected), within)
-        cached = self._subset_cache.get(cache_key)
-        if cached is not None:
-            return cached
+        with self._cache_lock:
+            cached = self._subset_cache.get(cache_key)
+            if cached is not None:
+                return cached
         kept = [
             pair
             for pair in self.pairs
             if (pair.left.source in selected and pair.right.source in selected)
             == within
         ]
-        result = self._subset_cache[cache_key] = PairSet(kept)
+        with self._cache_lock:
+            result = self._subset_cache.setdefault(cache_key, PairSet(kept))
         return result
 
     def training_sample(
@@ -127,16 +136,18 @@ class PairUniverse:
         does, so the sampled content is bit-identical.
         """
         key = (id(candidates), float(negative_ratio), tuple(rng_seed))
-        cached = self._sample_cache.get(key)
-        if cached is not None and cached[0] is candidates:
-            self._sample_cache.move_to_end(key)
-            return cached[1]
+        with self._cache_lock:
+            cached = self._sample_cache.get(key)
+            if cached is not None and cached[0] is candidates:
+                self._sample_cache.move_to_end(key)
+                return cached[1]
         sample = sample_training_pairs(
             candidates, negative_ratio, np.random.default_rng(list(rng_seed))
         )
-        self._sample_cache[key] = (candidates, sample)
-        if len(self._sample_cache) > self._sample_cache_size:
-            self._sample_cache.popitem(last=False)
+        with self._cache_lock:
+            self._sample_cache[key] = (candidates, sample)
+            if len(self._sample_cache) > self._sample_cache_size:
+                self._sample_cache.popitem(last=False)
         return sample
 
     def row_of(self, pair: LabeledPair | tuple[PropertyRef, PropertyRef]) -> int:
@@ -157,15 +168,17 @@ class PairUniverse:
         self, pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]]
     ) -> np.ndarray:
         """Universe rows of many pairs, in order."""
-        cached = self._rows_cache.get(id(pairs))
-        if cached is not None and cached[0] is pairs:
-            self._rows_cache.move_to_end(id(pairs))
-            return cached[1]
+        with self._cache_lock:
+            cached = self._rows_cache.get(id(pairs))
+            if cached is not None and cached[0] is pairs:
+                self._rows_cache.move_to_end(id(pairs))
+                return cached[1]
         rows = np.array([self.row_of(pair) for pair in pairs], dtype=np.intp)
         rows.setflags(write=False)
-        self._rows_cache[id(pairs)] = (pairs, rows)
-        if len(self._rows_cache) > self._rows_cache_size:
-            self._rows_cache.popitem(last=False)
+        with self._cache_lock:
+            self._rows_cache[id(pairs)] = (pairs, rows)
+            if len(self._rows_cache) > self._rows_cache_size:
+                self._rows_cache.popitem(last=False)
         return rows
 
 
@@ -187,6 +200,7 @@ class PairFeatureStore:
         *,
         gather_cache_size: int = 64,
         gather_cache_bytes: int = 1 << 30,
+        matrix: np.ndarray | None = None,
     ) -> None:
         if table.dataset_fingerprint != universe.dataset_fingerprint:
             raise ConfigurationError(
@@ -197,7 +211,13 @@ class PairFeatureStore:
         self.dataset_fingerprint = universe.dataset_fingerprint
         self.schema = table.pipeline.schema
         self.timings: dict[str, float] = {}
-        self.matrix = self._assemble(table, list(universe.pairs))
+        # A prebuilt matrix is the delta-construction path
+        # (with_source): the caller assembled it from copied old rows
+        # plus freshly featurized new ones and it is already
+        # bit-identical to what _assemble would produce.
+        if matrix is None:
+            matrix = self._assemble(table, list(universe.pairs))
+        self.matrix = matrix
         # Gathers are the memory-heavy cache (full-width row submatrices).
         # A grid touches repetitions+1 of them per train fraction, so the
         # count cap sits above realistic repetition counts; the byte
@@ -210,6 +230,9 @@ class PairFeatureStore:
         self._matrix64: np.ndarray | None = None
         self._gather64_cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
         self._gather64_cache_size = 8
+        # Serialises gather-cache bookkeeping so concurrent read-only
+        # requests (serve-layer handler threads) can share one store.
+        self._cache_lock = threading.Lock()
 
     def _assemble(
         self, table: PropertyFeatureTable, pairs: list[LabeledPair]
@@ -247,17 +270,17 @@ class PairFeatureStore:
         """Whether this store was built from ``dataset``'s content."""
         return self.dataset_fingerprint == dataset.fingerprint()
 
-    def add_source(self, addition: Dataset) -> PairSet:
-        """Ingest a new source incrementally; returns the new pairs.
+    def _delta_parts(
+        self, addition: Dataset
+    ) -> tuple[PropertyFeatureTable, PairUniverse, np.ndarray, PairSet]:
+        """The PR 5 incremental merge, without touching this store.
 
-        ``addition`` must contain only sources the store's dataset does
-        not already have.  The store's dataset, universe, table and
-        matrix are replaced by merged equivalents, but only the new
-        properties are featurized (the pipeline's fingerprint-keyed row
-        cache serves every existing one) and only the new cross-source
-        pairs are assembled -- existing pair rows are copied from the
-        current matrix.  The result is bit-identical to rebuilding the
-        store from scratch on the merged dataset.
+        Builds the merged table/universe/matrix beside the current
+        state: only the new properties are featurized (the pipeline's
+        fingerprint-keyed row cache serves every existing one) and only
+        the new cross-source pairs are assembled -- existing pair rows
+        are copied from the current matrix.  Bit-identical to rebuilding
+        the store from scratch on the merged dataset.
         """
         base = self.universe.dataset
         combined = base.merged_with(addition)
@@ -289,32 +312,69 @@ class PairFeatureStore:
                 table, new_pairs
             )
         matrix.setflags(write=False)
+        return table, universe, matrix, PairSet(new_pairs)
+
+    def add_source(self, addition: Dataset) -> PairSet:
+        """Ingest a new source incrementally; returns the new pairs.
+
+        ``addition`` must contain only sources the store's dataset does
+        not already have.  The store's dataset, universe, table and
+        matrix are replaced by merged equivalents via the
+        :meth:`_delta_parts` increment.  Mutates *this* store in place
+        (the batch-ingestion contract); concurrent readers must use
+        :meth:`with_source` instead.
+        """
+        table, universe, matrix, new_pairs = self._delta_parts(addition)
         self.table = table
         self.matrix = matrix
         self.universe = universe
         self.dataset_fingerprint = universe.dataset_fingerprint
-        self._gather_cache.clear()
-        self._gather_bytes = 0
-        self._matrix64 = None
-        self._gather64_cache.clear()
-        return PairSet(new_pairs)
+        with self._cache_lock:
+            self._gather_cache.clear()
+            self._gather_bytes = 0
+            self._matrix64 = None
+            self._gather64_cache.clear()
+        return new_pairs
+
+    def with_source(self, addition: Dataset) -> tuple["PairFeatureStore", PairSet]:
+        """A *new* store with ``addition`` fused in; this store untouched.
+
+        The copy-on-swap counterpart of :meth:`add_source`: the serve
+        layer's graceful reload builds the successor store beside the
+        live one (same :meth:`_delta_parts` increment, so the new matrix
+        is bit-identical to a cold rebuild on the merged dataset) and
+        swaps it in atomically while in-flight requests keep reading the
+        old store.  The two stores share the staged pipeline -- and so
+        its fingerprint-keyed row cache -- but nothing mutable.
+        """
+        table, universe, matrix, new_pairs = self._delta_parts(addition)
+        store = PairFeatureStore(
+            table,
+            universe,
+            gather_cache_size=self._gather_cache_size,
+            gather_cache_bytes=self._gather_cache_bytes,
+            matrix=matrix,
+        )
+        return store, new_pairs
 
     def _gathered(self, rows: np.ndarray) -> np.ndarray:
         key = rows.tobytes()
-        cached = self._gather_cache.get(key)
-        if cached is not None:
-            self._gather_cache.move_to_end(key)
-            return cached
+        with self._cache_lock:
+            cached = self._gather_cache.get(key)
+            if cached is not None:
+                self._gather_cache.move_to_end(key)
+                return cached
         gathered = self.matrix[rows]
         gathered.setflags(write=False)
-        self._gather_cache[key] = gathered
-        self._gather_bytes += gathered.nbytes
-        while self._gather_cache and (
-            len(self._gather_cache) > self._gather_cache_size
-            or self._gather_bytes > self._gather_cache_bytes
-        ):
-            _, evicted = self._gather_cache.popitem(last=False)
-            self._gather_bytes -= evicted.nbytes
+        with self._cache_lock:
+            self._gather_cache[key] = gathered
+            self._gather_bytes += gathered.nbytes
+            while self._gather_cache and (
+                len(self._gather_cache) > self._gather_cache_size
+                or self._gather_bytes > self._gather_cache_bytes
+            ):
+                _, evicted = self._gather_cache.popitem(last=False)
+                self._gather_bytes -= evicted.nbytes
         return gathered
 
     def features(
@@ -355,19 +415,23 @@ class PairFeatureStore:
             pairs = pairs.pairs
         if not pairs:
             return np.zeros((0, self.schema.width(config)), dtype=np.float64)
-        if self._matrix64 is None:
-            matrix64 = np.asarray(self.matrix, dtype=np.float64)
-            matrix64.setflags(write=False)
-            self._matrix64 = matrix64
+        with self._cache_lock:
+            if self._matrix64 is None:
+                matrix64 = np.asarray(self.matrix, dtype=np.float64)
+                matrix64.setflags(write=False)
+                self._matrix64 = matrix64
+            matrix64 = self._matrix64
         rows = self.universe.rows_of(pairs)
         key = rows.tobytes()
-        gathered = self._gather64_cache.get(key)
+        with self._cache_lock:
+            gathered = self._gather64_cache.get(key)
+            if gathered is not None:
+                self._gather64_cache.move_to_end(key)
         if gathered is None:
-            gathered = self._matrix64[rows]
+            gathered = matrix64[rows]
             gathered.setflags(write=False)
-            self._gather64_cache[key] = gathered
-            while len(self._gather64_cache) > self._gather64_cache_size:
-                self._gather64_cache.popitem(last=False)
-        else:
-            self._gather64_cache.move_to_end(key)
+            with self._cache_lock:
+                self._gather64_cache[key] = gathered
+                while len(self._gather64_cache) > self._gather64_cache_size:
+                    self._gather64_cache.popitem(last=False)
         return gathered[:, self.schema.active_columns(config)]

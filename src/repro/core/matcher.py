@@ -7,6 +7,7 @@ into the similarity graph.
 
 from __future__ import annotations
 
+import copy
 from time import perf_counter
 
 import numpy as np
@@ -121,6 +122,23 @@ class LeapmeMatcher(Matcher):
         direct path.  Pass ``None`` to detach.
         """
         self._store = store
+
+    def with_store(self, store) -> "LeapmeMatcher":
+        """A shallow clone of this matcher bound to ``store``.
+
+        The copy-on-swap companion of
+        :meth:`PairFeatureStore.with_source`: the clone shares the
+        trained classifier, embeddings and staged pipeline (all
+        read-only at scoring time) but reads features from ``store``,
+        so the serve layer can build a successor matcher beside the
+        live one and swap it in while in-flight requests keep scoring
+        against the old store.
+        """
+        clone = copy.copy(self)
+        clone._store = store
+        clone._table = store.table
+        clone._table_key = store.dataset_fingerprint
+        return clone
 
     def build_feature_store(self, dataset: Dataset, universe=None):
         """Build a :class:`PairFeatureStore` with this matcher's embeddings."""

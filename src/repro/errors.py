@@ -62,6 +62,21 @@ class JournalError(ReproError):
     """A run journal file is unreadable or from an unsupported version."""
 
 
+class TenantQuarantinedError(ReproError):
+    """A serving tenant's circuit breaker is open; requests are refused.
+
+    Raised by the tenant registry when a request targets a tenant that
+    was quarantined (poison bootstrap spec or ``breaker_threshold``
+    consecutive request failures).  The HTTP layer maps it to 503 for
+    that tenant only; healthy tenants keep serving.  ``reason`` carries
+    the structured quarantine reason from the registry journal.
+    """
+
+    def __init__(self, message: str, reason: str | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class GridInterrupted(ReproError):
     """A grid run was stopped by SIGINT/SIGTERM and shut down cleanly.
 

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.pipeline import flush_persistent_distances
 from repro.data.model import Dataset
 from repro.errors import (
     DataError,
@@ -274,6 +275,14 @@ class FollowDaemon:
                     break
                 self.stop_event.wait(self.poll_interval)
         finally:
+            # Drain durability: whatever ended the loop -- SIGTERM,
+            # bounds, an error, IngestInterrupted from _check_stop --
+            # persist distance rows computed since the last batch
+            # boundary so a warm restart recomputes nothing.  (The
+            # ingest journal needs no counterpart: every append is
+            # already individually fsynced.)  No-op when no persistent
+            # cache is wired.
+            flush_persistent_distances()
             for signum, previous in installed.items():
                 signal.signal(signum, previous)
         return {

@@ -1,0 +1,39 @@
+"""Long-lived matching service: tenant registry, admission, HTTP probes.
+
+The request-serving counterpart of the batch (:mod:`repro.evaluation`)
+and streaming (:mod:`repro.ingest`) layers, built on the same failure
+model: every state transition is journaled before it is visible
+(:class:`RegistryJournal`), every wait is bounded and stop-aware, and a
+SIGKILLed server warm-restarts into byte-identical responses.
+"""
+
+from repro.serve.admission import (
+    AdmissionQueue,
+    AdmissionShed,
+    DeadlineExceeded,
+    ServiceStopping,
+)
+from repro.serve.journal import (
+    REGISTRY_JOURNAL_TYPE,
+    RegistryJournal,
+    TenantEvent,
+)
+from repro.serve.probes import ServiceProbes
+from repro.serve.registry import Tenant, TenantRegistry, TenantSpec, TenantState
+from repro.serve.server import MatchingService
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionShed",
+    "DeadlineExceeded",
+    "ServiceStopping",
+    "REGISTRY_JOURNAL_TYPE",
+    "RegistryJournal",
+    "TenantEvent",
+    "ServiceProbes",
+    "Tenant",
+    "TenantRegistry",
+    "TenantSpec",
+    "TenantState",
+    "MatchingService",
+]

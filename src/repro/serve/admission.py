@@ -1,0 +1,235 @@
+"""Bounded admission: load shedding, deadlines, per-tenant bulkheads.
+
+The acceptor thread of :mod:`repro.serve.server` hands every request to
+an :class:`AdmissionQueue` before any matching work happens.  The queue
+enforces three limits so a burst -- or one slow tenant -- can never
+wedge the process:
+
+**Bounded depth.**  At most ``max_active`` requests execute and at most
+``max_waiting`` wait; a request arriving beyond that is *shed*
+immediately with :class:`AdmissionShed`, which the HTTP layer maps to
+429 plus a deterministic ``Retry-After`` header (the
+:class:`~repro.evaluation.runner.RetryPolicy` jitter function keyed by
+the tenant, so two replicas shed identically and a retrying client
+herd is spread without consulting a global RNG).  Memory use is bounded
+by construction: nothing queues beyond ``max_waiting``.
+
+**Per-request deadlines.**  A waiter holds a monotonic-clock deadline
+(:data:`time.monotonic`; wall clocks are banned by REP003) and gives up
+with :class:`DeadlineExceeded` (503) when it expires -- waiting
+capacity is always reclaimed, even if the active requests are stuck.
+
+**Per-tenant bulkheads.**  At most ``max_per_tenant`` of the active
+slots serve any one tenant, so a tenant with pathologically slow
+requests saturates its own bulkhead and queues behind itself while
+other tenants keep being admitted.
+
+Every wait is stop-aware (REP011): waiters poll the shared stop event
+with short condition timeouts and abandon the queue with
+:class:`ServiceStopping` once drain begins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+import time
+
+from repro.errors import ConfigurationError, ReproError
+from repro.evaluation.runner import RetryPolicy
+
+
+class AdmissionShed(ReproError):
+    """The queue is full; the client should retry after ``retry_after``."""
+
+    def __init__(self, message: str, retry_after: int) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ReproError):
+    """A request waited past its admission deadline."""
+
+
+class ServiceStopping(ReproError):
+    """The server is draining; no new work is admitted."""
+
+
+#: Upper bound on one condition wait so every waiter re-checks the stop
+#: event promptly even when its deadline is far away.
+_WAIT_SLICE = 0.2
+
+
+def _tenant_repetition(tenant: str) -> int:
+    """Stable per-tenant index into the jitter function's hash space."""
+    digest = hashlib.sha256(tenant.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class AdmissionQueue:
+    """Bounded two-stage admission with deterministic shedding.
+
+    Use as a context manager per request::
+
+        with admission.slot(tenant_id):
+            ... do the matching work ...
+
+    ``slot`` either admits (bounded wait) or raises one of the module's
+    typed errors; the ``with`` body only ever runs inside an active
+    slot, and the slot is returned on exit regardless of outcome.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_active: int = 4,
+        max_waiting: int = 8,
+        max_per_tenant: int = 2,
+        request_deadline: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
+        seed: int = 0,
+        stop_event: threading.Event | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_active < 1 or max_waiting < 0 or max_per_tenant < 1:
+            raise ConfigurationError(
+                "admission limits must be positive (max_waiting may be 0)"
+            )
+        if request_deadline <= 0:
+            raise ConfigurationError("request_deadline must be positive")
+        self.max_active = max_active
+        self.max_waiting = max_waiting
+        self.max_per_tenant = min(max_per_tenant, max_active)
+        self.request_deadline = request_deadline
+        #: Retry-After source: base 1s with full deterministic jitter,
+        #: so the header is always in [1, 2] seconds and a pure function
+        #: of (seed, tenant).
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=1, backoff_base=1.0, jitter=1.0
+        )
+        self.seed = seed
+        self.stop_event = stop_event or threading.Event()
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._per_tenant: dict[str, int] = {}
+        self.counters = {
+            "admitted": 0,
+            "shed": 0,
+            "expired": 0,
+            "completed": 0,
+        }
+
+    # -- introspection -------------------------------------------------------
+    def depth(self) -> dict[str, int]:
+        """Live queue depth for ``/statz``."""
+        with self._cond:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "max_active": self.max_active,
+                "max_waiting": self.max_waiting,
+            }
+
+    def stats(self) -> dict:
+        stats = self.depth()
+        with self._cond:
+            stats.update(self.counters)
+        return stats
+
+    def drained(self) -> bool:
+        with self._cond:
+            return self._active == 0 and self._waiting == 0
+
+    def await_drain(self, grace: float) -> bool:
+        """Wait up to ``grace`` seconds for in-flight requests to finish."""
+        deadline = self._clock() + grace
+        with self._cond:
+            while self._active or self._waiting:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, _WAIT_SLICE))
+            return True
+
+    # -- shedding ------------------------------------------------------------
+    def retry_after(self, tenant: str) -> int:
+        """Deterministic whole-second ``Retry-After`` for ``tenant``."""
+        delay = self.retry_policy.delay(
+            1, seed=self.seed, repetition=_tenant_repetition(tenant)
+        )
+        return max(1, math.ceil(delay))
+
+    # -- the slot ------------------------------------------------------------
+    def slot(self, tenant: str) -> "_Slot":
+        return _Slot(self, tenant)
+
+    def _must_wait(self, tenant: str) -> bool:
+        return (
+            self._active >= self.max_active
+            or self._per_tenant.get(tenant, 0) >= self.max_per_tenant
+        )
+
+    def _acquire(self, tenant: str) -> None:
+        with self._cond:
+            if self.stop_event.is_set():
+                raise ServiceStopping("server is draining; not admitting")
+            # Shed only requests that would actually have to wait: a
+            # free slot is always taken, even with max_waiting=0.
+            if self._must_wait(tenant) and self._waiting >= self.max_waiting:
+                self.counters["shed"] += 1
+                raise AdmissionShed(
+                    f"admission queue full ({self._waiting} waiting, "
+                    f"{self._active} active)",
+                    retry_after=self.retry_after(tenant),
+                )
+            self._waiting += 1
+            deadline = self._clock() + self.request_deadline
+            try:
+                while self._must_wait(tenant):
+                    if self.stop_event.is_set():
+                        raise ServiceStopping(
+                            "server is draining; not admitting"
+                        )
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        self.counters["expired"] += 1
+                        raise DeadlineExceeded(
+                            f"request for tenant {tenant!r} waited "
+                            f"{self.request_deadline:.1f}s without a slot"
+                        )
+                    self._cond.wait(min(remaining, _WAIT_SLICE))
+                self._active += 1
+                self._per_tenant[tenant] = self._per_tenant.get(tenant, 0) + 1
+                self.counters["admitted"] += 1
+            finally:
+                self._waiting -= 1
+                self._cond.notify_all()
+
+    def _release(self, tenant: str) -> None:
+        with self._cond:
+            self._active -= 1
+            remaining = self._per_tenant.get(tenant, 1) - 1
+            if remaining > 0:
+                self._per_tenant[tenant] = remaining
+            else:
+                self._per_tenant.pop(tenant, None)
+            self.counters["completed"] += 1
+            self._cond.notify_all()
+
+
+class _Slot:
+    """Context manager binding one admitted request to its release."""
+
+    def __init__(self, queue: AdmissionQueue, tenant: str) -> None:
+        self._queue = queue
+        self._tenant = tenant
+
+    def __enter__(self) -> "_Slot":
+        self._queue._acquire(self._tenant)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._queue._release(self._tenant)

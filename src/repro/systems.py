@@ -1,0 +1,83 @@
+"""Shared matching-system factory.
+
+One place maps a system label (``leapme``, ``lsh``, ...) to a
+constructed :class:`~repro.core.api.Matcher`, used by the CLI, the
+follow daemon bootstrap, and the tenant registry of the long-lived
+matching service (:mod:`repro.serve`).  Keeping the mapping here means
+a new baseline registers once and every entry point -- batch, follow,
+HTTP -- can serve it.
+
+Embedding policy mirrors the CLI's: built-in domains get trained
+domain embeddings, user data falls back to semantics-free hash
+embeddings over the dataset's own vocabulary (deterministic for a
+given dataset, which is what makes tenant bootstraps replayable).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    AmlMatcher,
+    FcaMapMatcher,
+    LshMatcher,
+    NezhadiMatcher,
+    SemPropMatcher,
+)
+from repro.core import FeatureConfig, FeatureKinds, LeapmeMatcher
+from repro.core.api import Matcher
+from repro.data.model import Dataset
+from repro.embeddings.hashing import hash_embeddings
+from repro.errors import ReproError
+from repro.text.tokenize import words
+
+SYSTEMS = (
+    "leapme",
+    "leapme-emb",
+    "leapme-noemb",
+    "aml",
+    "fcamap",
+    "nezhadi",
+    "semprop",
+    "lsh",
+)
+
+#: Dimensionality of the hash-embedding fallback for user data.
+HASH_DIMENSION = 64
+
+
+def build_system_matcher(system: str, embeddings) -> Matcher:
+    """Construct the matcher registered under ``system``."""
+    if system == "leapme":
+        return LeapmeMatcher(embeddings)
+    if system == "leapme-emb":
+        return LeapmeMatcher(embeddings, FeatureConfig(kinds=FeatureKinds.EMBEDDING))
+    if system == "leapme-noemb":
+        return LeapmeMatcher(
+            embeddings, FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING)
+        )
+    if system == "aml":
+        return AmlMatcher()
+    if system == "fcamap":
+        return FcaMapMatcher()
+    if system == "nezhadi":
+        return NezhadiMatcher()
+    if system == "semprop":
+        return SemPropMatcher(embeddings)
+    if system == "lsh":
+        return LshMatcher()
+    raise ReproError(f"unknown system {system!r}; known: {', '.join(SYSTEMS)}")
+
+
+def fallback_embeddings(dataset: Dataset | None, dimension: int = HASH_DIMENSION):
+    """Hash embeddings over ``dataset``'s vocabulary (empty when ``None``).
+
+    Deterministic for a given dataset content: the vocabulary is sorted
+    before hashing, so two processes bootstrapping the same tenant land
+    on bit-identical embedding matrices -- a prerequisite for the serve
+    layer's warm-restart byte-identity guarantee.
+    """
+    vocabulary: set[str] = set()
+    if dataset is not None:
+        for instance in dataset.instances:
+            vocabulary.update(words(instance.property_name))
+            vocabulary.update(words(instance.value))
+    return hash_embeddings(sorted(vocabulary), dimension=dimension)

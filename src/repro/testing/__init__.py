@@ -13,6 +13,7 @@ from repro.testing.faults import (
     FaultPlan,
     FaultyMatcher,
     IngestFaultPlan,
+    ServeFaultPlan,
     SimulatedKill,
     SlowSourceWriter,
     corrupt_with_nan,
@@ -27,6 +28,7 @@ __all__ = [
     "FaultPlan",
     "FaultyMatcher",
     "IngestFaultPlan",
+    "ServeFaultPlan",
     "SimulatedKill",
     "SlowSourceWriter",
     "corrupt_with_nan",

@@ -261,6 +261,38 @@ class IngestFaultPlan:
             os._exit(WORKER_EXIT_CODE)
 
 
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """Process kills at exact journaled stages of the tenant registry.
+
+    The registry calls :meth:`maybe_exit` right after appending each
+    lifecycle record -- and additionally at the ``reload`` point, after
+    a copy-on-swap successor state is fully built but *before* its
+    ``source-added`` record lands -- so ``exit_after={"source-added": 1}``
+    means "hard-kill immediately after the first reload is journaled
+    but before the swap becomes visible".  Budgets are counted in
+    ``state_dir`` files exactly like :class:`IngestFaultPlan`, so a
+    warm-restarted registry given the same plan does not die again.
+    """
+
+    exit_after: Mapping[str, int] = field(default_factory=dict)
+    state_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.exit_after and self.state_dir is None:
+            raise ConfigurationError(
+                "ServeFaultPlan.state_dir is required: the kill budget "
+                "must survive the process deaths it causes"
+            )
+
+    def maybe_exit(self, stage: str) -> None:
+        """Hard-kill the process if ``stage`` still has kill budget."""
+        if _consume_file_budget(
+            self.state_dir, f"serve-{stage}", self.exit_after.get(stage, 0)
+        ):
+            os._exit(WORKER_EXIT_CODE)
+
+
 def write_torn_csv(path: str | Path, rows: list[list[str]], keep: float = 0.5) -> None:
     """Write a CSV whose final line is cut mid-row, as a dying writer would.
 

@@ -380,6 +380,80 @@ def follow(watcher, stop_event, poll_interval):
 """
 
 
+# ---------------------------------------------------------------- REP011
+
+REP011_BAD_QUEUE = """\
+import queue
+
+def build_backlog():
+    return queue.Queue()
+"""
+REP011_BAD_QUEUE_LINE = 4
+
+REP011_BAD_SIMPLEQUEUE = """\
+import queue
+
+def build_backlog():
+    return queue.SimpleQueue()
+"""
+REP011_BAD_SIMPLEQUEUE_LINE = 4
+
+REP011_BAD_DEQUE = """\
+import collections
+
+def build_buffer():
+    return collections.deque()
+"""
+REP011_BAD_DEQUE_LINE = 4
+
+REP011_BAD_BLOCKING_GET = """\
+def take(work_queue):
+    return work_queue.get()
+"""
+REP011_BAD_BLOCKING_GET_LINE = 2
+
+REP011_BAD_BLOCKING_ACCEPT = """\
+def acceptor(listener):
+    while True:
+        connection, _ = listener.accept()
+        connection.close()
+"""
+REP011_BAD_BLOCKING_ACCEPT_LINE = 3
+
+REP011_BAD_SLEEP = """\
+import time
+
+def drain(pending):
+    while pending:
+        time.sleep(0.5)
+"""
+REP011_BAD_SLEEP_LINE = 5
+
+REP011_GOOD = """\
+import queue
+
+def build_backlog(limit):
+    return queue.Queue(maxsize=limit)
+
+def take(work_queue, deadline):
+    return work_queue.get(timeout=deadline)
+
+def handle(stop_event, cond, remaining, interval):
+    with cond:
+        cond.wait(min(remaining, interval))
+    while not stop_event.is_set():
+        stop_event.wait(interval)
+"""
+
+# A deque with an explicit bound is a legitimate ring buffer.
+REP011_GOOD_BOUNDED_DEQUE = """\
+import collections
+
+def recent_errors(limit):
+    return collections.deque(maxlen=limit)
+"""
+
+
 #: ``rule -> (bad snippet, expected line, good snippet)`` for the
 #: one-per-rule parametrised test; extra variants are exercised
 #: individually in test_rules.py.
@@ -394,4 +468,5 @@ PAIRS = {
     "REP008": (REP008_BAD, REP008_BAD_LINE, REP008_GOOD),
     "REP009": (REP009_BAD, REP009_BAD_LINE, REP009_GOOD),
     "REP010": (REP010_BAD_SLEEP, REP010_BAD_SLEEP_LINE, REP010_GOOD),
+    "REP011": (REP011_BAD_QUEUE, REP011_BAD_QUEUE_LINE, REP011_GOOD),
 }

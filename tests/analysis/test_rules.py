@@ -202,3 +202,69 @@ class TestRep010Variants:
             fixtures.REP010_BAD_SLEEP, role=ROLE_TESTS, select=("REP010",)
         )
         assert report.violations == []
+
+
+class TestRep011Variants:
+    def test_simplequeue_is_always_unbounded(self):
+        found = violations_of(fixtures.REP011_BAD_SIMPLEQUEUE, "REP011")
+        assert found
+        assert fixtures.REP011_BAD_SIMPLEQUEUE_LINE in {v.line for v in found}
+
+    def test_unbounded_deque(self):
+        found = violations_of(fixtures.REP011_BAD_DEQUE, "REP011")
+        assert found
+        assert fixtures.REP011_BAD_DEQUE_LINE in {v.line for v in found}
+
+    def test_bounded_deque_is_fine(self):
+        assert (
+            violations_of(fixtures.REP011_GOOD_BOUNDED_DEQUE, "REP011") == []
+        )
+
+    def test_zero_arg_blocking_get(self):
+        found = violations_of(fixtures.REP011_BAD_BLOCKING_GET, "REP011")
+        assert found
+        assert fixtures.REP011_BAD_BLOCKING_GET_LINE in {
+            v.line for v in found
+        }
+
+    def test_zero_arg_blocking_accept(self):
+        found = violations_of(fixtures.REP011_BAD_BLOCKING_ACCEPT, "REP011")
+        assert found
+        assert fixtures.REP011_BAD_BLOCKING_ACCEPT_LINE in {
+            v.line for v in found
+        }
+
+    def test_wall_clock_sleep(self):
+        found = violations_of(fixtures.REP011_BAD_SLEEP, "REP011")
+        assert found
+        assert fixtures.REP011_BAD_SLEEP_LINE in {v.line for v in found}
+
+    def test_queue_with_explicit_zero_maxsize_is_unbounded(self):
+        source = (
+            "import queue\n"
+            "def build_backlog():\n"
+            "    return queue.Queue(maxsize=0)\n"
+        )
+        assert violations_of(source, "REP011")
+
+    def test_only_binds_serve_and_handler_modules(self):
+        report = analyze_source(
+            fixtures.REP011_BAD_QUEUE,
+            path="src/repro/evaluation/runner.py",
+            select=("REP011",),
+        )
+        assert report.violations == []
+
+    def test_binds_real_serve_module_paths(self):
+        found = analyze_source(
+            fixtures.REP011_BAD_QUEUE,
+            path="src/repro/serve/server.py",
+            select=("REP011",),
+        ).violations
+        assert found
+
+    def test_tests_are_exempt(self):
+        report = analyze_source(
+            fixtures.REP011_BAD_QUEUE, role=ROLE_TESTS, select=("REP011",)
+        )
+        assert report.violations == []

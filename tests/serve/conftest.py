@@ -1,0 +1,141 @@
+"""Shared helpers for the serve suite: tenant CSVs, registries, HTTP.
+
+The instance data reuses the ingestion suite's property vocabulary
+(``PROPS_A``/``PROPS_B``/``PROPS_C``): three disjoint sources whose
+values overlap enough that even the unsupervised LSH matcher links
+them, and whose alignment sidecars give supervised systems positive
+training pairs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    AdmissionQueue,
+    MatchingService,
+    RegistryJournal,
+    TenantRegistry,
+    TenantSpec,
+)
+
+from tests.ingest.conftest import PROPS_A, PROPS_B, PROPS_C  # noqa: F401
+
+#: ``source -> reference`` property alignment across the three sources.
+ALIGNMENT = {
+    ("srcA", "weight"): "ref_weight",
+    ("srcA", "color"): "ref_color",
+    ("srcB", "wt"): "ref_weight",
+    ("srcB", "colour"): "ref_color",
+    ("srcC", "mass"): "ref_weight",
+    ("srcC", "tint"): "ref_color",
+}
+
+
+def write_instances(path: Path, sources: dict[str, dict[str, list[str]]]) -> Path:
+    """One instances CSV holding every ``{source: {property: values}}``."""
+    lines = ["source,property,entity,value"]
+    for source, props in sources.items():
+        for prop, values in props.items():
+            for index, value in enumerate(values):
+                lines.append(f"{source},{prop},e{index},{value}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def write_alignment(path: Path, sources: dict[str, dict[str, list[str]]]) -> Path:
+    """The matching alignment CSV for ``sources`` (from :data:`ALIGNMENT`)."""
+    lines = ["source,property,reference"]
+    for source, props in sources.items():
+        for prop in props:
+            lines.append(f"{source},{prop},{ALIGNMENT[(source, prop)]}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def make_spec(
+    directory: Path,
+    tenant: str = "t1",
+    system: str = "lsh",
+    *,
+    threshold: float | None = 0.3,
+    with_alignment: bool = True,
+) -> TenantSpec:
+    """A CSV-backed tenant spec over sources A+B in ``directory``."""
+    sources = {"srcA": PROPS_A, "srcB": PROPS_B}
+    instances = write_instances(directory / f"{tenant}.csv", sources)
+    alignment = None
+    if with_alignment:
+        alignment = write_alignment(directory / f"{tenant}.alignment.csv", sources)
+    return TenantSpec(
+        tenant=tenant,
+        system=system,
+        instances=str(instances),
+        alignment=None if alignment is None else str(alignment),
+        threshold=threshold,
+    )
+
+
+def write_extra_source(
+    directory: Path, name: str = "extra.csv", *, with_alignment: bool = True
+) -> Path:
+    """A reloadable source C CSV (plus its alignment sidecar)."""
+    path = write_instances(directory / name, {"srcC": PROPS_C})
+    if with_alignment:
+        write_alignment(
+            directory / (Path(name).stem + ".alignment.csv"), {"srcC": PROPS_C}
+        )
+    return path
+
+
+def make_registry(tmp_path: Path, **kwargs) -> TenantRegistry:
+    """A loaded registry journaling into ``tmp_path/registry.journal``."""
+    registry = TenantRegistry(
+        RegistryJournal(tmp_path / "registry.journal"), **kwargs
+    )
+    registry.load()
+    return registry
+
+
+def match_body(registry: TenantRegistry, tenant_id: str) -> bytes:
+    """The canonical byte-level ``/match`` body for comparisons."""
+    return json.dumps(
+        registry.match_payload(tenant_id), sort_keys=True
+    ).encode("utf-8")
+
+
+def request(
+    service: MatchingService,
+    method: str,
+    path: str,
+    body: dict | None = None,
+) -> tuple[int, dict, bytes]:
+    """One HTTP request against ``service``: ``(status, headers, raw body)``."""
+    connection = http.client.HTTPConnection(
+        service.host, service.port, timeout=30
+    )
+    try:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A started ephemeral-port service over a loaded registry."""
+    registry = make_registry(tmp_path)
+    instance = MatchingService(
+        registry,
+        AdmissionQueue(max_active=4, max_waiting=8, request_deadline=10.0),
+    )
+    instance.start()
+    yield instance
+    instance.stop()

@@ -1,0 +1,103 @@
+"""Bounded admission: shedding, deadlines, bulkheads, drain."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    AdmissionQueue,
+    AdmissionShed,
+    DeadlineExceeded,
+    ServiceStopping,
+)
+
+
+def fast_queue(**kwargs) -> AdmissionQueue:
+    kwargs.setdefault("request_deadline", 0.05)
+    return AdmissionQueue(**kwargs)
+
+
+class TestSlots:
+    def test_admit_and_release_counts(self):
+        queue = fast_queue()
+        with queue.slot("a"):
+            assert queue.depth()["active"] == 1
+        stats = queue.stats()
+        assert stats["admitted"] == 1
+        assert stats["completed"] == 1
+        assert queue.drained()
+
+    def test_slot_released_when_work_raises(self):
+        queue = fast_queue()
+        with pytest.raises(ValueError):
+            with queue.slot("a"):
+                raise ValueError("work failed")
+        assert queue.drained()
+        assert queue.stats()["completed"] == 1
+
+    def test_free_slot_is_taken_even_with_zero_waiting_room(self):
+        queue = fast_queue(max_active=1, max_waiting=0)
+        with queue.slot("a"):
+            pass
+        assert queue.stats()["admitted"] == 1
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(max_active=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(request_deadline=0)
+
+
+class TestShedding:
+    def test_full_queue_sheds_immediately(self):
+        queue = fast_queue(max_active=1, max_waiting=0)
+        with queue.slot("a"):
+            with pytest.raises(AdmissionShed) as caught:
+                with queue.slot("b"):
+                    pass
+        assert 1 <= caught.value.retry_after <= 2
+        assert queue.stats()["shed"] == 1
+
+    def test_retry_after_is_deterministic_per_tenant(self):
+        first = AdmissionQueue(seed=7)
+        second = AdmissionQueue(seed=7)
+        for tenant in ("alpha", "beta", "gamma"):
+            assert first.retry_after(tenant) == second.retry_after(tenant)
+            assert 1 <= first.retry_after(tenant) <= 2
+        assert (
+            AdmissionQueue(seed=8).retry_after("alpha")
+            == AdmissionQueue(seed=8).retry_after("alpha")
+        )
+
+
+class TestDeadlines:
+    def test_waiter_expires_at_deadline(self):
+        queue = fast_queue(max_active=1, max_waiting=4)
+        with queue.slot("a"):
+            with pytest.raises(DeadlineExceeded):
+                with queue.slot("b"):
+                    pass
+        assert queue.stats()["expired"] == 1
+        assert queue.drained()
+
+
+class TestBulkheads:
+    def test_per_tenant_cap_leaves_room_for_other_tenants(self):
+        queue = fast_queue(max_active=4, max_waiting=4, max_per_tenant=1)
+        with queue.slot("a"):
+            with queue.slot("b"):
+                with pytest.raises(DeadlineExceeded):
+                    with queue.slot("a"):
+                        pass
+        assert queue.stats()["admitted"] == 2
+
+
+class TestStopAndDrain:
+    def test_stop_event_refuses_admission(self):
+        queue = fast_queue()
+        queue.stop_event.set()
+        with pytest.raises(ServiceStopping):
+            with queue.slot("a"):
+                pass
+
+    def test_await_drain_on_empty_queue(self):
+        assert fast_queue().await_drain(0.01)
