@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test lint check chaos serve-smoke serve-http-smoke bench bench-features bench-kernel bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test lint lint-concurrency check chaos serve-smoke serve-http-smoke bench bench-features bench-kernel bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,9 +11,16 @@ test:
 # Invariant-enforcing static analysis (repro.analysis): unseeded RNG,
 # non-atomic writes, wall-clock deadlines, float equality, swallowed
 # exceptions, worker-side journal writes, mutable defaults, fork-unsafe
-# module state.  Exit 1 on any fresh finding or stale baseline entry.
+# module state, watch-loop/serve-blocking discipline, and the
+# whole-program concurrency pass (REP012-REP015).  Exit 1 on any fresh
+# finding or stale baseline entry.
 lint:
 	PYTHONPATH=src python -m repro lint src tests scripts
+
+# Just the concurrency rules, with the JSON document (lock-order graph,
+# thread roots) on stdout -- what the lint-concurrency CI job runs.
+lint-concurrency:
+	PYTHONPATH=src python -m repro lint src --select REP012,REP013,REP014,REP015 --json
 
 # Tier-1 tests plus the static pass plus a fast fault-injection smoke:
 # an evaluation run with an injected failure must complete, report the

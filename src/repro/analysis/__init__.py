@@ -7,8 +7,10 @@ used to check: they lived in DESIGN.md prose and could silently regress
 in any PR.  This package turns them into executable rules.
 
 The engine is a small AST-visitor framework (:mod:`.visitor`) with a
-pluggable rule registry (:mod:`.registry`).  The repo-specific rules
-live in :mod:`.rules`:
+pluggable rule registry (:mod:`.registry`).  The per-file rules live
+in :mod:`.rules`; the whole-program concurrency rules (REP012-REP015)
+live in :mod:`.concurrency` on top of the import-aware call graph in
+:mod:`.callgraph`:
 
 ========  =============================================================
 REP001    unseeded / global RNG (``np.random.*`` module functions,
@@ -29,6 +31,19 @@ REP008    fork-unsafe module-level mutable state mutated post-import in
 REP009    impure feature stages: a module defining ``FeatureStage``
           subclasses importing ``repro.evaluation``, or file writes
           inside a stage class body
+REP010    unstoppable watch/ingest loops: ``time.sleep`` or stop-blind
+          ``while True`` in follow-mode modules
+REP011    unbounded queues or timeout-less blocking calls in serving
+          modules
+REP012    shared attribute written outside the lock region that guards
+          it elsewhere, or read-modify-written on a thread-reachable
+          path
+REP013    lock-order cycle in the whole-program acquisition graph
+          (latent deadlock; never baselined)
+REP014    blocking I/O (fsync'd journal appends, sleeps, sockets,
+          timeout-less waits) while holding a lock
+REP015    registered signal handler doing more than a flag write,
+          ``Event.set()``, or ``os.write``
 ========  =============================================================
 
 Findings can be silenced two ways: an inline ``# repro: noqa[REPxxx]``
@@ -42,6 +57,8 @@ the ``repro lint`` CLI subcommand (:mod:`.cli`) with stable exit codes:
 """
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.concurrency import ConcurrencyModel
 from repro.analysis.engine import (
     AnalysisReport,
     FileReport,
@@ -57,6 +74,8 @@ from repro.analysis.suppress import suppressions_for_source
 __all__ = [
     "AnalysisReport",
     "Baseline",
+    "CallGraph",
+    "ConcurrencyModel",
     "FileReport",
     "Rule",
     "Violation",

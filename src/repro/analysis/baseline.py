@@ -10,10 +10,12 @@ occur) so the file shrinks monotonically instead of rotting.
 Entries match on ``(path, rule, normalized source line text)`` rather
 than line numbers, so unrelated edits that shift a file do not
 invalidate the baseline; duplicate identical lines are matched as a
-multiset.  Policy: REP001 and REP002 findings must be *fixed*, never
-baselined -- unseeded RNG and torn writes corrupt results silently, so
-there is no acceptable legacy state (enforced by
-``tests/analysis/test_self_clean.py``).
+multiset.  Policy: :data:`NEVER_BASELINED` rules (REP001, REP002,
+REP013) must be *fixed*, never baselined -- unseeded RNG and torn
+writes corrupt results silently, and a lock-order cycle is a latent
+deadlock, so none has an acceptable legacy state.  ``--write-baseline``
+refuses to grandfather them and the CLI rejects baseline files that
+contain them (also enforced by ``tests/analysis/test_self_clean.py``).
 
 Writing the baseline goes through :func:`repro.ioutils.atomic_write_text`
 -- the analyzer practices the invariant it enforces.
@@ -32,6 +34,10 @@ from repro.ioutils import atomic_write_text
 
 BASELINE_VERSION = 1
 DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+#: Rules whose findings may never be grandfathered: fix or noqa with a
+#: written justification, there is no acceptable legacy state.
+NEVER_BASELINED = frozenset({"REP001", "REP002", "REP013"})
 
 
 def _entry_key(path: str, rule: str, snippet: str) -> tuple[str, str, str]:
@@ -93,8 +99,18 @@ class Baseline:
         payload = {"version": BASELINE_VERSION, "entries": self.entries}
         atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
-    def apply(self, violations: list[Violation]) -> BaselineMatch:
-        """Split violations into fresh vs baselined; surface stale entries."""
+    def apply(
+        self,
+        violations: list[Violation],
+        *,
+        ran_rules: set[str] | None = None,
+    ) -> BaselineMatch:
+        """Split violations into fresh vs baselined; surface stale entries.
+
+        ``ran_rules`` names the rules this run actually executed
+        (``None`` means all): an entry for a rule that was deselected
+        cannot be judged stale -- its finding was never looked for.
+        """
         remaining = Counter(self._counts)
         match = BaselineMatch()
         for violation in violations:
@@ -105,6 +121,8 @@ class Baseline:
             else:
                 match.fresh.append(violation)
         for entry in self.entries:
+            if ran_rules is not None and entry["rule"] not in ran_rules:
+                continue
             key = _entry_key(entry["path"], entry["rule"], entry.get("snippet", ""))
             if remaining.get(key, 0) > 0:
                 remaining[key] -= 1

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineMatch
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    NEVER_BASELINED,
+    Baseline,
+    BaselineMatch,
+)
 from repro.analysis.engine import analyze_paths
 from repro.analysis.registry import rule_codes
 from repro.analysis.report import exit_code, render_human, render_json
@@ -34,6 +39,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--select", default=None, metavar="REPxxx[,REPxxx...]",
         help="run only these rule codes",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="REPxxx[,REPxxx...]",
+        help="skip these rule codes (applied after --select)",
     )
     parser.add_argument(
         "--baseline", default=DEFAULT_BASELINE_NAME, metavar="PATH",
@@ -66,16 +75,7 @@ def run_lint(args: argparse.Namespace, *, printer=print) -> int:
         for code, rule_class in sorted(all_rules().items()):
             printer(f"{code}  {rule_class.name}: {rule_class.summary}")
         return 0
-    select = None
-    if args.select:
-        select = tuple(code.strip().upper() for code in args.select.split(","))
-        known = set(rule_codes())
-        unknown = [code for code in select if code not in known]
-        if unknown:
-            raise ReproError(
-                f"unknown rule code(s): {', '.join(unknown)}; "
-                f"known: {', '.join(sorted(known))}"
-            )
+    select = _effective_select(args.select, getattr(args, "ignore", None))
     report = analyze_paths(
         args.paths,
         jobs=args.jobs,
@@ -84,20 +84,73 @@ def run_lint(args: argparse.Namespace, *, printer=print) -> int:
     )
     violations = report.violations
     if args.write_baseline:
-        baseline = Baseline.from_violations(violations)
+        rejected = [v for v in violations if v.rule in NEVER_BASELINED]
+        grandfathered = [v for v in violations if v.rule not in NEVER_BASELINED]
+        baseline = Baseline.from_violations(grandfathered)
         baseline.save(args.baseline)
         printer(
             f"baseline written to {args.baseline}: "
             f"{len(baseline)} grandfathered finding(s)"
         )
+        if rejected:
+            codes = ", ".join(sorted({v.rule for v in rejected}))
+            printer(
+                f"refused to baseline {len(rejected)} finding(s) for "
+                f"never-baselined rule(s) {codes}: fix them or add an inline "
+                f"justified noqa"
+            )
+            return 1
         return 0
     baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
-    match = baseline.apply(violations)
+    banned = sorted(baseline.rules_present() & NEVER_BASELINED)
+    if banned:
+        raise ReproError(
+            f"baseline {args.baseline} grandfathers never-baselined rule(s) "
+            f"{', '.join(banned)}; these findings must be fixed"
+        )
+    match = baseline.apply(
+        violations, ran_rules=None if select is None else set(select)
+    )
     if args.json_output:
         printer(render_json(report, match), end="")
     else:
         printer(render_human(report, match))
     return exit_code(match, report)
+
+
+def _effective_select(
+    select_arg: str | None, ignore_arg: str | None
+) -> tuple[str, ...] | None:
+    """Compose ``--select`` and ``--ignore`` into the engine's selection.
+
+    ``None`` (neither flag) means every rule; ``--ignore`` subtracts
+    from whatever ``--select`` chose (or from the full set).  Emptying
+    the selection is a usage error -- a run that checks nothing is
+    almost certainly a typo.
+    """
+    known = set(rule_codes())
+
+    def parse(raw: str, flag: str) -> tuple[str, ...]:
+        codes = tuple(code.strip().upper() for code in raw.split(","))
+        unknown = [code for code in codes if code not in known]
+        if unknown:
+            raise ReproError(
+                f"unknown rule code(s) in {flag}: {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return codes
+
+    select = parse(select_arg, "--select") if select_arg else None
+    ignore = parse(ignore_arg, "--ignore") if ignore_arg else ()
+    if not ignore:
+        return select
+    base = select if select is not None else tuple(sorted(known))
+    effective = tuple(code for code in base if code not in set(ignore))
+    if not effective:
+        raise ReproError(
+            "--select/--ignore left no rules to run; drop one of the flags"
+        )
+    return effective
 
 
 def main(argv: list[str] | None = None) -> int:

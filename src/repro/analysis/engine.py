@@ -8,6 +8,17 @@ path order; ``jobs=1`` or small inputs stay serial.  A file the parser
 rejects is reported as a ``REP000`` finding rather than crashing the
 run -- a syntax error in one module must not hide findings in the
 other hundred.
+
+The concurrency rules (REP012-REP015) are the exception to per-file
+independence: their closures cross module boundaries (a handler thread
+in ``serve.server`` reaches writes in ``serve.registry``), so
+:func:`analyze_paths` strips them from the worker pass and runs one
+serial *project pass* in the parent over every library-role module,
+merging the findings back into the per-file reports and attaching the
+lock-order graph as :attr:`AnalysisReport.concurrency`.  Output stays
+deterministic and identical for any ``jobs`` value: the pool handles
+per-file rules, the parent handles cross-module ones, both in path
+order.
 """
 
 from __future__ import annotations
@@ -18,9 +29,15 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.registry import SYNTAX_ERROR_CODE, Violation, all_rules
+from repro.analysis.concurrency import PROJECT_RULE_CODES, ConcurrencyModel
+from repro.analysis.registry import (
+    ROLE_LIBRARY,
+    SYNTAX_ERROR_CODE,
+    Violation,
+    all_rules,
+)
 from repro.analysis.suppress import is_suppressed, suppressions_for_source
-from repro.analysis.visitor import Analyzer, ModuleContext
+from repro.analysis.visitor import Analyzer, ModuleContext, role_for_path
 from repro.errors import ReproError
 
 #: Directory names never descended into during discovery.
@@ -45,6 +62,9 @@ class AnalysisReport:
     """Aggregate over every analysed file, in deterministic path order."""
 
     files: list[FileReport] = field(default_factory=list)
+    #: Lock-order graph + thread roots from the cross-module concurrency
+    #: pass; ``None`` when the selection excluded REP012-REP015.
+    concurrency: dict | None = None
 
     @property
     def violations(self) -> list[Violation]:
@@ -93,7 +113,7 @@ def analyze_source(
 ) -> FileReport:
     """Analyse one module given as text (the test-fixture entry point)."""
     registry = all_rules()
-    codes = sorted(select) if select else sorted(registry)
+    codes = sorted(select) if select is not None else sorted(registry)
     unknown = [code for code in codes if code not in registry]
     if unknown:
         raise ReproError(f"unknown rule code(s): {', '.join(unknown)}")
@@ -173,12 +193,25 @@ def analyze_paths(
     ``jobs=None`` sizes the pool to the machine; results are identical
     to serial analysis regardless of ``jobs`` (asserted by the test
     suite) because files are independent and output order is by path.
+    The cross-module concurrency rules run once in the parent (serial,
+    path-ordered), so they preserve that invariant too.
     """
     files = discover_files(paths)
+    registry = all_rules()
+    requested = sorted(select) if select is not None else sorted(registry)
+    unknown = [code for code in requested if code not in registry]
+    if unknown:
+        raise ReproError(f"unknown rule code(s): {', '.join(unknown)}")
+    project_codes = tuple(
+        code for code in requested if code in PROJECT_RULE_CODES
+    )
+    per_file_select = tuple(
+        code for code in requested if code not in PROJECT_RULE_CODES
+    )
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, len(files) or 1))
-    items = [(str(path), select, respect_noqa) for path in files]
+    items = [(str(path), per_file_select, respect_noqa) for path in files]
     if jobs == 1 or len(files) < _PARALLEL_THRESHOLD:
         reports = [_analyze_for_pool(item) for item in items]
     else:
@@ -186,7 +219,81 @@ def analyze_paths(
         with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
             chunk = max(1, len(items) // (jobs * 4))
             reports = list(pool.map(_analyze_for_pool, items, chunksize=chunk))
-    return AnalysisReport(files=reports)
+    report = AnalysisReport(files=reports)
+    if project_codes:
+        merged, concurrency = _project_pass(files, project_codes, respect_noqa)
+        by_path = {file_report.path: file_report for file_report in report.files}
+        for path, (violations, suppressed) in merged.items():
+            file_report = by_path.get(path)
+            if file_report is None:
+                continue
+            file_report.violations = sorted(
+                file_report.violations + violations
+            )
+            file_report.suppressed += suppressed
+        report.concurrency = concurrency
+    return report
+
+
+def _project_pass(
+    files: list[Path],
+    codes: tuple[str, ...],
+    respect_noqa: bool,
+) -> tuple[dict[str, tuple[list[Violation], int]], dict]:
+    """One cross-module concurrency model over every library module.
+
+    Unreadable/unparseable files are skipped here -- the per-file pass
+    already reported them (REP000 / error report); the model simply
+    analyses the modules that do parse.
+    """
+    contexts: list[ModuleContext] = []
+    sources: dict[str, str] = {}
+    for path in files:
+        display = _display_path(path)
+        if role_for_path(display) != ROLE_LIBRARY:
+            continue
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        try:
+            ctx = ModuleContext(display, source)
+        except SyntaxError:
+            continue
+        contexts.append(ctx)
+        sources[display] = source
+    model = ConcurrencyModel(contexts)
+    wanted = set(codes)
+    grouped: dict[str, list[Violation]] = {}
+    for finding in model.findings:
+        if finding.code not in wanted:
+            continue
+        line = getattr(finding.node, "lineno", 1)
+        col = getattr(finding.node, "col_offset", 0) + 1
+        grouped.setdefault(finding.ctx.path, []).append(
+            Violation(
+                path=finding.ctx.path,
+                line=line,
+                col=col,
+                rule=finding.code,
+                message=finding.message,
+                snippet=finding.ctx.line_text(line),
+            )
+        )
+    merged: dict[str, tuple[list[Violation], int]] = {}
+    for path, violations in grouped.items():
+        suppressed = 0
+        if respect_noqa:
+            table = suppressions_for_source(sources[path])
+            kept = [
+                violation
+                for violation in violations
+                if not is_suppressed(table, violation.line, violation.rule)
+            ]
+            suppressed = len(violations) - len(kept)
+            violations = kept
+        merged[path] = (sorted(violations), suppressed)
+    return merged, model.lock_order_report()
 
 
 def _pool_context():

@@ -115,8 +115,8 @@ def register(rule_class: type) -> type:
 
 def all_rules() -> dict[str, type]:
     """``{code: rule class}`` for every registered rule (import side effect)."""
-    # Importing the rules module populates the registry exactly once.
-    from repro.analysis import rules  # noqa: F401
+    # Importing the rule modules populates the registry exactly once.
+    from repro.analysis import concurrency, rules  # noqa: F401
 
     return dict(_REGISTRY)
 

@@ -11,8 +11,14 @@ changes) so CI and editors can consume it:
       "violations": [{"path", "line", "col", "rule", "message", "snippet"}],
       "counts": {"fresh": 2, "suppressed": 1, "baselined": 4, "stale_baseline": 0},
       "by_rule": {"REP002": 2},
-      "rules": [{"code", "name", "summary"}]
+      "rules": [{"code", "name", "summary"}],
+      "concurrency": {"locks", "lock_order": {"edges", "cycles", "acyclic"},
+                      "thread_roots"}
     }
+
+``concurrency`` carries the cross-module pass's lock-order graph and
+thread roots (``null`` when the rule selection excluded REP012-REP015);
+it is additive, so the schema version stays 1.
 
 Exit codes are decided here too: 0 clean, 1 any fresh violation or
 stale baseline entry, 2 usage/internal error (raised as
@@ -109,6 +115,7 @@ def render_json(report: AnalysisReport, match: BaselineMatch) -> str:
             }
             for code, rule_class in sorted(all_rules().items())
         ],
+        "concurrency": report.concurrency,
         "exit_code": exit_code(match, report),
     }
     return json.dumps(document, indent=2, sort_keys=True) + "\n"

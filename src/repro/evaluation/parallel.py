@@ -427,10 +427,13 @@ def run_grid_parallel(
                     _PREBUILT["stores"],
                 )
         stop = threading.Event()
-        received: list[int] = []
+        received_signum: int | None = None
 
         def _on_signal(signum, frame) -> None:
-            received.append(signum)
+            # Async-signal-safe: a plain nonlocal rebind (last signal
+            # wins) instead of a list append inside the handler.
+            nonlocal received_signum
+            received_signum = signum
             stop.set()
 
         installed: dict[int, object] = {}
@@ -510,7 +513,7 @@ def run_grid_parallel(
                 # signal for the caller's exit code.
                 drain.enable_resolution()
                 drain.advance(outcomes)
-                interrupted.signum = received[-1] if received else None
+                interrupted.signum = received_signum
                 raise
         finally:
             _PREBUILT.clear()  # repro: noqa[REP008] post-run cleanup: the pool is gone, no child can observe this

@@ -150,7 +150,7 @@ class FollowDaemon:
         #: Keys ever journaled, to keep re-discoveries from re-appending.
         self._seen: set[tuple[str, str]] = set()
         self._pending: dict[str, _PendingSource] = {}
-        self._received_signals: list[int] = []
+        self._received_signal: int | None = None
 
     # -- resume --------------------------------------------------------------
     def resume(self) -> int:
@@ -211,7 +211,10 @@ class FollowDaemon:
         installed: dict[int, object] = {}
 
         def _on_signal(signum: int, frame) -> None:
-            self._received_signals.append(signum)
+            # Async-signal-safe: last signal wins (the interrupt report
+            # names the most recent one), written as a plain slot
+            # assignment -- no container mutation inside a handler.
+            self._received_signal = signum
             self.stop_event.set()
 
         if (
@@ -295,7 +298,7 @@ class FollowDaemon:
     def _check_stop(self) -> None:
         if not self.stop_event.is_set():
             return
-        signum = self._received_signals[-1] if self._received_signals else None
+        signum = self._received_signal
         raise IngestInterrupted(
             "follow loop stopped; every fused batch is journaled",
             signum=signum,

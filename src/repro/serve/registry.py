@@ -302,7 +302,7 @@ class TenantRegistry:
                 if spec.tenant in self._tenants:
                     raise DataError(f"tenant already exists: {spec.tenant}")
                 created_order = len(self._tenants)
-            self._journal(
+            self._journal(  # repro: noqa[REP014] durability before visibility: the record must be fsynced before the tenant is observable; serving never takes _reload_lock
                 "record_created", spec.tenant, spec.to_record(),
                 spec.input_fingerprint(),
             )
@@ -318,7 +318,7 @@ class TenantRegistry:
                     error_type=type(error).__name__,
                     error=str(error),
                 )
-                self._journal(
+                self._journal(  # repro: noqa[REP014] durability before visibility: the quarantine must be fsynced before the poisoned tenant is published; serving never takes _reload_lock
                     "record_quarantined", spec.tenant, REASON_POISON_TENANT,
                     error, 0,
                 )
@@ -326,7 +326,7 @@ class TenantRegistry:
                     self._tenants[spec.tenant] = tenant
                 raise
             tenant.state = state
-            self._journal(
+            self._journal(  # repro: noqa[REP014] durability before visibility: bootstrap is journaled before the tenant serves; serving never takes _reload_lock
                 "record_bootstrapped",
                 spec.tenant,
                 len(state.dataset.properties()),
@@ -399,7 +399,7 @@ class TenantRegistry:
             )
             self._maybe_fault("reload")
             order = tenant.reloads + 1
-            self._journal(
+            self._journal(  # repro: noqa[REP014] durability before visibility: the reload is journaled before the swapped state is observable; serving never takes _reload_lock
                 "record_source_added",
                 tenant_id,
                 str(path),
@@ -425,14 +425,15 @@ class TenantRegistry:
                 if tenant_id not in self._tenants:
                     raise DataError(f"no such tenant: {tenant_id}")
                 del self._tenants[tenant_id]
-            self._journal("record_removed", tenant_id)
+            self._journal("record_removed", tenant_id)  # repro: noqa[REP014] durability before visibility: removal is fsynced while admission still rejects the tenant; serving never takes _reload_lock
             self._maybe_fault("removed")
 
     # -- breaker -------------------------------------------------------------
     def record_success(self, tenant_id: str) -> None:
-        tenant = self.get(tenant_id)
-        if tenant is not None:
-            tenant.failures = 0
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is not None:
+                tenant.failures = 0
 
     def record_failure(self, tenant_id: str, error: BaseException) -> bool:
         """Count one request failure; returns True when the breaker opened.
@@ -441,25 +442,36 @@ class TenantRegistry:
         tenant as a structured journal record.  The quarantine gates
         only this tenant: its slots drain, its requests get 503, and
         every other tenant keeps serving.
+
+        Handler threads call this concurrently, so the counter moves
+        only under ``_lock`` (the ``/statz`` failure totals are exact)
+        and exactly the thread that lands on the threshold opens the
+        breaker: it journals the quarantine *outside* the lock -- the
+        fsynced append must not stall readers -- and then publishes the
+        quarantine event with a second short hold.
         """
-        tenant = self.get(tenant_id)
-        if tenant is None or tenant.quarantined:
-            return False
-        tenant.failures += 1
-        if tenant.failures < self.breaker_threshold:
-            return False
-        tenant.quarantine = TenantEvent(
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None or tenant.quarantined:
+                return False
+            tenant.failures += 1
+            failures = tenant.failures
+            if failures != self.breaker_threshold:
+                return False
+        event = TenantEvent(
             tenant_id,
             TENANT_QUARANTINED,
             reason=REASON_CIRCUIT_OPEN,
             error_type=type(error).__name__,
             error=str(error),
-            failures=tenant.failures,
+            failures=failures,
         )
         self._journal(
             "record_quarantined", tenant_id, REASON_CIRCUIT_OPEN, error,
-            tenant.failures,
+            failures,
         )
+        with self._lock:
+            tenant.quarantine = event
         self._maybe_fault("quarantined")
         return True
 

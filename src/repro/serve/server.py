@@ -294,7 +294,7 @@ class MatchingService:
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
-        self._received_signals: list[int] = []
+        self._received_signal: int | None = None
 
     @property
     def host(self) -> str:
@@ -333,7 +333,11 @@ class MatchingService:
 
     # -- CLI foreground loop -------------------------------------------------
     def _handle_signal(self, signum, frame) -> None:
-        self._received_signals.append(signum)
+        # Async-signal-safe: a single first-wins slot plus an Event.  The
+        # exit code reports the signal that *initiated* the drain, and a
+        # list append here could run mid-allocation of unrelated code.
+        if self._received_signal is None:
+            self._received_signal = signum
         self.stop_event.set()
 
     def serve_until_signalled(self) -> None:
@@ -352,7 +356,7 @@ class MatchingService:
             while not self.stop_event.is_set():
                 self.stop_event.wait(_WAIT_SLICE)
             drained = self.stop()
-            signum = self._received_signals[0] if self._received_signals else None
+            signum = self._received_signal
             raise GridInterrupted(
                 "matching service stopped by signal"
                 + ("" if drained else " (drain grace expired)"),

@@ -454,6 +454,299 @@ def recent_errors(limit):
 """
 
 
+# ---------------------------------------------------------------- REP012
+
+REP012_BAD_RMW = """\
+import threading
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def record(self):
+        self.total += 1
+
+    def reset(self):
+        with self._lock:
+            self.total = 0
+
+def start(stats):
+    for _ in range(4):
+        worker = threading.Thread(target=stats.record)
+        worker.start()
+"""
+REP012_BAD_RMW_LINE = 9
+
+REP012_BAD_INCONSISTENT = """\
+import threading
+
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.level = 0
+
+    def set_level(self, value):
+        self.level = value
+
+    def clear(self):
+        with self._lock:
+            self.level = 0
+
+def start(gauge):
+    worker = threading.Thread(target=gauge.set_level, args=(1,))
+    worker.start()
+"""
+REP012_BAD_INCONSISTENT_LINE = 9
+
+REP012_GOOD = """\
+import threading
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def record(self):
+        with self._lock:
+            self.total += 1
+
+    def reset(self):
+        with self._lock:
+            self.total = 0
+
+def start(stats):
+    for _ in range(4):
+        worker = threading.Thread(target=stats.record)
+        worker.start()
+"""
+
+# Without a thread root the writes never race: same class, no Thread().
+REP012_GOOD_NO_ROOTS = """\
+import threading
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def record(self):
+        self.total += 1
+
+    def reset(self):
+        with self._lock:
+            self.total = 0
+"""
+
+
+# ---------------------------------------------------------------- REP013
+
+REP013_BAD = """\
+import threading
+
+class Transfer:
+    def __init__(self):
+        self._credit = threading.Lock()
+        self._debit = threading.Lock()
+
+    def deposit(self):
+        with self._credit:
+            with self._debit:
+                return 1
+
+    def withdraw(self):
+        with self._debit:
+            with self._credit:
+                return 2
+"""
+REP013_BAD_LINE = 10
+
+# The reversed edge comes through a call made under the outer lock, not
+# a lexical ``with`` nesting -- the cycle needs the call graph to see.
+REP013_BAD_TRANSITIVE = """\
+import threading
+
+class Ledger:
+    def __init__(self):
+        self._summary = threading.Lock()
+        self._detail = threading.Lock()
+
+    def _flush(self):
+        with self._detail:
+            return 1
+
+    def summarize(self):
+        with self._summary:
+            return self._flush()
+
+    def detail_report(self):
+        with self._detail:
+            with self._summary:
+                return 2
+"""
+REP013_BAD_TRANSITIVE_LINE = 14
+
+REP013_GOOD = """\
+import threading
+
+class Transfer:
+    def __init__(self):
+        self._credit = threading.Lock()
+        self._debit = threading.Lock()
+
+    def deposit(self):
+        with self._credit:
+            with self._debit:
+                return 1
+
+    def withdraw(self):
+        with self._credit:
+            with self._debit:
+                return 2
+"""
+
+
+# ---------------------------------------------------------------- REP014
+
+REP014_BAD_FSYNC = """\
+import os
+import threading
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def append(self, handle, line):
+        with self._lock:
+            handle.write(line)
+            os.fsync(handle.fileno())
+"""
+REP014_BAD_FSYNC_LINE = 11
+
+REP014_BAD_SLEEP = """\
+import threading
+import time
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def tick(self):
+        with self._lock:
+            time.sleep(0.1)
+"""
+REP014_BAD_SLEEP_LINE = 10
+
+REP014_BAD_JOIN = """\
+import threading
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def drain(self, worker):
+        with self._lock:
+            worker.join()
+"""
+REP014_BAD_JOIN_LINE = 9
+
+# Snapshot under the lock, do the I/O outside it.
+REP014_GOOD = """\
+import os
+import threading
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def append(self, handle, line):
+        with self._lock:
+            self._pending.append(line)
+            pending = list(self._pending)
+            self._pending.clear()
+        handle.writelines(pending)
+        os.fsync(handle.fileno())
+"""
+
+# ``Condition.wait`` on the lock you hold is the predicate-loop idiom,
+# not a foreign blocking call.
+REP014_GOOD_COND_WAIT = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.item = None
+
+    def take(self):
+        with self._cond:
+            while self.item is None:
+                self._cond.wait(0.1)
+            item, self.item = self.item, None
+            return item
+"""
+
+
+# ---------------------------------------------------------------- REP015
+
+REP015_BAD = """\
+import signal
+
+def install(events):
+    def _on_signal(signum, frame):
+        events.append(signum)
+
+    signal.signal(signal.SIGTERM, _on_signal)
+"""
+REP015_BAD_LINE = 5
+
+REP015_BAD_METHOD = """\
+import signal
+
+class Service:
+    def __init__(self):
+        self.history = []
+
+    def _on_signal(self, signum, frame):
+        self.history.append(signum)
+
+    def install(self):
+        signal.signal(signal.SIGINT, self._on_signal)
+"""
+REP015_BAD_METHOD_LINE = 8
+
+REP015_GOOD = """\
+import signal
+
+def install(stop_event, slot):
+    def _on_signal(signum, frame):
+        slot.value = signum
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+"""
+
+REP015_GOOD_SIG_IGN = """\
+import signal
+
+def mute():
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+"""
+
+# ``os.write`` is on the async-signal-safe list (self-pipe wakeups).
+REP015_GOOD_OS_WRITE = """\
+import os
+import signal
+
+def install(wakeup_fd):
+    def _on_signal(signum, frame):
+        os.write(wakeup_fd, b"x")
+
+    signal.signal(signal.SIGTERM, _on_signal)
+"""
+
+
 #: ``rule -> (bad snippet, expected line, good snippet)`` for the
 #: one-per-rule parametrised test; extra variants are exercised
 #: individually in test_rules.py.
@@ -469,4 +762,8 @@ PAIRS = {
     "REP009": (REP009_BAD, REP009_BAD_LINE, REP009_GOOD),
     "REP010": (REP010_BAD_SLEEP, REP010_BAD_SLEEP_LINE, REP010_GOOD),
     "REP011": (REP011_BAD_QUEUE, REP011_BAD_QUEUE_LINE, REP011_GOOD),
+    "REP012": (REP012_BAD_RMW, REP012_BAD_RMW_LINE, REP012_GOOD),
+    "REP013": (REP013_BAD, REP013_BAD_LINE, REP013_GOOD),
+    "REP014": (REP014_BAD_FSYNC, REP014_BAD_FSYNC_LINE, REP014_GOOD),
+    "REP015": (REP015_BAD, REP015_BAD_LINE, REP015_GOOD),
 }

@@ -1,0 +1,230 @@
+"""The cross-module call graph: resolution rules and closure correctness.
+
+The property tests build random multi-module programs whose true call
+graph is known by construction (globally unique function names, calls
+either bare within a module or dotted through an import), then check
+:meth:`CallGraph.closure` against an independent BFS over the drawn
+edges.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.callgraph import GENERIC_METHOD_NAMES, CallGraph
+from repro.analysis.visitor import ModuleContext
+
+
+def build_graph(sources):
+    """``{module index: source}`` -> CallGraph over ``repro.gen.mod{i}``."""
+    contexts = [
+        ModuleContext(f"src/repro/gen/mod{index}.py", source)
+        for index, source in sorted(sources.items())
+    ]
+    return CallGraph.from_modules(contexts)
+
+
+def qual(index, name):
+    return f"repro.gen.mod{index}.{name}"
+
+
+# ---------------------------------------------------------------- units
+
+
+class TestResolution:
+    def test_bare_name_resolves_to_module_level(self):
+        graph = build_graph({0: "def helper():\n    pass\ndef caller():\n    helper()\n"})
+        assert graph.callees(qual(0, "caller")) == {qual(0, "helper")}
+
+    def test_dotted_call_resolves_through_import(self):
+        graph = build_graph({
+            0: "def target():\n    pass\n",
+            1: "from repro.gen import mod0\ndef caller():\n    mod0.target()\n",
+        })
+        assert graph.callees(qual(1, "caller")) == {qual(0, "target")}
+
+    def test_from_import_of_function(self):
+        graph = build_graph({
+            0: "def target():\n    pass\n",
+            1: "from repro.gen.mod0 import target\ndef caller():\n    target()\n",
+        })
+        assert graph.callees(qual(1, "caller")) == {qual(0, "target")}
+
+    def test_self_method_resolves_within_class(self):
+        source = (
+            "class Box:\n"
+            "    def fill(self):\n"
+            "        self.check()\n"
+            "    def check(self):\n"
+            "        pass\n"
+        )
+        graph = build_graph({0: source})
+        assert graph.callees(qual(0, "Box.fill")) == {qual(0, "Box.check")}
+
+    def test_class_call_resolves_to_init(self):
+        source = (
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "def make():\n"
+            "    return Box()\n"
+        )
+        graph = build_graph({0: source})
+        assert graph.callees(qual(0, "make")) == {qual(0, "Box.__init__")}
+
+    def test_nested_def_resolves_before_module_level(self):
+        source = (
+            "def helper():\n"
+            "    pass\n"
+            "def outer():\n"
+            "    def helper():\n"
+            "        pass\n"
+            "    helper()\n"
+        )
+        graph = build_graph({0: source})
+        assert graph.callees(qual(0, "outer")) == {qual(0, "outer.helper")}
+
+    def test_nested_def_body_belongs_to_the_nested_node(self):
+        source = (
+            "def leaf():\n"
+            "    pass\n"
+            "def outer():\n"
+            "    def inner():\n"
+            "        leaf()\n"
+            "    return inner\n"
+        )
+        graph = build_graph({0: source})
+        assert graph.callees(qual(0, "outer")) == set()
+        assert graph.callees(qual(0, "outer.inner")) == {qual(0, "leaf")}
+
+    def test_untyped_receiver_falls_back_to_name_match(self):
+        graph = build_graph({
+            0: "class Worker:\n    def process(self):\n        pass\n",
+            1: "def drive(worker):\n    worker.process()\n",
+        })
+        assert graph.callees(qual(1, "drive")) == {qual(0, "Worker.process")}
+
+    def test_generic_method_names_do_not_match_by_name(self):
+        assert "get" in GENERIC_METHOD_NAMES
+        graph = build_graph({
+            0: "class Cache:\n    def get(self):\n        pass\n",
+            1: "def drive(mapping):\n    mapping.get()\n",
+        })
+        assert graph.callees(qual(1, "drive")) == set()
+
+    def test_dunder_calls_do_not_match_by_name(self):
+        # ``super().__init__`` must not edge into every class in the
+        # program; only explicit ``ClassName()`` calls reach __init__.
+        graph = build_graph({
+            0: "class Base:\n    def __init__(self):\n        pass\n",
+            1: "class Sub:\n    def __init__(self):\n        super().__init__()\n",
+        })
+        assert graph.callees(qual(1, "Sub.__init__")) == set()
+
+    def test_self_cycle_edges_are_dropped(self):
+        graph = build_graph({0: "def loop():\n    loop()\n"})
+        assert graph.callees(qual(0, "loop")) == set()
+        assert graph.closure([qual(0, "loop")]) == {qual(0, "loop")}
+
+
+# ----------------------------------------------------------- properties
+
+
+@st.composite
+def random_programs(draw):
+    """A random module set with a known-by-construction call graph.
+
+    Function names are globally unique (``m{i}_f{j}``), so every drawn
+    edge is resolvable and no accidental name collision adds edges the
+    reference graph does not know about.
+    """
+    n_modules = draw(st.integers(2, 4))
+    sizes = [draw(st.integers(1, 3)) for _ in range(n_modules)]
+    names = [
+        [f"m{index}_f{offset}" for offset in range(size)]
+        for index, size in enumerate(sizes)
+    ]
+    flat = [
+        (index, name) for index, module in enumerate(names) for name in module
+    ]
+    n_edges = draw(st.integers(0, min(10, len(flat) * (len(flat) - 1))))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, len(flat) - 1), st.integers(0, len(flat) - 1)
+            ),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    edges = {(a, b) for a, b in edges if a != b}
+    roots = draw(st.sets(st.integers(0, len(flat) - 1), max_size=3))
+    return names, flat, edges, roots
+
+
+def render_sources(names, flat, edges):
+    sources = {}
+    for index, module_names in enumerate(names):
+        lines = [
+            f"from repro.gen import mod{other}"
+            for other in range(len(names))
+            if other != index
+        ]
+        for name in module_names:
+            caller = flat.index((index, name))
+            lines.append(f"def {name}():")
+            body = []
+            for a, b in sorted(edges):
+                if a != caller:
+                    continue
+                callee_module, callee_name = flat[b]
+                if callee_module == index:
+                    body.append(f"    {callee_name}()")
+                else:
+                    body.append(f"    mod{callee_module}.{callee_name}()")
+            lines.extend(body or ["    pass"])
+        sources[index] = "\n".join(lines) + "\n"
+    return sources
+
+
+def reference_closure(flat, edges, roots):
+    seen = set()
+    stack = list(roots)
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(b for a, b in edges if a == current)
+    return {qual(*flat[index]) for index in seen}
+
+
+class TestClosureProperties:
+    @given(random_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_match_the_drawn_program(self, program):
+        names, flat, edges, _roots = program
+        graph = build_graph(render_sources(names, flat, edges))
+        expected = {}
+        for a, b in edges:
+            expected.setdefault(qual(*flat[a]), set()).add(qual(*flat[b]))
+        for index, name in flat:
+            assert graph.callees(qual(index, name)) == expected.get(
+                qual(index, name), set()
+            )
+
+    @given(random_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_equals_reference_bfs(self, program):
+        names, flat, edges, roots = program
+        graph = build_graph(render_sources(names, flat, edges))
+        got = graph.closure(qual(*flat[index]) for index in roots)
+        assert got == reference_closure(flat, edges, roots)
+
+    @given(random_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_closure_is_monotone_in_roots(self, program):
+        names, flat, edges, roots = program
+        graph = build_graph(render_sources(names, flat, edges))
+        all_roots = [qual(*flat[index]) for index in range(len(flat))]
+        subset = graph.closure(qual(*flat[index]) for index in roots)
+        assert subset <= graph.closure(all_roots)

@@ -1,0 +1,196 @@
+"""Project-level concurrency analysis: cross-module closure, the lock
+graph in the report, thread-root discovery, and noqa merging.
+
+Single-module behaviour (one rule, one snippet) lives in
+test_rules.py; these tests exercise what only the whole-project pass
+can see.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CONCURRENCY_CODES = ("REP012", "REP013", "REP014", "REP015")
+
+STATS_MODULE = """\
+import threading
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def record(self):
+        self.total += 1
+
+    def reset(self):
+        with self._lock:
+            self.total = 0
+"""
+
+DRIVER_MODULE = """\
+import threading
+
+from repro.serve import stats
+
+def start(tracker):
+    for _ in range(4):
+        worker = threading.Thread(target=tracker.record)
+        worker.start()
+"""
+
+
+def write_tree(root, files):
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+class TestCrossModuleClosure:
+    def test_write_fires_only_when_the_spawning_module_is_analysed(
+        self, tmp_path
+    ):
+        # Alone, stats.py has no thread roots: nothing races, REP012
+        # stays silent.  Adding driver.py (which spawns threads at
+        # Stats.record through the import-aware call graph) makes the
+        # same write a finding -- the defining cross-module case.
+        write_tree(tmp_path, {"src/repro/serve/stats.py": STATS_MODULE})
+        alone = analyze_paths(
+            [tmp_path / "src"], jobs=1, select=CONCURRENCY_CODES
+        )
+        assert alone.violations == []
+
+        write_tree(tmp_path, {"src/repro/serve/driver.py": DRIVER_MODULE})
+        together = analyze_paths(
+            [tmp_path / "src"], jobs=1, select=CONCURRENCY_CODES
+        )
+        assert [v.rule for v in together.violations] == ["REP012"]
+        violation = together.violations[0]
+        assert violation.path.endswith("stats.py")
+        assert "total" in violation.message
+
+    def test_thread_roots_cover_both_modules(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/serve/stats.py": STATS_MODULE,
+            "src/repro/serve/driver.py": DRIVER_MODULE,
+        })
+        report = analyze_paths(
+            [tmp_path / "src"], jobs=1, select=CONCURRENCY_CODES
+        )
+        roots = {
+            entry["function"]: entry
+            for entry in report.concurrency["thread_roots"]
+        }
+        assert "repro.serve.stats.Stats.record" in roots
+        assert roots["repro.serve.stats.Stats.record"]["multi"] is True
+
+    def test_noqa_on_the_write_line_merges_into_suppressed(self, tmp_path):
+        patched = STATS_MODULE.replace(
+            "        self.total += 1",
+            "        self.total += 1  # repro: noqa[REP012] demo counter, exactness not needed",
+        )
+        write_tree(tmp_path, {
+            "src/repro/serve/stats.py": patched,
+            "src/repro/serve/driver.py": DRIVER_MODULE,
+        })
+        report = analyze_paths(
+            [tmp_path / "src"], jobs=1, select=CONCURRENCY_CODES
+        )
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_lock_cycle_lands_in_the_report_graph(self, tmp_path):
+        source = (
+            "import threading\n"
+            "class Transfer:\n"
+            "    def __init__(self):\n"
+            "        self._credit = threading.Lock()\n"
+            "        self._debit = threading.Lock()\n"
+            "    def deposit(self):\n"
+            "        with self._credit:\n"
+            "            with self._debit:\n"
+            "                return 1\n"
+            "    def withdraw(self):\n"
+            "        with self._debit:\n"
+            "            with self._credit:\n"
+            "                return 2\n"
+        )
+        write_tree(tmp_path, {"src/repro/serve/ledger.py": source})
+        report = analyze_paths(
+            [tmp_path / "src"], jobs=1, select=CONCURRENCY_CODES
+        )
+        assert [v.rule for v in report.violations] == ["REP013"]
+        graph = report.concurrency["lock_order"]
+        assert graph["acyclic"] is False
+        assert graph["cycles"], "cycle list must name the deadlock"
+        assert {"Transfer._credit", "Transfer._debit"} <= set(graph["cycles"][0])
+
+    def test_concurrency_key_absent_without_project_rules(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/serve/stats.py": STATS_MODULE})
+        report = analyze_paths(
+            [tmp_path / "src"], jobs=1, select=("REP003",)
+        )
+        assert report.concurrency is None
+
+
+@pytest.fixture(scope="module")
+def src_report():
+    """One concurrency-only pass over the real package."""
+    import os
+
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        return analyze_paths(["src"], select=CONCURRENCY_CODES)
+    finally:
+        os.chdir(cwd)
+
+
+class TestRealSourceTree:
+    """The acceptance contract: the shipped tree is clean and its lock
+    graph is acyclic with the documented canonical order."""
+
+    def test_no_unsuppressed_findings(self, src_report):
+        assert src_report.violations == [], "\n".join(
+            v.describe() for v in src_report.violations
+        )
+
+    def test_lock_graph_is_acyclic(self, src_report):
+        graph = src_report.concurrency["lock_order"]
+        assert graph["acyclic"] is True
+        assert graph["cycles"] == []
+
+    def test_known_locks_are_discovered(self, src_report):
+        locks = set(src_report.concurrency["locks"])
+        assert {
+            "TenantRegistry._lock",
+            "TenantRegistry._reload_lock",
+            "AdmissionQueue._cond",
+        } <= locks
+
+    def test_canonical_order_reload_before_tenant_lock(self, src_report):
+        edges = {
+            (edge["from"], edge["to"])
+            for edge in src_report.concurrency["lock_order"]["edges"]
+        }
+        assert ("TenantRegistry._reload_lock", "TenantRegistry._lock") in edges
+        assert ("TenantRegistry._lock", "TenantRegistry._reload_lock") not in edges
+
+    def test_thread_roots_include_handlers_and_daemon(self, src_report):
+        roots = {
+            entry["function"]: entry
+            for entry in src_report.concurrency["thread_roots"]
+        }
+        assert roots["repro.serve.server._Handler.do_POST"]["kind"] == "handler"
+        assert roots["repro.serve.server._Handler.do_POST"]["multi"] is True
+        assert roots["repro.ingest.daemon.FollowDaemon.run"]["kind"] == "daemon"
+        signal_roots = [
+            entry for entry in roots.values() if entry["kind"] == "signal"
+        ]
+        assert signal_roots, "signal handlers must be discovered as roots"

@@ -148,9 +148,10 @@ class TestCliExitCodes:
         assert document["counts"]["fresh"] >= 1
 
     def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        # REP003 is baselineable; REP001/REP002/REP013 are not (below).
         monkeypatch.chdir(tmp_path)
         target = tmp_path / "bad.py"
-        target.write_text(fixtures.REP002_BAD_OPEN)
+        target.write_text(fixtures.REP003_BAD)
         baseline = tmp_path / "baseline.json"
         assert cli_main(
             ["lint", str(target), "--baseline", str(baseline), "--write-baseline"]
@@ -164,7 +165,7 @@ class TestCliExitCodes:
     def test_stale_baseline_entry_fails(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
         target = tmp_path / "bad.py"
-        target.write_text(fixtures.REP002_BAD_OPEN)
+        target.write_text(fixtures.REP003_BAD)
         baseline = tmp_path / "baseline.json"
         cli_main(
             ["lint", str(target), "--baseline", str(baseline), "--write-baseline"]
@@ -174,6 +175,36 @@ class TestCliExitCodes:
         code = cli_main(["lint", str(target), "--baseline", str(baseline)])
         assert code == EXIT_VIOLATIONS
         assert "stale" in capsys.readouterr().out
+
+    def test_write_baseline_refuses_never_baselined_rules(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "bad.py"
+        target.write_text(fixtures.REP002_BAD_OPEN)
+        baseline = tmp_path / "baseline.json"
+        code = cli_main(
+            ["lint", str(target), "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert code == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "refused" in out and "REP002" in out
+        assert json.loads(baseline.read_text())["entries"] == []
+
+    def test_hand_edited_baseline_with_banned_rule_is_rejected(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "bad.py"
+        target.write_text(fixtures.REP002_BAD_OPEN)
+        baseline = tmp_path / "baseline.json"
+        entry = {
+            "path": "bad.py", "rule": "REP002", "line": 2,
+            "snippet": 'with open(path, "w") as handle:',
+        }
+        baseline.write_text(json.dumps({"version": 1, "entries": [entry]}))
+        code = cli_main(["lint", str(target), "--baseline", str(baseline)])
+        assert code == EXIT_ERROR
 
     def test_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == EXIT_CLEAN

@@ -268,3 +268,125 @@ class TestRep011Variants:
             fixtures.REP011_BAD_QUEUE, role=ROLE_TESTS, select=("REP011",)
         )
         assert report.violations == []
+
+
+class TestRep012Variants:
+    def test_inconsistently_guarded_plain_write(self):
+        found = violations_of(fixtures.REP012_BAD_INCONSISTENT, "REP012")
+        assert found
+        assert fixtures.REP012_BAD_INCONSISTENT_LINE in {v.line for v in found}
+        assert "inconsistently guarded" in found[0].message
+
+    def test_module_without_thread_roots_is_silent(self):
+        assert violations_of(fixtures.REP012_GOOD_NO_ROOTS, "REP012") == []
+
+    def test_constructor_writes_are_exempt(self):
+        # __init__ publishes the object before any thread can see it;
+        # the unguarded self.total = 0 there must not fire.
+        found = violations_of(fixtures.REP012_GOOD, "REP012")
+        assert found == []
+
+    def test_tests_are_exempt(self):
+        report = analyze_source(
+            fixtures.REP012_BAD_RMW, role=ROLE_TESTS, select=("REP012",)
+        )
+        assert report.violations == []
+
+
+class TestRep013Variants:
+    def test_cycle_through_call_graph_edge(self):
+        found = violations_of(fixtures.REP013_BAD_TRANSITIVE, "REP013")
+        assert found
+        assert fixtures.REP013_BAD_TRANSITIVE_LINE in {v.line for v in found}
+        message = found[0].message
+        assert "Ledger._summary" in message and "Ledger._detail" in message
+
+    def test_message_names_both_locks(self):
+        found = violations_of(fixtures.REP013_BAD, "REP013")
+        message = found[0].message
+        assert "Transfer._credit" in message and "Transfer._debit" in message
+
+    def test_consistent_order_is_silent(self):
+        assert violations_of(fixtures.REP013_GOOD, "REP013") == []
+
+
+class TestRep014Variants:
+    def test_sleep_under_lock(self):
+        found = violations_of(fixtures.REP014_BAD_SLEEP, "REP014")
+        assert found
+        assert fixtures.REP014_BAD_SLEEP_LINE in {v.line for v in found}
+
+    def test_join_under_lock(self):
+        found = violations_of(fixtures.REP014_BAD_JOIN, "REP014")
+        assert found
+        assert fixtures.REP014_BAD_JOIN_LINE in {v.line for v in found}
+
+    def test_condition_wait_on_held_lock_is_the_idiom(self):
+        assert violations_of(fixtures.REP014_GOOD_COND_WAIT, "REP014") == []
+
+
+class TestRep015Variants:
+    def test_bound_method_handler(self):
+        found = violations_of(fixtures.REP015_BAD_METHOD, "REP015")
+        assert found
+        assert fixtures.REP015_BAD_METHOD_LINE in {v.line for v in found}
+
+    def test_sig_ign_constant_is_silent(self):
+        assert violations_of(fixtures.REP015_GOOD_SIG_IGN, "REP015") == []
+
+    def test_os_write_is_signal_safe(self):
+        assert violations_of(fixtures.REP015_GOOD_OS_WRITE, "REP015") == []
+
+
+class TestSelectIgnoreFlags:
+    """``repro lint --select`` / ``--ignore`` composition via the CLI."""
+
+    BAD_BOTH = fixtures.REP002_BAD_OPEN + "\n" + (
+        "import time\n"
+        "def expired(started, budget):\n"
+        "    return time.time() - started > budget\n"
+    )
+
+    def run(self, tmp_path, capsys, *flags):
+        import json
+
+        from repro.cli import main as cli_main
+
+        target = tmp_path / "bad.py"
+        target.write_text(self.BAD_BOTH)
+        code = cli_main(
+            ["lint", str(target), "--no-baseline", "--json", *flags]
+        )
+        captured = capsys.readouterr()
+        document = json.loads(captured.out) if captured.out.startswith("{") else None
+        return code, document, captured.err
+
+    def test_select_narrows_to_named_rules(self, tmp_path, capsys):
+        code, document, _ = self.run(tmp_path, capsys, "--select", "REP003")
+        assert code == 1
+        assert set(document["by_rule"]) == {"REP003"}
+
+    def test_ignore_drops_named_rules(self, tmp_path, capsys):
+        code, document, _ = self.run(tmp_path, capsys, "--ignore", "REP002")
+        assert code == 1
+        rules = set(document["by_rule"])
+        assert "REP002" not in rules and "REP003" in rules
+
+    def test_ignore_composes_with_select(self, tmp_path, capsys):
+        code, document, _ = self.run(
+            tmp_path, capsys,
+            "--select", "REP002,REP003", "--ignore", "REP002",
+        )
+        assert code == 1
+        assert set(document["by_rule"]) == {"REP003"}
+
+    def test_emptying_the_selection_is_a_usage_error(self, tmp_path, capsys):
+        code, _document, _ = self.run(
+            tmp_path, capsys, "--select", "REP003", "--ignore", "REP003"
+        )
+        assert code == 2
+
+    def test_unknown_code_in_ignore_names_the_flag(self, tmp_path, capsys):
+        code, _document, err = self.run(tmp_path, capsys, "--ignore", "REP999")
+        assert code == 2
+        assert "--ignore" in err

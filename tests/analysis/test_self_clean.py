@@ -39,9 +39,25 @@ class TestSelfClean:
         assert report.errors == []
         assert exit_code(match, report) == EXIT_CLEAN
 
-    def test_baseline_never_grandfathers_rep001_or_rep002(self):
+    def test_baseline_never_grandfathers_banned_rules(self):
+        from repro.analysis.baseline import NEVER_BASELINED
+
+        assert {"REP001", "REP002", "REP013"} <= NEVER_BASELINED
         baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
-        assert baseline.rules_present().isdisjoint({"REP001", "REP002"})
+        assert baseline.rules_present().isdisjoint(NEVER_BASELINED)
+
+    def test_concurrency_rules_alone_are_clean(self, repo_cwd, capsys):
+        # The CI job's exact invocation: the concurrency subset of the
+        # analyzer finds nothing fresh in the shipped tree.
+        code = cli_main(
+            ["lint", "src", "--select", "REP012,REP013,REP014,REP015", "--json"]
+        )
+        assert code == EXIT_CLEAN
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["violations"] == []
+        assert document["concurrency"]["lock_order"]["acyclic"] is True
 
     def test_every_active_suppression_has_a_justification(self, repo_cwd):
         # Only lines whose noqa actually silences a finding are held to

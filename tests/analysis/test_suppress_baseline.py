@@ -135,3 +135,13 @@ class TestBaseline:
         path.write_text("{not json")
         with pytest.raises(ReproError):
             Baseline.load(path)
+
+    def test_deselected_rules_entries_are_not_stale(self):
+        # A --select run that skips REP002 never looked for its
+        # grandfathered findings, so they must not read as stale.
+        found = self.violations()
+        baseline = Baseline.from_violations(found)
+        match = baseline.apply([], ran_rules={"REP003"})
+        assert match.stale_entries == []
+        match = baseline.apply([], ran_rules={"REP002"})
+        assert len(match.stale_entries) == len(found)

@@ -1,5 +1,7 @@
 """Bounded admission: shedding, deadlines, bulkheads, drain."""
 
+import threading
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -101,3 +103,95 @@ class TestStopAndDrain:
 
     def test_await_drain_on_empty_queue(self):
         assert fast_queue().await_drain(0.01)
+
+
+class TestSpuriousWakeups:
+    """The predicate loop, not the notification, is the admission gate.
+
+    ``Condition.wait`` may return without a matching notify (and extra
+    ``notify_all`` calls are indistinguishable from that).  A waiter
+    that trusted the wakeup instead of re-checking ``_must_wait`` would
+    over-admit past ``max_active``.
+    """
+
+    def test_double_notify_does_not_overadmit(self):
+        queue = AdmissionQueue(
+            max_active=1, max_waiting=4, request_deadline=10.0
+        )
+        entered = threading.Event()
+        release = threading.Event()
+        active_seen = []
+        seen_lock = threading.Lock()
+
+        def hold():
+            with queue.slot("holder"):
+                entered.set()
+                release.wait(10.0)
+
+        def waiter(name):
+            with queue.slot(name):
+                with seen_lock:
+                    active_seen.append(queue.depth()["active"])
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert entered.wait(10.0)
+        waiters = [
+            threading.Thread(target=waiter, args=(f"w{index}",))
+            for index in range(2)
+        ]
+        for thread in waiters:
+            thread.start()
+        # Hammer the condition while the slot is still held: every
+        # wakeup is spurious, and none may admit a waiter.
+        for _ in range(25):
+            with queue._cond:
+                queue._cond.notify_all()
+            assert queue.depth()["active"] == 1
+        release.set()
+        holder.join(10.0)
+        for thread in waiters:
+            thread.join(10.0)
+        assert not holder.is_alive()
+        assert not any(thread.is_alive() for thread in waiters)
+        stats = queue.stats()
+        assert stats["admitted"] == 3
+        assert stats["completed"] == 3
+        assert stats["expired"] == 0 and stats["shed"] == 0
+        assert active_seen == [1, 1]
+        assert queue.drained()
+
+    def test_stop_event_wakes_blocked_waiter(self):
+        queue = AdmissionQueue(
+            max_active=1, max_waiting=4, request_deadline=30.0
+        )
+        entered = threading.Event()
+        release = threading.Event()
+        outcome = []
+
+        def hold():
+            with queue.slot("holder"):
+                entered.set()
+                release.wait(10.0)
+
+        def waiter():
+            try:
+                with queue.slot("blocked"):
+                    outcome.append("admitted")
+            except ServiceStopping:
+                outcome.append("stopping")
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert entered.wait(10.0)
+        blocked = threading.Thread(target=waiter)
+        blocked.start()
+        # The waiter is parked inside the predicate loop; stopping must
+        # reject it promptly even though no slot was ever released.
+        queue.stop_event.set()
+        blocked.join(10.0)
+        assert not blocked.is_alive()
+        assert outcome == ["stopping"]
+        release.set()
+        holder.join(10.0)
+        assert queue.await_drain(10.0)

@@ -1,0 +1,126 @@
+"""Exactness of shared counters under real thread contention.
+
+These are the behavioural twins of the analyzer's REP012 findings: the
+breaker counter and the admission totals are incremented from handler
+threads, so their values must be *exact* -- a lost update here is the
+race the lock regions exist to prevent.
+"""
+
+import json
+import threading
+
+from tests.serve.conftest import make_registry, make_spec, request
+from tests.serve.test_http import create_tenant
+
+
+def hammer(n_threads, work):
+    """Run ``work(index)`` on N threads through a start barrier."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner(index):
+        barrier.wait(timeout=10.0)
+        try:
+            work(index)
+        except BaseException as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=runner, args=(index,))
+        for index in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert errors == []
+    assert not any(thread.is_alive() for thread in threads)
+
+
+class TestBreakerCounterExactness:
+    def test_concurrent_failures_count_exactly(self, tmp_path):
+        # Threshold far above the traffic: every increment must land.
+        registry = make_registry(tmp_path, breaker_threshold=10_000)
+        registry.create(make_spec(tmp_path))
+        n_threads, per_thread = 8, 25
+
+        def work(_index):
+            for _ in range(per_thread):
+                registry.record_failure("t1", ValueError("boom"))
+
+        hammer(n_threads, work)
+        summary = registry.tenant_summaries()["t1"]
+        assert summary["failures"] == n_threads * per_thread
+        assert summary["status"] == "ready"
+
+    def test_breaker_opens_exactly_once_at_threshold(self, tmp_path):
+        registry = make_registry(tmp_path, breaker_threshold=8)
+        registry.create(make_spec(tmp_path))
+        opened = []
+
+        def work(_index):
+            if registry.record_failure("t1", ValueError("boom")):
+                opened.append(True)
+
+        hammer(16, work)
+        assert len(opened) == 1
+        summary = registry.tenant_summaries()["t1"]
+        assert summary["status"] == "quarantined"
+        # The journal saw exactly one quarantine record for the tenant.
+        events = [
+            event
+            for event in registry.journal.events()
+            if event.status == "quarantined"
+        ]
+        assert len(events) == 1
+
+    def test_success_resets_between_contending_failures(self, tmp_path):
+        registry = make_registry(tmp_path, breaker_threshold=10_000)
+        registry.create(make_spec(tmp_path))
+
+        def work(index):
+            for _ in range(10):
+                registry.record_failure("t1", ValueError("boom"))
+        hammer(4, work)
+        registry.record_success("t1")
+        assert registry.tenant_summaries()["t1"]["failures"] == 0
+
+
+class TestStatzExactTotals:
+    def test_concurrent_clients_yield_exact_admission_totals(
+        self, service, tmp_path
+    ):
+        create_tenant(service, tmp_path)
+        baseline = json.loads(request(service, "GET", "/statz")[2])
+        before = baseline["admission"]
+        n_threads, per_thread = 6, 4
+        statuses = []
+        record = statuses.append
+        lock = threading.Lock()
+
+        def work(_index):
+            for _ in range(per_thread):
+                status, _, _ = request(service, "POST", "/tenants/t1/match")
+                with lock:
+                    record(status)
+
+        hammer(n_threads, work)
+        assert statuses == [200] * (n_threads * per_thread)
+        after = json.loads(request(service, "GET", "/statz")[2])["admission"]
+        total = n_threads * per_thread
+        assert after["admitted"] == before["admitted"] + total
+        assert after["completed"] == before["completed"] + total
+        assert after["active"] == 0 and after["waiting"] == 0
+
+    def test_failure_free_traffic_leaves_counter_at_zero(
+        self, service, tmp_path
+    ):
+        create_tenant(service, tmp_path)
+
+        def work(_index):
+            status, _, _ = request(service, "POST", "/tenants/t1/match")
+            assert status == 200
+
+        hammer(6, work)
+        tenants = json.loads(request(service, "GET", "/statz")[2])["tenants"]
+        assert tenants["t1"]["failures"] == 0
