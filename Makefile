@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test lint lint-concurrency check chaos serve-smoke serve-http-smoke bench bench-features bench-kernel bench-suite bench-tiny bench-paper examples lines
+.PHONY: install test lint lint-concurrency check chaos serve-smoke serve-http-smoke bench bench-features bench-kernel bench-blocking bench-suite bench-tiny bench-paper examples lines
 
 install:
 	pip install -e . || python setup.py develop
@@ -73,6 +73,15 @@ bench-features:
 # "kernel" section into BENCH_grid.json.
 bench-kernel:
 	PYTHONPATH=src python scripts/bench_grid.py --kernel
+
+# Candidate-generation benchmark: the 9-config grid over the full
+# cross product vs the same grid under the minhash blocking policy
+# (paper network, so the F1 comparison is against converged
+# classifiers).  Merges a "blocking" section into BENCH_grid.json with
+# candidate counts, reduction ratio, pair recall and per-cell F1
+# deltas.
+bench-blocking:
+	PYTHONPATH=src python scripts/bench_grid.py --blocking --network paper
 
 bench-suite:
 	pytest benchmarks/ --benchmark-only -s

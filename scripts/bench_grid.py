@@ -44,6 +44,13 @@ child so wall-clock, stage-level timings and peak RSS are isolated per
 variant.  Results merge into the same ``BENCH_grid.json`` under a
 ``"features"`` key.
 
+``--blocking [POLICY]`` runs the candidate-generation benchmark
+(PR 10): the 9-config grid over the full cross product vs the same
+grid under a blocking policy (default ``minhash``), reporting the
+candidate reduction, the policy's pair recall and the per-cell F1
+deltas the pruning costs.  Results merge into ``BENCH_grid.json``
+under a ``"blocking"`` key.
+
 ``--kernel`` runs the name-distance kernel micro-benchmark (PR 7):
 the scalar per-pair reference vs the batched kernel vs the warm
 in-process memo vs a persistent-cache reload, over the dataset's real
@@ -297,6 +304,124 @@ def run_features_benchmark(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Candidate-generation benchmark (--blocking)
+# ---------------------------------------------------------------------------
+
+
+def run_blocking_benchmark(args) -> int:
+    """Blocked grid vs full-cross-product grid: cost and fidelity.
+
+    Runs the 9-config grid twice with the cache-aware engine -- once
+    over the full pair universe, once under ``--blocking`` -- and
+    reports the candidate reduction, the pair recall of the policy and
+    the per-cell F1 deltas the pruning costs.  Pruned true matches are
+    scored as misses (the runner's honesty contract), so the deltas are
+    against the full ground truth, not the surviving candidates.
+    """
+    from repro.blocking import CandidatePolicy
+
+    policy = CandidatePolicy.from_label(args.blocking)
+    if policy.is_null:
+        raise SystemExit("--blocking needs a non-null policy label")
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    embeddings = build_domain_embeddings(args.dataset, scale=args.scale)
+
+    universe = PairUniverse(dataset, policy, embeddings=embeddings)
+    stats = universe.blocking_stats()
+    reduction_factor = (
+        stats["total_pairs"] / stats["candidates"] if stats["candidates"] else 0.0
+    )
+    print(
+        f"blocking {policy.label}: {stats['candidates']} of "
+        f"{stats['total_pairs']} cross-source pairs "
+        f"(reduction {stats['reduction_ratio']:.2%} = "
+        f"{reduction_factor:.2f}x, pair recall {stats['pair_recall']:.2%})"
+    )
+
+    runner = ExperimentRunner(_factories(embeddings, _network(args.network)))
+    kwargs = dict(
+        train_fractions=args.fractions,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=args.workers,
+        share_features=True,
+    )
+
+    started = perf_counter()
+    full_results = runner.run([dataset], **kwargs)
+    full_seconds = perf_counter() - started
+    print(f"full cross product: {full_seconds:8.2f}s")
+
+    started = perf_counter()
+    blocked_results = runner.run([dataset], policy=policy, **kwargs)
+    blocked_seconds = perf_counter() - started
+    print(f"blocked ({policy.label}): {blocked_seconds:8.2f}s")
+
+    full_f1 = {
+        (r.matcher_name, r.settings.train_fraction): r.f1 for r in full_results
+    }
+    deltas = {
+        f"{r.matcher_name}@{r.settings.train_fraction:.0%}": round(
+            r.f1 - full_f1[(r.matcher_name, r.settings.train_fraction)], 4
+        )
+        for r in blocked_results
+    }
+    # Signed per-cell deltas (blocked minus full).  Pruned true matches
+    # count as misses, so a negative delta is a real quality loss; a
+    # positive one means the policy pruned pairs the classifier would
+    # have false-positived.  The acceptance gate is on the degradation
+    # side: no cell may lose more than a hundredth of F1.
+    min_delta = min(deltas.values())
+    max_delta = max(deltas.values())
+    degradation = round(max(0.0, -min_delta), 4)
+    speedup = full_seconds / blocked_seconds if blocked_seconds else 0.0
+    print(
+        f"F1 delta (blocked - full): [{min_delta:+.4f}, {max_delta:+.4f}] "
+        f"over {len(deltas)} cells; worst degradation {degradation:.4f}  "
+        f"speedup {speedup:.2f}x"
+    )
+
+    section = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "seed": args.seed,
+        "network": args.network,
+        "policy": policy.label,
+        "candidates": stats["candidates"],
+        "total_pairs": stats["total_pairs"],
+        "reduction_ratio": round(stats["reduction_ratio"], 4),
+        "reduction_factor": round(reduction_factor, 3),
+        "pair_recall": round(stats["pair_recall"], 4),
+        "grid": {
+            "configs": 9,
+            "train_fractions": args.fractions,
+            "repetitions": args.repetitions,
+        },
+        "full": {
+            "wall_clock": round(full_seconds, 4),
+            "mean_f1": round(
+                sum(r.f1 for r in full_results) / len(full_results), 4
+            ),
+        },
+        "blocked": {
+            "wall_clock": round(blocked_seconds, 4),
+            "mean_f1": round(
+                sum(r.f1 for r in blocked_results) / len(blocked_results), 4
+            ),
+        },
+        "f1_delta_by_cell": deltas,
+        "f1_delta_min": round(min_delta, 4),
+        "f1_delta_max": round(max_delta, 4),
+        "f1_degradation_max": degradation,
+        "speedup": round(speedup, 3),
+    }
+    out = Path(args.out)
+    _merge_section(out, "blocking", section)
+    print(f"written: {out} (blocking section)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Name-distance kernel micro-benchmark (--kernel)
 # ---------------------------------------------------------------------------
 
@@ -431,13 +556,22 @@ def main(argv=None) -> int:
         "--kernel-repeats", type=int, default=3,
         help="best-of-N repeats for each --kernel measurement",
     )
+    parser.add_argument(
+        "--blocking", nargs="?", const="minhash", default=None,
+        metavar="POLICY",
+        help="run the candidate-generation benchmark (blocked grid vs "
+             "full cross product) under the given policy label "
+             "(default: minhash) instead of the engine comparison",
+    )
     args = parser.parse_args(argv)
-    if args.features and args.kernel:
-        parser.error("--features and --kernel are mutually exclusive")
+    if sum(map(bool, (args.features, args.kernel, args.blocking))) > 1:
+        parser.error("--features, --kernel and --blocking are mutually exclusive")
     if args.features:
         return run_features_benchmark(args)
     if args.kernel:
         return run_kernel_benchmark(args)
+    if args.blocking:
+        return run_blocking_benchmark(args)
 
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     embeddings = build_domain_embeddings(args.dataset, scale=args.scale)

@@ -1,4 +1,4 @@
-"""The repo-specific rules (REP001-REP011).
+"""The repo-specific rules (REP001-REP011, REP016).
 
 Each rule encodes one invariant the reproduction's correctness story
 depends on, with a pointer to where the invariant came from; DESIGN.md
@@ -898,3 +898,166 @@ class UnboundedServeBlockingRule(Rule):
             "unbounded 'while True' in serve/handler code -- consult a "
             "stop event every iteration so drain-then-exit can finish",
         )
+
+
+# ----------------------------------------------------------------------
+# REP016 -- quadratic cross-source pair enumeration
+
+
+def _target_names(target: ast.AST) -> set[str]:
+    """All plain names bound by a loop/comprehension target."""
+    return {node.id for node in ast.walk(target) if isinstance(node, ast.Name)}
+
+
+@register
+class QuadraticPairEnumerationRule(Rule):
+    """REP016: candidate pairs come from the blocking layer, not ad-hoc loops.
+
+    PR 10 made candidate generation a first-class stage: the sanctioned
+    enumerations of cross-source property pairs are
+    :func:`repro.data.pairs.build_pairs` /
+    ``cross_source_index_pairs`` and a
+    :class:`repro.blocking.CandidatePolicy` bucket walk.  A hand-rolled
+    nested loop over ``dataset.properties()`` guarded by a
+    ``left.source != right.source`` check re-materialises the O(n^2)
+    cross product the blocking layer exists to avoid -- and bypasses
+    whatever policy the run was configured with, so its pair set
+    silently disagrees with the universe every other stage uses.  The
+    rule keys on *full property sweeps* (iterables derived from a
+    ``.properties()`` call): pairing within an already-small scope --
+    cluster members, one alignment group -- is quadratic only in that
+    scope's size and stays silent.
+    """
+
+    code = "REP016"
+    name = "quadratic-pair-enumeration"
+    summary = (
+        "nested cross-source pair loop over properties(); use "
+        "repro.data.pairs or a blocking CandidatePolicy"
+    )
+    scopes = frozenset({ROLE_LIBRARY, ROLE_SCRIPTS})
+
+    #: The blocking layer and the canonical enumerator own this shape.
+    _EXEMPT_PREFIXES = ("repro.blocking", "repro.data.pairs")
+
+    def applies(self, role: str, module: str | None) -> bool:
+        if not super().applies(role, module):
+            return False
+        return module is None or not any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self._EXEMPT_PREFIXES
+        )
+
+    def begin_module(self, ctx) -> None:
+        self._sweep_names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and _is_properties_call(node.value):
+                self._sweep_names.update(
+                    target.id
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                )
+
+    def _is_sweep(self, node: ast.AST) -> bool:
+        """Whether a loop iterable walks a full property list."""
+        if _is_properties_call(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._sweep_names
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"enumerate", "sorted", "list", "reversed"}
+            and node.args
+        ):
+            return self._is_sweep(node.args[0])
+        # refs[i + 1:] -- the upper-triangle idiom still sweeps refs.
+        if isinstance(node, ast.Subscript):
+            return self._is_sweep(node.value)
+        return False
+
+    def visit_For(self, node: ast.For, ctx) -> None:
+        if not self._is_sweep(node.iter):
+            return
+        outer_names = _target_names(node.target)
+        for inner in ast.walk(node):
+            if inner is node or not isinstance(inner, ast.For):
+                continue
+            if not self._is_sweep(inner.iter):
+                continue
+            guard = self._source_compare(
+                inner.body, outer_names, _target_names(inner.target)
+            )
+            if guard is not None:
+                self._report(ctx, guard)
+
+    def visit_ListComp(self, node, ctx) -> None:
+        self._check_comprehension(node, ctx)
+
+    def visit_SetComp(self, node, ctx) -> None:
+        self._check_comprehension(node, ctx)
+
+    def visit_GeneratorExp(self, node, ctx) -> None:
+        self._check_comprehension(node, ctx)
+
+    def _check_comprehension(self, node, ctx) -> None:
+        generators = node.generators
+        conditions = [cond for gen in generators for cond in gen.ifs]
+        for index, outer in enumerate(generators):
+            if not self._is_sweep(outer.iter):
+                continue
+            outer_names = _target_names(outer.target)
+            for inner in generators[index + 1 :]:
+                if not self._is_sweep(inner.iter):
+                    continue
+                guard = self._source_compare(
+                    conditions, outer_names, _target_names(inner.target)
+                )
+                if guard is not None:
+                    self._report(ctx, guard)
+                    return
+
+    @staticmethod
+    def _source_compare(
+        roots: list, outer_names: set[str], inner_names: set[str]
+    ):
+        """A ``a.source ==/!= b.source`` compare across the two loops."""
+        for root in roots:
+            for node in ast.walk(root):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if len(node.ops) != 1 or not isinstance(
+                    node.ops[0], (ast.Eq, ast.NotEq)
+                ):
+                    continue
+                names = [
+                    side.value.id
+                    for side in (node.left, node.comparators[0])
+                    if isinstance(side, ast.Attribute)
+                    and side.attr == "source"
+                    and isinstance(side.value, ast.Name)
+                ]
+                if len(names) == 2 and (
+                    (names[0] in outer_names and names[1] in inner_names)
+                    or (names[0] in inner_names and names[1] in outer_names)
+                ):
+                    return node
+        return None
+
+    def _report(self, ctx, node) -> None:
+        ctx.report(
+            self,
+            node,
+            "quadratic cross-source pair enumeration -- use "
+            "repro.data.pairs.build_pairs / cross_source_index_pairs, or "
+            "a repro.blocking CandidatePolicy, so the run's configured "
+            "candidate universe is the only pair universe",
+        )
+
+
+def _is_properties_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "properties"
+    )

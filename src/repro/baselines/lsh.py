@@ -21,47 +21,12 @@ from repro.core.api import Matcher
 from repro.data.model import Dataset, PropertyRef
 from repro.data.pairs import LabeledPair
 from repro.errors import ConfigurationError
+
+# Re-exported for compatibility: the signature machinery moved to
+# repro.text.minhash so blocking can import it without the baselines
+# (and transitively the whole core) in its import graph.
+from repro.text.minhash import MinHasher, hash_token  # noqa: F401
 from repro.text.tokenize import tokenize
-
-_MERSENNE_PRIME = (1 << 61) - 1
-
-
-class MinHasher:
-    """Classic universal-hash minhash over string token sets."""
-
-    def __init__(self, num_hashes: int = 64, seed: int = 0) -> None:
-        if num_hashes < 1:
-            raise ConfigurationError(f"num_hashes must be >= 1, got {num_hashes}")
-        rng = np.random.default_rng(seed)
-        self.num_hashes = num_hashes
-        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
-        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
-
-    def signature(self, tokens: set[str]) -> np.ndarray:
-        """Minhash signature of a token set (all-max for the empty set)."""
-        if not tokens:
-            return np.full(self.num_hashes, np.iinfo(np.int64).max, dtype=np.int64)
-        token_hashes = np.array(
-            [hash_token(token) for token in tokens], dtype=np.int64
-        )
-        # (num_hashes, n_tokens) universal hashes, minimised per row.
-        products = (
-            self._a[:, None] * token_hashes[None, :] + self._b[:, None]
-        ) % _MERSENNE_PRIME
-        return products.min(axis=1)
-
-    @staticmethod
-    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
-        """Fraction of agreeing signature rows ~ Jaccard similarity."""
-        return float((sig_a == sig_b).mean())
-
-
-def hash_token(token: str) -> int:
-    """Stable 61-bit token hash (Python's hash() is randomised per run)."""
-    import hashlib
-
-    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "little") % _MERSENNE_PRIME
 
 
 class LshMatcher(Matcher):

@@ -1,4 +1,4 @@
-"""Candidate blocking for scalable multi-source property matching.
+"""Candidate generation for scalable multi-source property matching.
 
 Algorithm 1 classifies *every* cross-source property pair -- O(P^2) in
 the total property count, which the paper's camera dataset (3 200+
@@ -7,23 +7,48 @@ set before feature extraction, the standard scalability lever in the
 schema/entity-matching literature (cf. Rahm, "Towards large-scale schema
 and ontology matching").
 
-* :mod:`repro.blocking.blockers` -- the :class:`Blocker` interface and
-  three implementations: :class:`NullBlocker` (all pairs),
-  :class:`TokenBlocker` (shared normalised name token or shared frequent
-  value token) and :class:`MinHashBlocker` (LSH banding over combined
-  name+value token sets).
+Since PR 10 blocking is a first-class pipeline stage, not an
+evaluation-only report: a :class:`CandidatePolicy` names a blocker and
+its parameters, travels through CLI flags, matcher bundles, serve tenant
+specs and ingest bootstrap, and every
+:class:`~repro.core.feature_cache.PairUniverse` enumerates only the
+candidates its policy produces.  The ``null`` policy keeps the exact
+full cross-product semantics.
+
+* :mod:`repro.blocking.blockers` -- the :class:`Blocker` interface
+  (index-pair native) and implementations: :class:`NullBlocker` (all
+  pairs), :class:`TokenBlocker` (shared tokens),
+  :class:`MinHashBlocker` (plain Duan-et-al. banding, baseline),
+  :class:`SketchBlocker` (the production ``minhash`` policy: banded
+  value sketches + name/digit/alpha channels + bounded transitive
+  expansion) and :class:`EmbeddingLSHBlocker` (random-hyperplane
+  buckets over property embeddings).
+* :mod:`repro.blocking.policy` -- the serialisable policy record.
 * :mod:`repro.blocking.metrics` -- pair completeness / reduction ratio,
   the standard blocking quality measures.
 """
 
-from repro.blocking.blockers import Blocker, MinHashBlocker, NullBlocker, TokenBlocker
+from repro.blocking.blockers import (
+    Blocker,
+    BucketBlocker,
+    EmbeddingLSHBlocker,
+    MinHashBlocker,
+    NullBlocker,
+    SketchBlocker,
+    TokenBlocker,
+)
 from repro.blocking.metrics import BlockingQuality, blocking_quality
+from repro.blocking.policy import CandidatePolicy
 
 __all__ = [
     "Blocker",
+    "BucketBlocker",
     "NullBlocker",
     "TokenBlocker",
     "MinHashBlocker",
+    "SketchBlocker",
+    "EmbeddingLSHBlocker",
+    "CandidatePolicy",
     "BlockingQuality",
     "blocking_quality",
 ]

@@ -35,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.blocking import CandidatePolicy
 from repro.core import FeatureConfig, LeapmeMatcher
 from repro.core.api import Matcher
 from repro.core.pipeline import (
@@ -104,9 +105,16 @@ def _embeddings_for(dataset: Dataset, args: argparse.Namespace):
     return fallback_embeddings(dataset)
 
 
-def _build_matcher(system: str, embeddings) -> Matcher:
+def _cli_policy(args: argparse.Namespace) -> CandidatePolicy:
+    """Resolve ``--blocking`` into a candidate policy (null when unset)."""
+    return CandidatePolicy.from_label(getattr(args, "blocking", None))
+
+
+def _build_matcher(
+    system: str, embeddings, policy: CandidatePolicy | None = None
+) -> Matcher:
     """Construct the matcher for ``system`` (shared with repro.serve)."""
-    return build_system_matcher(system, embeddings)
+    return build_system_matcher(system, embeddings, policy)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -148,7 +156,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         raise ReproError("--resume requires --journal <path>")
     dataset = _load_cli_dataset(args)
     embeddings = _embeddings_for(dataset, args)
-    matcher = _build_matcher(args.system, embeddings)
+    policy = _cli_policy(args)
+    matcher = _build_matcher(args.system, embeddings, policy)
     settings = RunSettings(
         train_fraction=args.train_fraction,
         repetitions=args.repetitions,
@@ -167,7 +176,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             max_pool_respawns=args.max_pool_respawns,
         )
         runner = ExperimentRunner(
-            {matcher.name: lambda: _build_matcher(args.system, embeddings)}
+            {matcher.name: lambda: _build_matcher(args.system, embeddings, policy)}
         )
         result = runner.run(
             [dataset],
@@ -179,8 +188,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             retry_policy=retry_policy,
             workers=args.workers,
             supervisor=supervisor,
+            policy=policy,
         )[0]
     else:
+        universe = None
+        prepare = None
+        if not policy.is_null:
+            # Blocked evaluation shares one pruned universe across all
+            # repetitions; the store attaches lazily so fully resumed
+            # runs build nothing.
+            store = matcher.build_feature_store(dataset)
+            universe = store.universe
+            prepare = lambda: matcher.attach_store(store)  # noqa: E731
         result = evaluate_matcher(
             matcher,
             dataset,
@@ -188,6 +207,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             journal=journal,
             resume=args.resume,
             retry_policy=retry_policy,
+            universe=universe,
+            prepare=prepare,
         )
     print(result.describe())
     report = render_robustness_report([result])
@@ -244,7 +265,7 @@ def _build_follow_daemon(
         # No bootstrap data yet: hashing embeddings need no corpus, and
         # unknown streamed tokens embed as zero vectors either way.
         embeddings = hash_embeddings([], dimension=HASH_DIMENSION)
-    matcher = _build_matcher(args.system, embeddings)
+    matcher = _build_matcher(args.system, embeddings, _cli_policy(args))
     out = Path(args.out) if args.out else follow / "matches.csv"
     clusters = Path(args.clusters) if args.clusters else follow / "clusters.json"
     journal_path = Path(args.journal) if args.journal else follow / "ingest.journal"
@@ -420,16 +441,28 @@ def _cmd_features_describe(args: argparse.Namespace) -> int:
 def _cmd_match(args: argparse.Namespace) -> int:
     dataset = _load_cli_dataset(args)
     embeddings = _embeddings_for(dataset, args)
-    matcher = _build_matcher(args.system, embeddings)
+    policy = _cli_policy(args)
+    matcher = _build_matcher(args.system, embeddings, policy)
     if args.add_source is not None:
         return _match_with_added_source(args, dataset, matcher)
     rng = np.random.default_rng(args.seed)
+    store = None
+    if not policy.is_null:
+        # Under a blocking policy every pair set -- training slices and
+        # test slices alike -- comes from the pruned candidate universe,
+        # which is built exactly once here.  The null path below keeps
+        # the seed's direct build_pairs enumeration byte for byte.
+        store = matcher.build_feature_store(dataset)
+        matcher.attach_store(store)
     matcher.prepare(dataset)
     if matcher.is_supervised:
         train_sources = (
             args.train_sources.split(",") if args.train_sources else dataset.sources()
         )
-        candidates = build_pairs(dataset, train_sources, within=True)
+        if store is not None:
+            candidates = store.universe.subset(train_sources, within=True)
+        else:
+            candidates = build_pairs(dataset, train_sources, within=True)
         training = sample_training_pairs(candidates, rng=rng)
         if not training.positives():
             raise ReproError(
@@ -439,13 +472,27 @@ def _cmd_match(args: argparse.Namespace) -> int:
         matcher.fit(dataset, training)
         if set(train_sources) == set(dataset.sources()):
             # Integration mode: trained on everything, score everything.
-            test = build_pairs(dataset)
+            test = (
+                store.universe.subset() if store is not None
+                else build_pairs(dataset)
+            )
+        elif store is not None:
+            test = store.universe.subset(train_sources, within=False)
         else:
             test = build_pairs(dataset, train_sources, within=False)
     else:
         test = build_pairs(dataset)
     scores = matcher.score_pairs(dataset, test.pairs)
     kept = _write_matches(args.out, test.pairs, scores, args.threshold)
+    if store is not None:
+        stats = store.universe.blocking_stats()
+        print(
+            f"blocking {stats['policy']}: {stats['candidates']} of "
+            f"{stats['total_pairs']} cross-source pairs kept "
+            f"(reduction {stats['reduction_ratio']:.2%}, "
+            f"pair recall {stats['pair_recall']:.2%})",
+            file=sys.stderr,
+        )
     print(f"{kept} matches (of {len(test.pairs)} candidate pairs) written to {args.out}")
     return 0
 
@@ -502,7 +549,14 @@ def _match_with_added_source(
         store = matcher.build_feature_store(dataset)
         matcher.attach_store(store)
         matcher.prepare(dataset)
-        candidates = build_pairs(dataset)
+        # Blocked stores train on the pruned candidate universe (the
+        # same pairs the increment will enumerate); the null policy
+        # keeps the direct full-cross-product path.
+        candidates = (
+            store.universe.subset()
+            if store.universe.is_blocked
+            else build_pairs(dataset)
+        )
         training = sample_training_pairs(candidates, rng=rng)
         if not training.positives():
             raise ReproError(
@@ -523,6 +577,15 @@ def _match_with_added_source(
         flush_persistent_distances()
         disable_persistent_distances()
     kept = _write_matches(args.out, new_pairs.pairs, scores, args.threshold)
+    if store.universe.is_blocked:
+        stats = store.universe.blocking_stats()
+        print(
+            f"blocking {stats['policy']}: {stats['candidates']} of "
+            f"{stats['total_pairs']} cross-source pairs kept "
+            f"(reduction {stats['reduction_ratio']:.2%}, "
+            f"pair recall {stats['pair_recall']:.2%})",
+            file=sys.stderr,
+        )
     print(
         f"added {len(addition.sources())} source(s): "
         f"{len(addition.properties())} new properties, "
@@ -541,6 +604,16 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alignment", default=None, help="alignment CSV (ground truth)")
     parser.add_argument("--scale", default="small", help="built-in dataset scale preset")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_blocking_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--blocking", default=None, metavar="POLICY",
+        help="candidate-generation policy for LEAPME systems: 'null' "
+             "(default; every cross-source pair), 'minhash' (name/value "
+             "sketch buckets), 'token', or 'embedding' (LSH over "
+             "embedding vectors); parameters attach as "
+             "'minhash:num_hashes=32,band_size=1'")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -563,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = commands.add_parser("evaluate", help="run the paper's protocol")
     _add_dataset_arguments(evaluate)
+    _add_blocking_argument(evaluate)
     evaluate.add_argument("--system", choices=SYSTEMS, default="leapme")
     evaluate.add_argument("--train-fraction", type=float, default=0.8)
     evaluate.add_argument("--repetitions", type=int, default=3)
@@ -605,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
              "matching service (--http), or both in one process",
     )
     _add_dataset_arguments(serve)
+    _add_blocking_argument(serve)
     serve.add_argument("--follow", default=None, metavar="DIR",
                        help="directory to watch; drop source CSVs (and "
                             "optional X.alignment.csv sidecars) here")
@@ -698,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     match = commands.add_parser("match", help="score pairs and emit matches as CSV")
     _add_dataset_arguments(match)
+    _add_blocking_argument(match)
     match.add_argument("--system", choices=SYSTEMS, default="leapme")
     match.add_argument("--train-sources", default=None,
                        help="comma-separated sources to train on (default: all)")

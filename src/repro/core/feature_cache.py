@@ -37,39 +37,79 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.blocking.blockers import Blocker
+from repro.blocking.policy import CandidatePolicy
 from repro.core.config import FeatureConfig
+from repro.core.pair_features import pair_feature_matrix
 from repro.core.pipeline import FEATURE_DTYPE
 from repro.core.property_features import PropertyFeatureTable
 from repro.data.model import Dataset, PropertyRef
-from repro.data.pairs import LabeledPair, PairSet, sample_training_pairs
+from repro.data.pairs import (
+    LabeledPair,
+    PairSet,
+    cross_source_index_pairs,
+    sample_training_pairs,
+    source_block_bounds,
+)
 from repro.errors import ConfigurationError
 
 
 class PairUniverse:
-    """All cross-source pairs of a dataset, enumerated once.
+    """The candidate cross-source pairs of a dataset, enumerated once.
 
-    ``subset`` reproduces :func:`repro.data.pairs.build_pairs` exactly
-    (same pair objects, same order) by filtering the single enumeration
-    instead of re-walking the quadratic property grid per grid cell.
+    Candidate generation is policy-driven: under the default ``null``
+    :class:`~repro.blocking.policy.CandidatePolicy` the universe holds
+    every cross-source pair and ``subset`` reproduces
+    :func:`repro.data.pairs.build_pairs` exactly (same pair objects,
+    same order).  Under a blocking policy only the blocker's candidates
+    are enumerated -- the full cross product is never materialised --
+    and every downstream consumer (subsets, feature stores, scoring)
+    automatically operates on the pruned universe.  Pair identity is
+    tracked as sorted index pairs into the sorted property list, never
+    as per-pair ``frozenset`` keys.
     """
 
-    def __init__(self, dataset: Dataset) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        policy: CandidatePolicy | None = None,
+        *,
+        embeddings=None,
+        blocker: Blocker | None = None,
+    ) -> None:
         self.dataset = dataset
         self.dataset_fingerprint = dataset.fingerprint()
+        self.policy = policy if policy is not None else CandidatePolicy.null()
         self._all_sources = set(dataset.sources())
         properties = dataset.properties()
+        if self.policy.is_null:
+            # The exact-equivalence path: lexicographic (i, j) index
+            # order is the seed nested-loop enumeration order.
+            self._blocker: Blocker | None = None
+            index_pairs = cross_source_index_pairs(properties)
+        else:
+            # A pre-resolved blocker is the delta-ingestion handoff: the
+            # grown universe reuses the parent's instance so per-property
+            # sketch memos survive the merge.
+            self._blocker = (
+                blocker if blocker is not None else self.policy.resolve(embeddings)
+            )
+            index_pairs = self._blocker.candidate_index_pairs(dataset, properties)
         pairs: list[LabeledPair] = []
-        for i, left in enumerate(properties):
-            for right in properties[i + 1 :]:
-                if left.source == right.source:
-                    continue
-                pairs.append(
-                    LabeledPair(left, right, dataset.is_match(left, right))
-                )
+        row_of: dict[tuple[int, int], int] = {}
+        for row, (i, j) in enumerate(index_pairs):
+            left, right = properties[i], properties[j]
+            pairs.append(LabeledPair(left, right, dataset.is_match(left, right)))
+            row_of[(i, j)] = row
         self.pairs: tuple[LabeledPair, ...] = tuple(pairs)
-        self._row_of: dict[frozenset[PropertyRef], int] = {
-            pair.key: row for row, pair in enumerate(self.pairs)
+        self._row_of = row_of
+        self._index_of: dict[PropertyRef, int] = {
+            ref: index for index, ref in enumerate(properties)
         }
+        self._block_sizes = [
+            end - start for start, end in source_block_bounds(properties)
+        ]
+        self._stats_cache: dict | None = None
         self._subset_cache: dict[tuple[frozenset[str], bool], PairSet] = {}
         # rows_of is a per-pair Python loop; the same (memoised) pair
         # list recurs for every config of a grid cell, so cache the row
@@ -150,19 +190,98 @@ class PairUniverse:
                 self._sample_cache.popitem(last=False)
         return sample
 
+    @property
+    def is_blocked(self) -> bool:
+        """Whether a non-null candidate policy pruned this universe."""
+        return self._blocker is not None
+
+    def total_cross_pairs(self) -> int:
+        """Full cross-product pair count, from per-source counts only."""
+        total = sum(self._block_sizes)
+        all_pairs = total * (total - 1) // 2
+        within = sum(size * (size - 1) // 2 for size in self._block_sizes)
+        return all_pairs - within
+
+    def blocking_stats(self) -> dict:
+        """Candidate counts and quality of this universe's policy.
+
+        ``pair_recall`` measures kept true matches against the *full*
+        ground truth (``dataset.matching_pairs()``), so a pruned true
+        pair lowers it even though the universe never enumerated the
+        pair; ``reduction_ratio`` is the fraction of the cross product
+        pruned.  The null policy reports 1.0 / 0.0 by construction.
+        """
+        if self._stats_cache is None:
+            total = self.total_cross_pairs()
+            candidates = len(self.pairs)
+            true_total = len(self.dataset.matching_pairs())
+            kept_true = sum(1 for pair in self.pairs if pair.label)
+            self._stats_cache = {
+                "policy": self.policy.label,
+                "candidates": candidates,
+                "total_pairs": total,
+                "reduction_ratio": (
+                    1.0 - candidates / total if total else 0.0
+                ),
+                "pair_recall": (
+                    kept_true / true_total if true_total else 1.0
+                ),
+            }
+        return dict(self._stats_cache)
+
+    def missed_true_pairs(
+        self, sources: list[str] | None = None, *, within: bool = True
+    ) -> int:
+        """True matches the policy pruned from a ``(sources, within)`` slice.
+
+        Evaluation adds these to the false negatives so F1 stays honest
+        against the full ground truth even when the test pairs come from
+        a pruned universe.  Zero under the null policy by construction.
+        """
+        if not self.is_blocked:
+            return 0
+        if sources is None:
+            selected = self._all_sources
+        else:
+            unknown = set(sources) - self._all_sources
+            if unknown:
+                raise ConfigurationError(f"unknown sources: {sorted(unknown)}")
+            selected = set(sources)
+        slice_true = 0
+        for key in self.dataset.matching_pairs():
+            left, right = tuple(key)
+            both_inside = left.source in selected and right.source in selected
+            if within == both_inside:
+                slice_true += 1
+        kept_true = sum(
+            1 for pair in self.subset(sources, within=within).pairs if pair.label
+        )
+        return slice_true - kept_true
+
+    def _row_lookup(self, left: PropertyRef, right: PropertyRef) -> int | None:
+        """Universe row of an unordered ref pair, or ``None``."""
+        i = self._index_of.get(left)
+        j = self._index_of.get(right)
+        if i is None or j is None:
+            return None
+        return self._row_of.get((i, j) if i < j else (j, i))
+
     def row_of(self, pair: LabeledPair | tuple[PropertyRef, PropertyRef]) -> int:
         """Universe row of an (unordered) pair."""
-        key = (
-            pair.key
-            if isinstance(pair, LabeledPair)
-            else frozenset(pair)
+        left, right = (
+            (pair.left, pair.right) if isinstance(pair, LabeledPair) else pair
         )
-        try:
-            return self._row_of[key]
-        except KeyError:
+        row = self._row_lookup(left, right)
+        if row is None:
             raise ConfigurationError(
                 "pair is not part of this dataset's cross-source universe"
-            ) from None
+                + (
+                    f" under blocking policy {self.policy.label!r}"
+                    if self.is_blocked
+                    else ""
+                )
+            )
+        return row
 
     def rows_of(
         self, pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]]
@@ -258,11 +377,21 @@ class PairFeatureStore:
 
     @classmethod
     def build(
-        cls, dataset: Dataset, embeddings, universe: PairUniverse | None = None
+        cls,
+        dataset: Dataset,
+        embeddings,
+        universe: PairUniverse | None = None,
+        *,
+        policy: CandidatePolicy | None = None,
     ) -> "PairFeatureStore":
-        """Construct table, universe and store in one step."""
+        """Construct table, universe and store in one step.
+
+        ``policy`` selects the candidate-generation policy when no
+        prebuilt ``universe`` is given; ``embeddings`` double as the
+        vector source for embedding-bucket policies.
+        """
         if universe is None:
-            universe = PairUniverse(dataset)
+            universe = PairUniverse(dataset, policy, embeddings=embeddings)
         table = PropertyFeatureTable(dataset, embeddings)
         return cls(table, universe)
 
@@ -278,17 +407,26 @@ class PairFeatureStore:
         Builds the merged table/universe/matrix beside the current
         state: only the new properties are featurized (the pipeline's
         fingerprint-keyed row cache serves every existing one) and only
-        the new cross-source pairs are assembled -- existing pair rows
-        are copied from the current matrix.  Bit-identical to rebuilding
-        the store from scratch on the merged dataset.
+        the new candidate pairs are assembled -- existing pair rows are
+        copied from the current matrix.  The merged universe inherits
+        this store's candidate policy *and* its resolved blocker, so
+        under a bucket policy the old properties' sketches are memo
+        hits and re-blocking is a bucket lookup plus fresh sketches for
+        the new source -- never a new-times-all cross walk.
+        Bit-identical to rebuilding the store from scratch on the
+        merged dataset under the same policy.
         """
         base = self.universe.dataset
         combined = base.merged_with(addition)
         table = PropertyFeatureTable(
             combined, self.table.pipeline.embeddings, pipeline=self.table.pipeline
         )
-        universe = PairUniverse(combined)
-        old_row_of = self.universe._row_of
+        universe = PairUniverse(
+            combined,
+            self.universe.policy,
+            blocker=self.universe._blocker,
+        )
+        old_universe = self.universe
         width = self.schema.total_width
         matrix = np.empty((len(universe), width), dtype=FEATURE_DTYPE)
         kept_dst: list[int] = []
@@ -296,7 +434,7 @@ class PairFeatureStore:
         new_rows: list[int] = []
         new_pairs: list[LabeledPair] = []
         for row, pair in enumerate(universe.pairs):
-            old_row = old_row_of.get(pair.key)
+            old_row = old_universe._row_lookup(pair.left, pair.right)
             if old_row is None:
                 new_rows.append(row)
                 new_pairs.append(pair)
@@ -377,6 +515,21 @@ class PairFeatureStore:
                 self._gather_bytes -= evicted.nbytes
         return gathered
 
+    def _covers(
+        self, pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]]
+    ) -> bool:
+        """Whether every pair has a row in this store's universe."""
+        lookup = self.universe._row_lookup
+        for pair in pairs:
+            left, right = (
+                (pair.left, pair.right)
+                if isinstance(pair, LabeledPair)
+                else pair
+            )
+            if lookup(left, right) is None:
+                return False
+        return True
+
     def features(
         self,
         pairs: list[LabeledPair] | list[tuple[PropertyRef, PropertyRef]] | PairSet,
@@ -386,12 +539,18 @@ class PairFeatureStore:
 
         Zero-copy whenever the config's blocks are adjacent in the full
         schema (eight of the nine grid cells): the result is a column
-        view of the cached row gather.
+        view of the cached row gather.  Under a blocking policy a
+        request may include pairs the universe pruned (the incremental
+        clusterer scores arbitrary new-vs-existing links); those
+        requests are assembled directly from the staged pipeline, which
+        yields the same feature values as universe rows would.
         """
         if isinstance(pairs, PairSet):
             pairs = pairs.pairs
         if not pairs:
             return np.zeros((0, self.schema.width(config)), dtype=FEATURE_DTYPE)
+        if self.universe.is_blocked and not self._covers(pairs):
+            return pair_feature_matrix(self.table, list(pairs), config)
         rows = self.universe.rows_of(pairs)
         columns = self.schema.active_columns(config)
         return self._gathered(rows)[:, columns]
@@ -415,6 +574,14 @@ class PairFeatureStore:
             pairs = pairs.pairs
         if not pairs:
             return np.zeros((0, self.schema.width(config)), dtype=np.float64)
+        if self.universe.is_blocked and not self._covers(pairs):
+            # Same out-of-universe fallback as :meth:`features`; float32
+            # to float64 is exact, so this matches the classifier's own
+            # upcast of the direct path bit for bit.
+            return np.asarray(
+                pair_feature_matrix(self.table, list(pairs), config),
+                dtype=np.float64,
+            )
         with self._cache_lock:
             if self._matrix64 is None:
                 matrix64 = np.asarray(self.matrix, dtype=np.float64)

@@ -48,6 +48,11 @@ class LeapmeMatcher(Matcher):
         of letting a diverged run abort; ``last_degradation`` reports
         which rung the most recent :meth:`fit` ended on.  Ignored when
         an explicit ``classifier_factory`` is given.
+    candidate_policy:
+        The :class:`~repro.blocking.policy.CandidatePolicy` every
+        feature store this matcher builds enumerates candidates with.
+        Defaults to the exact-equivalence null policy (all cross-source
+        pairs); persisted in matcher bundles and re-verified on load.
     """
 
     is_supervised = True
@@ -59,11 +64,17 @@ class LeapmeMatcher(Matcher):
         config: LeapmeConfig | None = None,
         classifier_factory=None,
         resilient: bool = False,
+        candidate_policy=None,
     ) -> None:
+        from repro.blocking.policy import CandidatePolicy
+
         self.embeddings = embeddings
         self.feature_config = feature_config if feature_config is not None else FeatureConfig()
         self.config = config if config is not None else LeapmeConfig()
         self.threshold = self.config.decision_threshold
+        self.candidate_policy = (
+            candidate_policy if candidate_policy is not None else CandidatePolicy.null()
+        )
         self.name = f"LEAPME[{self.feature_config.label()}]"
         if classifier_factory is not None:
             self._classifier_factory = classifier_factory
@@ -141,11 +152,19 @@ class LeapmeMatcher(Matcher):
         return clone
 
     def build_feature_store(self, dataset: Dataset, universe=None):
-        """Build a :class:`PairFeatureStore` with this matcher's embeddings."""
+        """Build a :class:`PairFeatureStore` with this matcher's embeddings.
+
+        The store's universe enumerates candidates under this matcher's
+        :attr:`candidate_policy` (embedding-bucket policies resolve
+        against the matcher's own embeddings); pass a prebuilt
+        ``universe`` to share one across matchers instead.
+        """
         from repro.core.feature_cache import PairFeatureStore, PairUniverse
 
         if universe is None:
-            universe = PairUniverse(dataset)
+            universe = PairUniverse(
+                dataset, self.candidate_policy, embeddings=self.embeddings
+            )
         return PairFeatureStore(self._ensure_table(dataset), universe)
 
     def _ensure_table(self, dataset: Dataset) -> PropertyFeatureTable:

@@ -7,8 +7,9 @@ new property pairs without retraining:
 * ``network.npz``    -- the trained classifier network;
 * ``scaler.npz``     -- the feature scaler (when enabled);
 * ``config.json``    -- feature configuration + hyper-parameters + the
-  resolved feature schema (bundle format 2; format-1 bundles without a
-  schema still load and have it rederived).
+  resolved feature schema + the candidate-generation policy (bundle
+  format 3; format-1/2 bundles without a schema and/or policy still
+  load -- the schema is rederived and the policy defaults to null).
 
 Every file is written atomically (temp file + ``os.replace``), and
 ``config.json`` -- the file :func:`load_matcher` requires first -- is
@@ -23,22 +24,25 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.blocking.policy import CandidatePolicy
 from repro.core.classifier import FittedState, LeapmeClassifier
 from repro.core.config import FeatureConfig, FeatureKinds, FeatureScope, LeapmeConfig
 from repro.core.matcher import LeapmeMatcher
 from repro.core.pipeline import ResolvedSchema
 from repro.embeddings.store import load_embeddings, save_embeddings
-from repro.errors import DataError
+from repro.errors import ConfigurationError, DataError
 from repro.ioutils import atomic_save, atomic_write_text
 from repro.ml.scaling import StandardScaler
 from repro.nn.schedule import TrainingSchedule
 from repro.nn.serialize import load_network, save_network
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 #: Bundle format versions :func:`load_matcher` understands.  Format 1
-#: predates the staged pipeline and carries no ``schema`` entry.
-_SUPPORTED_VERSIONS = frozenset({1, _FORMAT_VERSION})
+#: predates the staged pipeline and carries no ``schema`` entry; format
+#: 2 predates first-class candidate generation and carries no
+#: ``candidate_policy`` entry.
+_SUPPORTED_VERSIONS = frozenset({1, 2, _FORMAT_VERSION})
 
 
 def save_matcher(matcher: LeapmeMatcher, directory: str | Path) -> None:
@@ -72,6 +76,7 @@ def save_matcher(matcher: LeapmeMatcher, directory: str | Path) -> None:
         "decision_threshold": matcher.config.decision_threshold,
         "scale_features": matcher.config.scale_features,
         "seed": matcher.config.seed,
+        "candidate_policy": matcher.candidate_policy.to_dict(),
     }
     atomic_write_text(directory / "config.json", json.dumps(config, indent=2))
 
@@ -105,8 +110,26 @@ def load_matcher(directory: str | Path) -> LeapmeMatcher:
         scale_features=payload["scale_features"],
         seed=payload["seed"],
     )
+    policy = CandidatePolicy.null()
+    if "candidate_policy" in payload:
+        try:
+            policy = CandidatePolicy.from_dict(payload["candidate_policy"])
+        except ConfigurationError as error:
+            raise DataError(f"bundle candidate policy is corrupt: {error}") from error
     embeddings = load_embeddings(directory / "embeddings.npz")
-    matcher = LeapmeMatcher(embeddings, feature_config, leapme_config)
+    matcher = LeapmeMatcher(
+        embeddings, feature_config, leapme_config, candidate_policy=policy
+    )
+    if not policy.is_null:
+        # Re-verify the stored policy resolves against the bundle's own
+        # embeddings (an embedding-bucket policy needs them), the same
+        # way the saved schema below is re-verified against geometry.
+        try:
+            policy.resolve(embeddings)
+        except ConfigurationError as error:
+            raise DataError(
+                f"bundle candidate policy {policy.label!r} does not resolve: {error}"
+            ) from error
     if "schema" in payload:
         saved = ResolvedSchema.from_dict(payload["schema"])
         rederived = matcher.schema.resolve(feature_config)

@@ -14,6 +14,7 @@ Implements the evaluation protocol of Section V-B:
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -80,6 +81,45 @@ class PairSet:
         return sorted(seen)
 
 
+def source_block_bounds(
+    properties: Sequence[PropertyRef],
+) -> list[tuple[int, int]]:
+    """``(start, end)`` of each same-source run in a sorted ref sequence.
+
+    :meth:`Dataset.properties` returns refs sorted by ``(source, name)``,
+    so every source occupies one contiguous block.  Working on block
+    bounds lets pair enumeration skip same-source pairs structurally
+    instead of comparing ``.source`` strings per pair.
+    """
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(1, len(properties) + 1):
+        if (
+            index == len(properties)
+            or properties[index].source != properties[start].source
+        ):
+            bounds.append((start, index))
+            start = index
+    return bounds
+
+
+def cross_source_index_pairs(
+    properties: Sequence[PropertyRef],
+) -> Iterator[tuple[int, int]]:
+    """Yield sorted ``(i, j)`` index pairs spanning two different sources.
+
+    The lexicographic ``(i, j)`` order over sorted properties is exactly
+    the historical nested-loop enumeration order, so consumers that pin
+    byte-identical pair sequences can build on this generator.  Unlike
+    the nested loop it allocates nothing per pair (no ``frozenset`` keys)
+    and performs no per-pair source comparison.
+    """
+    total = len(properties)
+    for start, end in source_block_bounds(properties):
+        for i in range(start, end):
+            yield from ((i, j) for j in range(end, total))
+
+
 def build_pairs(
     dataset: Dataset,
     sources: list[str] | None = None,
@@ -110,15 +150,13 @@ def build_pairs(
             raise ConfigurationError(f"unknown sources: {sorted(unknown)}")
         selected = set(sources)
     properties = dataset.properties()
+    inside = [ref.source in selected for ref in properties]
     pairs: list[LabeledPair] = []
-    for i, left in enumerate(properties):
-        for right in properties[i + 1 :]:
-            if left.source == right.source:
-                continue
-            both_inside = left.source in selected and right.source in selected
-            if within != both_inside:
-                continue
-            pairs.append(LabeledPair(left, right, dataset.is_match(left, right)))
+    for i, j in cross_source_index_pairs(properties):
+        if within != (inside[i] and inside[j]):
+            continue
+        left, right = properties[i], properties[j]
+        pairs.append(LabeledPair(left, right, dataset.is_match(left, right)))
     return PairSet(pairs)
 
 

@@ -97,6 +97,8 @@ from repro.evaluation.runner import (
     _Outcome,
     _PendingScore,
     _run_repetition,
+    blocked_test_quality,
+    probe_policy_embeddings,
 )
 from repro.evaluation.supervisor import PoolSupervisor, SupervisorPolicy
 from repro.nn.guards import assert_finite
@@ -132,6 +134,7 @@ def _init_worker_process(
     share_features,
     start_queue=None,
     defer_scores=False,
+    policy=None,
 ) -> None:
     """Pool initializer run *in the worker*: signals, then shared state.
 
@@ -146,7 +149,13 @@ def _init_worker_process(
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
     _init_worker(
-        factories, datasets, retry_policy, share_features, start_queue, defer_scores
+        factories,
+        datasets,
+        retry_policy,
+        share_features,
+        start_queue,
+        defer_scores,
+        policy,
     )
 
 
@@ -157,6 +166,7 @@ def _init_worker(
     share_features,
     start_queue=None,
     defer_scores=False,
+    policy=None,
 ) -> None:
     prebuilt_stores = dict(_PREBUILT.get("stores", ()))
     _STATE.clear()
@@ -167,6 +177,7 @@ def _init_worker(
         share_features=share_features,
         start_queue=start_queue,
         defer_scores=defer_scores,
+        policy=policy,
         # Keys whose store the *parent* also holds: only repetitions on
         # one of these may defer their score phase (the parent must be
         # able to gather the very same features).
@@ -177,7 +188,7 @@ def _init_worker(
     )
 
 
-def _prebuild_shared(factories, datasets, dataset_indices) -> None:
+def _prebuild_shared(factories, datasets, dataset_indices, policy=None) -> None:
     """Build pair universes and feature stores once, in the parent.
 
     Only called when the pool uses the ``fork`` start method: children
@@ -185,7 +196,9 @@ def _prebuild_shared(factories, datasets, dataset_indices) -> None:
     them.  Stores are keyed by ``(dataset_index, id(embeddings))`` --
     ids survive fork, so a worker's factory-made matcher resolves the
     same key.  Matchers that do not support stores are skipped; they
-    prepare per worker as before.
+    prepare per worker as before.  ``policy`` prunes the universes; an
+    embedding-bucket policy resolves against the store-building
+    matcher's own embeddings.
     """
     from repro.core.feature_cache import PairUniverse
 
@@ -208,7 +221,9 @@ def _prebuild_shared(factories, datasets, dataset_indices) -> None:
                 continue
             universe = universes.get(dataset_index)
             if universe is None:
-                universe = universes[dataset_index] = PairUniverse(dataset)
+                universe = universes[dataset_index] = PairUniverse(
+                    dataset, policy, embeddings=embeddings
+                )
             stores[key] = build(dataset, universe)
     _PREBUILT.clear()  # repro: noqa[REP008] parent-side by construction: runs strictly before the pool forks
     _PREBUILT.update(universes=universes, stores=stores)  # repro: noqa[REP008] pre-fork COW prebuild (see docstring)
@@ -219,7 +234,13 @@ def _worker_universe(dataset_index: int):
     if universe is None:
         from repro.core.feature_cache import PairUniverse
 
-        universe = PairUniverse(_STATE["datasets"][dataset_index])
+        policy = _STATE.get("policy")
+        embeddings = None
+        if policy is not None and not policy.is_null:
+            embeddings = probe_policy_embeddings(_STATE["factories"])
+        universe = PairUniverse(
+            _STATE["datasets"][dataset_index], policy, embeddings=embeddings
+        )
         _STATE["universes"][dataset_index] = universe
     return universe
 
@@ -332,6 +353,7 @@ def run_grid_parallel(
     workers: int,
     share_features: bool,
     supervisor: SupervisorPolicy | None = None,
+    candidate_policy=None,
 ) -> list[ExperimentResult]:
     """Run the experiment grid on ``workers`` supervised processes.
 
@@ -398,6 +420,9 @@ def run_grid_parallel(
 
     drain = _SerialDrain(cells, results, keys, restored, journal)
     outcomes: dict[tuple[int, int], object] = {}
+    #: Blocked universes the parent holds (prebuilt or stats-only);
+    #: reused for the per-result pair-recall/reduction annotation.
+    parent_universes: dict[int, object] = {}
 
     def on_complete(item: tuple[int, int], outcome) -> None:
         # Progressive drain: each completion extends the journaled
@@ -414,7 +439,9 @@ def run_grid_parallel(
                 factories,
                 datasets,
                 {cells[index].dataset_index for index, _ in pending},
+                candidate_policy,
             )
+            parent_universes.update(_PREBUILT["universes"])
             # Two-stage execution: workers fit, the parent scores after
             # the drain.  Only meaningful when there is a prebuilt store
             # the parent can gather the same features from.
@@ -464,6 +491,7 @@ def run_grid_parallel(
                     share_features,
                     start_queue_box[0],
                     defer_scores,
+                    candidate_policy,
                 ),
             )
 
@@ -484,7 +512,10 @@ def run_grid_parallel(
             # entry point against parent-local (or prebuilt) state.
             nonlocal serial_fallback_ready
             if not serial_fallback_ready:
-                _init_worker(factories, datasets, retry_policy, share_features)
+                _init_worker(
+                    factories, datasets, retry_policy, share_features,
+                    policy=candidate_policy,
+                )
                 serial_fallback_ready = True
             return _execute_item(cells[item[0]], item[1])
 
@@ -524,6 +555,24 @@ def run_grid_parallel(
 
     drain.enable_resolution()
     drain.advance(outcomes)
+    if candidate_policy is not None and not candidate_policy.is_null:
+        # Annotate every cell with the candidate-generation quality of
+        # its dataset's pruned universe.  Prebuilt universes are reused;
+        # datasets that never prebuilt one (spawn, or fully resumed
+        # runs) get a stats-only universe built here in the parent.
+        from repro.core.feature_cache import PairUniverse
+
+        for cell, result in zip(cells, results):
+            universe = parent_universes.get(cell.dataset_index)
+            if universe is None:
+                universe = parent_universes[cell.dataset_index] = PairUniverse(
+                    datasets[cell.dataset_index],
+                    candidate_policy,
+                    embeddings=probe_policy_embeddings(factories),
+                )
+            stats = universe.blocking_stats()
+            result.pair_recall = stats["pair_recall"]
+            result.reduction_ratio = stats["reduction_ratio"]
     return results
 
 
@@ -549,7 +598,7 @@ class _ScoreResolver:
         self._universes = dict(universes)
         self._stores = dict(stores)
 
-    def resolve(
+    def resolve_pending(
         self, cell_index: int, repetition: int, pending: _PendingScore
     ) -> _Outcome:
         from repro.core.config import FeatureConfig
@@ -577,6 +626,10 @@ class _ScoreResolver:
             timings.score += perf_counter() - started
             assert_finite(scores, "similarity scores")
             quality = evaluate_scores(scores, test.labels(), pending.threshold)
+            if universe.is_blocked:
+                quality = blocked_test_quality(
+                    quality, universe, list(split.train_sources)
+                )
             return _Outcome(
                 status=STATUS_OK,
                 quality=quality,
@@ -650,7 +703,9 @@ class _SerialDrain:
             if isinstance(outcome, _PendingScore):
                 if not self._resolve or self.resolver is None:
                     return
-                outcome = self.resolver.resolve(cell_index, repetition, outcome)
+                outcome = self.resolver.resolve_pending(
+                    cell_index, repetition, outcome
+                )
             del outcomes[(cell_index, repetition)]
             _apply_outcome(self._results[cell_index], repetition, outcome)
             if self._journal is not None:

@@ -18,23 +18,38 @@ def render_results_table(results: list[ExperimentResult]) -> str:
 
     Besides P/R/F1 the table surfaces the F1 spread and per-cell health
     (skipped/failed repetition counts), so a cell whose average hides
-    bad repetitions is visible at a glance.
+    bad repetitions is visible at a glance.  When any result carries
+    candidate-generation stats (a blocked run), two extra columns show
+    pair recall and the candidate reduction factor; unblocked tables
+    keep the seed layout byte for byte.
     """
+    blocked = any(result.pair_recall is not None for result in results)
     header = (
         f"{'system':<32} {'dataset':<12} {'train%':>6}  "
         f"{'P':>5} {'R':>5} {'F1':>5} {'±F1':>5}  "
         f"{'skip':>4} {'fail':>4} {'quar':>4}"
     )
+    if blocked:
+        header += f"  {'pairR':>6} {'redux':>6}"
     lines = [header, "-" * len(header)]
     for result in results:
         row = result.as_row()
-        lines.append(
+        line = (
             f"{row['system']:<32} {row['dataset']:<12} "
             f"{row['train_fraction']:>6.0%}  "
             f"{row['precision']:>5.2f} {row['recall']:>5.2f} {row['f1']:>5.2f} "
             f"{row['f1_std']:>5.2f}  {row['skipped']:>4d} {row['failed']:>4d} "
             f"{row['quarantined']:>4d}"
         )
+        if blocked:
+            if result.pair_recall is not None:
+                line += (
+                    f"  {result.pair_recall:>6.4f}"
+                    f" {result.reduction_ratio:>6.1%}"
+                )
+            else:
+                line += f"  {'-':>6} {'-':>6}"
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -225,6 +225,12 @@ class ExperimentResult:
     resumed_repetitions: int = 0
     #: Per-phase wall-clock of the repetitions actually executed here.
     timings: PhaseTimings = field(default_factory=PhaseTimings)
+    #: Candidate-generation quality, set only when the cell ran against
+    #: a blocked pair universe: fraction of true matches the policy kept
+    #: (against the *full* ground truth) and fraction of the cross
+    #: product pruned.  ``None`` under the null policy.
+    pair_recall: float | None = None
+    reduction_ratio: float | None = None
 
     @property
     def precision(self) -> float:
@@ -262,7 +268,7 @@ class ExperimentResult:
 
     def as_row(self) -> dict:
         """Flat dict for table rendering."""
-        return {
+        row = {
             "system": self.matcher_name,
             "dataset": self.dataset_name,
             "train_fraction": self.settings.train_fraction,
@@ -274,6 +280,11 @@ class ExperimentResult:
             "failed": len(self.failures),
             "quarantined": self.quarantined_repetitions,
         }
+        if self.pair_recall is not None:
+            row["pair_recall"] = self.pair_recall
+        if self.reduction_ratio is not None:
+            row["reduction_ratio"] = self.reduction_ratio
+        return row
 
     def describe(self) -> str:
         """One-line summary."""
@@ -294,6 +305,11 @@ class ExperimentResult:
             health.append(f"{self.resumed_repetitions} resumed")
         if health:
             text += f" [{', '.join(health)}]"
+        if self.pair_recall is not None and self.reduction_ratio is not None:
+            text += (
+                f" (blocking: pair recall {self.pair_recall:.2%}, "
+                f"reduction {self.reduction_ratio:.2%})"
+            )
         return text
 
 
@@ -361,6 +377,28 @@ class _Outcome:
 def _matcher_feature_seconds(matcher: Matcher) -> float:
     seconds = getattr(matcher, "feature_seconds", 0.0)
     return seconds if isinstance(seconds, (int, float)) else 0.0
+
+
+def blocked_test_quality(
+    quality: MatchQuality, universe, train_sources: list[str]
+) -> MatchQuality:
+    """Fold pruned true matches of the test slice into the quality.
+
+    Under a blocking policy the scored test pairs come from the pruned
+    universe, so a true match the blocker never proposed would otherwise
+    vanish from the denominator.  Counting every pruned true pair of the
+    held-out slice as a false negative keeps recall -- and therefore F1
+    -- honest against the full ground truth.  A no-op under the null
+    policy (``missed_true_pairs`` is zero by construction).
+    """
+    missed = universe.missed_true_pairs(train_sources, within=False)
+    if not missed:
+        return quality
+    return MatchQuality(
+        true_positives=quality.true_positives,
+        false_positives=quality.false_positives,
+        false_negatives=quality.false_negatives + missed,
+    )
 
 
 def _run_repetition(
@@ -468,6 +506,10 @@ def _run_repetition(
             timings.score += max(0.0, elapsed - feature_share)
             assert_finite(scores, "similarity scores")
             quality = evaluate_scores(scores, test.labels(), matcher.threshold)
+            if shared and universe.is_blocked:
+                quality = blocked_test_quality(
+                    quality, universe, list(split.train_sources)
+                )
             return _Outcome(
                 status=STATUS_OK,
                 quality=quality,
@@ -629,6 +671,14 @@ def evaluate_matcher(
         _apply_outcome(result, repetition, outcome)
         if journal is not None:
             _journal_outcome(journal, key, repetition, outcome)
+    if (
+        universe is not None
+        and universe.is_blocked
+        and universe.dataset_fingerprint == dataset.fingerprint()
+    ):
+        stats = universe.blocking_stats()
+        result.pair_recall = stats["pair_recall"]
+        result.reduction_ratio = stats["reduction_ratio"]
     return result
 
 
@@ -661,6 +711,7 @@ class ExperimentRunner:
         workers: int = 1,
         share_features: bool = True,
         supervisor=None,
+        policy=None,
     ) -> list[ExperimentResult]:
         """Run the full grid; returns one result per cell.
 
@@ -677,9 +728,22 @@ class ExperimentRunner:
         :class:`~repro.evaluation.supervisor.SupervisorPolicy`) tunes
         the pool's failure model: per-item deadlines, respawn budget,
         poison quarantine.
+
+        ``policy`` (a :class:`~repro.blocking.CandidatePolicy`) prunes
+        every dataset's pair universe before any cell runs: training
+        and test pairs come from the candidates only, pruned true
+        matches count as false negatives, and each result carries
+        ``pair_recall``/``reduction_ratio``.  Requires
+        ``share_features`` (the universe *is* the shared artefact).
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        blocked = policy is not None and not policy.is_null
+        if blocked and not share_features:
+            raise ConfigurationError(
+                "a blocking policy needs share_features=True: the pruned "
+                "pair universe is the shared artefact"
+            )
         if workers > 1:
             from repro.evaluation.parallel import run_grid_parallel
 
@@ -696,6 +760,7 @@ class ExperimentRunner:
                 workers=workers,
                 share_features=share_features,
                 supervisor=supervisor,
+                candidate_policy=policy,
             )
         results: list[ExperimentResult] = []
         for dataset in datasets:
@@ -704,7 +769,10 @@ class ExperimentRunner:
             if share_features:
                 from repro.core.feature_cache import PairUniverse
 
-                universe = PairUniverse(dataset)
+                embeddings = (
+                    probe_policy_embeddings(self._factories) if blocked else None
+                )
+                universe = PairUniverse(dataset, policy, embeddings=embeddings)
             for fraction in train_fractions:
                 settings = RunSettings(
                     train_fraction=fraction,
@@ -732,6 +800,22 @@ class ExperimentRunner:
                     )
                     results.append(result)
         return results
+
+
+def probe_policy_embeddings(factories: dict):
+    """Embeddings for resolving an embedding-bucket policy, from a factory.
+
+    The pair universe is built before any cell's matcher exists, so an
+    embedding-LSH policy borrows the first factory matcher's embedding
+    space (every LEAPME factory of one grid shares it).  Returns ``None``
+    when no factory exposes embeddings -- resolution then fails with the
+    policy's own configuration error.
+    """
+    for factory in factories.values():
+        embeddings = getattr(factory(), "embeddings", None)
+        if embeddings is not None:
+            return embeddings
+    return None
 
 
 def _shared_prepare(matcher, dataset, universe, stores: dict):

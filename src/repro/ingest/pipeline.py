@@ -142,7 +142,7 @@ class IngestPipeline:
         self.matcher.prepare(base)
         if self.matcher.is_supervised:
             rng = np.random.default_rng(self.seed)
-            candidates = build_pairs(base)
+            candidates = self._bootstrap_candidates(base)
             training = sample_training_pairs(candidates, rng=rng)
             if not training.positives():
                 raise ConfigurationError(
@@ -154,6 +154,20 @@ class IngestPipeline:
             self.matcher, base, threshold=self.threshold, linkage=self.linkage
         )
         self.clusterer.add_all()
+
+    def _bootstrap_candidates(self, base: Dataset):
+        """Training candidates for the bootstrap fit.
+
+        Under a blocking candidate policy the matcher trains on the
+        pruned universe (the same candidates it will score), which is
+        what keeps warm restarts and incremental ingestion bit-identical
+        to a cold blocked rebuild.  The null policy keeps the seed path:
+        ``build_pairs`` over the full cross product.
+        """
+        store = getattr(self.matcher, "store", None)
+        if store is not None and store.universe.is_blocked and store.serves(base):
+            return store.universe.subset()
+        return build_pairs(base)
 
     # -- featurize -----------------------------------------------------------
     def featurize(

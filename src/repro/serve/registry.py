@@ -39,6 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.blocking import CandidatePolicy
 from repro.core.matcher import LeapmeMatcher
 from repro.core.pipeline import flush_persistent_distances
 from repro.data.csvio import load_dataset_csv
@@ -73,6 +74,10 @@ class TenantSpec:
     filesystem.  ``seed`` drives the (single) training-pair draw of
     supervised systems; everything else downstream is deterministic, so
     the spec plus the input bytes pin the tenant's behaviour exactly.
+    ``blocking`` is an optional candidate-policy label (see
+    :meth:`repro.blocking.CandidatePolicy.from_label`); unset means the
+    exact-equivalence null policy, and the label is journaled so a warm
+    restart rebuilds the same pruned universe.
     """
 
     tenant: str
@@ -83,6 +88,7 @@ class TenantSpec:
     scale: str = "small"
     seed: int = 0
     threshold: float | None = None
+    blocking: str | None = None
 
     def __post_init__(self) -> None:
         if not self.tenant or "/" in self.tenant:
@@ -94,10 +100,17 @@ class TenantSpec:
                 "a tenant spec needs exactly one of dataset= (built-in) "
                 "or instances= (CSV path)"
             )
+        # Fail at spec time, not bootstrap time: a bad blocking label is
+        # a client error the create request should surface immediately.
+        self.policy()
+
+    def policy(self) -> CandidatePolicy:
+        """The candidate policy this spec bootstraps with."""
+        return CandidatePolicy.from_label(self.blocking)
 
     def to_record(self) -> dict:
         record: dict = {"system": self.system, "seed": self.seed, "scale": self.scale}
-        for name in ("instances", "alignment", "dataset", "threshold"):
+        for name in ("instances", "alignment", "dataset", "threshold", "blocking"):
             value = getattr(self, name)
             if value is not None:
                 record[name] = value
@@ -114,6 +127,7 @@ class TenantSpec:
             scale=str(record.get("scale", "small")),
             seed=int(record.get("seed", 0)),
             threshold=record.get("threshold"),
+            blocking=record.get("blocking"),
         )
 
     def input_fingerprint(self) -> str | None:
@@ -177,6 +191,19 @@ def _tenant_threshold(tenant: Tenant) -> float:
     if tenant.spec.threshold is not None:
         return float(tenant.spec.threshold)
     return float(tenant.state.matcher.threshold)
+
+
+def _state_pair_count(state: TenantState) -> int:
+    """Candidate pairs the state serves (the journal's bootstrap count).
+
+    A warm LEAPME store answers from its universe -- under a blocking
+    policy that is the pruned candidate count, and under the null
+    policy it equals the full ``build_pairs`` enumeration exactly.
+    """
+    matcher = state.matcher
+    if isinstance(matcher, LeapmeMatcher) and matcher.store is not None:
+        return len(matcher.store.universe)
+    return len(build_pairs(state.dataset).pairs)
 
 
 class TenantRegistry:
@@ -269,14 +296,22 @@ class TenantRegistry:
             embeddings = build_domain_embeddings(spec.dataset, scale=spec.scale)
         else:
             embeddings = fallback_embeddings(dataset)
-        matcher = build_system_matcher(spec.system, embeddings)
+        matcher = build_system_matcher(spec.system, embeddings, spec.policy())
+        store = None
         if isinstance(matcher, LeapmeMatcher):
             store = matcher.build_feature_store(dataset)
             matcher.attach_store(store)
         matcher.prepare(dataset)
         if matcher.is_supervised:
             rng = np.random.default_rng(spec.seed)
-            candidates = build_pairs(dataset)
+            # Under a blocking policy the tenant trains on the pruned
+            # candidate universe -- the same pairs it will serve -- so
+            # warm restarts stay bit-identical to this bootstrap.
+            candidates = (
+                store.universe.subset()
+                if store is not None and store.universe.is_blocked
+                else build_pairs(dataset)
+            )
             training = sample_training_pairs(candidates, rng=rng)
             if not training.positives():
                 raise ConfigurationError(
@@ -330,7 +365,7 @@ class TenantRegistry:
                 "record_bootstrapped",
                 spec.tenant,
                 len(state.dataset.properties()),
-                len(build_pairs(state.dataset).pairs),
+                _state_pair_count(state),
             )
             flush_persistent_distances()
             self._maybe_fault("bootstrapped")
@@ -520,13 +555,22 @@ class TenantRegistry:
             for pair, score in zip(pairs, scores)
             if score >= threshold
         ]
-        return {
+        payload = {
             "tenant": tenant_id,
             "pairs": len(pairs),
             "threshold": threshold,
             "matches": matches,
             "sources": [file for file, _ in state.sources],
         }
+        if (
+            isinstance(matcher, LeapmeMatcher)
+            and matcher.store is not None
+            and matcher.store.universe.is_blocked
+        ):
+            # Only under a blocking policy: null-policy responses stay
+            # byte-identical to the pre-blocking service.
+            payload["blocking"] = matcher.store.universe.policy.label
+        return payload
 
     def predict_payload(self, tenant_id: str, raw_pairs: list) -> dict:
         """The deterministic ``/predict`` response body for explicit pairs.
@@ -591,6 +635,16 @@ class TenantRegistry:
                     entry["stage_calls"] = dict(
                         sorted(matcher.pipeline.stage_calls.items())
                     )
+                    if matcher.store is not None:
+                        universe = matcher.store.universe
+                        entry["blocking"] = universe.policy.label
+                        entry["candidate_pairs"] = len(universe)
+                        if universe.is_blocked:
+                            stats = universe.blocking_stats()
+                            entry["total_cross_pairs"] = stats["total_pairs"]
+                            entry["reduction_ratio"] = round(
+                                stats["reduction_ratio"], 4
+                            )
             summaries[tenant.spec.tenant] = entry
         return summaries
 

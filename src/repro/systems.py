@@ -22,6 +22,7 @@ from repro.baselines import (
     NezhadiMatcher,
     SemPropMatcher,
 )
+from repro.blocking import CandidatePolicy
 from repro.core import FeatureConfig, FeatureKinds, LeapmeMatcher
 from repro.core.api import Matcher
 from repro.data.model import Dataset
@@ -44,15 +45,35 @@ SYSTEMS = (
 HASH_DIMENSION = 64
 
 
-def build_system_matcher(system: str, embeddings) -> Matcher:
-    """Construct the matcher registered under ``system``."""
+def build_system_matcher(
+    system: str, embeddings, policy: CandidatePolicy | None = None
+) -> Matcher:
+    """Construct the matcher registered under ``system``.
+
+    ``policy`` selects the candidate-generation policy for LEAPME
+    variants (they build their feature stores from it); the baseline
+    matchers score whatever pairs they are handed and accept only the
+    null policy.
+    """
+    blocked = policy is not None and not policy.is_null
     if system == "leapme":
-        return LeapmeMatcher(embeddings)
+        return LeapmeMatcher(embeddings, candidate_policy=policy)
     if system == "leapme-emb":
-        return LeapmeMatcher(embeddings, FeatureConfig(kinds=FeatureKinds.EMBEDDING))
+        return LeapmeMatcher(
+            embeddings,
+            FeatureConfig(kinds=FeatureKinds.EMBEDDING),
+            candidate_policy=policy,
+        )
     if system == "leapme-noemb":
         return LeapmeMatcher(
-            embeddings, FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING)
+            embeddings,
+            FeatureConfig(kinds=FeatureKinds.NON_EMBEDDING),
+            candidate_policy=policy,
+        )
+    if blocked:
+        raise ReproError(
+            f"system {system!r} does not support candidate blocking "
+            f"(policy {policy.label!r}); only LEAPME variants do"
         )
     if system == "aml":
         return AmlMatcher()

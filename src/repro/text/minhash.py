@@ -1,0 +1,55 @@
+"""Universal-hash minhash signatures over string token sets.
+
+Shared leaf machinery: the Duan-et-al. LSH baseline
+(:mod:`repro.baselines.lsh`) and the candidate-generation blockers
+(:mod:`repro.blocking.blockers`) both band these signatures.  It lives
+under :mod:`repro.text` so the blocking layer can use it without
+pulling the baseline-matcher package (and through it the whole core)
+into its import graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class MinHasher:
+    """Classic universal-hash minhash over string token sets."""
+
+    def __init__(self, num_hashes: int = 64, seed: int = 0) -> None:
+        if num_hashes < 1:
+            raise ConfigurationError(f"num_hashes must be >= 1, got {num_hashes}")
+        rng = np.random.default_rng(seed)
+        self.num_hashes = num_hashes
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_hashes, dtype=np.int64)
+
+    def signature(self, tokens: set[str]) -> np.ndarray:
+        """Minhash signature of a token set (all-max for the empty set)."""
+        if not tokens:
+            return np.full(self.num_hashes, np.iinfo(np.int64).max, dtype=np.int64)
+        token_hashes = np.array(
+            [hash_token(token) for token in tokens], dtype=np.int64
+        )
+        # (num_hashes, n_tokens) universal hashes, minimised per row.
+        products = (
+            self._a[:, None] * token_hashes[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        return products.min(axis=1)
+
+    @staticmethod
+    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Fraction of agreeing signature rows ~ Jaccard similarity."""
+        return float((sig_a == sig_b).mean())
+
+
+def hash_token(token: str) -> int:
+    """Stable 61-bit token hash (Python's hash() is randomised per run)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % _MERSENNE_PRIME

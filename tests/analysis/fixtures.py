@@ -747,6 +747,60 @@ def install(wakeup_fd):
 """
 
 
+# ---------------------------------------------------------------- REP016
+
+REP016_BAD_NESTED = """\
+def all_pairs(dataset):
+    pairs = []
+    for left in dataset.properties():
+        for right in dataset.properties():
+            if left.source != right.source:
+                pairs.append((left, right))
+    return pairs
+"""
+REP016_BAD_NESTED_LINE = 5
+
+REP016_BAD_TRIANGLE = """\
+def cross(dataset):
+    refs = dataset.properties()
+    found = []
+    for i, left in enumerate(refs):
+        for right in refs[i + 1:]:
+            if left.source != right.source:
+                found.append((left, right))
+    return found
+"""
+REP016_BAD_TRIANGLE_LINE = 6
+
+REP016_BAD_COMPREHENSION = """\
+def cross(dataset):
+    refs = dataset.properties()
+    return [
+        (a, b)
+        for a in refs
+        for b in refs
+        if a.source != b.source
+    ]
+"""
+REP016_BAD_COMPREHENSION_LINE = 7
+
+REP016_GOOD = """\
+from repro.data.pairs import build_pairs
+
+def candidates(dataset):
+    return build_pairs(dataset).pairs
+
+def cluster_pairs(members):
+    # Quadratic only in one cluster's size, not the property universe.
+    pairs = []
+    for i, left in enumerate(members):
+        for right in members[i + 1:]:
+            if left.source != right.source:
+                pairs.append((left, right))
+    return pairs
+"""
+
+
 #: ``rule -> (bad snippet, expected line, good snippet)`` for the
 #: one-per-rule parametrised test; extra variants are exercised
 #: individually in test_rules.py.
@@ -766,4 +820,5 @@ PAIRS = {
     "REP013": (REP013_BAD, REP013_BAD_LINE, REP013_GOOD),
     "REP014": (REP014_BAD_FSYNC, REP014_BAD_FSYNC_LINE, REP014_GOOD),
     "REP015": (REP015_BAD, REP015_BAD_LINE, REP015_GOOD),
+    "REP016": (REP016_BAD_NESTED, REP016_BAD_NESTED_LINE, REP016_GOOD),
 }

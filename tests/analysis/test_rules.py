@@ -338,6 +338,56 @@ class TestRep015Variants:
         assert violations_of(fixtures.REP015_GOOD_OS_WRITE, "REP015") == []
 
 
+class TestRep016Variants:
+    def test_triangle_over_bound_property_sweep(self):
+        found = violations_of(fixtures.REP016_BAD_TRIANGLE, "REP016")
+        assert found
+        assert fixtures.REP016_BAD_TRIANGLE_LINE in {v.line for v in found}
+
+    def test_double_generator_comprehension(self):
+        found = violations_of(fixtures.REP016_BAD_COMPREHENSION, "REP016")
+        assert found
+        assert fixtures.REP016_BAD_COMPREHENSION_LINE in {
+            v.line for v in found
+        }
+
+    def test_blocking_layer_owns_the_shape(self):
+        report = analyze_source(
+            fixtures.REP016_BAD_NESTED,
+            path="src/repro/blocking/blockers.py",
+            select=("REP016",),
+        )
+        assert report.violations == []
+
+    def test_canonical_enumerator_is_exempt(self):
+        report = analyze_source(
+            fixtures.REP016_BAD_NESTED,
+            path="src/repro/data/pairs.py",
+            select=("REP016",),
+        )
+        assert report.violations == []
+
+    def test_small_scope_pairing_is_silent(self):
+        # The incremental clusterer's new-refs x existing-refs linkage
+        # loop: neither iterable is a full property sweep.
+        source = (
+            "def link(new_refs, existing):\n"
+            "    return [\n"
+            "        (new, old)\n"
+            "        for new in new_refs\n"
+            "        for old in existing\n"
+            "        if old.source != new.source\n"
+            "    ]\n"
+        )
+        assert violations_of(source, "REP016") == []
+
+    def test_tests_are_exempt(self):
+        report = analyze_source(
+            fixtures.REP016_BAD_NESTED, role=ROLE_TESTS, select=("REP016",)
+        )
+        assert report.violations == []
+
+
 class TestSelectIgnoreFlags:
     """``repro lint --select`` / ``--ignore`` composition via the CLI."""
 

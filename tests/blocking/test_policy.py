@@ -1,0 +1,141 @@
+"""Tests for the serialisable candidate-generation policy record."""
+
+import pytest
+
+from repro.blocking import (
+    CandidatePolicy,
+    EmbeddingLSHBlocker,
+    NullBlocker,
+    SketchBlocker,
+    TokenBlocker,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFromLabel:
+    @pytest.mark.parametrize("label", [None, "", "none", "off", "null"])
+    def test_null_spellings(self, label):
+        policy = CandidatePolicy.from_label(label)
+        assert policy.is_null
+        assert policy == CandidatePolicy.null()
+
+    def test_bare_blocker_name(self):
+        policy = CandidatePolicy.from_label("minhash")
+        assert policy.blocker == "minhash"
+        assert policy.params == ()
+
+    def test_parameters_parsed_and_coerced(self):
+        policy = CandidatePolicy.from_label("minhash:seed=7,union_df=6")
+        assert dict(policy.params) == {"seed": 7, "union_df": 6}
+
+    def test_parameters_canonically_sorted(self):
+        forward = CandidatePolicy.from_label("minhash:seed=7,union_df=6")
+        backward = CandidatePolicy.from_label("minhash:union_df=6,seed=7")
+        assert forward == backward
+        assert forward.label == backward.label
+
+    def test_whitespace_tolerated(self):
+        policy = CandidatePolicy.from_label(" minhash : seed = 7 ")
+        assert policy.blocker == "minhash"
+        assert dict(policy.params) == {"seed": 7}
+
+    @pytest.mark.parametrize("label", ["minhash:seed", "minhash:seed=", "minhash:=7"])
+    def test_malformed_parameter_chunk(self, label):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            CandidatePolicy.from_label(label)
+
+    def test_unknown_blocker(self):
+        with pytest.raises(ConfigurationError, match="unknown blocking policy"):
+            CandidatePolicy.from_label("sorted-neighborhood")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            CandidatePolicy.from_label("minhash:bands=4")
+
+    def test_uncoercible_parameter_value(self):
+        with pytest.raises(ConfigurationError, match="must be int"):
+            CandidatePolicy.from_label("minhash:seed=many")
+
+    def test_boolean_coercion(self):
+        assert dict(CandidatePolicy.from_label("token:use_values=false").params) == {
+            "use_values": False
+        }
+        assert dict(CandidatePolicy.from_label("token:use_values=1").params) == {
+            "use_values": True
+        }
+
+    def test_non_boolean_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="boolean"):
+            CandidatePolicy.from_label("token:use_values=maybe")
+
+
+class TestRoundTrips:
+    LABELS = [
+        "null",
+        "minhash",
+        "minhash:seed=7,union_df=6",
+        "token:use_values=False",
+        "embedding:num_bits=4,num_tables=2",
+    ]
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_label_round_trip(self, label):
+        policy = CandidatePolicy.from_label(label)
+        assert CandidatePolicy.from_label(policy.label) == policy
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_dict_round_trip(self, label):
+        policy = CandidatePolicy.from_label(label)
+        assert CandidatePolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_requires_blocker_key(self):
+        with pytest.raises(ConfigurationError, match="blocker"):
+            CandidatePolicy.from_dict({"params": {}})
+
+    def test_from_dict_rejects_non_dict_params(self):
+        with pytest.raises(ConfigurationError, match="params"):
+            CandidatePolicy.from_dict({"blocker": "minhash", "params": [1, 2]})
+
+    def test_policies_are_hashable_values(self):
+        a = CandidatePolicy.from_label("minhash:seed=7")
+        b = CandidatePolicy.from_label("minhash:seed=7")
+        assert len({a, b}) == 1
+
+
+class TestResolve:
+    def test_null_resolves_to_null_blocker(self):
+        assert isinstance(CandidatePolicy.null().resolve(), NullBlocker)
+
+    def test_minhash_resolves_to_sketch_blocker(self):
+        blocker = CandidatePolicy.from_label("minhash").resolve()
+        assert isinstance(blocker, SketchBlocker)
+
+    def test_token_resolves_with_overrides(self):
+        blocker = CandidatePolicy.from_label("token:use_values=false").resolve()
+        assert isinstance(blocker, TokenBlocker)
+        assert blocker.use_values is False
+
+    def test_embedding_requires_embeddings(self):
+        policy = CandidatePolicy.from_label("embedding")
+        assert policy.requires_embeddings
+        with pytest.raises(ConfigurationError, match="embeddings"):
+            policy.resolve()
+
+    def test_embedding_resolves_with_embeddings(self, tiny_embeddings):
+        blocker = CandidatePolicy.from_label("embedding:num_tables=2").resolve(
+            tiny_embeddings
+        )
+        assert isinstance(blocker, EmbeddingLSHBlocker)
+
+    def test_extra_embeddings_harmless_for_others(self, tiny_embeddings):
+        assert isinstance(
+            CandidatePolicy.from_label("minhash").resolve(tiny_embeddings),
+            SketchBlocker,
+        )
+
+    def test_invalid_parameter_combination_surfaces(self):
+        # band_size must divide num_hashes; the blocker's own validation
+        # fires at resolve time, not policy-construction time.
+        policy = CandidatePolicy.from_label("minhash:band_size=5")
+        with pytest.raises(ConfigurationError):
+            policy.resolve()

@@ -188,3 +188,98 @@ class TestPersistence:
             matcher.score_pairs(dataset, pairs.pairs[:10]),
             loaded.score_pairs(dataset, pairs.pairs[:10]),
         )
+
+
+class TestCandidatePolicyPersistence:
+    """Bundle format 3: the candidate policy travels with the matcher."""
+
+    @pytest.fixture(scope="class")
+    def blocked_fitted(self, tiny_headphones_module, tiny_embeddings_module):
+        from repro.blocking import CandidatePolicy
+
+        dataset = tiny_headphones_module
+        matcher = LeapmeMatcher(
+            tiny_embeddings_module,
+            config=FAST,
+            candidate_policy=CandidatePolicy.from_label("minhash:seed=7"),
+        )
+        store = matcher.build_feature_store(dataset)
+        matcher.attach_store(store)
+        training = store.universe.training_sample(
+            store.universe.subset(), 2.0, (0,)
+        )
+        matcher.fit(dataset, training)
+        return dataset, matcher
+
+    def test_null_policy_persisted_by_default(self, fitted, tmp_path):
+        import json
+
+        _, matcher, _ = fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        payload = json.loads((bundle / "config.json").read_text())
+        assert payload["version"] == 3
+        assert payload["candidate_policy"] == {"blocker": "null", "params": {}}
+
+    def test_blocked_roundtrip_preserves_policy_and_scores(
+        self, blocked_fitted, tmp_path
+    ):
+        dataset, matcher = blocked_fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        loaded = load_matcher(bundle)
+        assert loaded.candidate_policy == matcher.candidate_policy
+        assert loaded.candidate_policy.label == "minhash:seed=7"
+        pairs = list(matcher.store.universe.pairs)[:20]
+        assert np.allclose(
+            matcher.score_pairs(dataset, pairs),
+            loaded.score_pairs(dataset, pairs),
+        )
+
+    def test_loaded_matcher_builds_blocked_stores(self, blocked_fitted, tmp_path):
+        dataset, matcher = blocked_fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        loaded = load_matcher(bundle)
+        store = loaded.build_feature_store(dataset)
+        assert store.universe.is_blocked
+        assert [p.key for p in store.universe.pairs] == [
+            p.key for p in matcher.store.universe.pairs
+        ]
+
+    def test_format_two_bundle_defaults_to_null(self, fitted, tmp_path):
+        import json
+
+        _, matcher, _ = fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        config = json.loads((bundle / "config.json").read_text())
+        config["version"] = 2
+        del config["candidate_policy"]
+        (bundle / "config.json").write_text(json.dumps(config))
+        loaded = load_matcher(bundle)
+        assert loaded.candidate_policy.is_null
+
+    def test_corrupt_policy_rejected(self, fitted, tmp_path):
+        import json
+
+        _, matcher, _ = fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        config = json.loads((bundle / "config.json").read_text())
+        config["candidate_policy"] = {"blocker": "sorted-neighborhood"}
+        (bundle / "config.json").write_text(json.dumps(config))
+        with pytest.raises(DataError, match="corrupt"):
+            load_matcher(bundle)
+
+    def test_corrupt_policy_params_rejected(self, fitted, tmp_path):
+        import json
+
+        _, matcher, _ = fitted
+        bundle = tmp_path / "bundle"
+        save_matcher(matcher, bundle)
+        config = json.loads((bundle / "config.json").read_text())
+        config["candidate_policy"] = {"blocker": "minhash", "params": {"seed": "x"}}
+        (bundle / "config.json").write_text(json.dumps(config))
+        with pytest.raises(DataError, match="corrupt"):
+            load_matcher(bundle)

@@ -140,6 +140,81 @@ class TestRunner:
             ExperimentRunner({})
 
 
+class TestBlockedGrid:
+    """Candidate-policy evaluation: pruned universes, honest metrics."""
+
+    def _run(self, dataset, label, repetitions=2):
+        from repro.blocking import CandidatePolicy
+
+        runner = ExperimentRunner({"oracle": OracleMatcher})
+        return runner.run(
+            [dataset],
+            train_fractions=[0.5],
+            repetitions=repetitions,
+            policy=CandidatePolicy.from_label(label),
+        )[0]
+
+    def test_blocked_result_carries_policy_stats(self, tiny_headphones):
+        from repro.blocking import CandidatePolicy
+        from repro.core import PairUniverse
+
+        result = self._run(tiny_headphones, "minhash")
+        stats = PairUniverse(
+            tiny_headphones, CandidatePolicy.from_label("minhash")
+        ).blocking_stats()
+        assert result.pair_recall == pytest.approx(stats["pair_recall"])
+        assert result.reduction_ratio == pytest.approx(stats["reduction_ratio"])
+        assert "blocking:" in result.describe()
+
+    def test_lossless_policy_keeps_oracle_perfect(self, tiny_headphones):
+        # minhash keeps every true pair on this dataset, so pruning the
+        # candidate set must not cost the oracle anything.
+        result = self._run(tiny_headphones, "minhash")
+        assert result.pair_recall == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == 1.0
+
+    def test_pruned_true_matches_score_as_misses(self, tiny_headphones):
+        # The token policy drops true pairs (pair recall well below 1);
+        # an oracle scoring only surviving candidates must not be
+        # credited with perfect recall against the full ground truth.
+        result = self._run(tiny_headphones, "token", repetitions=3)
+        assert result.pair_recall < 1.0
+        assert result.recall < 1.0
+        assert result.precision == 1.0  # pruning never adds false positives
+
+    def test_null_policy_leaves_results_unannotated(self, tiny_headphones):
+        result = self._run(tiny_headphones, "null")
+        assert result.pair_recall is None
+        assert result.reduction_ratio is None
+        assert "blocking:" not in result.describe()
+
+    def test_blocked_needs_shared_features(self, tiny_headphones):
+        from repro.blocking import CandidatePolicy
+
+        runner = ExperimentRunner({"oracle": OracleMatcher})
+        with pytest.raises(ConfigurationError, match="share_features"):
+            runner.run(
+                [tiny_headphones],
+                train_fractions=[0.5],
+                repetitions=1,
+                share_features=False,
+                policy=CandidatePolicy.from_label("minhash"),
+            )
+
+    def test_as_row_includes_blocking_columns(self, tiny_headphones):
+        row = self._run(tiny_headphones, "minhash").as_row()
+        assert row["pair_recall"] == 1.0
+        assert 0.0 < row["reduction_ratio"] < 1.0
+        assert "pair_recall" not in self._run(tiny_headphones, "null").as_row()
+
+    def test_render_table_adds_columns_only_when_blocked(self, tiny_headphones):
+        blocked = render_results_table([self._run(tiny_headphones, "minhash")])
+        assert "pairR" in blocked and "redux" in blocked
+        unblocked = render_results_table([self._run(tiny_headphones, "null")])
+        assert "pairR" not in unblocked
+
+
 class TestReporting:
     def _results(self, tiny_headphones):
         runner = ExperimentRunner({"oracle": OracleMatcher, "token": TokenMatcher})

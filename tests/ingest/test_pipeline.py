@@ -23,13 +23,16 @@ def ingest_file(pipeline, path):
     return batch, pipeline.fuse(batch)
 
 
-def fast_leapme(embeddings):
+def fast_leapme(embeddings, blocking=None):
     """LEAPME with a deterministic classical classifier (test speed)."""
+    from repro.blocking import CandidatePolicy
+
     return LeapmeMatcher(
         embeddings,
         classifier_factory=lambda: ClassicalPairClassifier(
             DecisionTreeClassifier(max_depth=4)
         ),
+        candidate_policy=CandidatePolicy.from_label(blocking),
     )
 
 
@@ -134,6 +137,54 @@ class TestBootstrapModes:
             ingest_file(pipeline, path)
 
         run(tmp_path / "one")
+        run(tmp_path / "two")
+        assert (tmp_path / "one/m.csv").read_bytes() == (
+            tmp_path / "two/m.csv"
+        ).read_bytes()
+        assert (tmp_path / "one/c.json").read_bytes() == (
+            tmp_path / "two/c.json"
+        ).read_bytes()
+
+    def test_blocked_leapme_streams_the_pruned_universe(
+        self, tiny_headphones, tiny_embeddings, feed, tmp_path
+    ):
+        """Blocked streaming trains and scores the pruned candidate set.
+
+        The streamed delta must enumerate the same candidates a cold
+        blocked rebuild of the merged dataset would, and replaying the
+        whole run must be byte-identical (the blocked analogue of the
+        resume-replay contract above).
+        """
+        from repro.core import PairFeatureStore
+
+        sources = tiny_headphones.sources()
+        base = tiny_headphones.restrict_to_sources(sources[:-1])
+        streamed = tiny_headphones.restrict_to_sources([sources[-1]])
+        path = feed / "late.csv"
+        save_dataset_csv(streamed, path, feed / "late.alignment.csv")
+
+        def run(out_dir):
+            out_dir.mkdir()
+            matcher = fast_leapme(tiny_embeddings, blocking="minhash")
+            pipeline = IngestPipeline(
+                matcher, out_dir / "m.csv", out_dir / "c.json", seed=3
+            )
+            pipeline.bootstrap(base)
+            ingest_file(pipeline, path)
+            return matcher
+
+        matcher = run(tmp_path / "one")
+        universe = matcher.store.universe
+        assert universe.is_blocked
+        assert universe.policy.label == "minhash"
+        cold = PairFeatureStore.build(
+            tiny_headphones, tiny_embeddings, policy=universe.policy
+        )
+        assert [p.key for p in universe.pairs] == [
+            p.key for p in cold.universe.pairs
+        ]
+        assert matcher.store.matrix.tobytes() == cold.matrix.tobytes()
+
         run(tmp_path / "two")
         assert (tmp_path / "one/m.csv").read_bytes() == (
             tmp_path / "two/m.csv"

@@ -11,7 +11,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.blocking import NullBlocker, TokenBlocker, blocking_quality
+from repro.blocking import CandidatePolicy, NullBlocker, TokenBlocker, blocking_quality
 from repro.data.pairs import build_pairs, sample_training_pairs
 from repro.data.splits import split_sources
 from repro.datasets.generator import GenerationConfig, derive_semantics, generate_dataset
@@ -109,6 +109,26 @@ class TestBlockingInvariants:
         quality = blocking_quality(dataset, TokenBlocker().candidate_keys(dataset))
         assert 0.0 <= quality.pair_completeness <= 1.0
         assert 0.0 <= quality.reduction_ratio <= 1.0
+
+    @given(params=domain_params, blocker_seed=st.integers(0, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_minhash_policy_subset_of_cross_product(self, params, blocker_seed):
+        n_sources, n_props, seed = params
+        dataset = generate_dataset(_spec(n_sources, n_props), GenerationConfig(seed=seed))
+        policy = CandidatePolicy.from_label(f"minhash:seed={blocker_seed}")
+        null_keys = NullBlocker().candidate_keys(dataset)
+        minhash_keys = policy.resolve().candidate_keys(dataset)
+        assert minhash_keys <= null_keys
+
+    @given(params=domain_params, blocker_seed=st.integers(0, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_minhash_policy_deterministic_under_fixed_seed(self, params, blocker_seed):
+        n_sources, n_props, seed = params
+        dataset = generate_dataset(_spec(n_sources, n_props), GenerationConfig(seed=seed))
+        policy = CandidatePolicy.from_label(f"minhash:seed={blocker_seed}")
+        first = policy.resolve().candidate_keys(dataset)
+        second = policy.resolve().candidate_keys(dataset)
+        assert first == second
 
 
 class TestScoreEvaluationInvariants:

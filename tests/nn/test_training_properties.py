@@ -29,7 +29,10 @@ class TestTrainingProperties:
         inputs = np.vstack([x0, x1])
         labels = np.array([0] * half + [1] * half)
         network = _network(3, hidden, seed)
-        network.fit(inputs, labels, TrainingSchedule.constant(12, 1e-2), rng=rng)
+        # 20 epochs: the hardest corner (hidden=4..6, separation=1.5,
+        # any seed <= 50) converges past 0.96; 12 epochs leaves some
+        # narrow networks at ~0.78.
+        network.fit(inputs, labels, TrainingSchedule.constant(20, 1e-2), rng=rng)
         accuracy = (network.predict(inputs) == labels).mean()
         assert accuracy > 0.9
 

@@ -64,6 +64,7 @@ def make_spec(
     *,
     threshold: float | None = 0.3,
     with_alignment: bool = True,
+    blocking: str | None = None,
 ) -> TenantSpec:
     """A CSV-backed tenant spec over sources A+B in ``directory``."""
     sources = {"srcA": PROPS_A, "srcB": PROPS_B}
@@ -77,6 +78,7 @@ def make_spec(
         instances=str(instances),
         alignment=None if alignment is None else str(alignment),
         threshold=threshold,
+        blocking=blocking,
     )
 
 

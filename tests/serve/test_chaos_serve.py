@@ -126,6 +126,47 @@ class TestStageKills:
         assert match_body(restarted, spec.tenant) == cold_body(spec, extra)
 
 
+class TestBlockedTenantKills:
+    @pytest.mark.parametrize(
+        ("stage", "source_survives"),
+        [("reload", False), ("source-added", True)],
+    )
+    def test_blocked_tenant_warm_restart_is_byte_identical(
+        self, tmp_path, stage, source_survives
+    ):
+        """The journaled blocking label survives a hard kill.
+
+        A blocked LEAPME tenant is killed around the copy-on-swap reload;
+        the warm restart must rebuild the same pruned universe (the
+        policy label rides in the ``created`` record) and produce the
+        exact ``/match`` bytes of a cold blocked rebuild.
+        """
+        spec = make_spec(tmp_path, system="leapme", blocking="minhash")
+        extra = write_extra_source(tmp_path)
+        journal_path = tmp_path / "registry.journal"
+        plan = ServeFaultPlan(
+            exit_after={stage: 1}, state_dir=str(tmp_path / "faults")
+        )
+
+        def doomed():
+            registry = TenantRegistry(
+                RegistryJournal(journal_path), fault_plan=plan
+            )
+            registry.load()
+            registry.create(spec)
+            registry.add_source(spec.tenant, extra)
+
+        assert run_forked(doomed) == WORKER_EXIT_CODE
+
+        restarted = TenantRegistry(RegistryJournal(journal_path))
+        counts = restarted.load()
+        assert counts["tenants"] == 1
+        assert counts["sources"] == (1 if source_survives else 0)
+        warm = match_body(restarted, spec.tenant)
+        assert warm == cold_body(spec, extra if source_survives else None)
+        assert restarted.match_payload(spec.tenant)["blocking"] == "minhash"
+
+
 class TestTornJournalAppend:
     def test_kill_mid_append_leaves_a_recoverable_journal(self, tmp_path):
         spec = make_spec(tmp_path)

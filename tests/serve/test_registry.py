@@ -138,6 +138,67 @@ class TestCopyOnSwapReload:
         assert match_body(cold, "t1") == warm
 
 
+class TestBlockedTenants:
+    def test_spec_blocking_round_trip(self, tmp_path):
+        spec = make_spec(tmp_path, system="leapme", blocking="minhash:seed=7")
+        assert TenantSpec.from_record("t1", spec.to_record()) == spec
+        assert spec.to_record()["blocking"] == "minhash:seed=7"
+        assert spec.policy().label == "minhash:seed=7"
+
+    def test_unblocked_spec_record_has_no_blocking_key(self, tmp_path):
+        assert "blocking" not in make_spec(tmp_path).to_record()
+
+    def test_invalid_blocking_label_fails_at_spec_time(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="blocking"):
+            make_spec(tmp_path, blocking="sorted-neighborhood")
+
+    def test_blocked_tenant_reports_blocking_everywhere(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.create(make_spec(tmp_path, system="leapme", blocking="minhash"))
+        payload = registry.match_payload("t1")
+        assert payload["blocking"] == "minhash"
+        assert payload["matches"]
+        entry = registry.tenant_summaries()["t1"]
+        assert entry["blocking"] == "minhash"
+        assert entry["candidate_pairs"] == payload["pairs"]
+        assert entry["candidate_pairs"] < entry["total_cross_pairs"]
+        assert 0.0 < entry["reduction_ratio"] <= 1.0
+
+    def test_null_tenant_payload_keeps_pre_blocking_shape(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.create(make_spec(tmp_path, system="leapme"))
+        payload = registry.match_payload("t1")
+        assert "blocking" not in payload
+        entry = registry.tenant_summaries()["t1"]
+        assert entry["blocking"] == "null"
+        assert "total_cross_pairs" not in entry
+
+    def test_blocked_delta_reload_matches_cold_blocked_rebuild(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.create(make_spec(tmp_path, system="leapme", blocking="minhash"))
+        extra = write_extra_source(tmp_path)
+        registry.add_source("t1", extra)
+        warm = match_body(registry, "t1")
+
+        cold = TenantRegistry()
+        cold.load()
+        cold.create(make_spec(tmp_path, system="leapme", blocking="minhash"))
+        cold.add_source("t1", extra)
+        assert match_body(cold, "t1") == warm
+
+    def test_blocked_warm_restart_is_byte_identical(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.create(make_spec(tmp_path, system="leapme", blocking="minhash"))
+        extra = write_extra_source(tmp_path)
+        registry.add_source("t1", extra)
+        before = match_body(registry, "t1")
+        restarted = TenantRegistry(registry.journal)
+        counts = restarted.load()
+        assert counts == {"tenants": 1, "sources": 1, "quarantined": 0}
+        assert match_body(restarted, "t1") == before
+        assert restarted.match_payload("t1")["blocking"] == "minhash"
+
+
 class TestBreaker:
     def test_consecutive_failures_quarantine_the_tenant(self, tmp_path):
         registry = make_registry(tmp_path, breaker_threshold=3)
